@@ -1,0 +1,48 @@
+/// Ablation: dynamic-partitioning task size (paper Section V).
+///
+/// "The task size (the granularity of partitioning) impacts performance as
+/// well. ... the task size variation leads to performance variation. Thus,
+/// auto-tuning is recommended" — here we sweep m (the chunk count; task
+/// size = n/m) for both dynamic strategies on BlackScholes and STREAM-Seq
+/// and compare against the static winner, which stays ahead throughout.
+#include "bench/bench_util.hpp"
+
+using namespace hetsched;
+using analyzer::StrategyKind;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+
+  Table table({"application", "m (chunks)", "task size", "DP-Perf (ms)",
+               "DP-Dep (ms)", "static best (ms)"});
+
+  for (apps::PaperApp kind :
+       {apps::PaperApp::kBlackScholes, apps::PaperApp::kStreamSeq}) {
+    const StrategyKind static_best = kind == apps::PaperApp::kBlackScholes
+                                         ? StrategyKind::kSPSingle
+                                         : StrategyKind::kSPUnified;
+    for (int m : {4, 8, 12, 24, 48, 96}) {
+      const hw::PlatformSpec platform = hw::make_reference_platform();
+      auto app =
+          apps::make_paper_app(kind, platform, apps::paper_config(kind));
+      strategies::StrategyOptions options;
+      options.task_count = m;  // the DYNAMIC task size being ablated
+      strategies::StrategyRunner runner(*app, options);
+      const double perf = runner.run(StrategyKind::kDPPerf).time_ms();
+      const double dep = runner.run(StrategyKind::kDPDep).time_ms();
+      // The static reference keeps its own m (one CPU instance per thread).
+      strategies::StrategyRunner static_runner(*app);
+      const double sp = static_runner.run(static_best).time_ms();
+      table.add_row({apps::paper_app_name(kind), std::to_string(m),
+                     std::to_string(app->items() / m), bench::ms(perf),
+                     bench::ms(dep), bench::ms(sp)});
+    }
+  }
+
+  bench::print_header("Ablation: dynamic task size sweep");
+  table.print(std::cout, args.csv);
+  std::cout << "\nexpected: dynamic times vary with m (auto-tuning would "
+               "pick the valley); the static strategy's time is m-robust "
+               "and stays ahead, as the paper's Discussion claims.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyzer/strategy.hpp"
+#include "apps/registry.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "hw/platform.hpp"
+#include "strategies/strategy_runner.hpp"
+
+/// Shared helpers for the paper-reproduction bench binaries.
+///
+/// Every bench prints (a) the regenerated table/figure data and (b) the
+/// paper's reference numbers where the paper states them, so EXPERIMENTS.md
+/// can be cross-checked directly from bench output. `--csv` switches the
+/// output to CSV.
+namespace hetsched::bench {
+
+struct BenchArgs {
+  bool csv = false;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") args.csv = true;
+  }
+  return args;
+}
+
+/// Runs the app's full strategy set (Table I ranking + baselines) on the
+/// reference platform at the paper's problem size.
+inline std::map<analyzer::StrategyKind, strategies::StrategyResult>
+run_paper_app(apps::PaperApp app, bool sync_between_kernels = false,
+              const hw::PlatformSpec& platform = hw::make_reference_platform()) {
+  auto application =
+      apps::make_paper_app(app, platform, apps::paper_config(app));
+  strategies::StrategyOptions options;
+  options.sync_between_kernels = sync_between_kernels;
+  strategies::StrategyRunner runner(*application, options);
+  return runner.run_ranked_and_baselines();
+}
+
+inline std::string ms(double value) { return format_fixed(value, 1); }
+inline std::string pct(double fraction) {
+  return format_percent(fraction, 1);
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "== " << title << " ==\n";
+}
+
+}  // namespace hetsched::bench

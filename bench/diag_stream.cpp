@@ -1,0 +1,19 @@
+#include "bench/bench_util.hpp"
+using namespace hetsched;
+using analyzer::StrategyKind;
+int main(int argc, char** argv) {
+  bool sync = argc > 1 && std::string(argv[1]) == "w";
+  auto app_kind = apps::PaperApp::kStreamSeq;
+  if (argc > 2 && std::string(argv[2]) == "loop") app_kind = apps::PaperApp::kStreamLoop;
+  auto results = bench::run_paper_app(app_kind, sync);
+  for (const auto& [kind, r] : results) {
+    std::cout << analyzer::strategy_name(kind) << ": " << r.time_ms() << " ms"
+              << "  gpu_share=" << r.gpu_fraction_overall
+              << "  h2d=" << r.report.transfers.h2d_count << "/" << r.report.transfers.h2d_bytes/1e6 << "MB"
+              << "  d2h=" << r.report.transfers.d2h_count << "/" << r.report.transfers.d2h_bytes/1e6 << "MB"
+              << "  overhead=" << to_millis(r.report.overhead_time) << "ms"
+              << "  cpu_busy=" << to_millis(r.report.devices[0].compute_time)
+              << "  gpu_busy=" << to_millis(r.report.devices[1].compute_time) << "\n";
+  }
+  return 0;
+}

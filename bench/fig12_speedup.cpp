@@ -1,0 +1,71 @@
+/// Figure 12: speedup of the best partitioning strategy versus Only-GPU and
+/// Only-CPU per application, and the averages.
+///
+/// Paper reference: speedups range from ~1x to 22.2x (MatrixMul vs
+/// Only-CPU); the averages over the evaluated applications are 3.0x vs
+/// Only-GPU and 5.3x vs Only-CPU.
+#include "bench/bench_util.hpp"
+
+#include "common/stats.hpp"
+
+using namespace hetsched;
+using analyzer::StrategyKind;
+
+namespace {
+
+struct Case {
+  apps::PaperApp app;
+  bool sync;
+  const char* label;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+
+  const std::vector<Case> cases = {
+      {apps::PaperApp::kMatrixMul, false, "MatrixMul"},
+      {apps::PaperApp::kBlackScholes, false, "BlackScholes"},
+      {apps::PaperApp::kNbody, false, "Nbody"},
+      {apps::PaperApp::kHotSpot, false, "HotSpot"},
+      {apps::PaperApp::kStreamSeq, false, "STREAM-Seq-w/o"},
+      {apps::PaperApp::kStreamSeq, true, "STREAM-Seq-w"},
+      {apps::PaperApp::kStreamLoop, false, "STREAM-Loop-w/o"},
+      {apps::PaperApp::kStreamLoop, true, "STREAM-Loop-w"},
+  };
+
+  Table table({"application", "best strategy", "best (ms)", "vs Only-GPU",
+               "vs Only-CPU"});
+  std::vector<double> vs_gpu, vs_cpu;
+  for (const Case& c : cases) {
+    auto results = bench::run_paper_app(c.app, c.sync);
+    StrategyKind best = StrategyKind::kOnlyGpu;
+    double best_ms = 1e300;
+    for (const auto& [kind, result] : results) {
+      if (kind == StrategyKind::kOnlyGpu || kind == StrategyKind::kOnlyCpu)
+        continue;
+      if (result.time_ms() < best_ms) {
+        best_ms = result.time_ms();
+        best = kind;
+      }
+    }
+    const double og = results.at(StrategyKind::kOnlyGpu).time_ms();
+    const double oc = results.at(StrategyKind::kOnlyCpu).time_ms();
+    vs_gpu.push_back(og / best_ms);
+    vs_cpu.push_back(oc / best_ms);
+    table.add_row({c.label, analyzer::strategy_name(best),
+                   bench::ms(best_ms),
+                   format_fixed(og / best_ms, 2) + "x",
+                   format_fixed(oc / best_ms, 2) + "x"});
+  }
+  table.add_row({"Average", "-", "-",
+                 format_fixed(arithmetic_mean(vs_gpu), 2) + "x",
+                 format_fixed(arithmetic_mean(vs_cpu), 2) + "x"});
+
+  bench::print_header("Figure 12: best strategy speedup vs Only-GPU/Only-CPU");
+  table.print(std::cout, args.csv);
+  std::cout << "\npaper reference: per-app speedups from ~1x to 22.2x; "
+               "averages 3.0x (vs Only-GPU) and 5.3x (vs Only-CPU).\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+/// Table I validation: for each evaluated application (and sync scenario),
+/// run every suitable strategy and check that the *empirical* performance
+/// order matches the paper's theoretical ranking (Propositions 1-3).
+///
+/// A ">=" relation (e.g. DP-Perf >= DP-Dep) is accepted when the two times
+/// are within a small tolerance, matching the paper's observation that the
+/// two dynamic strategies can coincide (STREAM).
+#include "bench/bench_util.hpp"
+
+#include "analyzer/ranking.hpp"
+
+using namespace hetsched;
+using analyzer::StrategyKind;
+
+namespace {
+
+struct Case {
+  apps::PaperApp app;
+  bool sync;
+  const char* label;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+
+  const std::vector<Case> cases = {
+      {apps::PaperApp::kMatrixMul, false, "MatrixMul"},
+      {apps::PaperApp::kBlackScholes, false, "BlackScholes"},
+      {apps::PaperApp::kNbody, false, "Nbody"},
+      {apps::PaperApp::kHotSpot, false, "HotSpot"},
+      {apps::PaperApp::kStreamSeq, false, "STREAM-Seq-w/o"},
+      {apps::PaperApp::kStreamSeq, true, "STREAM-Seq-w"},
+      {apps::PaperApp::kStreamLoop, false, "STREAM-Loop-w/o"},
+      {apps::PaperApp::kStreamLoop, true, "STREAM-Loop-w"},
+  };
+
+  // Tolerance for ">=": a pair ranked "outperforms or equals" may be this
+  // much slower and still count as a tie. The paper itself reports the two
+  // dynamic strategies as showing "no visible performance difference" on
+  // STREAM; 12% is the discrimination we grant those tie relations.
+  constexpr double kTieTolerance = 0.12;
+
+  Table table({"application", "class", "theoretical ranking",
+               "empirical times (ms)", "ranking holds"});
+  bool all_hold = true;
+  for (const Case& c : cases) {
+    const hw::PlatformSpec platform = hw::make_reference_platform();
+    auto application =
+        apps::make_paper_app(c.app, platform, apps::paper_config(c.app));
+    const analyzer::AppClass cls =
+        analyzer::classify(application->descriptor().structure);
+    const bool sync =
+        application->descriptor().inter_kernel_sync() || c.sync;
+    const analyzer::RankingExpectation expectation =
+        analyzer::ranking_expectation(cls, sync);
+
+    auto results = bench::run_paper_app(c.app, c.sync);
+
+    std::vector<std::string> ranking_names, time_cells;
+    bool holds = true;
+    for (std::size_t i = 0; i < expectation.order.size(); ++i) {
+      const StrategyKind kind = expectation.order[i];
+      ranking_names.push_back(analyzer::strategy_name(kind));
+      time_cells.push_back(bench::ms(results.at(kind).time_ms()));
+      if (i + 1 < expectation.order.size()) {
+        const double a = results.at(kind).time_ms();
+        const double b = results.at(expectation.order[i + 1]).time_ms();
+        if (expectation.strict[i]) {
+          holds &= a < b;
+        } else {
+          holds &= a <= b * (1.0 + kTieTolerance);
+        }
+      }
+    }
+    all_hold &= holds;
+    table.add_row({c.label, analyzer::app_class_name(cls),
+                   join(ranking_names, " > "), join(time_cells, " / "),
+                   holds ? "yes" : "NO"});
+  }
+
+  bench::print_header("Table I: theoretical vs empirical strategy ranking");
+  table.print(std::cout, args.csv);
+  std::cout << (all_hold
+                    ? "\nall rankings hold — the empirical order matches "
+                      "Table I, as the paper reports.\n"
+                    : "\nRANKING VIOLATION — empirical order deviates from "
+                      "Table I.\n");
+  return all_hold ? 0 : 1;
+}

@@ -1,0 +1,37 @@
+/// Table III: the hardware components of the evaluation platform, as the
+/// simulator models them.
+#include "bench/bench_util.hpp"
+
+using namespace hetsched;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  const hw::PlatformSpec platform = hw::make_reference_platform();
+  const hw::DeviceSpec& cpu = platform.cpu;
+  const hw::DeviceSpec& gpu = platform.accelerators.at(0);
+
+  Table table({"property", "CPU", "GPU"});
+  table.add_row({"Processor", cpu.name, gpu.name});
+  table.add_row({"Frequency (GHz)", format_fixed(cpu.frequency_ghz, 3),
+                 format_fixed(gpu.frequency_ghz, 3)});
+  table.add_row({"#Cores", std::to_string(cpu.cores) + " (" +
+                               std::to_string(cpu.lanes) + " as HT enabled)",
+                 "2496 (" + std::to_string(gpu.cores) + " SMXs)"});
+  table.add_row({"Peak GFLOPS (SP/DP)",
+                 format_fixed(cpu.peak_sp_gflops, 1) + "/" +
+                     format_fixed(cpu.peak_dp_gflops, 1),
+                 format_fixed(gpu.peak_sp_gflops, 1) + "/" +
+                     format_fixed(gpu.peak_dp_gflops, 1)});
+  table.add_row({"Memory capacity (GB)", format_fixed(cpu.mem_capacity_gb, 0),
+                 format_fixed(gpu.mem_capacity_gb, 0)});
+  table.add_row({"Peak Memory Bandwidth (GB/s)",
+                 format_fixed(cpu.mem_bandwidth_gbs, 1),
+                 format_fixed(gpu.mem_bandwidth_gbs, 1)});
+  table.add_row({"Host link", platform.link.name,
+                 format_fixed(platform.link.bandwidth_gbs, 1) + " GB/s, " +
+                     format_time(platform.link.latency) + " latency"});
+
+  bench::print_header("Table III: the hardware components of the platform");
+  table.print(std::cout, args.csv);
+  return 0;
+}

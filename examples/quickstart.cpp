@@ -1,0 +1,51 @@
+/// Quickstart: the paper's Figure 2 flow on one application.
+///
+/// 1. Pick an application (HotSpot, an SK-Loop thermal simulation).
+/// 2. Let the analyzer classify it and select the best partitioning
+///    strategy for its class (Table I).
+/// 3. Run the selected strategy on the reference CPU+GPU platform and
+///    compare it against the Only-CPU / Only-GPU baselines.
+#include <iostream>
+
+#include "analyzer/matchmaker.hpp"
+#include "apps/registry.hpp"
+#include "common/strings.hpp"
+#include "hw/platform.hpp"
+#include "strategies/strategy_runner.hpp"
+
+int main() {
+  using namespace hetsched;
+
+  // The platform: Intel Xeon E5-2620 + Nvidia Tesla K20m (paper Table III),
+  // modelled in virtual time.
+  const hw::PlatformSpec platform = hw::make_reference_platform();
+  std::cout << "platform: " << platform.name << "\n\n";
+
+  // The application, at the paper's problem size (8192x8192 grid).
+  auto app = apps::make_paper_app(apps::PaperApp::kHotSpot, platform);
+
+  // Step 1-2: analyze the kernel structure and match a strategy.
+  const analyzer::Matchmaker matchmaker;
+  std::cout << matchmaker.explain(app->descriptor()) << "\n";
+
+  // Step 3: run the analyzer's selection, plus the baselines.
+  strategies::StrategyRunner runner(*app);
+  const auto matched = runner.run_matched();
+  const auto only_cpu = runner.run(analyzer::StrategyKind::kOnlyCpu);
+  const auto only_gpu = runner.run(analyzer::StrategyKind::kOnlyGpu);
+
+  std::cout << "execution times (simulated):\n";
+  std::cout << "  " << analyzer::strategy_name(matched.result.kind) << ": "
+            << format_fixed(matched.result.time_ms(), 1) << " ms  (GPU share "
+            << format_percent(matched.result.gpu_fraction_overall) << ")\n";
+  std::cout << "  Only-CPU: " << format_fixed(only_cpu.time_ms(), 1)
+            << " ms\n";
+  std::cout << "  Only-GPU: " << format_fixed(only_gpu.time_ms(), 1)
+            << " ms\n\n";
+  std::cout << "speedup vs Only-CPU: "
+            << format_fixed(only_cpu.time_ms() / matched.result.time_ms(), 2)
+            << "x,  vs Only-GPU: "
+            << format_fixed(only_gpu.time_ms() / matched.result.time_ms(), 2)
+            << "x\n";
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "analyzer/app_model.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace hetsched::analyzer {
+
+const char* app_class_name(AppClass cls) {
+  switch (cls) {
+    case AppClass::kSKOne: return "SK-One";
+    case AppClass::kSKLoop: return "SK-Loop";
+    case AppClass::kMKSeq: return "MK-Seq";
+    case AppClass::kMKLoop: return "MK-Loop";
+    case AppClass::kMKDag: return "MK-DAG";
+  }
+  return "unknown";
+}
+
+KernelGraph KernelGraph::sequence(std::vector<std::string> names,
+                                  bool main_loop) {
+  KernelGraph graph;
+  graph.kernels.reserve(names.size());
+  for (auto& name : names) graph.kernels.push_back({std::move(name), false});
+  for (std::size_t i = 0; i + 1 < graph.kernels.size(); ++i)
+    graph.flow.emplace_back(i, i + 1);
+  graph.main_loop = main_loop;
+  return graph;
+}
+
+KernelGraph KernelGraph::single(std::string name, bool looped) {
+  KernelGraph graph;
+  graph.kernels.push_back({std::move(name), looped});
+  return graph;
+}
+
+void KernelGraph::validate() const {
+  HS_REQUIRE(!kernels.empty(), "application must have at least one kernel");
+  for (const auto& [from, to] : flow) {
+    HS_REQUIRE(from < kernels.size() && to < kernels.size(),
+               "flow edge (" << from << ", " << to
+                             << ") references unknown kernel");
+    HS_REQUIRE(from != to,
+               "kernel self-edges are expressed as inner_loop, not flow");
+  }
+  // Acyclicity (Kahn). A time-stepping loop is main_loop, not a flow cycle.
+  std::vector<std::size_t> indegree(kernels.size(), 0);
+  for (const auto& [from, to] : flow) {
+    (void)from;
+    ++indegree[to];
+  }
+  std::queue<std::size_t> frontier;
+  for (std::size_t k = 0; k < kernels.size(); ++k)
+    if (indegree[k] == 0) frontier.push(k);
+  std::size_t visited = 0;
+  std::vector<std::vector<std::size_t>> successors(kernels.size());
+  for (const auto& [from, to] : flow) successors[from].push_back(to);
+  while (!frontier.empty()) {
+    const std::size_t k = frontier.front();
+    frontier.pop();
+    ++visited;
+    for (std::size_t succ : successors[k])
+      if (--indegree[succ] == 0) frontier.push(succ);
+  }
+  HS_REQUIRE(visited == kernels.size(),
+             "kernel flow contains a cycle; model iteration with main_loop");
+}
+
+StructureAnalysis analyze_structure(const KernelGraph& graph) {
+  graph.validate();
+  StructureAnalysis analysis;
+  analysis.kernel_count = graph.kernel_count();
+  analysis.main_loop = graph.main_loop;
+  for (const KernelNode& kernel : graph.kernels)
+    analysis.any_inner_loop |= kernel.inner_loop;
+
+  // Degree counting over deduplicated edges.
+  std::vector<std::size_t> indegree(graph.kernel_count(), 0);
+  std::vector<std::size_t> outdegree(graph.kernel_count(), 0);
+  std::vector<std::pair<std::size_t, std::size_t>> edges = graph.flow;
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  for (const auto& [from, to] : edges) {
+    ++outdegree[from];
+    ++indegree[to];
+  }
+  for (std::size_t k = 0; k < graph.kernel_count(); ++k)
+    analysis.has_branching |= indegree[k] > 1 || outdegree[k] > 1;
+
+  // A chain: exactly n-1 edges, no branching, one source, one sink —
+  // which for an acyclic graph means a single linear path over all kernels.
+  std::size_t sources = 0, sinks = 0;
+  for (std::size_t k = 0; k < graph.kernel_count(); ++k) {
+    if (indegree[k] == 0) ++sources;
+    if (outdegree[k] == 0) ++sinks;
+  }
+  analysis.is_chain = !analysis.has_branching &&
+                      edges.size() + 1 == graph.kernel_count() &&
+                      sources == 1 && sinks == 1;
+  if (graph.kernel_count() == 1) analysis.is_chain = true;
+  return analysis;
+}
+
+DagProfile profile_dag(const KernelGraph& graph) {
+  graph.validate();
+  DagProfile profile;
+  const std::size_t count = graph.kernel_count();
+
+  // Level of each kernel = 1 + max level over predecessors (long-path
+  // layering). Edges point acyclically, but not necessarily forward in
+  // index order, so iterate to a fixed point (bounded by the kernel count;
+  // the graph is validated acyclic above).
+  std::vector<std::size_t> level(count, 0);
+  for (std::size_t round = 0; round < count; ++round) {
+    bool changed = false;
+    for (const auto& [from, to] : graph.flow) {
+      if (level[to] < level[from] + 1) {
+        level[to] = level[from] + 1;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  std::size_t deepest = 0;
+  for (std::size_t k = 0; k < count; ++k) deepest = std::max(deepest, level[k]);
+  profile.depth = deepest + 1;
+  profile.level_widths.assign(profile.depth, 0);
+  for (std::size_t k = 0; k < count; ++k) ++profile.level_widths[level[k]];
+  for (std::size_t width : profile.level_widths)
+    profile.max_width = std::max(profile.max_width, width);
+  profile.parallelism =
+      static_cast<double>(count) / static_cast<double>(profile.depth);
+  return profile;
+}
+
+AppClass classify(const KernelGraph& graph) {
+  const StructureAnalysis analysis = analyze_structure(graph);
+  if (analysis.kernel_count == 1) {
+    const bool looped = analysis.main_loop || analysis.any_inner_loop;
+    return looped ? AppClass::kSKLoop : AppClass::kSKOne;
+  }
+  if (!analysis.is_chain) return AppClass::kMKDag;
+  return analysis.main_loop ? AppClass::kMKLoop : AppClass::kMKSeq;
+}
+
+}  // namespace hetsched::analyzer

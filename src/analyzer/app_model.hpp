@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+/// Application kernel-structure model and classification (paper Section
+/// III-B).
+///
+/// An application is described by its kernels and their execution flow. Two
+/// criteria classify it: the number of kernels, and the flow type (sequence,
+/// loop, or full DAG). Per the paper, a loop around *individual* kernels is
+/// unfolded and does not affect the class; only a loop around the whole
+/// kernel sequence ("main loop") does.
+namespace hetsched::analyzer {
+
+/// The paper's five application classes (Figure 3).
+enum class AppClass {
+  kSKOne,   ///< Class I: one kernel, executed once
+  kSKLoop,  ///< Class II: one kernel, iterated in a loop
+  kMKSeq,   ///< Class III: multiple kernels in a sequence
+  kMKLoop,  ///< Class IV: multiple kernels in a sequence inside a loop
+  kMKDag,   ///< Class V: multiple kernels forming a DAG
+};
+
+const char* app_class_name(AppClass cls);
+
+struct KernelNode {
+  std::string name;
+  /// This kernel alone iterates in its own loop (unfolded for
+  /// classification purposes — paper Section III-B).
+  bool inner_loop = false;
+};
+
+/// Kernel execution flow graph.
+struct KernelGraph {
+  std::vector<KernelNode> kernels;
+  /// Directed flow edges (from kernel index, to kernel index).
+  std::vector<std::pair<std::size_t, std::size_t>> flow;
+  /// The entire kernel structure iterates (time-stepping main loop).
+  bool main_loop = false;
+
+  std::size_t kernel_count() const { return kernels.size(); }
+
+  /// Builds a linear sequence k0 -> k1 -> ... -> kn-1.
+  static KernelGraph sequence(std::vector<std::string> names,
+                              bool main_loop = false);
+
+  /// Builds a single-kernel graph.
+  static KernelGraph single(std::string name, bool looped = false);
+
+  void validate() const;
+};
+
+/// Structural facts extracted from a KernelGraph (the classifier's working
+/// representation; exposed for diagnostics and tests).
+struct StructureAnalysis {
+  std::size_t kernel_count = 0;
+  bool is_chain = false;   ///< the flow is one linear path over all kernels
+  bool has_branching = false;
+  bool main_loop = false;
+  bool any_inner_loop = false;
+};
+
+StructureAnalysis analyze_structure(const KernelGraph& graph);
+
+/// Refined Class V analysis (the paper's stated future work: "investigate
+/// the possibility to refine the classification of MK-DAG applications for
+/// a better selection of their preferred partitioning").
+///
+/// Characterizes a kernel DAG by its critical-path depth and level widths:
+/// a WIDE, SHALLOW DAG behaves like independent sequences (level-wise
+/// static partitioning can work: each level is an MK-Seq moment); a
+/// NARROW, DEEP DAG serializes and only dynamic scheduling can exploit
+/// what little inter-kernel parallelism exists.
+struct DagProfile {
+  /// Longest path length in kernels (levels).
+  std::size_t depth = 0;
+  /// Largest number of kernels sharing a level (peak kernel parallelism).
+  std::size_t max_width = 0;
+  /// Kernels per level, in topological order.
+  std::vector<std::size_t> level_widths;
+  /// kernels / depth: > 1 means real inter-kernel parallelism exists.
+  double parallelism = 0.0;
+
+  /// True when level-wise static partitioning is worth considering
+  /// (some level holds 2+ independent kernels).
+  bool wide() const { return max_width >= 2; }
+};
+
+DagProfile profile_dag(const KernelGraph& graph);
+
+/// Classifies an application by its kernel structure. Throws
+/// InvalidArgument if the graph is malformed (cycles in flow edges, edges
+/// out of range, no kernels).
+AppClass classify(const KernelGraph& graph);
+
+/// Why an application requires inter-kernel synchronization (paper Section
+/// III-C, SP-Varied discussion).
+enum class SyncReason {
+  kNone,               ///< no synchronization between kernels
+  kHostPostProcessing, ///< the host consumes intermediate kernel outputs
+  kRepartitioning,     ///< outputs must be reassembled for the next kernel
+};
+
+/// A full application description as the analyzer consumes it.
+struct AppDescriptor {
+  std::string name;
+  KernelGraph structure;
+  SyncReason sync = SyncReason::kNone;
+
+  bool inter_kernel_sync() const { return sync != SyncReason::kNone; }
+};
+
+}  // namespace hetsched::analyzer

@@ -1,0 +1,221 @@
+#include "analyzer/catalog.hpp"
+
+namespace hetsched::analyzer {
+
+namespace {
+
+CatalogEntry single(std::string suite, std::string name,
+                    std::string kernel) {
+  return {std::move(name), std::move(suite),
+          KernelGraph::single(std::move(kernel), false), SyncReason::kNone};
+}
+
+CatalogEntry single_loop(std::string suite, std::string name,
+                         std::string kernel,
+                         SyncReason sync = SyncReason::kHostPostProcessing) {
+  return {std::move(name), std::move(suite),
+          KernelGraph::single(std::move(kernel), true), sync};
+}
+
+CatalogEntry seq(std::string suite, std::string name,
+                 std::vector<std::string> kernels,
+                 SyncReason sync = SyncReason::kNone) {
+  return {std::move(name), std::move(suite),
+          KernelGraph::sequence(std::move(kernels), false), sync};
+}
+
+CatalogEntry seq_loop(std::string suite, std::string name,
+                      std::vector<std::string> kernels,
+                      SyncReason sync = SyncReason::kNone) {
+  return {std::move(name), std::move(suite),
+          KernelGraph::sequence(std::move(kernels), true), sync};
+}
+
+CatalogEntry dag(std::string suite, std::string name,
+                 std::vector<std::string> kernels,
+                 std::vector<std::pair<std::size_t, std::size_t>> flow,
+                 bool main_loop = false) {
+  KernelGraph graph;
+  for (auto& kernel : kernels) graph.kernels.push_back({std::move(kernel)});
+  graph.flow = std::move(flow);
+  graph.main_loop = main_loop;
+  return {std::move(name), std::move(suite), std::move(graph),
+          SyncReason::kNone};
+}
+
+std::vector<CatalogEntry> build_catalog() {
+  std::vector<CatalogEntry> entries;
+  entries.reserve(86);
+
+  // --- Rodinia (20) ------------------------------------------------------
+  entries.push_back(single_loop("rodinia", "hotspot", "stencil_step"));
+  entries.push_back(single_loop("rodinia", "srad", "diffusion_step"));
+  entries.push_back(seq_loop("rodinia", "kmeans",
+                             {"assign_clusters", "update_centroids"},
+                             SyncReason::kHostPostProcessing));
+  entries.push_back(single_loop("rodinia", "bfs", "frontier_expand"));
+  entries.push_back(seq_loop("rodinia", "cfd",
+                             {"compute_flux", "time_step"},
+                             SyncReason::kRepartitioning));
+  entries.push_back(single("rodinia", "nn", "nearest_neighbor"));
+  entries.push_back(single_loop("rodinia", "lavamd", "particle_forces"));
+  entries.push_back(seq("rodinia", "backprop",
+                        {"layer_forward", "adjust_weights"},
+                        SyncReason::kHostPostProcessing));
+  entries.push_back(single_loop("rodinia", "pathfinder", "dynproc_row"));
+  entries.push_back(single_loop("rodinia", "needle", "anti_diagonal"));
+  entries.push_back(single("rodinia", "gaussian", "row_eliminate"));
+  entries.push_back(seq_loop("rodinia", "streamcluster",
+                             {"compute_gain", "open_center"},
+                             SyncReason::kHostPostProcessing));
+  entries.push_back(single_loop("rodinia", "particlefilter",
+                                "likelihood_update"));
+  entries.push_back(single_loop("rodinia", "leukocyte", "track_cells"));
+  entries.push_back(single_loop("rodinia", "heartwall", "track_points"));
+  entries.push_back(seq("rodinia", "lud",
+                        {"lud_diagonal", "lud_perimeter", "lud_internal"},
+                        SyncReason::kRepartitioning));
+  entries.push_back(single_loop("rodinia", "myocyte", "ode_solver_step"));
+  entries.push_back(single("rodinia", "dwt2d", "wavelet_transform"));
+  entries.push_back(dag("rodinia", "mummergpu",
+                        {"build_tree", "match_queries", "print_alignment"},
+                        {{0, 1}, {0, 2}, {1, 2}}));
+  entries.push_back(seq_loop("rodinia", "b+tree",
+                             {"find_k", "find_range"}));
+
+  // --- Parboil (11) ------------------------------------------------------
+  entries.push_back(single("parboil", "sgemm", "sgemm_tile"));
+  entries.push_back(single("parboil", "stencil-7pt", "stencil_jacobi"));
+  entries.push_back(single_loop("parboil", "mri-gridding", "grid_sample"));
+  entries.push_back(seq("parboil", "mri-q",
+                        {"compute_phi_mag", "compute_q"}));
+  entries.push_back(single("parboil", "sad", "block_sad"));
+  entries.push_back(seq("parboil", "spmv",
+                        {"format_convert", "spmv_jds"},
+                        SyncReason::kHostPostProcessing));
+  entries.push_back(single_loop("parboil", "cutcp", "cutoff_potential"));
+  entries.push_back(single("parboil", "tpacf", "angular_correlation"));
+  entries.push_back(seq("parboil", "histo",
+                        {"histo_prescan", "histo_main", "histo_final"},
+                        SyncReason::kRepartitioning));
+  entries.push_back(seq_loop("parboil", "lbm",
+                             {"stream_collide", "boundary"},
+                             SyncReason::kRepartitioning));
+  entries.push_back(dag("parboil", "bfs-queue",
+                        {"frontier_scan", "queue_compact", "visit"},
+                        {{0, 1}, {1, 2}, {0, 2}}, true));
+
+  // --- SHOC (12) ---------------------------------------------------------
+  entries.push_back(single("shoc", "bus_speed", "memcpy_probe"));
+  entries.push_back(single("shoc", "max_flops", "flops_probe"));
+  entries.push_back(single("shoc", "device_memory", "bandwidth_probe"));
+  entries.push_back(seq("shoc", "triad", {"triad"}));
+  entries.push_back(single("shoc", "reduction", "tree_reduce"));
+  entries.push_back(seq("shoc", "scan", {"scan_block", "scan_top",
+                                         "scan_bottom"},
+                        SyncReason::kRepartitioning));
+  entries.push_back(seq("shoc", "sort",
+                        {"radix_count", "radix_scan", "radix_scatter"},
+                        SyncReason::kRepartitioning));
+  entries.push_back(single("shoc", "spmv-csr", "spmv_csr"));
+  entries.push_back(single("shoc", "md", "lj_force"));
+  entries.push_back(seq_loop("shoc", "s3d",
+                             {"rates", "diffusion", "integrate"},
+                             SyncReason::kNone));
+  entries.push_back(single_loop("shoc", "stencil2d", "stencil_9pt"));
+  entries.push_back(seq("shoc", "fft", {"fft_radix", "fft_transpose"},
+                        SyncReason::kRepartitioning));
+
+  // --- NVIDIA OpenCL SDK (28) -------------------------------------------
+  entries.push_back(single("nvidia-sdk", "matrixmul", "matmul_tile"));
+  entries.push_back(single("nvidia-sdk", "blackscholes", "black_scholes"));
+  entries.push_back(single("nvidia-sdk", "vectoradd", "vec_add"));
+  entries.push_back(single("nvidia-sdk", "dotproduct", "dot"));
+  entries.push_back(single("nvidia-sdk", "matvecmul", "matvec"));
+  entries.push_back(single("nvidia-sdk", "transpose", "transpose_tile"));
+  entries.push_back(single("nvidia-sdk", "convolution-separable",
+                           "conv_row_col"));
+  entries.push_back(single("nvidia-sdk", "dct8x8", "dct_block"));
+  entries.push_back(single("nvidia-sdk", "dxtc", "dxt_compress"));
+  entries.push_back(single("nvidia-sdk", "histogram", "hist256"));
+  entries.push_back(single("nvidia-sdk", "mersenne-twister", "mt_rand"));
+  entries.push_back(seq("nvidia-sdk", "monte-carlo",
+                        {"path_generate", "path_reduce"}));
+  entries.push_back(single_loop("nvidia-sdk", "nbody", "body_body_force",
+                                SyncReason::kRepartitioning));
+  entries.push_back(single("nvidia-sdk", "oclBandwidthTest", "copy_probe"));
+  entries.push_back(seq("nvidia-sdk", "box-filter",
+                        {"box_row", "box_col"},
+                        SyncReason::kRepartitioning));
+  entries.push_back(seq("nvidia-sdk", "sobel", {"gradient", "magnitude"}));
+  entries.push_back(single("nvidia-sdk", "median-filter", "median3x3"));
+  entries.push_back(seq("nvidia-sdk", "radix-sort",
+                        {"radix_blocks", "radix_scan", "radix_reorder"},
+                        SyncReason::kRepartitioning));
+  entries.push_back(seq("nvidia-sdk", "bitonic-sort",
+                        {"bitonic_local", "bitonic_global"},
+                        SyncReason::kRepartitioning));
+  entries.push_back(single("nvidia-sdk", "scalarprod", "scalar_prod"));
+  entries.push_back(single_loop("nvidia-sdk", "simple-gl", "sine_wave",
+                                SyncReason::kNone));
+  entries.push_back(single("nvidia-sdk", "quasirandom", "sobol_generate"));
+  entries.push_back(seq("nvidia-sdk", "eigenvalues",
+                        {"bisect_large", "bisect_small"},
+                        SyncReason::kHostPostProcessing));
+  entries.push_back(single("nvidia-sdk", "tridiagonal", "cyclic_reduce"));
+  entries.push_back(seq_loop("nvidia-sdk", "fdtd3d", {"fdtd_step"}));
+  entries.push_back(single("nvidia-sdk", "volume-render", "ray_march"));
+  entries.push_back(dag("nvidia-sdk", "ocean-fft",
+                        {"spectrum_update", "fft_rows", "fft_cols",
+                         "height_normal"},
+                        {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, true));
+  entries.push_back(single_loop("nvidia-sdk", "particles",
+                                "collide_integrate",
+                                SyncReason::kRepartitioning));
+
+  // --- Mont-Blanc (15) ---------------------------------------------------
+  entries.push_back(single("mont-blanc", "vector-operation", "axpy"));
+  entries.push_back(single("mont-blanc", "2d-convolution", "conv2d"));
+  entries.push_back(seq_loop("mont-blanc", "stream",
+                             {"copy", "scale", "add", "triad"}));
+  entries.push_back(single_loop("mont-blanc", "nbody-mb", "force_step",
+                                SyncReason::kRepartitioning));
+  entries.push_back(single("mont-blanc", "atomic-monte-carlo", "mc_walk"));
+  entries.push_back(single("mont-blanc", "3d-stencil", "stencil27"));
+  entries.push_back(single("mont-blanc", "reduction-mb", "block_reduce"));
+  entries.push_back(single("mont-blanc", "histogram-mb", "hist_local"));
+  entries.push_back(seq("mont-blanc", "merge-sort",
+                        {"sort_blocks", "merge_pass"},
+                        SyncReason::kRepartitioning));
+  entries.push_back(single("mont-blanc", "dense-matmul", "dmm_block"));
+  entries.push_back(single_loop("mont-blanc", "heat-equation",
+                                "jacobi_step"));
+  entries.push_back(seq_loop("mont-blanc", "cg-solver",
+                             {"spmv", "axpy_update", "dot_residual"},
+                             SyncReason::kHostPostProcessing));
+  entries.push_back(single("mont-blanc", "fft-1d", "fft_stage"));
+  entries.push_back(dag("mont-blanc", "cholesky-task",
+                        {"potrf", "trsm", "syrk", "gemm"},
+                        {{0, 1}, {1, 2}, {1, 3}, {2, 3}}, true));
+  entries.push_back(dag("mont-blanc", "qr-task",
+                        {"geqrt", "larfb", "tpqrt", "tpmqrt"},
+                        {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, true));
+
+  return entries;
+}
+
+}  // namespace
+
+const std::vector<CatalogEntry>& application_catalog() {
+  static const std::vector<CatalogEntry> catalog = build_catalog();
+  return catalog;
+}
+
+std::map<AppClass, std::size_t> catalog_class_distribution() {
+  std::map<AppClass, std::size_t> distribution;
+  for (const CatalogEntry& entry : application_catalog())
+    ++distribution[classify(entry.structure)];
+  return distribution;
+}
+
+}  // namespace hetsched::analyzer

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyzer/app_model.hpp"
+
+/// A catalog of data-parallel applications from five public benchmark
+/// suites, with their kernel structures.
+///
+/// The paper's classification is grounded in a study of 86 applications
+/// across five suites (tech report [18], unavailable); this catalog
+/// reconstructs that survey from the suites' public documentation: Rodinia,
+/// Parboil, SHOC, the NVIDIA OpenCL SDK and the Mont-Blanc benchmarks. It
+/// exists to validate, mechanically, the paper's claim that the five classes
+/// cover every studied application — `classify` must succeed on each entry
+/// and the distribution must span all five classes.
+namespace hetsched::analyzer {
+
+struct CatalogEntry {
+  std::string name;
+  std::string suite;
+  KernelGraph structure;
+  SyncReason sync = SyncReason::kNone;
+};
+
+/// All 86 catalog entries.
+const std::vector<CatalogEntry>& application_catalog();
+
+/// Class -> number of catalog applications in it.
+std::map<AppClass, std::size_t> catalog_class_distribution();
+
+}  // namespace hetsched::analyzer

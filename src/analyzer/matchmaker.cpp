@@ -1,0 +1,61 @@
+#include "analyzer/matchmaker.hpp"
+
+#include <sstream>
+
+namespace hetsched::analyzer {
+
+MatchResult Matchmaker::match(const AppDescriptor& app) const {
+  MatchResult result;
+  result.app_class = classify(app.structure);
+  result.inter_kernel_sync = app.inter_kernel_sync();
+  result.ranking =
+      ranked_strategies(result.app_class, result.inter_kernel_sync);
+  HS_ASSERT_MSG(!result.ranking.empty(),
+                "no suitable strategy for class "
+                    << app_class_name(result.app_class));
+  result.best = result.ranking.front();
+  result.rationale =
+      ranking_rationale(result.app_class, result.inter_kernel_sync);
+  return result;
+}
+
+std::string Matchmaker::explain(const AppDescriptor& app) const {
+  const MatchResult result = match(app);
+  std::ostringstream os;
+  os << "application: " << app.name << "\n";
+  os << "  kernels: " << app.structure.kernel_count();
+  if (app.structure.main_loop) os << " (iterated in a main loop)";
+  os << "\n";
+  os << "  class: " << app_class_name(result.app_class) << "\n";
+  os << "  inter-kernel sync: " << (result.inter_kernel_sync ? "yes" : "no");
+  switch (app.sync) {
+    case SyncReason::kHostPostProcessing:
+      os << " (host post-processing of intermediate outputs)";
+      break;
+    case SyncReason::kRepartitioning:
+      os << " (outputs reassembled for the next kernel)";
+      break;
+    case SyncReason::kNone:
+      break;
+  }
+  os << "\n  ranking:";
+  for (std::size_t i = 0; i < result.ranking.size(); ++i)
+    os << " " << (i + 1) << "." << strategy_name(result.ranking[i]);
+  os << "\n  selected: " << strategy_name(result.best) << "\n";
+  os << "  rationale: " << result.rationale << "\n";
+  if (result.app_class == AppClass::kMKDag) {
+    // Refined Class V analysis (the paper's future work).
+    const DagProfile profile = profile_dag(app.structure);
+    os << "  DAG profile: depth " << profile.depth << ", max width "
+       << profile.max_width << ", parallelism "
+       << profile.parallelism << "x — "
+       << (profile.wide()
+               ? "wide levels exist: level-wise static partitioning (the "
+                 "SP-DAG planner) is worth trying against DP-Perf"
+               : "narrow chain-like DAG: stay with dynamic scheduling")
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hetsched::analyzer

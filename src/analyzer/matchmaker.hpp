@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyzer/app_model.hpp"
+#include "analyzer/ranking.hpp"
+#include "analyzer/strategy.hpp"
+
+/// The application analyzer (paper Section III, Figure 2): takes an
+/// application description, determines its class, and selects the best
+/// performing partitioning strategy for it.
+namespace hetsched::analyzer {
+
+struct MatchResult {
+  AppClass app_class = AppClass::kSKOne;
+  bool inter_kernel_sync = false;
+  /// Suitable strategies, best first (Table I row for the class).
+  std::vector<StrategyKind> ranking;
+  /// The analyzer's selection: ranking.front().
+  StrategyKind best = StrategyKind::kSPSingle;
+  /// Theoretical justification (Propositions 1-3).
+  std::string rationale;
+};
+
+class Matchmaker {
+ public:
+  /// Steps (2)-(3) of Figure 2: analyze the kernel structure, identify the
+  /// class, and select the best ranked strategy for that class.
+  MatchResult match(const AppDescriptor& app) const;
+
+  /// Multi-line human-readable report of a match (examples use this).
+  std::string explain(const AppDescriptor& app) const;
+};
+
+}  // namespace hetsched::analyzer

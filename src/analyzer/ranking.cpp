@@ -1,0 +1,108 @@
+#include "analyzer/ranking.hpp"
+
+namespace hetsched::analyzer {
+
+const char* strategy_name(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kSPSingle: return "SP-Single";
+    case StrategyKind::kSPUnified: return "SP-Unified";
+    case StrategyKind::kSPVaried: return "SP-Varied";
+    case StrategyKind::kDPPerf: return "DP-Perf";
+    case StrategyKind::kDPDep: return "DP-Dep";
+    case StrategyKind::kOnlyCpu: return "Only-CPU";
+    case StrategyKind::kOnlyGpu: return "Only-GPU";
+    case StrategyKind::kSPDag: return "SP-DAG";
+  }
+  return "unknown";
+}
+
+bool is_static_strategy(StrategyKind kind) {
+  return kind == StrategyKind::kSPSingle ||
+         kind == StrategyKind::kSPUnified ||
+         kind == StrategyKind::kSPVaried || kind == StrategyKind::kSPDag;
+}
+
+bool is_dynamic_strategy(StrategyKind kind) {
+  return kind == StrategyKind::kDPPerf || kind == StrategyKind::kDPDep;
+}
+
+std::vector<StrategyKind> ranked_strategies(AppClass cls,
+                                            bool inter_kernel_sync) {
+  switch (cls) {
+    case AppClass::kSKOne:
+    case AppClass::kSKLoop:
+      // Table I row 1: 1. SP-Single, 2. DP-Perf, 3. DP-Dep.
+      return {StrategyKind::kSPSingle, StrategyKind::kDPPerf,
+              StrategyKind::kDPDep};
+    case AppClass::kMKSeq:
+    case AppClass::kMKLoop:
+      if (!inter_kernel_sync) {
+        // Table I row 2: 1. SP-Unified, 2. DP-Perf, 3. DP-Dep, 4. SP-Varied.
+        return {StrategyKind::kSPUnified, StrategyKind::kDPPerf,
+                StrategyKind::kDPDep, StrategyKind::kSPVaried};
+      }
+      // Table I row 3: 1. SP-Varied, 2. DP-Perf, 3. DP-Dep, 4. SP-Unified.
+      return {StrategyKind::kSPVaried, StrategyKind::kDPPerf,
+              StrategyKind::kDPDep, StrategyKind::kSPUnified};
+    case AppClass::kMKDag:
+      // Table I row 4: 1. DP-Perf, 2. DP-Dep.
+      return {StrategyKind::kDPPerf, StrategyKind::kDPDep};
+  }
+  return {};
+}
+
+RankingExpectation ranking_expectation(AppClass cls, bool inter_kernel_sync) {
+  RankingExpectation expectation;
+  expectation.order = ranked_strategies(cls, inter_kernel_sync);
+  switch (cls) {
+    case AppClass::kSKOne:
+    case AppClass::kSKLoop:
+      // P2: SP-Single > DP-Perf >= DP-Dep.
+      expectation.strict = {true, false};
+      break;
+    case AppClass::kMKSeq:
+    case AppClass::kMKLoop:
+      // P3: first strictly beats the dynamic pair; ties allowed inside.
+      expectation.strict = {true, false, false};
+      break;
+    case AppClass::kMKDag:
+      // P1 only: DP-Perf >= DP-Dep.
+      expectation.strict = {false};
+      break;
+  }
+  return expectation;
+}
+
+std::string ranking_rationale(AppClass cls, bool inter_kernel_sync) {
+  switch (cls) {
+    case AppClass::kSKOne:
+    case AppClass::kSKLoop:
+      return "Proposition 2: SP-Single determines the optimal partitioning "
+             "with a perfect execution overlap; a performance-aware dynamic "
+             "scheduler may find the same split but still pays runtime "
+             "scheduling overhead, and DP-Dep cannot distinguish device "
+             "capabilities (Proposition 1).";
+    case AppClass::kMKSeq:
+    case AppClass::kMKLoop:
+      if (!inter_kernel_sync) {
+        return "Proposition 3(1): without inter-kernel synchronization, "
+               "SP-Unified fuses the kernels, preserves per-device data "
+               "locality, and transfers only once in and once out. "
+               "SP-Varied would add synchronization points and transfers it "
+               "does not need, so it ranks last, below both dynamic "
+               "strategies.";
+      }
+      return "Proposition 3(2): with inter-kernel synchronization the flow "
+             "is segmented; SP-Varied gives each segment its optimal "
+             "partitioning. SP-Unified fixes one split regardless of kernel "
+             "differences and risks severe imbalance, ranking below the "
+             "dynamic strategies.";
+    case AppClass::kMKDag:
+      return "The execution flow is too dynamic for a static split; the "
+             "feasible strategies are the dynamic ones, and by Proposition "
+             "1 the performance-aware policy ranks first.";
+  }
+  return "";
+}
+
+}  // namespace hetsched::analyzer

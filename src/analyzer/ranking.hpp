@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyzer/app_model.hpp"
+#include "analyzer/strategy.hpp"
+
+/// The paper's Table I: suitable partitioning strategies per application
+/// class, ranked by expected performance, with the theoretical justification
+/// (Propositions 1-3, Section III-C).
+namespace hetsched::analyzer {
+
+/// The ranked list of suitable strategies for an application of class `cls`
+/// that does (or does not) require inter-kernel synchronization. Best first.
+/// The sync flag is only meaningful for MK-Seq / MK-Loop.
+std::vector<StrategyKind> ranked_strategies(AppClass cls,
+                                            bool inter_kernel_sync);
+
+/// Human-readable justification of the ranking for the class (the
+/// proposition texts), used by the analyzer's explain output.
+std::string ranking_rationale(AppClass cls, bool inter_kernel_sync);
+
+/// Proposition checks, exposed so tests and the ranking-validation bench can
+/// assert them against empirical results:
+///   P1: for all classes,              DP-Perf >= DP-Dep
+///   P2: for SK-One / SK-Loop,         SP-Single > DP-Perf >= DP-Dep
+///   P3a: MK-Seq / MK-Loop w/o sync,   SP-Unified > DP-Perf >= DP-Dep >= SP-Varied
+///   P3b: MK-Seq / MK-Loop w/ sync,    SP-Varied > DP-Perf >= DP-Dep >= SP-Unified
+struct RankingExpectation {
+  /// Ordered best-to-worst; adjacent pairs may be ">=" (ties allowed) or
+  /// strict ">".
+  std::vector<StrategyKind> order;
+  std::vector<bool> strict;  ///< strict[i]: order[i] strictly beats order[i+1]
+};
+
+RankingExpectation ranking_expectation(AppClass cls, bool inter_kernel_sync);
+
+}  // namespace hetsched::analyzer

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+/// The five partitioning strategies (paper Section III-C) plus the two
+/// single-device baselines the evaluation compares against.
+namespace hetsched::analyzer {
+
+enum class StrategyKind {
+  kSPSingle,   ///< static partitioning of a single (possibly looped) kernel
+  kSPUnified,  ///< static: all kernels fused, one unified partitioning point
+  kSPVaried,   ///< static: per-kernel partitioning points, syncs between
+  kDPPerf,     ///< dynamic, performance-aware scheduling
+  kDPDep,      ///< dynamic, breadth-first with dependency-chain affinity
+  kOnlyCpu,    ///< baseline: all work on the CPU
+  kOnlyGpu,    ///< baseline: all work on the GPU
+  /// Extension (not in the paper's Table I): static HEFT-style list
+  /// schedule of the task-instance DAG — the "static partitioning for
+  /// Class V" route the paper mentions as possible but does not evaluate.
+  kSPDag,
+};
+
+const char* strategy_name(StrategyKind kind);
+
+/// True for SP-*: the partitioning is fixed before execution.
+bool is_static_strategy(StrategyKind kind);
+
+/// True for DP-*: partitions are placed at runtime by a scheduler.
+bool is_dynamic_strategy(StrategyKind kind);
+
+}  // namespace hetsched::analyzer

@@ -1,0 +1,124 @@
+#include "apps/app.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hetsched::apps {
+
+Application::Application(const hw::PlatformSpec& platform, Config config,
+                         analyzer::AppDescriptor descriptor,
+                         bool sync_each_iteration)
+    : config_(config),
+      descriptor_(std::move(descriptor)),
+      sync_each_iteration_(sync_each_iteration) {
+  HS_REQUIRE(config_.items > 0,
+             descriptor_.name << ": items=" << config_.items);
+  HS_REQUIRE(config_.iterations >= 1,
+             descriptor_.name << ": iterations=" << config_.iterations);
+  rt::RuntimeOptions options;
+  options.functional_execution = config_.functional;
+  options.record_trace = config_.record_trace;
+  executor_ =
+      std::make_unique<rt::Executor>(platform, config_.costs, options);
+}
+
+rt::Program Application::build_program(const KernelSubmitFn& submit,
+                                       bool sync_between_kernels) const {
+  HS_REQUIRE(submit != nullptr, "build_program needs a submit function");
+  HS_ASSERT_MSG(!kernels_.empty(),
+                descriptor_.name << " registered no kernels");
+  rt::Program program;
+  for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+    for (std::size_t k = 0; k < kernels_.size(); ++k) {
+      submit(program, k, kernels_[k]);
+      if (sync_between_kernels && k + 1 < kernels_.size()) program.taskwait();
+    }
+    if (sync_each_iteration_) {
+      program.taskwait();
+      if (iteration + 1 < config_.iterations)
+        append_host_update(program, iteration);
+    }
+  }
+  if (!sync_each_iteration_) program.taskwait();
+  return program;
+}
+
+glinda::SampleProgramFactory Application::single_kernel_factory(
+    std::size_t kernel_index) const {
+  HS_REQUIRE(kernel_index < kernels_.size(),
+             "kernel index " << kernel_index << " out of range");
+  const rt::KernelId kernel = kernels_[kernel_index];
+  const int cpu_lanes = executor_->platform().cpu.lanes;
+  // Slices are expressed in THIS KERNEL's items; profile it with sample
+  // sizes derived from items_of(kernel_index).
+  // Time-stepped applications are profiled over two iterations (with the
+  // per-iteration synchronization and host update in between) so the sample
+  // observes the *steady-state* transfer pattern: inputs the host rewrites
+  // every step are re-uploaded, device-resident state is not.
+  const int profile_iterations =
+      (sync_each_iteration_ && config_.iterations > 1) ? 2 : 1;
+  return [this, kernel, cpu_lanes, profile_iterations](
+             hw::DeviceId device, std::int64_t begin, std::int64_t end) {
+    rt::Program program;
+    for (int iteration = 0; iteration < profile_iterations; ++iteration) {
+      if (device == hw::kCpuDevice) {
+        // One chunk per lane keeps the device balanced during the sample.
+        const std::int64_t n = end - begin;
+        for (int lane = 0; lane < cpu_lanes; ++lane) {
+          const std::int64_t lo = begin + n * lane / cpu_lanes;
+          const std::int64_t hi = begin + n * (lane + 1) / cpu_lanes;
+          program.submit(kernel, lo, hi, hw::kCpuDevice);
+        }
+      } else {
+        program.submit(kernel, begin, end, device);
+      }
+      program.taskwait();
+      if (iteration + 1 < profile_iterations)
+        append_host_update(program, iteration);
+    }
+    return program;
+  };
+}
+
+glinda::SampleProgramFactory Application::fused_factory() const {
+  const std::vector<rt::KernelId> sequence = kernels_;
+  const int cpu_lanes = executor_->platform().cpu.lanes;
+  std::vector<std::int64_t> kernel_items(sequence.size());
+  for (std::size_t k = 0; k < sequence.size(); ++k)
+    kernel_items[k] = items_of(k);
+  const std::int64_t global_items = items();
+  return [sequence, cpu_lanes, kernel_items, global_items](
+             hw::DeviceId device, std::int64_t begin, std::int64_t end) {
+    rt::Program program;
+    for (std::size_t k = 0; k < sequence.size(); ++k) {
+      const std::int64_t lo0 = begin * kernel_items[k] / global_items;
+      const std::int64_t hi0 =
+          std::max(lo0 + 1, end * kernel_items[k] / global_items);
+      if (device == hw::kCpuDevice) {
+        const std::int64_t n = hi0 - lo0;
+        for (int lane = 0; lane < cpu_lanes; ++lane) {
+          const std::int64_t lo = lo0 + n * lane / cpu_lanes;
+          const std::int64_t hi = lo0 + n * (lane + 1) / cpu_lanes;
+          program.submit(sequence[k], lo, hi, hw::kCpuDevice);
+        }
+      } else {
+        program.submit(sequence[k], lo0, hi0, device);
+      }
+    }
+    program.taskwait();
+    return program;
+  };
+}
+
+void check_close(double actual, double expected, double rel_tol,
+                 const std::string& what) {
+  const double scale = std::max({std::abs(actual), std::abs(expected), 1.0});
+  if (std::abs(actual - expected) > rel_tol * scale) {
+    throw InternalError("verification failed for " + what + ": got " +
+                        std::to_string(actual) + ", expected " +
+                        std::to_string(expected));
+  }
+}
+
+}  // namespace hetsched::apps

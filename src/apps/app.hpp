@@ -1,0 +1,136 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyzer/app_model.hpp"
+#include "glinda/profile.hpp"
+#include "hw/platform.hpp"
+#include "runtime/executor.hpp"
+
+/// Application framework: the glue between a concrete data-parallel
+/// application (kernels, buffers, iteration structure) and the partitioning
+/// strategies that shape its execution.
+///
+/// Each application owns an Executor with its buffers and kernels
+/// registered, publishes its kernel-structure descriptor for the analyzer,
+/// and knows how to build its Program for any placement pattern the
+/// strategies ask for. Concrete apps (MatrixMul, BlackScholes, Nbody,
+/// HotSpot, STREAM) subclass this.
+namespace hetsched::apps {
+
+class Application {
+ public:
+  struct Config {
+    /// Partitionable problem size (rows, options, bodies, elements...).
+    std::int64_t items = 0;
+    /// Main-loop iterations (1 for one-shot applications).
+    int iterations = 1;
+    /// Allocate host data and run kernel bodies (small problems/tests);
+    /// when false, execution is timing-only.
+    bool functional = false;
+    /// Runtime overhead knobs for the app's executor (ablation studies).
+    rt::RuntimeCosts costs;
+    /// Record a full execution timeline into every report (chrome trace).
+    bool record_trace = false;
+  };
+
+  virtual ~Application() = default;
+  Application(const Application&) = delete;
+  Application& operator=(const Application&) = delete;
+
+  const std::string& name() const { return descriptor_.name; }
+  const analyzer::AppDescriptor& descriptor() const { return descriptor_; }
+  rt::Executor& executor() const { return *executor_; }
+  std::int64_t items() const { return config_.items; }
+
+  /// Item count of kernel `kernel_index` in the sequence. Most applications
+  /// run every kernel over the same item space (the default); multi-pass
+  /// algorithms (tree reduction, scan) override this with shrinking counts.
+  virtual std::int64_t items_of(std::size_t kernel_index) const {
+    (void)kernel_index;
+    return config_.items;
+  }
+
+  /// IMBALANCED applications (per-item cost varies) override this with the
+  /// prefix-weight function `W(i)` = total work of items [0, i); the static
+  /// partitioner then balances WORK instead of item counts (Glinda's
+  /// ICS'14 extension, paper ref [9]). nullptr means uniform.
+  virtual std::function<double(std::int64_t)> prefix_weight() const {
+    return nullptr;
+  }
+  int iterations() const { return config_.iterations; }
+  bool functional() const { return config_.functional; }
+
+  /// Kernel ids in execution-sequence order.
+  const std::vector<rt::KernelId>& kernels() const { return kernels_; }
+
+  /// Whether each main-loop iteration ends with a global synchronization
+  /// (outputs combined at the host and fed to the next iteration) —
+  /// intrinsic to the application, e.g. Nbody and HotSpot time steps.
+  bool sync_each_iteration() const { return sync_each_iteration_; }
+
+  /// Submits the instances of one kernel for one iteration. Strategies
+  /// provide this to express their placement (pinned split, chunked
+  /// dynamic, single-device).
+  using KernelSubmitFn = std::function<void(
+      rt::Program& program, std::size_t kernel_index, rt::KernelId kernel)>;
+
+  /// Builds the application's full program: `iterations` repetitions of the
+  /// kernel sequence, submitted via `submit`, with optional taskwaits
+  /// between kernels (the paper's "w sync" scenario) and the application's
+  /// intrinsic per-iteration synchronization + host update. Always ends
+  /// with a final taskwait so results land in host memory.
+  rt::Program build_program(const KernelSubmitFn& submit,
+                            bool sync_between_kernels) const;
+
+  /// Glinda profiling factory for one kernel in isolation: a balanced
+  /// pinned program over the slice (CPU: one chunk per lane; GPU: one
+  /// chunk), ending in a taskwait. Used by SP-Single and SP-Varied.
+  glinda::SampleProgramFactory single_kernel_factory(
+      std::size_t kernel_index) const;
+
+  /// Glinda profiling factory for the whole kernel sequence fused (no
+  /// intermediate synchronization). Used by SP-Unified.
+  glinda::SampleProgramFactory fused_factory() const;
+
+  /// Functional validation: recomputes a sequential reference and checks the
+  /// runtime-produced results. Throws on mismatch; no-op when the app runs
+  /// timing-only. Call after executing a program.
+  virtual void verify() const {}
+
+  /// Resets functional host data to initial values (call between executions
+  /// when validating; timing-only apps may skip it).
+  virtual void reset_data() {}
+
+ protected:
+  Application(const hw::PlatformSpec& platform, Config config,
+              analyzer::AppDescriptor descriptor, bool sync_each_iteration);
+
+  /// Concrete apps call this after registering kernels.
+  void set_kernels(std::vector<rt::KernelId> kernels) {
+    kernels_ = std::move(kernels);
+  }
+
+  /// Appends the application's host-side end-of-iteration update (e.g.
+  /// copying the output grid into the input grid). Runs after the
+  /// iteration's taskwait. Default: nothing.
+  virtual void append_host_update(rt::Program& program, int iteration) const {
+    (void)program;
+    (void)iteration;
+  }
+
+  Config config_;
+  analyzer::AppDescriptor descriptor_;
+  bool sync_each_iteration_;
+  std::unique_ptr<rt::Executor> executor_;
+  std::vector<rt::KernelId> kernels_;
+};
+
+/// Relative tolerance check used by the apps' verify() implementations.
+void check_close(double actual, double expected, double rel_tol,
+                 const std::string& what);
+
+}  // namespace hetsched::apps

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+
+/// BlackScholes (paper Table II, SK-One; origin: NVIDIA OpenCL SDK).
+///
+/// European option pricing over a 1D array of options: five arrays (spot
+/// price, strike, time to expiry in; call and put prices out) of 4 bytes
+/// each — 20 bytes per option, which is why the paper measures the GPU data
+/// transfer at ~37x the GPU kernel time and Glinda assigns 41%/59% to
+/// CPU/GPU. The paper evaluates 80,530,632 options (1.5 GB).
+namespace hetsched::apps {
+
+class BlackScholesApp final : public Application {
+ public:
+  /// `config.items` is the number of options.
+  BlackScholesApp(const hw::PlatformSpec& platform, Config config);
+
+  void verify() const override;
+  void reset_data() override;
+
+  /// The closed-form reference price for option i (call, put).
+  std::pair<double, double> reference_price(std::int64_t i) const;
+
+ private:
+  mem::BufferId price_ = 0, strike_ = 0, years_ = 0, call_ = 0, put_ = 0;
+  std::vector<float> host_price_, host_strike_, host_years_;
+  std::vector<float> host_call_, host_put_;
+};
+
+}  // namespace hetsched::apps

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+
+/// HotSpot (paper Table II, SK-Loop; origin: Rodinia benchmark suite).
+///
+/// Thermal simulation on a 2D grid: each iteration applies a 5-point
+/// stencil combining the previous temperature and the per-cell power
+/// density; the outputs from all processors are combined at the host and
+/// become the next iteration's input (per-iteration synchronization). Work
+/// item = one grid row; task instances read a one-row halo. Memory-bound on
+/// both devices, with per-iteration transfers that make the CPU the faster
+/// side — the paper's example of Glinda assigning the larger partition to
+/// the CPU. The paper evaluates an 8192 x 8192 grid (0.75 GB over three
+/// arrays).
+namespace hetsched::apps {
+
+class HotSpotApp final : public Application {
+ public:
+  /// `config.items` is the number of grid rows (the grid is square).
+  HotSpotApp(const hw::PlatformSpec& platform, Config config);
+
+  void verify() const override;
+  void reset_data() override;
+
+ private:
+  void append_host_update(rt::Program& program, int iteration) const override;
+
+  void stencil_rows(std::int64_t begin, std::int64_t end,
+                    const std::vector<float>& in,
+                    std::vector<float>& out) const;
+  std::vector<float> reference_grid() const;
+
+  std::int64_t rows_;
+  std::int64_t cols_;
+  mem::BufferId temp_in_ = 0, temp_out_ = 0, power_ = 0;
+  mutable std::vector<float> host_temp_in_, host_temp_out_;
+  std::vector<float> host_power_, initial_temp_;
+};
+
+}  // namespace hetsched::apps

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+
+/// MatrixMul (paper Table II, SK-One; origin: NVIDIA OpenCL SDK).
+///
+/// Dense single-precision matrix-matrix multiplication A x B = C with
+/// row-wise partitioning: work item = one row of C; each task instance
+/// receives a block of consecutive rows of A plus the full B (a fixed
+/// broadcast transfer the partitioning model must discover via its two-point
+/// profiling fit). The paper evaluates N = 6144 (0.4 GB).
+namespace hetsched::apps {
+
+class MatrixMulApp final : public Application {
+ public:
+  /// `config.items` is N, the matrix dimension (= number of rows of C).
+  MatrixMulApp(const hw::PlatformSpec& platform, Config config);
+
+  void verify() const override;
+  void reset_data() override;
+
+ private:
+  std::int64_t n_;
+  mem::BufferId a_ = 0, b_ = 0, c_ = 0;
+  std::vector<float> host_a_, host_b_, host_c_;
+};
+
+}  // namespace hetsched::apps

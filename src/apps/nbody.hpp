@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+
+/// Nbody (paper Table II, SK-Loop; origin: Mont-Blanc benchmark suite).
+///
+/// Time-stepped body simulation: each iteration computes forces and
+/// integrates; every body reads ALL particle states (a broadcast input), so
+/// after each iteration the updated states must be combined at the host and
+/// redistributed — the paper's per-iteration global synchronization. Work
+/// item = one body; particle state is 32 bytes (position, mass, velocity).
+/// The paper evaluates 1,048,576 bodies (64 MB of particle state).
+namespace hetsched::apps {
+
+class NbodyApp final : public Application {
+ public:
+  /// `config.items` is the body count; `config.iterations` the time steps.
+  NbodyApp(const hw::PlatformSpec& platform, Config config);
+
+  void verify() const override;
+  void reset_data() override;
+
+ private:
+  void append_host_update(rt::Program& program, int iteration) const override;
+
+  // Functional reference: runs the same number of steps sequentially.
+  std::vector<float> reference_state() const;
+
+  mem::BufferId state_ = 0, state_new_ = 0;
+  // 8 floats per body: x, y, z, mass, vx, vy, vz, pad.
+  mutable std::vector<float> host_state_, host_state_new_;
+  std::vector<float> initial_state_;
+};
+
+}  // namespace hetsched::apps

@@ -1,0 +1,120 @@
+#include "apps/registry.hpp"
+
+#include "apps/blackscholes.hpp"
+#include "apps/hotspot.hpp"
+#include "apps/matrixmul.hpp"
+#include "apps/nbody.hpp"
+#include "apps/stream.hpp"
+#include "common/error.hpp"
+
+namespace hetsched::apps {
+
+const char* paper_app_name(PaperApp app) {
+  switch (app) {
+    case PaperApp::kMatrixMul: return "MatrixMul";
+    case PaperApp::kBlackScholes: return "BlackScholes";
+    case PaperApp::kNbody: return "Nbody";
+    case PaperApp::kHotSpot: return "HotSpot";
+    case PaperApp::kStreamSeq: return "STREAM-Seq";
+    case PaperApp::kStreamLoop: return "STREAM-Loop";
+  }
+  return "unknown";
+}
+
+const std::vector<PaperApp>& all_paper_apps() {
+  static const std::vector<PaperApp> apps = {
+      PaperApp::kMatrixMul, PaperApp::kBlackScholes, PaperApp::kNbody,
+      PaperApp::kHotSpot,   PaperApp::kStreamSeq,    PaperApp::kStreamLoop,
+  };
+  return apps;
+}
+
+Application::Config paper_config(PaperApp app) {
+  Application::Config config;
+  config.functional = false;
+  switch (app) {
+    case PaperApp::kMatrixMul:
+      config.items = 6144;  // 6144 x 6144 matrices
+      config.iterations = 1;
+      break;
+    case PaperApp::kBlackScholes:
+      config.items = 80'530'632;
+      config.iterations = 1;
+      break;
+    case PaperApp::kNbody:
+      config.items = 1'048'576;
+      config.iterations = 8;
+      break;
+    case PaperApp::kHotSpot:
+      config.items = 8192;  // 8192 x 8192 grid
+      config.iterations = 5;
+      break;
+    case PaperApp::kStreamSeq:
+      config.items = 62'914'560;
+      config.iterations = 1;
+      break;
+    case PaperApp::kStreamLoop:
+      config.items = 62'914'560;
+      config.iterations = 10;
+      break;
+  }
+  return config;
+}
+
+Application::Config test_config(PaperApp app) {
+  Application::Config config;
+  config.functional = true;
+  switch (app) {
+    case PaperApp::kMatrixMul:
+      config.items = 96;
+      config.iterations = 1;
+      break;
+    case PaperApp::kBlackScholes:
+      config.items = 4096;
+      config.iterations = 1;
+      break;
+    case PaperApp::kNbody:
+      config.items = 192;
+      config.iterations = 3;
+      break;
+    case PaperApp::kHotSpot:
+      config.items = 64;
+      config.iterations = 3;
+      break;
+    case PaperApp::kStreamSeq:
+      config.items = 4096;
+      config.iterations = 1;
+      break;
+    case PaperApp::kStreamLoop:
+      config.items = 4096;
+      config.iterations = 3;
+      break;
+  }
+  return config;
+}
+
+std::unique_ptr<Application> make_paper_app(PaperApp app,
+                                            const hw::PlatformSpec& platform,
+                                            Application::Config config) {
+  switch (app) {
+    case PaperApp::kMatrixMul:
+      return std::make_unique<MatrixMulApp>(platform, config);
+    case PaperApp::kBlackScholes:
+      return std::make_unique<BlackScholesApp>(platform, config);
+    case PaperApp::kNbody:
+      return std::make_unique<NbodyApp>(platform, config);
+    case PaperApp::kHotSpot:
+      return std::make_unique<HotSpotApp>(platform, config);
+    case PaperApp::kStreamSeq:
+    case PaperApp::kStreamLoop:
+      return std::make_unique<StreamApp>(platform, config);
+  }
+  throw InvalidArgument("unknown paper application");
+}
+
+std::unique_ptr<Application> make_paper_app(
+    PaperApp app, const hw::PlatformSpec& platform) {
+  return make_paper_app(app, platform, paper_config(app));
+}
+
+}  // namespace hetsched::apps

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+
+/// Factory for the paper's six evaluation applications (Table II) with
+/// their published problem sizes, plus small functional configurations for
+/// testing.
+namespace hetsched::apps {
+
+enum class PaperApp {
+  kMatrixMul,     ///< SK-One, 6144 x 6144 (0.4 GB)
+  kBlackScholes,  ///< SK-One, 80,530,632 options (1.5 GB)
+  kNbody,         ///< SK-Loop, 1,048,576 bodies (64 MB)
+  kHotSpot,       ///< SK-Loop, 8192 x 8192 grid (0.75 GB)
+  kStreamSeq,     ///< MK-Seq, 62,914,560 elements (0.7 GB)
+  kStreamLoop,    ///< MK-Loop, same size, iterated
+};
+
+const char* paper_app_name(PaperApp app);
+const std::vector<PaperApp>& all_paper_apps();
+
+/// The paper's problem size for `app` (timing-only: functional = false).
+Application::Config paper_config(PaperApp app);
+
+/// A small, functional configuration suitable for correctness tests.
+Application::Config test_config(PaperApp app);
+
+/// Instantiates `app` on `platform` with the given configuration.
+std::unique_ptr<Application> make_paper_app(PaperApp app,
+                                            const hw::PlatformSpec& platform,
+                                            Application::Config config);
+
+/// Convenience: paper configuration on the reference platform semantics.
+std::unique_ptr<Application> make_paper_app(PaperApp app,
+                                            const hw::PlatformSpec& platform);
+
+}  // namespace hetsched::apps

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+
+/// STREAM (paper Table II, MK-Seq / MK-Loop; origin: McCalpin's STREAM).
+///
+/// Four bandwidth kernels over 1D arrays a, b, c:
+///   copy:  c = a          scale: b = s * c
+///   add:   c = a + b      triad: a = b + s * c
+/// STREAM-Seq runs the sequence once (MK-Seq); STREAM-Loop iterates it
+/// (MK-Loop). The kernels chain through the arrays, so without taskwaits the
+/// runtime pipelines chunks across kernels and iterations; the paper also
+/// evaluates a variant with inter-kernel synchronization added manually.
+/// The paper uses 62,914,560 elements (0.7 GB over the three arrays).
+namespace hetsched::apps {
+
+class StreamApp final : public Application {
+ public:
+  /// `config.items` is the element count; `config.iterations` = 1 gives
+  /// STREAM-Seq, > 1 gives STREAM-Loop.
+  StreamApp(const hw::PlatformSpec& platform, Config config);
+
+  void verify() const override;
+  void reset_data() override;
+
+  static constexpr float kScalar = 3.0f;
+
+ private:
+  rt::KernelId register_stream_kernel(
+      const std::string& name, double flops, double bytes,
+      std::vector<std::pair<mem::BufferId, mem::AccessMode>> buffers,
+      rt::KernelBody body);
+
+  mem::BufferId a_ = 0, b_ = 0, c_ = 0;
+  std::vector<float> host_a_, host_b_, host_c_;
+  std::vector<float> initial_a_;
+};
+
+}  // namespace hetsched::apps

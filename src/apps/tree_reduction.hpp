@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+
+/// TreeReduction — a multi-pass reduction with SHRINKING kernels.
+///
+/// Classic device-wide sum: pass k folds blocks of kBranching partials into
+/// one, so pass k operates on n / kBranching^(k+1) items — every kernel in
+/// the MK-Seq sequence has its own item count (Application::items_of).
+/// Deep passes are tiny, which exercises Glinda's hardware-configuration
+/// decision per kernel: SP-Varied assigns early, wide passes to both
+/// devices and collapses the late, narrow ones to Only-CPU (their GPU share
+/// would fall below the efficiency threshold) — the decision logic of the
+/// paper's "making the decision in practice" step, per kernel.
+namespace hetsched::apps {
+
+class TreeReductionApp final : public Application {
+ public:
+  static constexpr std::int64_t kBranching = 64;
+
+  /// `config.items` is the input element count (the first pass's SOURCE
+  /// size; the partitionable item space of pass k is the OUTPUT count).
+  TreeReductionApp(const hw::PlatformSpec& platform, Config config);
+
+  std::int64_t items_of(std::size_t kernel_index) const override {
+    return pass_outputs_.at(kernel_index);
+  }
+
+  void verify() const override;
+  void reset_data() override;
+
+  /// Number of reduction passes for `items` inputs.
+  static int pass_count(std::int64_t items);
+
+ private:
+  std::vector<std::int64_t> pass_outputs_;  ///< output items of each pass
+  std::vector<mem::BufferId> levels_;       ///< level 0 = input
+  mutable std::vector<std::vector<float>> host_levels_;
+  std::vector<float> initial_input_;
+};
+
+}  // namespace hetsched::apps

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+
+/// TriangularMV — an IMBALANCED single-kernel application (paper ref [9],
+/// Glinda's ICS'14 "imbalanced workloads" extension).
+///
+/// y = L * x for a dense lower-triangular L (packed rows): row i touches
+/// (i + 1) matrix elements, so the per-item cost grows linearly across the
+/// item space. A uniform split at item fraction beta hands the GPU's
+/// contiguous head far LESS work than beta (the head rows are short);
+/// balancing requires the weighted solver working on the prefix-weight
+/// function W(i) = i(i+1)/2. The app publishes that function through
+/// Application::prefix_weight(), and its kernel carries the matching
+/// work_weight so the simulator charges each instance its true cost.
+/// bench/ext_imbalanced quantifies uniform-vs-weighted.
+namespace hetsched::apps {
+
+class TriangularMvApp final : public Application {
+ public:
+  /// `config.items` is the matrix dimension (row count).
+  TriangularMvApp(const hw::PlatformSpec& platform, Config config);
+
+  std::function<double(std::int64_t)> prefix_weight() const override {
+    return [](std::int64_t i) {
+      return 0.5 * static_cast<double>(i) * static_cast<double>(i + 1);
+    };
+  }
+
+  void verify() const override;
+  void reset_data() override;
+
+ private:
+  std::int64_t n_;
+  mem::BufferId matrix_ = 0, x_ = 0, y_ = 0;
+  std::vector<float> host_matrix_, host_x_, host_y_;
+};
+
+}  // namespace hetsched::apps

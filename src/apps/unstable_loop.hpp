@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+
+/// UnstableLoop — a time-stepped kernel whose device affinity DRIFTS.
+///
+/// SP-Single's use on SK-Loop applications rests on the paper's assumption
+/// that "the kernel has stable performance in the loop, and therefore the
+/// partitioning remains the same. If this assumption is not true, we can
+/// regard each iteration of the kernel as a different kernel, thus turning
+/// a SK-Loop application into a MK-Seq application" (Section III-C).
+///
+/// This application realizes the unstable case: an iterative relaxation
+/// whose control flow grows more divergent every sweep (think adaptive
+/// refinement concentrating work in irregular regions), so the GPU's
+/// efficiency decays iteration over iteration while the CPU's is flat.
+/// Modelled faithfully to the paper's suggested conversion: one kernel
+/// *per iteration*, classifying as MK-Seq, with per-iteration host
+/// synchronization. bench/ext_unstable_loop shows the single fixed split
+/// (the SK-Loop assumption) losing to SP-Varied's per-iteration splits.
+namespace hetsched::apps {
+
+class UnstableLoopApp final : public Application {
+ public:
+  /// `config.items` is the grid size; `config.iterations` the sweep count
+  /// (each sweep becomes its own kernel).
+  UnstableLoopApp(const hw::PlatformSpec& platform, Config config);
+
+  void verify() const override;
+  void reset_data() override;
+
+  /// GPU compute efficiency of sweep `t` (decays with t).
+  static double gpu_efficiency_at(int sweep, int total_sweeps);
+
+ private:
+  mem::BufferId state_ = 0, scratch_ = 0;
+  mutable std::vector<float> host_state_, host_scratch_;
+  std::vector<float> initial_state_;
+};
+
+}  // namespace hetsched::apps

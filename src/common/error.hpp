@@ -1,0 +1,81 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// Error handling policy (follows the C++ Core Guidelines: exceptions for
+/// errors that cannot be handled locally; assertions for programmer errors).
+///
+/// - `Error` and subclasses are thrown for user-facing misuse of the public
+///   API (invalid configuration, malformed application descriptions).
+/// - `HS_ASSERT` guards internal invariants; it throws `InternalError` so
+///   that tests can verify invariants fire, while release builds keep the
+///   checks (this library is a research instrument: silent corruption is
+///   worse than the branch cost).
+namespace hetsched {
+
+/// Base class for all errors raised by hetsched's public API.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The caller supplied an invalid argument or configuration.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// The requested operation is not valid in the current state.
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant was violated (a bug in hetsched, not in the caller).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: (" << expr << ") at " << file << ":"
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace hetsched
+
+/// Checks an internal invariant; throws InternalError with location info.
+#define HS_ASSERT(expr)                                                   \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::hetsched::detail::assert_fail(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+/// Like HS_ASSERT but with a streamed message: HS_ASSERT_MSG(x>0, "x=" << x).
+#define HS_ASSERT_MSG(expr, stream_expr)                                  \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream hs_assert_os_;                                   \
+      hs_assert_os_ << stream_expr;                                       \
+      ::hetsched::detail::assert_fail(#expr, __FILE__, __LINE__,          \
+                                      hs_assert_os_.str());               \
+    }                                                                     \
+  } while (0)
+
+/// Validates a public-API precondition; throws InvalidArgument.
+#define HS_REQUIRE(expr, stream_expr)                                     \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream hs_require_os_;                                  \
+      hs_require_os_ << stream_expr;                                      \
+      throw ::hetsched::InvalidArgument(hs_require_os_.str());            \
+    }                                                                     \
+  } while (0)

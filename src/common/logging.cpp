@@ -1,0 +1,34 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace hetsched::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_emit_mutex;
+
+const char* level_tag(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void emit(Level lvl, const std::string& message) {
+  if (lvl < level()) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[hetsched %s] %s\n", level_tag(lvl), message.c_str());
+}
+
+}  // namespace hetsched::log

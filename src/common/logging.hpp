@@ -1,0 +1,51 @@
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+/// Minimal leveled logger. Single global sink (stderr), thread-safe line
+/// emission, runtime-settable threshold. Deliberately tiny: benches and the
+/// runtime use it for diagnostics, never for experiment output (that goes
+/// through common/table.hpp so it stays machine-parseable).
+namespace hetsched::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_level(Level level);
+Level level();
+
+/// Emits one formatted line (internal; use the macros below).
+void emit(Level level, const std::string& message);
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level lvl) : level_(lvl) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { emit(level_, os_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace hetsched::log
+
+#define HS_LOG(lvl)                                             \
+  if (::hetsched::log::level() <= ::hetsched::log::Level::lvl)  \
+  ::hetsched::log::detail::LineBuilder(::hetsched::log::Level::lvl)
+
+#define HS_DEBUG HS_LOG(kDebug)
+#define HS_INFO HS_LOG(kInfo)
+#define HS_WARN HS_LOG(kWarn)
+#define HS_ERROR HS_LOG(kError)

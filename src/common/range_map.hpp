@@ -1,0 +1,131 @@
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/interval_set.hpp"
+
+/// RangeMap<T>: a map from half-open integer intervals to values, where a
+/// later assignment overwrites the overlapped parts of earlier ones
+/// (splitting them as needed).
+///
+/// This is exactly the bookkeeping the dependency analyzer needs: "who last
+/// wrote byte range [a, b) of buffer X?" is a RangeMap<TaskId> updated by
+/// writes and queried by reads.
+namespace hetsched {
+
+template <typename T>
+class RangeMap {
+ public:
+  struct Entry {
+    Interval range;
+    T value;
+  };
+
+  bool empty() const { return spans_.empty(); }
+  std::size_t span_count() const { return spans_.size(); }
+
+  /// Assigns `value` to every point in `range`, overwriting previous values.
+  void assign(Interval range, T value) {
+    if (range.empty()) return;
+    erase(range);
+    spans_.emplace(range.begin, Span{range.end, std::move(value)});
+    // Merge with equal-valued neighbours to keep the map compact.
+    coalesce_around(range.begin);
+  }
+
+  /// Removes all points of `range` from the map.
+  void erase(Interval range) {
+    if (range.empty() || spans_.empty()) return;
+    auto it = spans_.lower_bound(range.begin);
+    if (it != spans_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > range.begin) it = prev;
+    }
+    std::vector<std::pair<Interval, T>> to_add;
+    while (it != spans_.end() && it->first < range.end) {
+      const Interval span{it->first, it->second.end};
+      T value = std::move(it->second.value);
+      it = spans_.erase(it);
+      if (span.begin < range.begin)
+        to_add.emplace_back(Interval{span.begin, range.begin}, value);
+      if (span.end > range.end)
+        to_add.emplace_back(Interval{range.end, span.end}, std::move(value));
+    }
+    for (auto& [piece, value] : to_add)
+      spans_.emplace(piece.begin, Span{piece.end, std::move(value)});
+  }
+
+  /// All (sub-range, value) pieces overlapping `range`, in order.
+  std::vector<Entry> query(Interval range) const {
+    std::vector<Entry> result;
+    if (range.empty() || spans_.empty()) return result;
+    auto it = spans_.upper_bound(range.begin);
+    if (it != spans_.begin()) --it;
+    for (; it != spans_.end() && it->first < range.end; ++it) {
+      const Interval piece =
+          intersect({it->first, it->second.end}, range);
+      if (!piece.empty()) result.push_back({piece, it->second.value});
+    }
+    return result;
+  }
+
+  /// Distinct values overlapping `range` (order of first appearance).
+  std::vector<T> values_overlapping(Interval range) const {
+    std::vector<T> result;
+    for (const Entry& entry : query(range)) {
+      bool seen = false;
+      for (const T& v : result)
+        if (v == entry.value) {
+          seen = true;
+          break;
+        }
+      if (!seen) result.push_back(entry.value);
+    }
+    return result;
+  }
+
+  void clear() { spans_.clear(); }
+
+  std::vector<Entry> to_vector() const {
+    std::vector<Entry> result;
+    result.reserve(spans_.size());
+    for (const auto& [begin, span] : spans_)
+      result.push_back({{begin, span.end}, span.value});
+    return result;
+  }
+
+ private:
+  struct Span {
+    std::int64_t end;
+    T value;
+  };
+
+  void coalesce_around(std::int64_t begin) {
+    auto it = spans_.find(begin);
+    if (it == spans_.end()) return;
+    // Merge with the predecessor if touching and equal-valued.
+    if (it != spans_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end == it->first &&
+          prev->second.value == it->second.value) {
+        prev->second.end = it->second.end;
+        spans_.erase(it);
+        it = prev;
+      }
+    }
+    // Merge with the successor likewise.
+    auto next = std::next(it);
+    if (next != spans_.end() && it->second.end == next->first &&
+        it->second.value == next->second.value) {
+      it->second.end = next->second.end;
+      spans_.erase(next);
+    }
+  }
+
+  // begin -> (end, value); spans are disjoint.
+  std::map<std::int64_t, Span> spans_;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+/// Deterministic pseudo-random generation.
+///
+/// Everything stochastic in hetsched (workload generators, perturbation
+/// tests) goes through `Rng` so that every run of every bench and test is
+/// bit-reproducible from its seed. The engine is xoshiro256**, seeded via
+/// SplitMix64 (the construction recommended by its authors); it satisfies
+/// the C++ UniformRandomBitGenerator requirements.
+namespace hetsched {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 expansion of the seed into the four 64-bit lanes.
+    std::uint64_t x = seed;
+    for (auto& lane : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    HS_REQUIRE(lo <= hi, "uniform_int: lo=" << lo << " > hi=" << hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Rejection-free modulo is fine here: simulation inputs, not crypto.
+    return lo + static_cast<std::int64_t>(span == 0 ? (*this)()
+                                                    : (*this)() % span);
+  }
+
+  /// Standard normal via Box–Muller (one value per call; simple > fast here).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+inline double Rng::normal(double mean, double stddev) {
+  // Box–Muller; draws until the log argument is nonzero (probability ~1).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  const double mag = stddev * std::sqrt(-2.0 * std::log(u1));
+  return mean + mag * std::cos(kTwoPi * u2);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+/// Small streaming-statistics helpers used by profilers, schedulers (per
+/// device/kernel throughput tracking), and bench reporting.
+namespace hetsched {
+
+/// Welford-style accumulator: numerically stable mean/variance plus extrema.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exponential moving average, used by the performance-aware scheduler to
+/// track per-(kernel, device) throughput as instances complete.
+class Ema {
+ public:
+  /// `alpha` is the weight of the newest sample; must be in (0, 1].
+  explicit Ema(double alpha = 0.5) : alpha_(alpha) {
+    HS_REQUIRE(alpha > 0.0 && alpha <= 1.0, "Ema alpha=" << alpha);
+  }
+
+  void add(double x) {
+    value_ = has_value_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    has_value_ = true;
+    ++count_;
+  }
+
+  bool has_value() const { return has_value_; }
+  double value() const { return value_; }
+  std::size_t count() const { return count_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool has_value_ = false;
+  std::size_t count_ = 0;
+};
+
+/// Geometric mean of a sequence of positive numbers (used for the paper's
+/// "average speedup" style aggregates; the paper reports arithmetic means,
+/// so both are provided).
+inline double geometric_mean(const std::vector<double>& xs) {
+  HS_REQUIRE(!xs.empty(), "geometric_mean of empty sequence");
+  double log_sum = 0.0;
+  for (double x : xs) {
+    HS_REQUIRE(x > 0.0, "geometric_mean requires positive values, got " << x);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+inline double arithmetic_mean(const std::vector<double>& xs) {
+  HS_REQUIRE(!xs.empty(), "arithmetic_mean of empty sequence");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace hetsched

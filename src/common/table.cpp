@@ -1,0 +1,84 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace hetsched {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HS_REQUIRE(!headers_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  HS_REQUIRE(cells.size() == headers_.size(),
+             "Table row has " << cells.size() << " cells, expected "
+                              << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c != 0) rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  out += rule + '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::string out;
+  auto render = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += ',';
+      out += csv_escape(row[c]);
+    }
+    out += '\n';
+  };
+  render(headers_);
+  for (const auto& row : rows_) render(row);
+  return out;
+}
+
+void Table::print(std::ostream& os, bool csv) const {
+  os << (csv ? to_csv() : to_ascii());
+}
+
+}  // namespace hetsched

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// ASCII table / CSV rendering for bench output.
+///
+/// Every bench binary prints its paper table/figure through this class so
+/// that (a) output stays visually aligned for humans and (b) `--csv` gives a
+/// machine-readable form for downstream plotting.
+namespace hetsched {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return headers_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+  const std::vector<std::string>& headers() const { return headers_; }
+
+  /// Renders with aligned columns and a header separator.
+  std::string to_ascii() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing , " or newline).
+  std::string to_csv() const;
+
+  void print(std::ostream& os, bool csv = false) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// Virtual-time primitives shared by the simulator and every layer above it.
+///
+/// All simulated durations and timestamps in hetsched are expressed as
+/// integer nanoseconds. Integer time keeps the discrete-event engine
+/// deterministic across platforms (no FP rounding drift in event ordering)
+/// and is wide enough for ~292 years of simulated time.
+namespace hetsched {
+
+/// A point in virtual time or a duration, in nanoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Converts a duration in (possibly fractional) seconds to SimTime.
+/// Negative durations are clamped to zero: every physical quantity we model
+/// (compute time, transfer time, overhead) is non-negative by construction.
+constexpr SimTime from_seconds(double seconds) {
+  if (seconds <= 0.0) return 0;
+  return static_cast<SimTime>(seconds * static_cast<double>(kSecond) + 0.5);
+}
+
+constexpr SimTime from_micros(double micros) {
+  return from_seconds(micros * 1e-6);
+}
+
+constexpr SimTime from_millis(double millis) {
+  return from_seconds(millis * 1e-3);
+}
+
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+constexpr double to_millis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+constexpr double to_micros(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/// Renders a duration with an auto-selected unit ("12.34 ms", "1.20 s").
+std::string format_time(SimTime t);
+
+}  // namespace hetsched

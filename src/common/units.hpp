@@ -1,0 +1,26 @@
+#pragma once
+
+/// Unit constants for hardware specifications.
+///
+/// hetsched uses decimal (SI) units throughout because vendor datasheets —
+/// and the paper's Table III — quote GFLOPS and GB/s in decimal.
+namespace hetsched {
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+/// Converts GFLOPS to FLOP/s.
+constexpr double gflops(double g) { return g * kGiga; }
+
+/// Converts GB/s to bytes/s.
+constexpr double gb_per_s(double g) { return g * kGiga; }
+
+/// Converts MB to bytes.
+constexpr double megabytes(double m) { return m * kMega; }
+
+/// Converts GB to bytes.
+constexpr double gigabytes(double g) { return g * kGiga; }
+
+}  // namespace hetsched

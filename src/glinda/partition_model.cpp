@@ -1,0 +1,156 @@
+#include "glinda/partition_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hetsched::glinda {
+
+const char* hardware_config_name(HardwareConfig config) {
+  switch (config) {
+    case HardwareConfig::kOnlyCpu: return "Only-CPU";
+    case HardwareConfig::kOnlyGpu: return "Only-GPU";
+    case HardwareConfig::kPartition: return "CPU+GPU";
+  }
+  return "unknown";
+}
+
+PartitionMetrics derive_metrics(const KernelEstimate& estimate) {
+  HS_REQUIRE(estimate.cpu.seconds_per_item > 0.0 &&
+                 estimate.gpu.seconds_per_item > 0.0,
+             "metrics need positive per-item costs");
+  PartitionMetrics metrics;
+  metrics.relative_capability =
+      estimate.cpu.seconds_per_item / estimate.gpu.seconds_per_item;
+  const double transfer = estimate.transfer_seconds_per_item();
+  metrics.compute_transfer_gap =
+      transfer <= 0.0 ? 0.0 : transfer / estimate.gpu.seconds_per_item;
+  return metrics;
+}
+
+double PartitionModel::predict_split_seconds(const KernelEstimate& estimate,
+                                             std::int64_t gpu_items,
+                                             std::int64_t cpu_items) const {
+  const double tg = estimate.gpu_seconds_per_item_effective();
+  const double tc = estimate.cpu.seconds_per_item;
+  const double gpu_time =
+      gpu_items == 0 ? 0.0
+                     : static_cast<double>(gpu_items) * tg +
+                           estimate.gpu_fixed_seconds_effective();
+  const double cpu_time =
+      cpu_items == 0 ? 0.0
+                     : static_cast<double>(cpu_items) * tc +
+                           estimate.cpu.fixed_seconds;
+  return std::max(gpu_time, cpu_time);
+}
+
+PartitionDecision PartitionModel::decide(const KernelEstimate& estimate,
+                                         std::int64_t n, double beta) const {
+  beta = std::clamp(beta, 0.0, 1.0);
+
+  PartitionDecision decision;
+  decision.beta = beta;
+
+  // Round the GPU side up to the device granularity (paper footnote 5).
+  const auto granularity = static_cast<std::int64_t>(options_.gpu_granularity);
+  std::int64_t gpu_items = static_cast<std::int64_t>(
+      std::llround(beta * static_cast<double>(n)));
+  gpu_items = std::min(n, (gpu_items + granularity - 1) / granularity *
+                              granularity);
+  std::int64_t cpu_items = n - gpu_items;
+
+  decision.predicted_cpu_seconds = predict_split_seconds(estimate, 0, n);
+  decision.predicted_gpu_seconds = predict_split_seconds(estimate, n, 0);
+
+  // The practical decision: shares too small to matter collapse to a single
+  // device (they could not efficiently use the hardware they'd occupy).
+  const double share_gpu =
+      n == 0 ? 0.0 : static_cast<double>(gpu_items) / static_cast<double>(n);
+  const double share_cpu =
+      n == 0 ? 0.0 : static_cast<double>(cpu_items) / static_cast<double>(n);
+  if (share_gpu < options_.min_share) {
+    gpu_items = 0;
+    cpu_items = n;
+  } else if (share_cpu < options_.min_share) {
+    gpu_items = n;
+    cpu_items = 0;
+  }
+
+  decision.predicted_partition_seconds =
+      predict_split_seconds(estimate, gpu_items, cpu_items);
+
+  if (gpu_items == 0) {
+    decision.config = HardwareConfig::kOnlyCpu;
+  } else if (cpu_items == 0) {
+    decision.config = HardwareConfig::kOnlyGpu;
+  } else {
+    decision.config = HardwareConfig::kPartition;
+  }
+  decision.gpu_items = gpu_items;
+  decision.cpu_items = cpu_items;
+  return decision;
+}
+
+PartitionDecision PartitionModel::solve(const KernelEstimate& estimate,
+                                        std::int64_t n) const {
+  HS_REQUIRE(n > 0, "partitioning a workload of " << n << " items");
+  HS_REQUIRE(estimate.cpu.seconds_per_item > 0.0,
+             "CPU per-item cost must be positive");
+  HS_REQUIRE(estimate.gpu.seconds_per_item > 0.0,
+             "GPU per-item cost must be positive");
+
+  // Perfect-overlap condition: beta*n*tg + Fg == (1-beta)*n*tc + Fc.
+  const double tg = estimate.gpu_seconds_per_item_effective();
+  const double tc = estimate.cpu.seconds_per_item;
+  const double fg = estimate.gpu_fixed_seconds_effective();
+  const double fc = estimate.cpu.fixed_seconds;
+  const double nn = static_cast<double>(n);
+  const double beta = (nn * tc + fc - fg) / (nn * (tg + tc));
+  return decide(estimate, n, beta);
+}
+
+PartitionDecision PartitionModel::solve_weighted(
+    const KernelEstimate& estimate, std::int64_t n,
+    const std::function<double(std::int64_t)>& prefix_weight) const {
+  HS_REQUIRE(n > 0, "partitioning a workload of " << n << " items");
+  HS_REQUIRE(prefix_weight != nullptr, "solve_weighted needs prefix weights");
+  const double total = prefix_weight(n);
+  HS_REQUIRE(total > 0.0, "total workload weight must be positive");
+
+  // Work in weight units: the GPU takes head items [0, p). Finish times:
+  //   Tg(p) = W(p) * tg_w + Fg,   Tc(p) = (W(n) - W(p)) * tc_w + Fc
+  // where the per-weight costs are per-item costs scaled by the mean item
+  // weight (the profiles measured average items).
+  const double mean_weight = total / static_cast<double>(n);
+  const double tg =
+      estimate.gpu_seconds_per_item_effective() / mean_weight;
+  const double tc = estimate.cpu.seconds_per_item / mean_weight;
+  const double fg = estimate.gpu_fixed_seconds_effective();
+  const double fc = estimate.cpu.fixed_seconds;
+
+  auto diff = [&](std::int64_t p) {
+    const double wg = prefix_weight(p);
+    return (wg * tg + fg) - ((total - wg) * tc + fc);
+  };
+
+  // diff is non-decreasing in p; binary-search the sign change.
+  std::int64_t lo = 0, hi = n;
+  if (diff(0) >= 0.0) {
+    hi = 0;
+  } else if (diff(n) <= 0.0) {
+    lo = n;
+  } else {
+    while (hi - lo > 1) {
+      const std::int64_t mid = lo + (hi - lo) / 2;
+      (diff(mid) <= 0.0 ? lo : hi) = mid;
+    }
+  }
+  const std::int64_t p = (lo == n || std::abs(diff(lo)) <= std::abs(diff(hi)))
+                             ? lo
+                             : hi;
+  return decide(estimate, n,
+                static_cast<double>(p) / static_cast<double>(n));
+}
+
+}  // namespace hetsched::glinda

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "glinda/profile.hpp"
+
+/// The Glinda partitioning model (paper Section II-A, refs [9][10]).
+///
+/// From the profiled per-item costs the model derives the paper's two key
+/// metrics — the *relative hardware capability* R (GPU throughput over CPU
+/// throughput) and the *GPU computation to data transfer gap* G (GPU
+/// throughput over transfer throughput) — solves for the optimal split, and
+/// makes the practical hardware-configuration decision (Only-CPU, Only-GPU,
+/// or CPU+GPU with the predicted partitioning).
+namespace hetsched::glinda {
+
+/// Everything the model needs about one kernel (or fused kernel sequence)
+/// on one platform, in profiled units.
+struct KernelEstimate {
+  DeviceProfile cpu;
+  DeviceProfile gpu;
+  /// Link throughput, bytes/s (profiled; falls back to spec if profiling
+  /// observed no transfers).
+  double link_bytes_per_second = 0.0;
+  /// Whether host<->device transfers sit on the critical path of every
+  /// execution (true for one-shot kernels and per-iteration-synced loops;
+  /// false for loops that keep data resident across iterations).
+  bool transfer_on_critical_path = true;
+
+  /// Seconds of transfer per GPU item (0 when off the critical path).
+  double transfer_seconds_per_item() const {
+    if (!transfer_on_critical_path || link_bytes_per_second <= 0.0) return 0.0;
+    return (gpu.h2d_bytes_per_item + gpu.d2h_bytes_per_item) /
+           link_bytes_per_second;
+  }
+
+  /// Effective GPU seconds per item, including critical-path transfers.
+  double gpu_seconds_per_item_effective() const {
+    return gpu.seconds_per_item + transfer_seconds_per_item();
+  }
+
+  /// Fixed GPU-side seconds (launch + fixed transfers when on the path).
+  double gpu_fixed_seconds_effective() const {
+    double fixed = gpu.fixed_seconds;
+    if (transfer_on_critical_path && link_bytes_per_second > 0.0)
+      fixed += (gpu.h2d_fixed_bytes + gpu.d2h_fixed_bytes) /
+               link_bytes_per_second;
+    return fixed;
+  }
+};
+
+/// The paper's two derived metrics.
+struct PartitionMetrics {
+  /// R: ratio of GPU throughput to CPU throughput (compute only).
+  double relative_capability = 0.0;
+  /// G: ratio of GPU throughput to data-transfer throughput, in items
+  /// (how many items the GPU computes in the time one item transfers).
+  double compute_transfer_gap = 0.0;
+};
+
+PartitionMetrics derive_metrics(const KernelEstimate& estimate);
+
+enum class HardwareConfig { kOnlyCpu, kOnlyGpu, kPartition };
+
+const char* hardware_config_name(HardwareConfig config);
+
+struct PartitionDecision {
+  HardwareConfig config = HardwareConfig::kPartition;
+  /// Items for each side; gpu_items is rounded up to the device granularity
+  /// (warp multiple) and cpu_items = n - gpu_items (paper footnote 5).
+  std::int64_t gpu_items = 0;
+  std::int64_t cpu_items = 0;
+  /// The un-rounded optimum fraction assigned to the GPU.
+  double beta = 0.0;
+  /// Model-predicted execution times for the three configurations.
+  double predicted_partition_seconds = 0.0;
+  double predicted_cpu_seconds = 0.0;
+  double predicted_gpu_seconds = 0.0;
+
+  double gpu_fraction(std::int64_t n) const {
+    return n == 0 ? 0.0
+                  : static_cast<double>(gpu_items) / static_cast<double>(n);
+  }
+};
+
+struct PartitionOptions {
+  /// GPU partitions are rounded up to a multiple of this (warp size).
+  int gpu_granularity = 32;
+  /// A side whose share falls below this fraction cannot use its hardware
+  /// efficiently; the decision collapses to the other device (the paper's
+  /// "making the decision in practice" step).
+  double min_share = 0.02;
+};
+
+class PartitionModel {
+ public:
+  explicit PartitionModel(PartitionOptions options = {})
+      : options_(options) {}
+
+  /// Solves the optimal split of `n` uniform items and takes the hardware-
+  /// configuration decision.
+  PartitionDecision solve(const KernelEstimate& estimate,
+                          std::int64_t n) const;
+
+  /// Imbalanced workloads (ref [9]): `prefix_weight(i)` is the total work of
+  /// items [0, i) in arbitrary units, non-decreasing. The GPU receives the
+  /// contiguous head [0, p); the solver finds p equalizing weighted finish
+  /// times.
+  PartitionDecision solve_weighted(
+      const KernelEstimate& estimate, std::int64_t n,
+      const std::function<double(std::int64_t)>& prefix_weight) const;
+
+  /// Predicted makespan of a given split (used by tests and what-if benches).
+  double predict_split_seconds(const KernelEstimate& estimate,
+                               std::int64_t gpu_items,
+                               std::int64_t cpu_items) const;
+
+ private:
+  PartitionDecision decide(const KernelEstimate& estimate, std::int64_t n,
+                           double beta) const;
+
+  PartitionOptions options_;
+};
+
+}  // namespace hetsched::glinda

@@ -1,0 +1,76 @@
+#include "hw/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hetsched::hw {
+
+void KernelTraits::validate() const {
+  HS_REQUIRE(!name.empty(), "KernelTraits needs a name");
+  HS_REQUIRE(flops_per_item >= 0.0, name << ": flops_per_item");
+  HS_REQUIRE(device_bytes_per_item >= 0.0, name << ": device_bytes_per_item");
+  HS_REQUIRE(flops_per_item > 0.0 || device_bytes_per_item > 0.0,
+             name << ": kernel must do some work per item");
+  for (double eff :
+       {cpu_compute_efficiency, gpu_compute_efficiency, cpu_memory_efficiency,
+        gpu_memory_efficiency}) {
+    HS_REQUIRE(eff > 0.0 && eff <= 1.0,
+               name << ": efficiency " << eff << " outside (0, 1]");
+  }
+}
+
+SimTime RooflineCostModel::lane_compute_time_weighted(
+    const KernelTraits& traits, const DeviceSpec& device,
+    double work_units) const {
+  HS_REQUIRE(work_units >= 0, "negative work " << work_units);
+  if (work_units == 0.0) return 0;
+  const double n = work_units;
+
+  double flop_time = 0.0;
+  if (traits.flops_per_item > 0.0) {
+    const double rate = traits.compute_efficiency(device.cls) *
+                        device.lane_peak_flops(traits.precision);
+    flop_time = n * traits.flops_per_item / rate;
+  }
+
+  double memory_time = 0.0;
+  if (traits.device_bytes_per_item > 0.0) {
+    const double rate =
+        traits.memory_efficiency(device.cls) * device.lane_bandwidth_bytes();
+    memory_time = n * traits.device_bytes_per_item / rate;
+  }
+
+  return from_seconds(std::max(flop_time, memory_time));
+}
+
+double RooflineCostModel::lane_item_rate(const KernelTraits& traits,
+                                         const DeviceSpec& device) const {
+  // One item's lane time, inverted. Computed analytically (not via
+  // lane_compute_time) to avoid integer-nanosecond quantization for very
+  // cheap kernels.
+  double flop_time = 0.0;
+  if (traits.flops_per_item > 0.0) {
+    flop_time = traits.flops_per_item /
+                (traits.compute_efficiency(device.cls) *
+                 device.lane_peak_flops(traits.precision));
+  }
+  double memory_time = 0.0;
+  if (traits.device_bytes_per_item > 0.0) {
+    memory_time = traits.device_bytes_per_item /
+                  (traits.memory_efficiency(device.cls) *
+                   device.lane_bandwidth_bytes());
+  }
+  const double per_item = std::max(flop_time, memory_time);
+  HS_ASSERT_MSG(per_item > 0.0, "kernel " << traits.name << " has zero cost");
+  return 1.0 / per_item;
+}
+
+SimTime RooflineCostModel::transfer_time(const LinkSpec& link,
+                                         double bytes) const {
+  HS_REQUIRE(bytes >= 0.0, "negative transfer size " << bytes);
+  if (bytes == 0.0) return 0;
+  return link.latency + from_seconds(bytes / link_rate(link));
+}
+
+}  // namespace hetsched::hw

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+#include "hw/platform.hpp"
+
+/// Roofline-style kernel cost model.
+///
+/// Each application kernel declares its per-item work (flops, device-memory
+/// bytes) plus a per-device-class *efficiency*: the fraction of the device's
+/// peak that this kernel's code actually sustains. The efficiencies play the
+/// role of the measured throughputs the paper obtains by profiling — they
+/// encode facts like "naive CPU matmul reaches a few percent of peak" or
+/// "STREAM sustains ~85% of DRAM bandwidth". Higher layers (Glinda, DP-Perf)
+/// never read these numbers: they observe virtual execution times, exactly
+/// as the paper's profiling observes wall-clock times.
+namespace hetsched::hw {
+
+struct KernelTraits {
+  std::string name;
+  Precision precision = Precision::kSingle;
+
+  /// Floating-point operations per work item.
+  double flops_per_item = 1.0;
+  /// Device-memory traffic per work item (bytes read + written), for the
+  /// bandwidth side of the roofline.
+  double device_bytes_per_item = 0.0;
+
+  /// IMBALANCED workloads (Glinda's ICS'14 extension, paper ref [9]):
+  /// when set, `work_weight(begin, end)` returns the number of uniform-
+  /// item EQUIVALENTS in the range — e.g. a triangular solve where row i
+  /// costs (i+1) units returns the partial sum. Unset means uniform
+  /// (end - begin). flops_per_item / device_bytes_per_item are then read
+  /// as "per work unit".
+  std::function<double(std::int64_t begin, std::int64_t end)> work_weight;
+
+  /// Work units in [begin, end): the weight function or the uniform count.
+  double weight_of(std::int64_t begin, std::int64_t end) const {
+    return work_weight ? work_weight(begin, end)
+                       : static_cast<double>(end - begin);
+  }
+
+  /// Fraction of peak compute throughput this kernel sustains, per class.
+  double cpu_compute_efficiency = 0.5;
+  double gpu_compute_efficiency = 0.5;
+  /// Fraction of peak memory bandwidth this kernel sustains, per class.
+  double cpu_memory_efficiency = 0.8;
+  double gpu_memory_efficiency = 0.8;
+
+  double compute_efficiency(DeviceClass cls) const {
+    return cls == DeviceClass::kCpu ? cpu_compute_efficiency
+                                    : gpu_compute_efficiency;
+  }
+  double memory_efficiency(DeviceClass cls) const {
+    return cls == DeviceClass::kCpu ? cpu_memory_efficiency
+                                    : gpu_memory_efficiency;
+  }
+
+  void validate() const;
+};
+
+class RooflineCostModel {
+ public:
+  /// Time for ONE lane of `device` to process `items` uniform work items of
+  /// kernel `traits`, excluding launch overhead and host<->device transfers.
+  ///
+  /// roofline: time = max(flop_time, memory_time)
+  ///   flop_time   = items * flops_per_item / (ceff * lane_peak_flops)
+  ///   memory_time = items * bytes_per_item / (meff * lane_bandwidth)
+  SimTime lane_compute_time(const KernelTraits& traits,
+                            const DeviceSpec& device,
+                            std::int64_t items) const {
+    HS_REQUIRE(items >= 0, "negative item count " << items);
+    return lane_compute_time_weighted(traits, device,
+                                      static_cast<double>(items));
+  }
+
+  /// Weighted form: time for `work_units` uniform-item equivalents.
+  SimTime lane_compute_time_weighted(const KernelTraits& traits,
+                                     const DeviceSpec& device,
+                                     double work_units) const;
+
+  /// Compute time of the instance covering [begin, end) — the kernel's
+  /// work-weight function decides how much work that range holds — plus
+  /// the device's per-invocation launch overhead.
+  SimTime instance_time(const KernelTraits& traits, const DeviceSpec& device,
+                        std::int64_t begin, std::int64_t end) const {
+    return device.launch_overhead +
+           lane_compute_time_weighted(traits, device,
+                                      traits.weight_of(begin, end));
+  }
+
+  /// Uniform-range convenience: instance over `items` items at [0, items).
+  SimTime instance_time(const KernelTraits& traits, const DeviceSpec& device,
+                        std::int64_t items) const {
+    return instance_time(traits, device, 0, items);
+  }
+
+  /// Steady-state item throughput (items/s) of one lane.
+  double lane_item_rate(const KernelTraits& traits,
+                        const DeviceSpec& device) const;
+
+  /// Whole-device item throughput: lanes * lane_item_rate. This is the
+  /// quantity the paper calls a device's "hardware capability" for a kernel.
+  double device_item_rate(const KernelTraits& traits,
+                          const DeviceSpec& device) const {
+    return lane_item_rate(traits, device) * static_cast<double>(device.lanes);
+  }
+
+  /// Host<->device transfer time for `bytes` over `link` (latency + size/BW).
+  SimTime transfer_time(const LinkSpec& link, double bytes) const;
+
+  /// Transfer throughput in bytes/s ignoring latency (for analytic models).
+  double link_rate(const LinkSpec& link) const {
+    return link.bandwidth_gbs * 1e9;
+  }
+};
+
+}  // namespace hetsched::hw

@@ -1,0 +1,179 @@
+#include "hw/platform.hpp"
+
+namespace hetsched::hw {
+
+const char* device_class_name(DeviceClass cls) {
+  switch (cls) {
+    case DeviceClass::kCpu: return "cpu";
+    case DeviceClass::kGpu: return "gpu";
+    case DeviceClass::kAccelerator: return "accelerator";
+  }
+  return "unknown";
+}
+
+void DeviceSpec::validate() const {
+  HS_REQUIRE(!name.empty(), "DeviceSpec needs a name");
+  HS_REQUIRE(cores >= 1, name << ": cores=" << cores);
+  HS_REQUIRE(lanes >= 1, name << ": lanes=" << lanes);
+  HS_REQUIRE(frequency_ghz > 0.0, name << ": frequency=" << frequency_ghz);
+  HS_REQUIRE(peak_sp_gflops > 0.0, name << ": peak_sp=" << peak_sp_gflops);
+  HS_REQUIRE(peak_dp_gflops > 0.0, name << ": peak_dp=" << peak_dp_gflops);
+  HS_REQUIRE(mem_bandwidth_gbs > 0.0,
+             name << ": mem_bandwidth=" << mem_bandwidth_gbs);
+  HS_REQUIRE(mem_capacity_gb > 0.0,
+             name << ": mem_capacity=" << mem_capacity_gb);
+  HS_REQUIRE(partition_granularity >= 1,
+             name << ": partition_granularity=" << partition_granularity);
+  HS_REQUIRE(launch_overhead >= 0,
+             name << ": launch_overhead=" << launch_overhead);
+}
+
+void LinkSpec::validate() const {
+  HS_REQUIRE(bandwidth_gbs > 0.0, name << ": bandwidth=" << bandwidth_gbs);
+  HS_REQUIRE(latency >= 0, name << ": latency=" << latency);
+}
+
+std::vector<DeviceSpec> PlatformSpec::all_devices() const {
+  std::vector<DeviceSpec> devices;
+  devices.reserve(1 + accelerators.size());
+  devices.push_back(cpu);
+  devices.insert(devices.end(), accelerators.begin(), accelerators.end());
+  return devices;
+}
+
+void PlatformSpec::validate() const {
+  HS_REQUIRE(!name.empty(), "PlatformSpec needs a name");
+  HS_REQUIRE(cpu.cls == DeviceClass::kCpu,
+             name << ": device 0 must be the host CPU");
+  cpu.validate();
+  for (const auto& acc : accelerators) {
+    HS_REQUIRE(acc.cls != DeviceClass::kCpu,
+               name << ": accelerator '" << acc.name
+                    << "' must not be a CPU");
+    acc.validate();
+  }
+  link.validate();
+}
+
+namespace {
+
+DeviceSpec make_xeon_e5_2620() {
+  DeviceSpec cpu;
+  cpu.name = "Intel Xeon E5-2620";
+  cpu.cls = DeviceClass::kCpu;
+  cpu.cores = 6;
+  cpu.lanes = 12;  // Hyper-Threading enabled, as in the paper.
+  cpu.frequency_ghz = 2.0;
+  cpu.peak_sp_gflops = 384.0;
+  cpu.peak_dp_gflops = 192.0;
+  cpu.mem_bandwidth_gbs = 42.6;
+  cpu.mem_capacity_gb = 64.0;
+  cpu.partition_granularity = 1;
+  cpu.launch_overhead = 2 * kMicrosecond;  // task-instance spawn cost
+  return cpu;
+}
+
+DeviceSpec make_tesla_k20m() {
+  DeviceSpec gpu;
+  gpu.name = "Nvidia Tesla K20m";
+  gpu.cls = DeviceClass::kGpu;
+  gpu.cores = 13;  // SMX count
+  gpu.lanes = 1;   // one in-order command queue
+  gpu.frequency_ghz = 0.705;
+  gpu.peak_sp_gflops = 3519.3;
+  gpu.peak_dp_gflops = 1173.1;
+  gpu.mem_bandwidth_gbs = 208.0;
+  gpu.mem_capacity_gb = 5.0;
+  gpu.partition_granularity = 32;  // warp size (paper footnote 5)
+  gpu.launch_overhead = 15 * kMicrosecond;  // OpenCL kernel invocation
+  return gpu;
+}
+
+}  // namespace
+
+PlatformSpec make_reference_platform() {
+  PlatformSpec platform;
+  platform.name = "xeon-e5-2620 + tesla-k20m";
+  platform.cpu = make_xeon_e5_2620();
+  platform.accelerators.push_back(make_tesla_k20m());
+  platform.link = LinkSpec{"pcie-gen2-x16", 6.0, 10 * kMicrosecond};
+  platform.validate();
+  return platform;
+}
+
+PlatformSpec make_reference_platform_with_link(double bandwidth_gbs) {
+  PlatformSpec platform = make_reference_platform();
+  platform.link.bandwidth_gbs = bandwidth_gbs;
+  platform.name += " @ " + std::to_string(bandwidth_gbs) + " GB/s link";
+  platform.validate();
+  return platform;
+}
+
+PlatformSpec make_small_gpu_platform() {
+  PlatformSpec platform;
+  platform.name = "xeon-e5-2620 + small-gpu";
+  platform.cpu = make_xeon_e5_2620();
+  DeviceSpec gpu;
+  gpu.name = "small-gpu";
+  gpu.cls = DeviceClass::kGpu;
+  gpu.cores = 2;
+  gpu.lanes = 1;
+  gpu.frequency_ghz = 0.9;
+  gpu.peak_sp_gflops = 384.0;
+  gpu.peak_dp_gflops = 16.0;
+  gpu.mem_bandwidth_gbs = 28.5;
+  gpu.mem_capacity_gb = 2.0;
+  gpu.partition_granularity = 32;
+  gpu.launch_overhead = 15 * kMicrosecond;
+  platform.accelerators.push_back(gpu);
+  platform.link = LinkSpec{"pcie-gen2-x8", 3.0, 10 * kMicrosecond};
+  platform.validate();
+  return platform;
+}
+
+PlatformSpec make_dual_gpu_platform() {
+  PlatformSpec platform;
+  platform.name = "xeon-e5-2620 + 2x tesla-k20m";
+  platform.cpu = make_xeon_e5_2620();
+  DeviceSpec gpu = make_tesla_k20m();
+  platform.accelerators.push_back(gpu);
+  gpu.name = "Nvidia Tesla K20m #2";
+  platform.accelerators.push_back(gpu);
+  platform.link = LinkSpec{"pcie-gen2-x16", 6.0, 10 * kMicrosecond};
+  platform.validate();
+  return platform;
+}
+
+PlatformSpec make_cpu_gpu_phi_platform() {
+  PlatformSpec platform;
+  platform.name = "xeon-e5-2620 + tesla-k20m + xeon-phi-5110p";
+  platform.cpu = make_xeon_e5_2620();
+  platform.accelerators.push_back(make_tesla_k20m());
+  DeviceSpec phi;
+  phi.name = "Intel Xeon Phi 5110P";
+  phi.cls = DeviceClass::kAccelerator;
+  phi.cores = 60;
+  phi.lanes = 1;  // offload model: one in-order command stream
+  phi.frequency_ghz = 1.053;
+  phi.peak_sp_gflops = 2022.0;
+  phi.peak_dp_gflops = 1011.0;
+  phi.mem_bandwidth_gbs = 320.0;
+  phi.mem_capacity_gb = 8.0;
+  phi.partition_granularity = 16;  // SIMD width
+  phi.launch_overhead = 25 * kMicrosecond;
+  platform.accelerators.push_back(phi);
+  platform.link = LinkSpec{"pcie-gen2-x16", 6.0, 10 * kMicrosecond};
+  platform.validate();
+  return platform;
+}
+
+PlatformSpec make_cpu_only_platform() {
+  PlatformSpec platform;
+  platform.name = "xeon-e5-2620 only";
+  platform.cpu = make_xeon_e5_2620();
+  platform.link = LinkSpec{};
+  platform.validate();
+  return platform;
+}
+
+}  // namespace hetsched::hw

@@ -1,0 +1,224 @@
+#include "mem/coherence.hpp"
+
+#include "common/error.hpp"
+
+namespace hetsched::mem {
+
+const char* access_mode_name(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kRead: return "in";
+    case AccessMode::kWrite: return "out";
+    case AccessMode::kReadWrite: return "inout";
+  }
+  return "unknown";
+}
+
+CoherenceDirectory::CoherenceDirectory(std::size_t space_count)
+    : space_count_(space_count) {
+  HS_REQUIRE(space_count >= 1, "need at least the host space");
+}
+
+BufferId CoherenceDirectory::register_buffer(std::string name,
+                                             std::int64_t size_bytes) {
+  HS_REQUIRE(size_bytes > 0, "buffer '" << name << "' size " << size_bytes);
+  BufferState st;
+  st.desc.id = buffers_.size();
+  st.desc.name = std::move(name);
+  st.desc.size_bytes = size_bytes;
+  st.valid.resize(space_count_);
+  st.valid[kHostSpace].insert({0, size_bytes});
+  buffers_.push_back(std::move(st));
+  return buffers_.back().desc.id;
+}
+
+const BufferDesc& CoherenceDirectory::buffer(BufferId id) const {
+  return state(id).desc;
+}
+
+const CoherenceDirectory::BufferState& CoherenceDirectory::state(
+    BufferId id) const {
+  HS_REQUIRE(id < buffers_.size(), "unknown buffer id " << id);
+  return buffers_[id];
+}
+
+CoherenceDirectory::BufferState& CoherenceDirectory::state(BufferId id) {
+  HS_REQUIRE(id < buffers_.size(), "unknown buffer id " << id);
+  return buffers_[id];
+}
+
+namespace {
+void require_in_bounds(const BufferDesc& desc, const Region& region) {
+  HS_REQUIRE(region.range.begin >= 0 && region.range.end <= desc.size_bytes,
+             "region [" << region.range.begin << ", " << region.range.end
+                        << ") outside buffer '" << desc.name << "' of size "
+                        << desc.size_bytes);
+}
+}  // namespace
+
+bool CoherenceDirectory::is_valid(const Region& region, SpaceId space) const {
+  HS_REQUIRE(space < space_count_, "unknown space " << space);
+  const BufferState& st = state(region.buffer);
+  require_in_bounds(st.desc, region);
+  return st.valid[space].covers(region.range);
+}
+
+std::vector<Interval> CoherenceDirectory::gaps_in_space(const Region& region,
+                                                        SpaceId space) const {
+  HS_REQUIRE(space < space_count_, "unknown space " << space);
+  const BufferState& st = state(region.buffer);
+  require_in_bounds(st.desc, region);
+  return st.valid[space].gaps_within(region.range);
+}
+
+std::vector<TransferOp> CoherenceDirectory::plan_acquire(const Region& region,
+                                                         SpaceId space) const {
+  HS_REQUIRE(space < space_count_, "unknown space " << space);
+  const BufferState& st = state(region.buffer);
+  require_in_bounds(st.desc, region);
+
+  std::vector<TransferOp> plan;
+  for (const Interval& gap : st.valid[space].gaps_within(region.range)) {
+    // Source each gap from valid holders, host first (cheapest path and the
+    // common case: host always regains validity at sync points).
+    IntervalSet remaining{gap};
+    auto take_from = [&](SpaceId src) {
+      if (src == space || remaining.empty()) return;
+      for (const Interval& piece :
+           st.valid[src].pieces_within(gap)) {
+        for (const Interval& usable : remaining.pieces_within(piece)) {
+          plan.push_back(TransferOp{src, space, Region{region.buffer, usable}});
+        }
+        remaining.erase(piece);
+      }
+    };
+    take_from(kHostSpace);
+    for (SpaceId src = 1; src < space_count_ && !remaining.empty(); ++src)
+      take_from(src);
+    HS_ASSERT_MSG(remaining.empty(),
+                  "no valid copy anywhere for " << remaining.measure()
+                                                << " bytes of buffer '"
+                                                << st.desc.name << "'");
+  }
+  return plan;
+}
+
+void CoherenceDirectory::apply(const TransferOp& op) {
+  HS_REQUIRE(op.dst < space_count_ && op.src < space_count_,
+             "unknown space in transfer");
+  BufferState& st = state(op.region.buffer);
+  require_in_bounds(st.desc, op.region);
+  HS_ASSERT_MSG(st.valid[op.src].covers(op.region.range),
+                "transfer source space " << op.src
+                                         << " lost validity for buffer '"
+                                         << st.desc.name << "'");
+  st.valid[op.dst].insert(op.region.range);
+}
+
+void CoherenceDirectory::note_write(const Region& region, SpaceId space) {
+  HS_REQUIRE(space < space_count_, "unknown space " << space);
+  BufferState& st = state(region.buffer);
+  require_in_bounds(st.desc, region);
+  for (SpaceId s = 0; s < space_count_; ++s) {
+    if (s == space) continue;
+    st.valid[s].erase(region.range);
+  }
+  st.valid[space].insert(region.range);
+}
+
+std::vector<TransferOp> CoherenceDirectory::plan_flush_to_host() const {
+  std::vector<TransferOp> plan;
+  for (const BufferState& st : buffers_) {
+    for (const Interval& gap :
+         st.valid[kHostSpace].gaps_within({0, st.desc.size_bytes})) {
+      IntervalSet remaining{gap};
+      for (SpaceId src = 1; src < space_count_ && !remaining.empty(); ++src) {
+        for (const Interval& piece : st.valid[src].pieces_within(gap)) {
+          for (const Interval& usable : remaining.pieces_within(piece)) {
+            plan.push_back(
+                TransferOp{src, kHostSpace, Region{st.desc.id, usable}});
+          }
+          remaining.erase(piece);
+        }
+      }
+      HS_ASSERT_MSG(remaining.empty(),
+                    "flush: no valid copy anywhere for buffer '"
+                        << st.desc.name << "'");
+    }
+  }
+  return plan;
+}
+
+void CoherenceDirectory::invalidate_device_copies() {
+  for (BufferState& st : buffers_) {
+    HS_ASSERT_MSG(st.valid[kHostSpace].covers({0, st.desc.size_bytes}),
+                  "invalidate before flush completed for buffer '"
+                      << st.desc.name << "'");
+    for (SpaceId s = 1; s < space_count_; ++s) st.valid[s] = IntervalSet{};
+  }
+}
+
+std::int64_t CoherenceDirectory::resident_bytes(SpaceId space) const {
+  HS_REQUIRE(space < space_count_, "unknown space " << space);
+  std::int64_t total = 0;
+  for (const BufferState& st : buffers_) total += st.valid[space].measure();
+  return total;
+}
+
+std::int64_t CoherenceDirectory::resident_bytes_of(BufferId buffer,
+                                                   SpaceId space) const {
+  HS_REQUIRE(space < space_count_, "unknown space " << space);
+  return state(buffer).valid[space].measure();
+}
+
+std::vector<TransferOp> CoherenceDirectory::plan_evict(BufferId buffer,
+                                                       SpaceId space) const {
+  HS_REQUIRE(space < space_count_ && space != kHostSpace,
+             "evicting from space " << space);
+  const BufferState& st = state(buffer);
+  std::vector<TransferOp> plan;
+  for (const Interval& piece :
+       st.valid[space].pieces_within({0, st.desc.size_bytes})) {
+    // Only pieces valid in NO other space must travel.
+    IntervalSet lonely{piece};
+    for (SpaceId s = 0; s < space_count_; ++s) {
+      if (s == space) continue;
+      for (const Interval& covered : st.valid[s].pieces_within(piece))
+        lonely.erase(covered);
+    }
+    for (const Interval& range : lonely.to_vector())
+      plan.push_back(TransferOp{space, kHostSpace, Region{buffer, range}});
+  }
+  return plan;
+}
+
+void CoherenceDirectory::drop_copies(BufferId buffer, SpaceId space) {
+  HS_REQUIRE(space < space_count_ && space != kHostSpace,
+             "dropping from space " << space);
+  BufferState& st = state(buffer);
+  for (const Interval& piece :
+       st.valid[space].pieces_within({0, st.desc.size_bytes})) {
+    bool covered_elsewhere = true;
+    IntervalSet others;
+    for (SpaceId s = 0; s < space_count_; ++s) {
+      if (s == space) continue;
+      others.insert(st.valid[s]);
+    }
+    covered_elsewhere = others.covers(piece);
+    HS_ASSERT_MSG(covered_elsewhere,
+                  "dropping the only copy of bytes of buffer '"
+                      << st.desc.name << "' — evict first");
+  }
+  st.valid[space] = IntervalSet{};
+}
+
+void CoherenceDirectory::check_no_byte_orphaned() const {
+  for (const BufferState& st : buffers_) {
+    IntervalSet anywhere;
+    for (const IntervalSet& per_space : st.valid) anywhere.insert(per_space);
+    HS_ASSERT_MSG(anywhere.covers({0, st.desc.size_bytes}),
+                  "buffer '" << st.desc.name
+                             << "' has bytes valid in no space");
+  }
+}
+
+}  // namespace hetsched::mem

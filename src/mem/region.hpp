@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/interval_set.hpp"
+
+/// Buffers and byte-range regions.
+///
+/// A Buffer is a named, sized allocation handle. The runtime tracks *where*
+/// each byte range of each buffer currently holds a valid copy (host memory
+/// vs. device memories); the actual payload lives in application-owned host
+/// arrays, because functional execution always happens on the host while
+/// device placement is simulated.
+namespace hetsched::mem {
+
+using BufferId = std::size_t;
+
+/// Identifies one memory space: 0 is always host RAM; space d >= 1 is the
+/// on-board memory of accelerator d (matching hw::DeviceId).
+using SpaceId = std::size_t;
+inline constexpr SpaceId kHostSpace = 0;
+
+struct BufferDesc {
+  BufferId id = 0;
+  std::string name;
+  std::int64_t size_bytes = 0;
+};
+
+/// A byte range within one buffer.
+struct Region {
+  BufferId buffer = 0;
+  Interval range;  ///< half-open byte interval within the buffer
+
+  std::int64_t size_bytes() const { return range.length(); }
+  bool empty() const { return range.empty(); }
+
+  friend bool operator==(const Region&, const Region&) = default;
+};
+
+/// How a task accesses a region — OmpSs in/out/inout directionality.
+enum class AccessMode { kRead, kWrite, kReadWrite };
+
+const char* access_mode_name(AccessMode mode);
+
+struct RegionAccess {
+  Region region;
+  AccessMode mode = AccessMode::kRead;
+
+  bool reads() const { return mode != AccessMode::kWrite; }
+  bool writes() const { return mode != AccessMode::kRead; }
+};
+
+}  // namespace hetsched::mem

@@ -1,0 +1,576 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "common/logging.hpp"
+#include "common/range_map.hpp"
+#include "runtime/task_graph.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace hetsched::rt {
+
+Executor::Executor(hw::PlatformSpec platform, RuntimeCosts costs,
+                   RuntimeOptions options)
+    : platform_(std::move(platform)),
+      costs_(costs),
+      options_(options) {
+  platform_.validate();
+}
+
+mem::BufferId Executor::register_buffer(std::string name,
+                                        std::int64_t size_bytes) {
+  HS_REQUIRE(size_bytes > 0, "buffer '" << name << "' size " << size_bytes);
+  buffers_.push_back(BufferInfo{std::move(name), size_bytes});
+  return buffers_.size() - 1;
+}
+
+KernelId Executor::register_kernel(KernelDef def) {
+  def.validate();
+  kernels_.push_back(std::move(def));
+  return kernels_.size() - 1;
+}
+
+namespace {
+
+/// All mutable state of one simulated execution.
+class Run {
+ public:
+  Run(const hw::PlatformSpec& platform, const RuntimeCosts& costs,
+      const RuntimeOptions& options, const hw::RooflineCostModel& cost_model,
+      const std::vector<KernelDef>& kernels,
+      const std::vector<std::pair<std::string, std::int64_t>>& buffers,
+      const Program& program, Scheduler& scheduler)
+      : platform_(platform),
+        costs_(costs),
+        options_(options),
+        cost_model_(cost_model),
+        kernels_(kernels),
+        scheduler_(scheduler),
+        devices_(platform.all_devices()),
+        coherence_(platform.device_count()),
+        link_(platform.link.name),
+        graph_(kernels, program) {
+    for (const auto& [name, size] : buffers) {
+      coherence_.register_buffer(name, size);
+    }
+    device_states_.resize(devices_.size());
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      for (int lane = 0; lane < devices_[d].lanes; ++lane) {
+        device_states_[d].lanes.emplace_back(
+            devices_[d].cls == hw::DeviceClass::kCpu
+                ? "cpu.t" + std::to_string(lane)
+                : "dev" + std::to_string(d));
+      }
+    }
+    remaining_deps_.reserve(graph_.size());
+    for (const TaskNode& node : graph_.nodes())
+      remaining_deps_.push_back(node.predecessor_count);
+    sched_info_.resize(graph_.size());
+    affinity_.resize(graph_.size());
+    completed_.assign(graph_.size(), false);
+
+    report_.devices.resize(devices_.size());
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      report_.devices[d].name = devices_[d].name;
+      report_.devices[d].cls = devices_[d].cls;
+      report_.devices[d].lanes = devices_[d].lanes;
+    }
+    report_.peak_resident_bytes.assign(devices_.size(), 0);
+  }
+
+  ExecutionReport execute() {
+    scheduler_.begin_run(platform_, kernels_);
+    // Task creation happens on the host thread as the program runs; task i
+    // becomes announceable no earlier than its creation time.
+    for (TaskId id : graph_.initial_ready()) {
+      engine_.schedule_at(creation_time(id), [this, id] {
+        announce(id, engine_.now());
+      });
+    }
+    report_.overhead_time +=
+        static_cast<SimTime>(graph_.size()) * costs_.task_creation;
+    engine_.run();
+
+    for (std::size_t id = 0; id < graph_.size(); ++id) {
+      HS_ASSERT_MSG(completed_[id],
+                    "deadlock: task " << id << " never completed");
+    }
+    coherence_.check_no_byte_orphaned();
+    report_.makespan = last_completion_;
+    return std::move(report_);
+  }
+
+ private:
+  SimTime creation_time(TaskId id) const {
+    return static_cast<SimTime>(id + 1) * costs_.task_creation;
+  }
+
+  mem::SpaceId space_of(hw::DeviceId device) const { return device; }
+
+  /// A task just became unblocked at `now`; enters scheduling once both its
+  /// dependencies and its host-side creation have happened.
+  void make_ready(TaskId id, SimTime now) {
+    const SimTime at = std::max(now, creation_time(id));
+    if (at > now) {
+      engine_.schedule_at(at, [this, id] { announce(id, engine_.now()); });
+    } else {
+      announce(id, now);
+    }
+  }
+
+  void announce(TaskId id, SimTime now) {
+    const TaskNode& node = graph_.node(id);
+    if (node.is_barrier) {
+      run_barrier(id, now);
+      return;
+    }
+    if (node.is_host_op) {
+      run_host_op(id, now);
+      return;
+    }
+    const KernelDef& kernel = kernels_[node.kernel];
+    SchedTask st;
+    st.id = id;
+    st.kernel = node.kernel;
+    st.items = node.items();
+    st.cpu_ok = kernel.has_cpu_impl;
+    st.gpu_ok = kernel.has_gpu_impl;
+    st.locality = affinity_[id];
+    sched_info_[id] = st;
+
+    if (node.pinned_device) {
+      const hw::DeviceId d = *node.pinned_device;
+      HS_REQUIRE(d < devices_.size(),
+                 "task pinned to unknown device " << d);
+      HS_REQUIRE(st.runs_on(d), "kernel '" << kernel.name
+                                           << "' pinned to device " << d
+                                           << " without an implementation");
+      device_states_[d].queue.push_back(id);
+    } else if (auto chosen = scheduler_.on_ready(st, now)) {
+      HS_REQUIRE(*chosen < devices_.size(),
+                 "scheduler chose unknown device " << *chosen);
+      HS_REQUIRE(st.runs_on(*chosen),
+                 "scheduler placed kernel '"
+                     << kernel.name << "' on device " << *chosen
+                     << " without an implementation");
+      device_states_[d_checked(*chosen)].queue.push_back(id);
+    } else {
+      pool_.push_back(st);
+    }
+    pump(now);
+  }
+
+  hw::DeviceId d_checked(hw::DeviceId d) const { return d; }
+
+  /// Hands work to every idle lane that can get some. Accelerators are
+  /// served before the CPU: with a breadth-first scheduler and a fresh pool
+  /// this reproduces the OmpSs behaviour the paper observes (the GPU claims
+  /// one instance, CPU threads claim one each).
+  void pump(SimTime now) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t i = 0; i < devices_.size(); ++i) {
+        // Order: devices 1..N (accelerators), then 0 (CPU).
+        const hw::DeviceId d =
+            (i + 1 < devices_.size()) ? (i + 1) : hw::kCpuDevice;
+        auto& state = device_states_[d];
+        for (std::size_t lane = 0; lane < state.lanes.size(); ++lane) {
+          if (state.lanes[lane].available_at() > now) continue;
+          std::optional<TaskId> task;
+          bool via_scheduler = false;
+          if (!state.queue.empty()) {
+            task = state.queue.front();
+            state.queue.pop_front();
+            via_scheduler = !graph_.node(*task).pinned_device.has_value();
+          } else if (!pool_.empty()) {
+            if (auto index = scheduler_.pick(d, pool_, now)) {
+              HS_REQUIRE(*index < pool_.size(),
+                         "scheduler picked out-of-range pool index");
+              HS_REQUIRE(pool_[*index].runs_on(d),
+                         "scheduler picked a task the device cannot run");
+              task = pool_[*index].id;
+              pool_.erase(pool_.begin() +
+                          static_cast<std::ptrdiff_t>(*index));
+              via_scheduler = true;
+            }
+          }
+          if (!task) break;  // nothing runnable for this device
+          dispatch(*task, d, lane, via_scheduler, now);
+          progress = true;
+        }
+      }
+    }
+  }
+
+  void dispatch(TaskId id, hw::DeviceId d, std::size_t lane_index,
+                bool via_scheduler, SimTime now) {
+    const TaskNode& node = graph_.node(id);
+    const KernelDef& kernel = kernels_[node.kernel];
+    const hw::DeviceSpec& device = devices_[d];
+    sim::Resource& lane = device_states_[d].lanes[lane_index];
+
+    SimTime overhead = costs_.dispatch_overhead;
+    if (via_scheduler) {
+      overhead += scheduler_.decision_cost();
+      ++report_.scheduling_decisions;
+    }
+    report_.overhead_time += overhead;
+
+    // Capacity: make room for this task's working set before staging it.
+    SimTime evict_done = now + overhead;
+    if (options_.enforce_memory_capacity && d != hw::kCpuDevice)
+      evict_done = ensure_capacity(node, d, evict_done);
+
+    // Acquire inputs in the device's memory space; missing ranges ride the
+    // link, FIFO-serialized with every other transfer in flight. Ranges
+    // already valid may still have their copy in flight (asynchronous
+    // write-back) — wait for their recorded readiness too.
+    SimTime data_ready = evict_done;
+    for (const mem::RegionAccess& access : node.accesses) {
+      if (access.region.empty()) continue;
+      if (options_.enforce_memory_capacity && d != hw::kCpuDevice)
+        last_touch_[{space_of(d), access.region.buffer}] = now;
+      if (!access.reads()) continue;
+      for (const mem::TransferOp& op :
+           coherence_.plan_acquire(access.region, space_of(d))) {
+        data_ready = std::max(data_ready, issue_transfer(op, evict_done));
+      }
+      data_ready =
+          std::max(data_ready, region_ready_time(access.region, space_of(d)));
+    }
+
+    const SimTime compute = cost_model_.instance_time(kernel.traits, device,
+                                                      node.begin, node.end);
+    const SimTime end = data_ready + compute;
+    lane.reserve(now, end - now,
+                 kernel.name + " [" + std::to_string(node.begin) + "," +
+                     std::to_string(node.end) + ")");
+
+    if (options_.functional_execution && kernel.body)
+      kernel.body(node.begin, node.end);
+
+    for (const mem::RegionAccess& access : node.accesses) {
+      if (access.writes() && !access.region.empty()) {
+        coherence_.note_write(access.region, space_of(d));
+        // Locally produced data is ready when the producing task completes;
+        // clear any stale in-flight arrival times for the range.
+        region_ready_[{space_of(d), access.region.buffer}].assign(
+            access.region.range, end);
+        last_writer_[access.region.buffer].assign(access.region.range, id);
+      }
+    }
+    note_residency();
+
+    DeviceReport& dr = report_.devices[d];
+    dr.compute_time += compute;
+    ++dr.instances;
+    dr.items_per_kernel[node.kernel] += node.items();
+
+    if (options_.record_trace) {
+      report_.trace.record(lane.name(), kernel.name,
+                           sim::TraceKind::kCompute, end - compute, end);
+      if (overhead > 0)
+        report_.trace.record(lane.name(), "dispatch",
+                             sim::TraceKind::kOverhead, now, now + overhead);
+    }
+
+    const SimTime occupancy = end - now;
+    engine_.schedule_at(end, [this, id, d, compute, occupancy] {
+      complete(id, d, compute, occupancy, engine_.now());
+    });
+  }
+
+  /// Reserves the link (and, when given, a device lane that the transfer
+  /// also occupies) for one coherence transfer and applies it. Returns the
+  /// transfer's completion time.
+  SimTime issue_transfer(const mem::TransferOp& op, SimTime arrival,
+                         sim::Resource* co_lane = nullptr) {
+    const SimTime duration = cost_model_.transfer_time(
+        platform_.link, static_cast<double>(op.size_bytes()));
+    const bool to_host = op.dst == mem::kHostSpace;
+    const std::string label =
+        std::string(to_host ? "D2H " : "H2D ") +
+        coherence_.buffer(op.region.buffer).name + "[" +
+        std::to_string(op.region.range.begin) + "," +
+        std::to_string(op.region.range.end) + ")";
+    SimTime start = link_.earliest_start(arrival);
+    if (co_lane != nullptr) {
+      start = std::max(start, co_lane->earliest_start(arrival));
+      co_lane->reserve(start, duration, label);
+    }
+    const sim::BusySpan span = link_.reserve(start, duration, label);
+    coherence_.apply(op);
+    region_ready_[{op.dst, op.region.buffer}].assign(op.region.range,
+                                                     span.end);
+    if (to_host) {
+      ++report_.transfers.d2h_count;
+      report_.transfers.d2h_bytes += op.size_bytes();
+      report_.transfers.d2h_time += duration;
+    } else {
+      ++report_.transfers.h2d_count;
+      report_.transfers.h2d_bytes += op.size_bytes();
+      report_.transfers.h2d_time += duration;
+    }
+    if (options_.record_trace) {
+      report_.trace.record(link_.name(), span.label,
+                           to_host ? sim::TraceKind::kTransferD2H
+                                   : sim::TraceKind::kTransferH2D,
+                           span.start, span.end);
+    }
+    return span.end;
+  }
+
+  /// Host-side sequential code: acquires its inputs into host memory (may
+  /// pull device-written data home), runs the functional body, and records
+  /// its writes — invalidating device copies.
+  void run_host_op(TaskId id, SimTime now) {
+    const TaskNode& node = graph_.node(id);
+    SimTime done = now;
+    for (const mem::RegionAccess& access : node.accesses) {
+      if (!access.reads() || access.region.empty()) continue;
+      for (const mem::TransferOp& op :
+           coherence_.plan_acquire(access.region, mem::kHostSpace)) {
+        done = std::max(done, issue_transfer(op, now));
+      }
+      done = std::max(done,
+                      region_ready_time(access.region, mem::kHostSpace));
+    }
+    if (options_.functional_execution && node.host_body) node.host_body();
+    for (const mem::RegionAccess& access : node.accesses) {
+      if (access.writes() && !access.region.empty())
+        coherence_.note_write(access.region, mem::kHostSpace);
+    }
+    if (done > now) {
+      engine_.schedule_at(done, [this, id] {
+        finish_task(id, std::nullopt, engine_.now());
+      });
+    } else {
+      finish_task(id, std::nullopt, now);
+    }
+  }
+
+  void run_barrier(TaskId id, SimTime now) {
+    ++report_.barriers;
+    SimTime done = now;
+    for (const mem::TransferOp& op : coherence_.plan_flush_to_host()) {
+      const SimTime flush_end = issue_transfer(op, now);
+      done = std::max(done, flush_end);
+      // Bill the flush to the tasks that produced the data, so a
+      // performance-aware scheduler learns the true synchronization cost
+      // of accelerator placement.
+      auto writer_map = last_writer_.find(op.region.buffer);
+      if (writer_map == last_writer_.end()) continue;
+      for (const auto& entry : writer_map->second.query(op.region.range)) {
+        const TaskNode& writer = graph_.node(entry.value);
+        if (writer.is_host_op || writer.is_barrier) continue;
+        // Bill the wall time from the barrier's start to this op's landing
+        // (what a runtime's stopwatch around the flush would read —
+        // including the queueing behind earlier flush ops).
+        scheduler_.on_flush(sched_info_[entry.value], op.src,
+                            flush_end - now, now);
+      }
+    }
+    // The flush also waits for write-backs still in flight (queue drain),
+    // then drops the device copies: after an OmpSs-era taskwait, device
+    // data is considered stale and later kernels re-fetch from the host.
+    done = std::max(done, link_.available_at());
+    coherence_.invalidate_device_copies();
+    done += costs_.taskwait_overhead;
+    report_.overhead_time += costs_.taskwait_overhead;
+    if (options_.record_trace)
+      report_.trace.record("host", "taskwait", sim::TraceKind::kSync, now,
+                           done);
+    engine_.schedule_at(done, [this, id] {
+      finish_task(id, std::nullopt, engine_.now());
+    });
+  }
+
+  void complete(TaskId id, hw::DeviceId d, SimTime compute,
+                SimTime occupancy, SimTime now) {
+    // Asynchronous write-back: final outputs (no later kernel touches them)
+    // head home immediately, overlapping the copy with the OTHER devices'
+    // compute so the eventual taskwait finds them already in host memory.
+    // The copy-back shares the accelerator's in-order queue: it blocks the
+    // device lane for its duration (OpenCL-style), and the scheduler
+    // observes it as part of the instance's occupancy.
+    if (d != hw::kCpuDevice) {
+      const TaskNode& node = graph_.node(id);
+      sim::Resource& lane = device_states_[d].lanes[0];
+      for (std::size_t a = 0; a < node.accesses.size(); ++a) {
+        if (!node.writeback_eligible[a]) continue;
+        for (const mem::TransferOp& op : coherence_.plan_acquire(
+                 node.accesses[a].region, mem::kHostSpace)) {
+          issue_transfer(op, now, &lane);
+        }
+      }
+      if (lane.available_at() > now) {
+        occupancy += lane.available_at() - now;
+        // Wake the dispatcher when the queue drains so waiting work resumes.
+        engine_.schedule_at(lane.available_at(),
+                            [this] { pump(engine_.now()); });
+      }
+    }
+    scheduler_.on_complete(sched_info_[id], d, compute, occupancy, now);
+    finish_task(id, d, now);
+  }
+
+  void finish_task(TaskId id, std::optional<hw::DeviceId> device,
+                   SimTime now) {
+    HS_ASSERT_MSG(!completed_[id], "task " << id << " completed twice");
+    completed_[id] = true;
+    last_completion_ = std::max(last_completion_, now);
+    if (!graph_.node(id).is_barrier && !graph_.node(id).is_host_op)
+      ++report_.tasks_executed;
+
+    for (TaskId succ : graph_.node(id).successors) {
+      // Dependency-chain affinity: a consumer inherits its producer's device
+      // as a locality hint (barriers break chains — data is flushed home).
+      if (device && !graph_.node(succ).is_barrier) affinity_[succ] = *device;
+      HS_ASSERT_MSG(remaining_deps_[succ] > 0,
+                    "dependency count underflow at task " << succ);
+      if (--remaining_deps_[succ] == 0) make_ready(succ, now);
+    }
+    pump(now);
+  }
+
+  /// Evicts least-recently-used buffers from device `d` until this task's
+  /// working set fits its memory capacity. Returns the time the space is
+  /// ready (evictions ride the link). Throws StateError when the task's
+  /// own working set cannot fit.
+  SimTime ensure_capacity(const TaskNode& node, hw::DeviceId d,
+                          SimTime now) {
+    const auto capacity = static_cast<std::int64_t>(
+        devices_[d].mem_capacity_gb * 1e9);
+    const mem::SpaceId space = space_of(d);
+
+    // Bytes this task will occupy that are not yet resident.
+    std::int64_t needed = 0;
+    std::int64_t own_footprint = 0;
+    std::set<mem::BufferId> referenced;
+    for (const mem::RegionAccess& access : node.accesses) {
+      if (access.region.empty()) continue;
+      referenced.insert(access.region.buffer);
+      own_footprint += access.region.size_bytes();
+      for (const Interval& gap :
+           coherence_.gaps_in_space(access.region, space))
+        needed += gap.length();
+    }
+    HS_REQUIRE(own_footprint <= capacity,
+               "task working set of " << own_footprint
+                                      << " bytes exceeds device memory of "
+                                      << devices_[d].name);
+
+    SimTime done = now;
+    while (coherence_.resident_bytes(space) + needed > capacity) {
+      // LRU victim among buffers resident here and not used by this task.
+      std::optional<mem::BufferId> victim;
+      SimTime oldest = 0;
+      for (std::size_t buffer = 0; buffer < coherence_.buffer_count();
+           ++buffer) {
+        if (referenced.count(buffer)) continue;
+        if (coherence_.resident_bytes_of(buffer, space) == 0) continue;
+        auto it = last_touch_.find({space, buffer});
+        const SimTime touched = it == last_touch_.end() ? 0 : it->second;
+        if (!victim || touched < oldest) {
+          victim = buffer;
+          oldest = touched;
+        }
+      }
+      HS_REQUIRE(victim.has_value(),
+                 "cannot make room on " << devices_[d].name
+                                        << ": every resident buffer is in "
+                                           "use by the dispatching task");
+      for (const mem::TransferOp& op :
+           coherence_.plan_evict(*victim, space)) {
+        done = std::max(done, issue_transfer(op, done));
+      }
+      coherence_.drop_copies(*victim, space);
+    }
+    return done;
+  }
+
+  /// Latest in-flight readiness time of any part of `region` in `space`.
+  SimTime region_ready_time(const mem::Region& region,
+                            mem::SpaceId space) const {
+    auto it = region_ready_.find({space, region.buffer});
+    if (it == region_ready_.end()) return 0;
+    SimTime latest = 0;
+    for (const auto& entry : it->second.query(region.range))
+      latest = std::max(latest, entry.value);
+    return latest;
+  }
+
+  void note_residency() {
+    for (std::size_t s = 0; s < devices_.size(); ++s) {
+      report_.peak_resident_bytes[s] = std::max(
+          report_.peak_resident_bytes[s],
+          coherence_.resident_bytes(s));
+    }
+  }
+
+  const hw::PlatformSpec& platform_;
+  const RuntimeCosts& costs_;
+  const RuntimeOptions& options_;
+  const hw::RooflineCostModel& cost_model_;
+  const std::vector<KernelDef>& kernels_;
+  Scheduler& scheduler_;
+
+  std::vector<hw::DeviceSpec> devices_;
+  sim::Engine engine_;
+  mem::CoherenceDirectory coherence_;
+  sim::Resource link_;
+
+  struct DeviceState {
+    std::vector<sim::Resource> lanes;
+    std::deque<TaskId> queue;
+  };
+  std::vector<DeviceState> device_states_;
+
+  TaskGraph graph_;
+  std::vector<std::size_t> remaining_deps_;
+  std::vector<SchedTask> sched_info_;
+  std::vector<std::optional<hw::DeviceId>> affinity_;
+  std::vector<bool> completed_;
+  std::vector<SchedTask> pool_;
+
+  ExecutionReport report_;
+  SimTime last_completion_ = 0;
+  /// (space, buffer) -> byte ranges -> time their current copy lands.
+  std::map<std::pair<mem::SpaceId, mem::BufferId>, RangeMap<SimTime>>
+      region_ready_;
+  /// buffer -> byte ranges -> task that last wrote them (flush billing).
+  std::map<mem::BufferId, RangeMap<TaskId>> last_writer_;
+  /// (space, buffer) -> last dispatch that touched it (LRU eviction).
+  std::map<std::pair<mem::SpaceId, mem::BufferId>, SimTime> last_touch_;
+};
+
+}  // namespace
+
+ExecutionReport Executor::execute(const Program& program,
+                                  Scheduler& scheduler) {
+  std::vector<std::pair<std::string, std::int64_t>> buffer_specs;
+  buffer_specs.reserve(buffers_.size());
+  for (const BufferInfo& info : buffers_)
+    buffer_specs.emplace_back(info.name, info.size_bytes);
+  Run run(platform_, costs_, options_, cost_model_, kernels_, buffer_specs,
+          program, scheduler);
+  return run.execute();
+}
+
+ExecutionReport Executor::execute_pinned(const Program& program) {
+  for (const ProgramOp& op : program.ops()) {
+    if (op.kind == ProgramOp::Kind::kSubmit) {
+      HS_REQUIRE(op.submit.pinned_device.has_value(),
+                 "execute_pinned: program contains an unpinned task");
+    }
+  }
+  FifoScheduler fifo;
+  return execute(program, fifo);
+}
+
+}  // namespace hetsched::rt

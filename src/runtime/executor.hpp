@@ -1,0 +1,109 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/cost_model.hpp"
+#include "hw/platform.hpp"
+#include "mem/coherence.hpp"
+#include "runtime/kernel.hpp"
+#include "runtime/program.hpp"
+#include "runtime/report.hpp"
+#include "runtime/scheduler.hpp"
+
+/// The task-instance executor: an OmpSs-like runtime whose stopwatch is a
+/// discrete-event simulation.
+///
+/// Execution semantics:
+///  - Devices: the host CPU exposes one execution lane per hardware thread
+///    (SMP threads); each accelerator exposes one in-order lane (command
+///    queue). A lane runs one task instance at a time.
+///  - Before an instance computes on device D, the runtime acquires its
+///    input regions in D's memory space; missing ranges are copied over the
+///    host<->device link, which serializes transfers FIFO. Writes make D the
+///    only valid holder (invalidation), so consumers elsewhere pull the data
+///    back on demand.
+///  - `taskwait` barriers wait for all preceding tasks and flush every
+///    device-resident byte back to the host (the OmpSs memory-model flush).
+///  - Placement: pinned instances go straight to their device's queue
+///    (static partitioning); unpinned instances are offered to the
+///    Scheduler (dynamic partitioning), push- or pull-style.
+///  - Functional execution: if a kernel has a body, it runs on host data at
+///    dispatch time. Dispatch order respects dependencies, so results are
+///    real and test-checkable; timing is virtual throughout.
+namespace hetsched::rt {
+
+struct RuntimeCosts {
+  /// Host-side cost to create one task instance (dependence analysis etc.).
+  SimTime task_creation = 1 * kMicrosecond;
+  /// Per-dispatch bookkeeping on the worker lane (queue pop, set-up).
+  SimTime dispatch_overhead = 2 * kMicrosecond;
+  /// Barrier bookkeeping on top of the flush transfers.
+  SimTime taskwait_overhead = 5 * kMicrosecond;
+};
+
+struct RuntimeOptions {
+  /// Run kernel bodies on host data (disable for timing-only benches with
+  /// data sets too large to materialize).
+  bool functional_execution = true;
+  /// Record a full timeline into ExecutionReport::trace.
+  bool record_trace = false;
+  /// Enforce each accelerator's memory capacity: before a task's inputs
+  /// are staged, least-recently-used buffers not referenced by the task
+  /// are evicted (dirty ranges flushed home, copies dropped) until the
+  /// working set fits. A single task whose own working set exceeds the
+  /// device memory throws StateError. Off by default — the paper's
+  /// workloads fit the K20m's 5 GB.
+  bool enforce_memory_capacity = false;
+};
+
+/// Trivial pull scheduler: first ready task that the idle device supports.
+/// Used for fully pinned (static) programs, where it only ever sees
+/// pre-placed work, and as the simplest dynamic baseline.
+class FifoScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "fifo"; }
+};
+
+class Executor {
+ public:
+  explicit Executor(hw::PlatformSpec platform, RuntimeCosts costs = {},
+                    RuntimeOptions options = {});
+
+  /// Registers a data buffer; returns its id. Initial contents are valid in
+  /// host memory.
+  mem::BufferId register_buffer(std::string name, std::int64_t size_bytes);
+
+  /// Registers a kernel; returns its id.
+  KernelId register_kernel(KernelDef def);
+
+  const std::vector<KernelDef>& kernels() const { return kernels_; }
+  const hw::PlatformSpec& platform() const { return platform_; }
+  const hw::RooflineCostModel& cost_model() const { return cost_model_; }
+  const RuntimeCosts& costs() const { return costs_; }
+
+  /// Executes `program` to completion under `scheduler`, in virtual time.
+  /// May be called repeatedly; each call starts from a fresh memory state
+  /// (all buffers valid on host), modelling a fresh application run.
+  ExecutionReport execute(const Program& program, Scheduler& scheduler);
+
+  /// Executes a fully pinned program (static partitioning) — every task must
+  /// carry a pinned device.
+  ExecutionReport execute_pinned(const Program& program);
+
+ private:
+  hw::PlatformSpec platform_;
+  RuntimeCosts costs_;
+  RuntimeOptions options_;
+  hw::RooflineCostModel cost_model_;
+
+  std::vector<KernelDef> kernels_;
+  struct BufferInfo {
+    std::string name;
+    std::int64_t size_bytes;
+  };
+  std::vector<BufferInfo> buffers_;
+};
+
+}  // namespace hetsched::rt

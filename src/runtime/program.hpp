@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "hw/platform.hpp"
+#include "runtime/kernel.hpp"
+
+/// A Program is the recorded submission stream of an application run: task
+/// submissions (kernel + item range, optionally pinned to a device) and
+/// taskwait barriers, in program order.
+///
+/// Applications build a Program once per execution scenario; strategies
+/// differ in how they chunk the item space and whether they pin instances
+/// (static partitioning) or leave placement to a scheduler (dynamic).
+namespace hetsched::rt {
+
+struct SubmitOp {
+  KernelId kernel = 0;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  /// Set by static partitioning strategies; dynamic strategies leave unset.
+  std::optional<hw::DeviceId> pinned_device;
+
+  std::int64_t items() const { return end - begin; }
+};
+
+/// Host-side sequential code between tasks (e.g. a time-stepping loop
+/// updating the input grid from the output grid after a taskwait). Runs in
+/// host memory in negligible virtual time; its writes invalidate device
+/// copies, so devices re-fetch the data — this is what makes per-iteration
+/// applications (HotSpot, Nbody) pay transfers every iteration.
+struct HostOp {
+  std::vector<mem::RegionAccess> accesses;
+  std::function<void()> body;  ///< optional functional work (pointer swap)
+};
+
+struct ProgramOp {
+  enum class Kind { kSubmit, kTaskwait, kHostOp } kind = Kind::kSubmit;
+  SubmitOp submit;  // valid when kind == kSubmit
+  HostOp host;      // valid when kind == kHostOp
+};
+
+class Program {
+ public:
+  /// Submits one task instance covering items [begin, end).
+  Program& submit(KernelId kernel, std::int64_t begin, std::int64_t end,
+                  std::optional<hw::DeviceId> pinned_device = std::nullopt) {
+    HS_REQUIRE(begin <= end, "submit with inverted range [" << begin << ", "
+                                                            << end << ")");
+    if (begin == end) return *this;  // empty partitions are legal no-ops
+    ProgramOp op;
+    op.kind = ProgramOp::Kind::kSubmit;
+    op.submit = SubmitOp{kernel, begin, end, pinned_device};
+    ops_.push_back(op);
+    return *this;
+  }
+
+  /// Splits [begin, end) into `chunks` nearly equal task instances — the
+  /// dynamic-partitioning submission pattern (task size = n / m).
+  Program& submit_chunked(KernelId kernel, std::int64_t begin,
+                          std::int64_t end, int chunks) {
+    HS_REQUIRE(chunks >= 1, "submit_chunked with chunks=" << chunks);
+    const std::int64_t n = end - begin;
+    for (int c = 0; c < chunks; ++c) {
+      const std::int64_t lo = begin + n * c / chunks;
+      const std::int64_t hi = begin + n * (c + 1) / chunks;
+      submit(kernel, lo, hi);
+    }
+    return *this;
+  }
+
+  /// Inserts a global synchronization point: all previously submitted tasks
+  /// complete and all device-resident data is flushed to the host.
+  Program& taskwait() {
+    ProgramOp op;
+    op.kind = ProgramOp::Kind::kTaskwait;
+    ops_.push_back(op);
+    return *this;
+  }
+
+  /// Inserts host-side sequential code with the given data accesses.
+  Program& host_op(std::vector<mem::RegionAccess> accesses,
+                   std::function<void()> body = nullptr) {
+    ProgramOp op;
+    op.kind = ProgramOp::Kind::kHostOp;
+    op.host = HostOp{std::move(accesses), std::move(body)};
+    ops_.push_back(op);
+    return *this;
+  }
+
+  const std::vector<ProgramOp>& ops() const { return ops_; }
+
+  std::size_t task_count() const {
+    std::size_t count = 0;
+    for (const auto& op : ops_)
+      if (op.kind == ProgramOp::Kind::kSubmit) ++count;
+    return count;
+  }
+
+  std::size_t taskwait_count() const {
+    std::size_t count = 0;
+    for (const auto& op : ops_)
+      if (op.kind == ProgramOp::Kind::kTaskwait) ++count;
+    return count;
+  }
+
+ private:
+  std::vector<ProgramOp> ops_;
+};
+
+}  // namespace hetsched::rt

@@ -1,0 +1,91 @@
+#include "runtime/report.hpp"
+
+#include <sstream>
+
+namespace hetsched::rt {
+
+double ExecutionReport::partition_fraction(hw::DeviceId device,
+                                           KernelId kernel) const {
+  if (device >= devices.size()) return 0.0;
+  std::int64_t total = 0;
+  for (const DeviceReport& dr : devices) {
+    auto it = dr.items_per_kernel.find(kernel);
+    if (it != dr.items_per_kernel.end()) total += it->second;
+  }
+  if (total == 0) return 0.0;
+  auto it = devices[device].items_per_kernel.find(kernel);
+  const std::int64_t mine =
+      it == devices[device].items_per_kernel.end() ? 0 : it->second;
+  return static_cast<double>(mine) / static_cast<double>(total);
+}
+
+double ExecutionReport::overall_fraction(hw::DeviceId device) const {
+  if (device >= devices.size()) return 0.0;
+  std::int64_t total = 0;
+  for (const DeviceReport& dr : devices) total += dr.total_items();
+  if (total == 0) return 0.0;
+  return static_cast<double>(devices[device].total_items()) /
+         static_cast<double>(total);
+}
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string report_to_json(const ExecutionReport& report,
+                           const std::vector<KernelDef>& kernels) {
+  std::ostringstream os;
+  os << "{";
+  os << "\"makespan_ms\":" << report.makespan_ms();
+  os << ",\"tasks_executed\":" << report.tasks_executed;
+  os << ",\"barriers\":" << report.barriers;
+  os << ",\"scheduling_decisions\":" << report.scheduling_decisions;
+  os << ",\"overhead_ms\":" << to_millis(report.overhead_time);
+  os << ",\"transfers\":{"
+     << "\"h2d_count\":" << report.transfers.h2d_count
+     << ",\"h2d_bytes\":" << report.transfers.h2d_bytes
+     << ",\"h2d_ms\":" << to_millis(report.transfers.h2d_time)
+     << ",\"d2h_count\":" << report.transfers.d2h_count
+     << ",\"d2h_bytes\":" << report.transfers.d2h_bytes
+     << ",\"d2h_ms\":" << to_millis(report.transfers.d2h_time) << "}";
+  os << ",\"devices\":[";
+  for (std::size_t d = 0; d < report.devices.size(); ++d) {
+    const DeviceReport& device = report.devices[d];
+    if (d != 0) os << ",";
+    os << "{\"name\":\"" << json_escape(device.name) << "\",\"class\":\""
+       << hw::device_class_name(device.cls) << "\",\"lanes\":"
+       << device.lanes << ",\"compute_ms\":" << to_millis(device.compute_time)
+       << ",\"instances\":" << device.instances << ",\"items_per_kernel\":{";
+    bool first = true;
+    for (const auto& [kernel, items] : device.items_per_kernel) {
+      if (!first) os << ",";
+      first = false;
+      const std::string name = kernel < kernels.size()
+                                   ? kernels[kernel].name
+                                   : "kernel" + std::to_string(kernel);
+      os << "\"" << json_escape(name) << "\":" << items;
+    }
+    os << "}}";
+  }
+  os << "],\"peak_resident_bytes\":[";
+  for (std::size_t s = 0; s < report.peak_resident_bytes.size(); ++s) {
+    if (s != 0) os << ",";
+    os << report.peak_resident_bytes[s];
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace hetsched::rt

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "hw/platform.hpp"
+#include "runtime/kernel.hpp"
+#include "sim/trace.hpp"
+
+/// Execution results: everything the paper's figures are computed from.
+namespace hetsched::rt {
+
+struct DeviceReport {
+  std::string name;
+  hw::DeviceClass cls = hw::DeviceClass::kCpu;
+  int lanes = 1;
+  /// Kernel execution time summed over lanes (launch + compute).
+  SimTime compute_time = 0;
+  std::size_t instances = 0;
+  /// Work items executed, per kernel id.
+  std::map<KernelId, std::int64_t> items_per_kernel;
+
+  std::int64_t total_items() const {
+    std::int64_t total = 0;
+    for (const auto& [k, n] : items_per_kernel) total += n;
+    return total;
+  }
+};
+
+struct TransferReport {
+  std::size_t h2d_count = 0;
+  std::size_t d2h_count = 0;
+  std::int64_t h2d_bytes = 0;
+  std::int64_t d2h_bytes = 0;
+  SimTime h2d_time = 0;
+  SimTime d2h_time = 0;
+
+  SimTime total_time() const { return h2d_time + d2h_time; }
+  std::int64_t total_bytes() const { return h2d_bytes + d2h_bytes; }
+};
+
+struct ExecutionReport {
+  /// Virtual time from start to last completion (including final flush).
+  SimTime makespan = 0;
+
+  std::vector<DeviceReport> devices;  ///< indexed by hw::DeviceId
+  TransferReport transfers;
+
+  /// Total scheduling/dispatch/taskwait overhead charged.
+  SimTime overhead_time = 0;
+  std::size_t scheduling_decisions = 0;
+  std::size_t barriers = 0;
+  std::size_t tasks_executed = 0;
+
+  /// Peak bytes simultaneously valid in each space (capacity accounting).
+  std::vector<std::int64_t> peak_resident_bytes;
+
+  /// Optional timeline (populated when RuntimeOptions::record_trace).
+  sim::TraceRecorder trace;
+
+  /// Fraction of kernel `k`'s items executed by `device`. Returns 0 when the
+  /// kernel executed no items at all.
+  double partition_fraction(hw::DeviceId device, KernelId kernel) const;
+
+  /// Fraction of ALL items (across kernels) executed by `device` — the
+  /// paper's per-application partitioning ratio.
+  double overall_fraction(hw::DeviceId device) const;
+
+  double makespan_ms() const { return to_millis(makespan); }
+};
+
+/// Serializes the report (minus the trace) as a JSON object — the
+/// machine-readable form for downstream tooling (`hetsched_cli run
+/// --json`). Kernel names resolve item counts to readable keys.
+std::string report_to_json(const ExecutionReport& report,
+                           const std::vector<KernelDef>& kernels);
+
+}  // namespace hetsched::rt

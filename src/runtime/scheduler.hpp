@@ -1,0 +1,110 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "hw/platform.hpp"
+#include "runtime/kernel.hpp"
+#include "runtime/task_graph.hpp"
+
+/// Scheduler interface for dynamic partitioning.
+///
+/// The executor supports two placement styles, mirroring the OmpSs runtime:
+///
+///  - *push*: when a task becomes ready, `on_ready` may immediately bind it
+///    to a device queue (the performance-aware scheduler does this, using
+///    its earliest-finish-time estimate);
+///  - *pull*: `on_ready` declines (returns nullopt), the task enters the
+///    central ready pool, and whenever a device lane goes idle the executor
+///    calls `pick` to let the scheduler choose work for that device (the
+///    breadth-first scheduler works this way).
+///
+/// Statically partitioned programs pin every task, so the scheduler is never
+/// consulted for placement.
+namespace hetsched::rt {
+
+/// Scheduler-visible view of one ready task instance.
+struct SchedTask {
+  TaskId id = 0;
+  KernelId kernel = 0;
+  std::int64_t items = 0;
+  bool cpu_ok = true;
+  bool gpu_ok = true;
+  /// Device (if any) already holding a valid copy of most input bytes — the
+  /// data-locality hint behind the paper's dependency-chain affinity.
+  std::optional<hw::DeviceId> locality;
+
+  bool runs_on(hw::DeviceId device) const {
+    return device == hw::kCpuDevice ? cpu_ok : gpu_ok;
+  }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Charged on the critical path once per placement decision.
+  virtual SimTime decision_cost() const { return 0; }
+
+  /// Called once before execution starts.
+  virtual void begin_run(const hw::PlatformSpec& platform,
+                         const std::vector<KernelDef>& kernels) {
+    (void)platform;
+    (void)kernels;
+  }
+
+  /// Push-style placement. Return the device to enqueue the task on, or
+  /// nullopt to leave it in the central ready pool.
+  virtual std::optional<hw::DeviceId> on_ready(const SchedTask& task,
+                                               SimTime now) {
+    (void)task;
+    (void)now;
+    return std::nullopt;
+  }
+
+  /// Pull-style placement: a lane of `device` is idle; return the index into
+  /// `pool` of the task it should run, or nullopt to leave the lane idle.
+  /// `pool` is in ready order (FIFO).
+  virtual std::optional<std::size_t> pick(hw::DeviceId device,
+                                          const std::vector<SchedTask>& pool,
+                                          SimTime now) {
+    (void)device;
+    (void)now;
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      if (pool[i].runs_on(device)) return i;
+    return std::nullopt;
+  }
+
+  /// A taskwait flushed `duration` worth of link time for data this task
+  /// produced on `device`. Performance-aware schedulers fold this into
+  /// their cost picture: the synchronization bill of placing that instance
+  /// on an accelerator, which its completion-time occupancy cannot see.
+  virtual void on_flush(const SchedTask& task, hw::DeviceId device,
+                        SimTime duration, SimTime now) {
+    (void)task;
+    (void)device;
+    (void)duration;
+    (void)now;
+  }
+
+  /// Completion feedback. `compute_time` is the kernel execution time alone
+  /// (launch + compute); `occupancy_time` is the full dispatch-to-completion
+  /// latency the worker observed, including waits for host<->device
+  /// transfers — the quantity the OmpSs performance-aware scheduler actually
+  /// measures per task instance (it cannot see inside the driver).
+  virtual void on_complete(const SchedTask& task, hw::DeviceId device,
+                           SimTime compute_time, SimTime occupancy_time,
+                           SimTime now) {
+    (void)task;
+    (void)device;
+    (void)compute_time;
+    (void)occupancy_time;
+    (void)now;
+  }
+};
+
+}  // namespace hetsched::rt

@@ -1,0 +1,188 @@
+#include "runtime/task_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/range_map.hpp"
+
+namespace hetsched::rt {
+
+namespace {
+
+/// Per-buffer dependency bookkeeping during the submission sweep.
+struct BufferTracker {
+  /// Last task that wrote each byte range.
+  RangeMap<TaskId> last_writer;
+  /// Tasks that read each byte range since it was last written.
+  /// (range, reader) records; written ranges are subtracted on writes.
+  std::vector<std::pair<Interval, TaskId>> readers;
+};
+
+}  // namespace
+
+TaskGraph::TaskGraph(const std::vector<KernelDef>& kernels,
+                     const Program& program) {
+  std::map<mem::BufferId, BufferTracker> trackers;
+  std::optional<TaskId> last_barrier;
+  std::vector<TaskId> since_barrier;
+
+  for (const ProgramOp& op : program.ops()) {
+    const TaskId id = nodes_.size();
+    TaskNode node;
+    node.id = id;
+
+    if (op.kind == ProgramOp::Kind::kTaskwait) {
+      node.is_barrier = true;
+      nodes_.push_back(std::move(node));
+      // The barrier waits for everything since the previous barrier (earlier
+      // work is covered transitively through that barrier).
+      std::set<TaskId> deps(since_barrier.begin(), since_barrier.end());
+      if (last_barrier) deps.insert(*last_barrier);
+      for (TaskId dep : deps) add_edge(dep, id);
+      last_barrier = id;
+      since_barrier.clear();
+      // A barrier flushes all device copies; subsequent tasks re-source data
+      // from the host, and their ordering against pre-barrier tasks flows
+      // through the barrier edge — so reset the data-dependency trackers.
+      trackers.clear();
+      continue;
+    }
+
+    if (op.kind == ProgramOp::Kind::kHostOp) {
+      node.is_host_op = true;
+      node.host_body = op.host.body;
+      node.accesses = op.host.accesses;
+      nodes_.push_back(std::move(node));
+    } else {
+      const SubmitOp& submit = op.submit;
+      HS_REQUIRE(submit.kernel < kernels.size(),
+                 "program references unknown kernel id " << submit.kernel);
+      const KernelDef& kernel = kernels[submit.kernel];
+
+      node.kernel = submit.kernel;
+      node.begin = submit.begin;
+      node.end = submit.end;
+      node.pinned_device = submit.pinned_device;
+      node.accesses = kernel.accesses(submit.begin, submit.end);
+      nodes_.push_back(std::move(node));
+    }
+
+    std::set<TaskId> deps;
+    if (last_barrier) deps.insert(*last_barrier);
+
+    for (const mem::RegionAccess& access : nodes_[id].accesses) {
+      if (access.region.empty()) continue;
+      BufferTracker& tracker = trackers[access.region.buffer];
+      const Interval range = access.region.range;
+
+      if (access.reads()) {
+        // RAW on every overlapping earlier writer.
+        for (TaskId writer : tracker.last_writer.values_overlapping(range))
+          deps.insert(writer);
+      }
+      if (access.writes()) {
+        // WAW on earlier writers.
+        for (TaskId writer : tracker.last_writer.values_overlapping(range))
+          deps.insert(writer);
+        // WAR on readers since the last write; subtract the written range
+        // from their records so they don't produce edges again.
+        std::vector<std::pair<Interval, TaskId>> kept;
+        kept.reserve(tracker.readers.size());
+        for (auto& [read_range, reader] : tracker.readers) {
+          if (read_range.overlaps(range)) {
+            deps.insert(reader);
+            if (read_range.begin < range.begin)
+              kept.emplace_back(Interval{read_range.begin, range.begin},
+                                reader);
+            if (read_range.end > range.end)
+              kept.emplace_back(Interval{range.end, read_range.end}, reader);
+          } else {
+            kept.emplace_back(read_range, reader);
+          }
+        }
+        tracker.readers = std::move(kept);
+      }
+    }
+
+    // Commit this task's effects after scanning all accesses, so a task
+    // never depends on itself through its own inout regions.
+    for (const mem::RegionAccess& access : nodes_[id].accesses) {
+      if (access.region.empty()) continue;
+      BufferTracker& tracker = trackers[access.region.buffer];
+      const Interval range = access.region.range;
+      if (access.writes()) tracker.last_writer.assign(range, id);
+      if (access.reads()) tracker.readers.emplace_back(range, id);
+    }
+
+    deps.erase(id);
+    for (TaskId dep : deps) add_edge(dep, id);
+    since_barrier.push_back(id);
+  }
+
+  analyze_writeback();
+  check_acyclic();
+}
+
+void TaskGraph::analyze_writeback() {
+  for (TaskNode& node : nodes_) {
+    if (node.is_barrier) continue;
+    node.writeback_eligible.assign(node.accesses.size(), false);
+    for (std::size_t a = 0; a < node.accesses.size(); ++a) {
+      const mem::RegionAccess& access = node.accesses[a];
+      if (!access.writes() || access.region.empty()) continue;
+
+      // Find the first later kernel/host op touching an overlapping range.
+      //  - host op next (or nothing at all): eager write-back; the copy
+      //    overlaps the other devices' remaining compute.
+      //  - kernel next: the data stays resident for its consumer; if a
+      //    taskwait intervenes, the *barrier* flushes it synchronously
+      //    (the OmpSs taskwait semantics that make per-kernel
+      //    synchronization expensive).
+      bool host_side_next = true;  // nothing later: program-tail output
+      for (TaskId later = node.id + 1; later < nodes_.size(); ++later) {
+        const TaskNode& other = nodes_[later];
+        if (other.is_barrier) continue;
+        bool overlaps = false;
+        for (const mem::RegionAccess& theirs : other.accesses) {
+          if (theirs.region.buffer == access.region.buffer &&
+              theirs.region.range.overlaps(access.region.range)) {
+            overlaps = true;
+            break;
+          }
+        }
+        if (overlaps) {
+          host_side_next = other.is_host_op;
+          break;
+        }
+      }
+      node.writeback_eligible[a] = host_side_next;
+    }
+  }
+}
+
+void TaskGraph::add_edge(TaskId from, TaskId to) {
+  HS_ASSERT_MSG(from < to, "dependency edge " << from << " -> " << to
+                                              << " not forward in submission "
+                                                 "order");
+  nodes_[from].successors.push_back(to);
+  ++nodes_[to].predecessor_count;
+  ++edge_count_;
+}
+
+std::vector<TaskId> TaskGraph::initial_ready() const {
+  std::vector<TaskId> ready;
+  for (const TaskNode& node : nodes_)
+    if (node.predecessor_count == 0) ready.push_back(node.id);
+  return ready;
+}
+
+void TaskGraph::check_acyclic() const {
+  for (const TaskNode& node : nodes_)
+    for (TaskId succ : node.successors)
+      HS_ASSERT_MSG(succ > node.id, "backward edge " << node.id << " -> "
+                                                     << succ);
+}
+
+}  // namespace hetsched::rt

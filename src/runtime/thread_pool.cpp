@@ -1,0 +1,84 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hetsched::rt {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned count = threads;
+  if (count == 0) count = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  HS_REQUIRE(task != nullptr, "enqueue of empty task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    HS_REQUIRE(!stopping_, "enqueue on a stopping pool");
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+  HS_REQUIRE(grain > 0, "parallel_for grain " << grain);
+  HS_REQUIRE(body != nullptr, "parallel_for without a body");
+  for (std::int64_t lo = begin; lo < end; lo += grain) {
+    const std::int64_t hi = std::min(end, lo + grain);
+    pool.enqueue([&body, lo, hi] { body(lo, hi); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace hetsched::rt

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// Real (wall-clock) worker-thread pool.
+///
+/// The simulator gives the library its reproducible timing; this pool gives
+/// it genuine parallel host execution, used by examples and by applications
+/// that want to run their CPU task instances concurrently (the OmpSs "team
+/// of SMP threads" execution model). Tasks are closures; `wait_idle` is the
+/// `taskwait` analogue and rethrows the first exception any task raised.
+namespace hetsched::rt {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to the hardware concurrency, minimum
+  /// one).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues one task. Never blocks.
+  void enqueue(std::function<void()> task);
+
+  /// Blocks until every enqueued task has finished; rethrows the first
+  /// exception raised by any task since the last wait.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+/// Splits [begin, end) into chunks of at most `grain` items and runs `body`
+/// on them concurrently. Blocks until all chunks complete.
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body);
+
+}  // namespace hetsched::rt

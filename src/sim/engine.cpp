@@ -1,0 +1,42 @@
+#include "sim/engine.hpp"
+
+namespace hetsched::sim {
+
+void Engine::schedule_at(SimTime at, Callback fn) {
+  HS_REQUIRE(at >= now_,
+             "schedule_at in the past: at=" << at << " now=" << now_);
+  HS_REQUIRE(fn != nullptr, "schedule_at with empty callback");
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Engine::fire(Event event) {
+  now_ = event.at;
+  ++fired_;
+  // Move the callback out before invoking: the callback may schedule new
+  // events (reallocating the queue's storage) or even re-enter step().
+  Callback fn = std::move(event.fn);
+  fn();
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const&; const_cast is the standard idiom for
+  // moving out of it just before pop (the element is discarded either way).
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  fire(std::move(event));
+  return true;
+}
+
+SimTime Engine::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime Engine::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().at <= until) step();
+  return now_;
+}
+
+}  // namespace hetsched::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+
+/// Discrete-event simulation engine.
+///
+/// The engine owns a virtual clock and a priority queue of events. Events
+/// with equal timestamps fire in scheduling order (a monotonically
+/// increasing sequence number breaks ties), which makes every simulation in
+/// hetsched fully deterministic: same inputs, same event order, same result,
+/// on any machine.
+namespace hetsched::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `at` (>= now()).
+  void schedule_at(SimTime at, Callback fn);
+
+  /// Schedules `fn` to run `delay` after now().
+  void schedule_in(SimTime delay, Callback fn) {
+    HS_REQUIRE(delay >= 0, "schedule_in with negative delay " << delay);
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue is empty. Returns the final clock value.
+  SimTime run();
+
+  /// Runs events with timestamp <= `until`; leaves later events queued.
+  /// The clock advances to min(until, time of last fired event).
+  SimTime run_until(SimTime until);
+
+  /// Fires exactly one event if any is queued. Returns false when empty.
+  bool step();
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t fired_events() const { return fired_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void fire(Event event);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace hetsched::sim

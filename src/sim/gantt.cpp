@@ -1,0 +1,88 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hetsched::sim {
+
+namespace {
+
+/// Salience order for a bucket showing several categories.
+int salience(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kCompute: return 4;
+    case TraceKind::kTransferH2D: return 3;
+    case TraceKind::kTransferD2H: return 3;
+    case TraceKind::kOverhead: return 2;
+    case TraceKind::kSync: return 1;
+  }
+  return 0;
+}
+
+char glyph(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kCompute: return '#';
+    case TraceKind::kTransferH2D: return '>';
+    case TraceKind::kTransferD2H: return '<';
+    case TraceKind::kOverhead: return 'o';
+    case TraceKind::kSync: return '~';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string render_gantt(const TraceRecorder& trace, GanttOptions options) {
+  HS_REQUIRE(options.width >= 4, "gantt width " << options.width);
+  const SimTime makespan = trace.makespan();
+  if (makespan <= 0 || trace.empty()) return "(empty trace)\n";
+
+  std::map<std::string, std::vector<std::pair<char, int>>> rows;
+  for (const TraceEvent& event : trace.events()) {
+    auto [it, inserted] = rows.try_emplace(
+        event.lane,
+        std::vector<std::pair<char, int>>(
+            static_cast<std::size_t>(options.width), {'.', 0}));
+    auto& row = it->second;
+    if (event.duration() <= 0) continue;  // milestones paint nothing
+    // Bucket range covered by this event (at least one bucket).
+    const auto first = static_cast<std::size_t>(
+        event.start * options.width / makespan);
+    auto last = static_cast<std::size_t>(
+        (event.end * options.width + makespan - 1) / makespan);
+    last = std::max(last, first + 1);
+    for (std::size_t bucket = first;
+         bucket < std::min<std::size_t>(last, row.size()); ++bucket) {
+      if (salience(event.kind) > row[bucket].second)
+        row[bucket] = {glyph(event.kind), salience(event.kind)};
+    }
+  }
+
+  std::size_t label_width = 0;
+  for (const auto& [lane, row] : rows)
+    label_width = std::max(label_width, lane.size());
+
+  std::ostringstream os;
+  os << "timeline: 0 .. " << format_time(makespan) << "  ('#' compute, "
+     << "'>' H2D, '<' D2H, 'o' overhead, '~' sync)\n";
+  for (const auto& [lane, row] : rows) {
+    bool has_work = false;
+    std::string cells;
+    cells.reserve(row.size());
+    for (const auto& [ch, sal] : row) {
+      cells += ch;
+      has_work |= ch != '.';
+    }
+    if (options.hide_idle_lanes && !has_work) continue;
+    os << lane << std::string(label_width - lane.size(), ' ') << " |"
+       << cells << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace hetsched::sim

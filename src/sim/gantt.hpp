@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+/// ASCII Gantt rendering of execution traces.
+///
+/// Turns a TraceRecorder into a terminal timeline — one row per lane, one
+/// character column per time bucket:
+///   '#' compute   '>' host-to-device   '<' device-to-host
+///   'o' overhead  '~' synchronization  '.' idle
+/// A bucket showing multiple categories keeps the most salient one
+/// (compute > transfers > overhead > sync). Used by `hetsched_cli analyze
+/// --gantt` and handy in tests for eyeballing schedules.
+namespace hetsched::sim {
+
+struct GanttOptions {
+  /// Character columns for the time axis.
+  int width = 100;
+  /// Hide lanes that never got any work (idle CPU threads).
+  bool hide_idle_lanes = true;
+};
+
+std::string render_gantt(const TraceRecorder& trace,
+                         GanttOptions options = {});
+
+}  // namespace hetsched::sim

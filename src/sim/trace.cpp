@@ -1,0 +1,74 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hetsched::sim {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kCompute: return "compute";
+    case TraceKind::kTransferH2D: return "h2d";
+    case TraceKind::kTransferD2H: return "d2h";
+    case TraceKind::kOverhead: return "overhead";
+    case TraceKind::kSync: return "sync";
+  }
+  return "unknown";
+}
+
+SimTime TraceRecorder::makespan() const {
+  SimTime latest = 0;
+  for (const auto& event : events_) latest = std::max(latest, event.end);
+  return latest;
+}
+
+SimTime TraceRecorder::lane_time(const std::string& lane,
+                                 TraceKind kind) const {
+  SimTime total = 0;
+  for (const auto& event : events_)
+    if (event.kind == kind && event.lane == lane) total += event.duration();
+  return total;
+}
+
+SimTime TraceRecorder::total_time(TraceKind kind) const {
+  SimTime total = 0;
+  for (const auto& event : events_)
+    if (event.kind == kind) total += event.duration();
+  return total;
+}
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& event : events_) {
+    if (!first) os << ",";
+    first = false;
+    // Chrome traces use microseconds; "X" = complete event with duration.
+    os << "{\"name\":\"" << json_escape(event.label) << "\",\"cat\":\""
+       << trace_kind_name(event.kind) << "\",\"ph\":\"X\",\"ts\":"
+       << to_micros(event.start) << ",\"dur\":"
+       << to_micros(event.end - event.start)
+       << ",\"pid\":1,\"tid\":\"" << json_escape(event.lane) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace hetsched::sim

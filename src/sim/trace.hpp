@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+/// Execution trace recording and export.
+///
+/// The runtime records one TraceEvent per task execution, data transfer, and
+/// synchronization. Traces power (a) the per-device busy/utilization numbers
+/// in ExecutionReport and (b) `to_chrome_json`, which emits a file loadable
+/// in chrome://tracing / Perfetto for visual timeline inspection.
+namespace hetsched::sim {
+
+enum class TraceKind {
+  kCompute,
+  kTransferH2D,
+  kTransferD2H,
+  kOverhead,
+  kSync,
+};
+
+const char* trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  std::string lane;   ///< Resource the event occupied ("gpu0", "cpu.t3", ...).
+  std::string label;  ///< Human-readable description.
+  TraceKind kind = TraceKind::kCompute;
+  SimTime start = 0;
+  SimTime end = 0;
+
+  SimTime duration() const { return end - start; }
+};
+
+class TraceRecorder {
+ public:
+  void record(TraceEvent event) { events_.push_back(std::move(event)); }
+  void record(std::string lane, std::string label, TraceKind kind,
+              SimTime start, SimTime end) {
+    events_.push_back({std::move(lane), std::move(label), kind, start, end});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Latest end time across all events (0 when empty).
+  SimTime makespan() const;
+
+  /// Sum of durations of events on `lane` with the given kind.
+  SimTime lane_time(const std::string& lane, TraceKind kind) const;
+
+  /// Sum of durations of all events with the given kind.
+  SimTime total_time(TraceKind kind) const;
+
+  /// Chrome trace-event JSON ("traceEvents" array of complete events).
+  std::string to_chrome_json() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hetsched::sim

@@ -1,0 +1,125 @@
+#include "sim/trace_stats.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace hetsched::sim {
+
+TraceStats analyze_trace(const TraceRecorder& trace) {
+  TraceStats stats;
+  stats.makespan = trace.makespan();
+
+  std::map<std::string, LaneStats> lanes;
+  // Per-lane busy intervals for the union / concurrency computation.
+  std::map<std::string, std::vector<std::pair<SimTime, SimTime>>> busy;
+
+  for (const TraceEvent& event : trace.events()) {
+    switch (event.kind) {
+      case TraceKind::kCompute:
+        stats.total_compute += event.duration();
+        break;
+      case TraceKind::kTransferH2D:
+        stats.total_h2d += event.duration();
+        break;
+      case TraceKind::kTransferD2H:
+        stats.total_d2h += event.duration();
+        break;
+      case TraceKind::kOverhead:
+        stats.total_overhead += event.duration();
+        break;
+      case TraceKind::kSync:
+        stats.total_sync += event.duration();
+        continue;  // waiting, not work: skip lane accounting
+    }
+    LaneStats& lane = lanes[event.lane];
+    lane.lane = event.lane;
+    if (event.kind == TraceKind::kCompute) lane.compute += event.duration();
+    if (event.kind == TraceKind::kTransferH2D ||
+        event.kind == TraceKind::kTransferD2H)
+      lane.transfer += event.duration();
+    if (event.kind == TraceKind::kOverhead) lane.overhead += event.duration();
+    if (event.duration() > 0)
+      busy[event.lane].emplace_back(event.start, event.end);
+  }
+
+  // Union per lane (events on one lane may abut/overlap across categories).
+  std::vector<std::vector<std::pair<SimTime, SimTime>>> merged_per_lane;
+  for (auto& [name, intervals] : busy) {
+    std::sort(intervals.begin(), intervals.end());
+    std::vector<std::pair<SimTime, SimTime>> merged;
+    for (const auto& [start, end] : intervals) {
+      if (!merged.empty() && start <= merged.back().second) {
+        merged.back().second = std::max(merged.back().second, end);
+      } else {
+        merged.emplace_back(start, end);
+      }
+    }
+    SimTime lane_busy = 0;
+    for (const auto& [start, end] : merged) lane_busy += end - start;
+    lanes[name].busy = lane_busy;
+    lanes[name].utilization =
+        stats.makespan <= 0 ? 0.0
+                            : static_cast<double>(lane_busy) /
+                                  static_cast<double>(stats.makespan);
+    merged_per_lane.push_back(std::move(merged));
+  }
+
+  // Concurrency sweep: +1 at interval starts, -1 at ends.
+  std::vector<std::pair<SimTime, int>> edges;
+  for (const auto& intervals : merged_per_lane) {
+    for (const auto& [start, end] : intervals) {
+      edges.emplace_back(start, +1);
+      edges.emplace_back(end, -1);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  SimTime cursor = 0;
+  int depth = 0;
+  for (const auto& [at, delta] : edges) {
+    if (at > cursor) {
+      const SimTime span = at - cursor;
+      if (depth >= 2) {
+        stats.overlapped_time += span;
+      } else if (depth == 1) {
+        stats.serial_time += span;
+      } else {
+        stats.idle_time += span;
+      }
+      cursor = at;
+    }
+    depth += delta;
+  }
+  if (stats.makespan > cursor) stats.idle_time += stats.makespan - cursor;
+
+  stats.lanes.reserve(lanes.size());
+  for (auto& [name, lane] : lanes) stats.lanes.push_back(std::move(lane));
+  return stats;
+}
+
+std::string format_trace_stats(const TraceStats& stats) {
+  std::ostringstream os;
+  os << "makespan: " << format_time(stats.makespan) << "\n";
+  os << "totals: compute " << format_time(stats.total_compute) << ", H2D "
+     << format_time(stats.total_h2d) << ", D2H "
+     << format_time(stats.total_d2h) << ", overhead "
+     << format_time(stats.total_overhead) << ", sync "
+     << format_time(stats.total_sync) << "\n";
+  os << "concurrency: overlapped " << format_time(stats.overlapped_time)
+     << " (" << format_percent(stats.overlap_fraction()) << "), serial "
+     << format_time(stats.serial_time) << ", idle "
+     << format_time(stats.idle_time) << "\n";
+  os << "lanes:\n";
+  for (const LaneStats& lane : stats.lanes) {
+    os << "  " << lane.lane << ": busy " << format_time(lane.busy) << " ("
+       << format_percent(lane.utilization) << ") = compute "
+       << format_time(lane.compute) << " + transfer "
+       << format_time(lane.transfer) << " + overhead "
+       << format_time(lane.overhead) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hetsched::sim

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+/// Timeline analysis over recorded traces.
+///
+/// Turns a raw TraceRecorder into the quantities one actually argues with:
+/// per-lane busy/utilization breakdowns, aggregate time per category, and a
+/// concurrency profile — how much of the makespan had two or more lanes
+/// working (the "perfect execution overlap" the paper's static partitioning
+/// aims for), exactly one, or none (serialization: sync flushes, lone
+/// transfers).
+namespace hetsched::sim {
+
+struct LaneStats {
+  std::string lane;
+  SimTime compute = 0;
+  SimTime transfer = 0;  ///< h2d + d2h occupying this lane
+  SimTime overhead = 0;
+  SimTime busy = 0;      ///< union of the above (per recorded events)
+  double utilization = 0.0;  ///< busy / makespan
+};
+
+struct TraceStats {
+  SimTime makespan = 0;
+  std::vector<LaneStats> lanes;  ///< sorted by lane name
+
+  SimTime total_compute = 0;
+  SimTime total_h2d = 0;
+  SimTime total_d2h = 0;
+  SimTime total_overhead = 0;
+  SimTime total_sync = 0;
+
+  /// Concurrency profile over [0, makespan]: time with >= 2 busy lanes
+  /// (overlap), exactly 1 (serial), and 0 (gaps: barrier waits etc.).
+  SimTime overlapped_time = 0;
+  SimTime serial_time = 0;
+  SimTime idle_time = 0;
+
+  /// overlapped / makespan — 1.0 means the devices never waited on each
+  /// other.
+  double overlap_fraction() const {
+    return makespan <= 0 ? 0.0
+                         : static_cast<double>(overlapped_time) /
+                               static_cast<double>(makespan);
+  }
+};
+
+/// Computes the statistics. Sync events span the whole "host" pseudo-lane
+/// and are excluded from the concurrency profile (they describe waiting,
+/// not work).
+TraceStats analyze_trace(const TraceRecorder& trace);
+
+/// Multi-line human-readable rendering.
+std::string format_trace_stats(const TraceStats& stats);
+
+}  // namespace hetsched::sim

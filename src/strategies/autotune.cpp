@@ -1,0 +1,32 @@
+#include "strategies/autotune.hpp"
+
+#include "common/error.hpp"
+
+namespace hetsched::strategies {
+
+std::vector<int> default_task_count_candidates(int cpu_lanes) {
+  HS_REQUIRE(cpu_lanes >= 1, "cpu_lanes=" << cpu_lanes);
+  return {cpu_lanes, 2 * cpu_lanes, 4 * cpu_lanes, 8 * cpu_lanes};
+}
+
+TuneResult tune_task_count(apps::Application& app,
+                           analyzer::StrategyKind kind,
+                           const std::vector<int>& candidates,
+                           StrategyOptions base) {
+  HS_REQUIRE(!candidates.empty(), "tune_task_count needs candidates");
+  TuneResult result;
+  for (int m : candidates) {
+    StrategyOptions options = base;
+    options.task_count = m;
+    StrategyRunner runner(app, options);
+    const double time_ms = runner.run(kind).time_ms();
+    result.trials.push_back({m, time_ms});
+    if (result.best_task_count == 0 || time_ms < result.best_time_ms) {
+      result.best_task_count = m;
+      result.best_time_ms = time_ms;
+    }
+  }
+  return result;
+}
+
+}  // namespace hetsched::strategies

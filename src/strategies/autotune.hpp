@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "strategies/strategy_runner.hpp"
+
+/// Task-size auto-tuning (paper Section V).
+///
+/// "The task size (the granularity of partitioning) impacts performance as
+/// well. ... the task size variation leads to performance variation. Thus,
+/// auto-tuning is recommended to find the best performing one." This
+/// module is that recommendation: run the strategy across a candidate set
+/// of chunk counts m and keep the winner. Deterministic simulation makes
+/// each trial exact, so no repetition is needed.
+namespace hetsched::strategies {
+
+struct TuneTrial {
+  int task_count = 0;
+  double time_ms = 0.0;
+};
+
+struct TuneResult {
+  int best_task_count = 0;
+  double best_time_ms = 0.0;
+  std::vector<TuneTrial> trials;  ///< in candidate order
+};
+
+/// Default candidate ladder: multiples of the CPU thread count, as the
+/// paper's evaluation varies them ("we vary m to be a multiple of CPU
+/// cores ... and use the best-performing one").
+std::vector<int> default_task_count_candidates(int cpu_lanes);
+
+/// Runs `kind` on `app` once per candidate task count and returns the
+/// sweep. `base` supplies every other option (sync scenario etc.).
+TuneResult tune_task_count(apps::Application& app,
+                           analyzer::StrategyKind kind,
+                           const std::vector<int>& candidates,
+                           StrategyOptions base = {});
+
+}  // namespace hetsched::strategies

@@ -1,0 +1,378 @@
+#include "strategies/strategy_runner.hpp"
+
+#include <algorithm>
+
+#include "analyzer/ranking.hpp"
+#include "glinda/profile.hpp"
+#include "runtime/schedulers/breadth_first.hpp"
+#include "runtime/schedulers/perf_aware.hpp"
+
+namespace hetsched::strategies {
+
+using analyzer::StrategyKind;
+
+StrategyRunner::StrategyRunner(apps::Application& app,
+                               StrategyOptions options)
+    : app_(app), options_(options) {
+  HS_REQUIRE(options_.task_count >= 1,
+             "task_count=" << options_.task_count);
+}
+
+void StrategyRunner::require_accelerator() const {
+  HS_REQUIRE(app_.executor().platform().device_count() >= 2,
+             "strategy needs an accelerator; platform '"
+                 << app_.executor().platform().name << "' has none");
+}
+
+StrategyResult StrategyRunner::run(StrategyKind kind) {
+  app_.reset_data();
+  switch (kind) {
+    case StrategyKind::kOnlyCpu:
+      return run_only(hw::kCpuDevice, kind);
+    case StrategyKind::kOnlyGpu:
+      return run_only(gpu_device_, kind);
+    case StrategyKind::kSPSingle:
+      return run_sp_single();
+    case StrategyKind::kSPUnified:
+      return run_sp_unified();
+    case StrategyKind::kSPVaried:
+      return run_sp_varied();
+    case StrategyKind::kSPDag:
+      return run_sp_dag();
+    case StrategyKind::kDPDep:
+    case StrategyKind::kDPPerf:
+      return run_dp(kind);
+  }
+  throw InvalidArgument("unknown strategy");
+}
+
+std::map<StrategyKind, StrategyResult>
+StrategyRunner::run_ranked_and_baselines() {
+  const analyzer::MatchResult match =
+      analyzer::Matchmaker{}.match(app_.descriptor());
+  // The paper's "w sync" scenario flips the suitable-strategy ranking row.
+  const auto ranking = analyzer::ranked_strategies(
+      match.app_class,
+      app_.descriptor().inter_kernel_sync() || options_.sync_between_kernels);
+  std::map<StrategyKind, StrategyResult> results;
+  for (StrategyKind kind : ranking) results.emplace(kind, run(kind));
+  results.emplace(StrategyKind::kOnlyCpu, run(StrategyKind::kOnlyCpu));
+  results.emplace(StrategyKind::kOnlyGpu, run(StrategyKind::kOnlyGpu));
+  return results;
+}
+
+StrategyRunner::MatchedRun StrategyRunner::run_matched() {
+  MatchedRun matched;
+  analyzer::AppDescriptor descriptor = app_.descriptor();
+  if (options_.sync_between_kernels &&
+      descriptor.sync == analyzer::SyncReason::kNone) {
+    // The scenario adds synchronization the application didn't have.
+    descriptor.sync = analyzer::SyncReason::kHostPostProcessing;
+  }
+  matched.match = analyzer::Matchmaker{}.match(descriptor);
+  matched.result = run(matched.match.best);
+  return matched;
+}
+
+StrategyResult StrategyRunner::finalize(
+    StrategyKind kind, rt::ExecutionReport report,
+    std::vector<glinda::PartitionDecision> decisions) {
+  StrategyResult result;
+  result.kind = kind;
+  // "GPU share" counts all accelerators (everything that is not the CPU).
+  result.gpu_fraction_overall =
+      1.0 - report.overall_fraction(hw::kCpuDevice);
+  result.gpu_fraction_per_kernel.reserve(app_.kernels().size());
+  for (rt::KernelId kernel : app_.kernels())
+    result.gpu_fraction_per_kernel.push_back(
+        1.0 - report.partition_fraction(hw::kCpuDevice, kernel));
+  result.report = std::move(report);
+  result.decisions = std::move(decisions);
+  return result;
+}
+
+StrategyResult StrategyRunner::run_only(hw::DeviceId device,
+                                        StrategyKind kind) {
+  if (device != hw::kCpuDevice) require_accelerator();
+  const int m = options_.task_count;
+  const auto submit = [&](rt::Program& program, std::size_t index,
+                          rt::KernelId k) {
+    const std::int64_t n = app_.items_of(index);
+    if (device == hw::kCpuDevice) {
+      for (int i = 0; i < m; ++i) {
+        program.submit(k, n * i / m, n * (i + 1) / m, hw::kCpuDevice);
+      }
+    } else {
+      program.submit(k, 0, n, device);
+    }
+  };
+  const rt::Program program =
+      app_.build_program(submit, options_.sync_between_kernels);
+  return finalize(kind, app_.executor().execute_pinned(program), {});
+}
+
+void StrategyRunner::submit_split(rt::Program& program,
+                                  std::size_t kernel_index,
+                                  std::int64_t gpu_items) const {
+  const rt::KernelId kernel = app_.kernels()[kernel_index];
+  const std::int64_t n = app_.items_of(kernel_index);
+  gpu_items = std::min(gpu_items, n);
+  if (gpu_items > 0) program.submit(kernel, 0, gpu_items, gpu_device_);
+  const std::int64_t cpu_items = n - gpu_items;
+  if (cpu_items <= 0) return;
+  const int m = options_.task_count;
+  for (int i = 0; i < m; ++i) {
+    program.submit(kernel, gpu_items + cpu_items * i / m,
+                   gpu_items + cpu_items * (i + 1) / m, hw::kCpuDevice);
+  }
+}
+
+glinda::KernelEstimate StrategyRunner::estimate_for(
+    const glinda::SampleProgramFactory& factory,
+    bool transfer_on_critical_path, std::int64_t total_items) const {
+  glinda::Profiler profiler(options_.profile);
+  rt::Executor& executor = app_.executor();
+  glinda::KernelEstimate estimate;
+  estimate.cpu = profiler.profile_device(executor, factory, hw::kCpuDevice,
+                                         total_items);
+  estimate.gpu =
+      profiler.profile_device(executor, factory, gpu_device_, total_items);
+  const glinda::LinkProfile link =
+      profiler.profile_link(executor, factory, gpu_device_, total_items);
+  estimate.link_bytes_per_second =
+      link.bytes_per_second > 0.0
+          ? link.bytes_per_second
+          : executor.platform().link.bandwidth_gbs * 1e9;
+  estimate.transfer_on_critical_path = transfer_on_critical_path;
+  return estimate;
+}
+
+StrategyResult StrategyRunner::run_sp_single() {
+  require_accelerator();
+  HS_REQUIRE(app_.kernels().size() == 1,
+             "SP-Single applies to single-kernel applications; '"
+                 << app_.name() << "' has " << app_.kernels().size());
+  if (app_.executor().platform().accelerators.size() > 1)
+    return run_sp_single_multi();
+  // Profiling one iteration captures exactly the per-iteration transfer
+  // pattern (SK-Loop applications pay them every iteration).
+  const glinda::KernelEstimate estimate =
+      estimate_for(app_.single_kernel_factory(0), true, app_.items());
+  glinda::PartitionModel model(options_.partition);
+  // Imbalanced applications publish their prefix-weight function and get
+  // the work-balancing solver; uniform ones get the closed form.
+  const auto weights = app_.prefix_weight();
+  const glinda::PartitionDecision decision =
+      weights ? model.solve_weighted(estimate, app_.items(), weights)
+              : model.solve(estimate, app_.items());
+
+  app_.reset_data();
+  const auto submit = [&](rt::Program& program, std::size_t index,
+                          rt::KernelId) {
+    submit_split(program, index, decision.gpu_items);
+  };
+  const rt::Program program =
+      app_.build_program(submit, options_.sync_between_kernels);
+  return finalize(StrategyKind::kSPSingle,
+                  app_.executor().execute_pinned(program), {decision});
+}
+
+/// SP-Single generalized to platforms with several accelerators: profile
+/// every device, solve the balanced multi-way split, and submit one slab
+/// per accelerator plus m CPU instances.
+StrategyResult StrategyRunner::run_sp_single_multi() {
+  const hw::PlatformSpec& platform = app_.executor().platform();
+  const std::size_t devices = platform.device_count();
+  const glinda::SampleProgramFactory factory = app_.single_kernel_factory(0);
+
+  glinda::Profiler profiler(options_.profile);
+  glinda::MultiDeviceEstimate estimate;
+  estimate.transfer_on_critical_path = true;
+  estimate.devices.reserve(devices);
+  for (hw::DeviceId d = 0; d < devices; ++d) {
+    estimate.devices.push_back(
+        profiler.profile_device(app_.executor(), factory, d, app_.items()));
+  }
+  const glinda::LinkProfile link = profiler.profile_link(
+      app_.executor(), factory, /*device=*/1, app_.items());
+  estimate.link_bytes_per_second =
+      link.bytes_per_second > 0.0 ? link.bytes_per_second
+                                  : platform.link.bandwidth_gbs * 1e9;
+
+  glinda::MultiPartitionModel model(options_.partition);
+  const glinda::MultiPartitionDecision decision =
+      model.solve(estimate, app_.items());
+
+  app_.reset_data();
+  const int m = options_.task_count;
+  const auto submit = [&](rt::Program& program, std::size_t, rt::KernelId k) {
+    // Accelerators take contiguous slabs from the front; the CPU's tail
+    // slab is split into m instances.
+    std::int64_t cursor = 0;
+    for (hw::DeviceId d = 1; d < devices; ++d) {
+      const std::int64_t items = decision.items_per_device[d];
+      if (items > 0) program.submit(k, cursor, cursor + items, d);
+      cursor += items;
+    }
+    const std::int64_t cpu_items = decision.items_per_device[0];
+    for (int i = 0; i < m && cpu_items > 0; ++i) {
+      program.submit(k, cursor + cpu_items * i / m,
+                     cursor + cpu_items * (i + 1) / m, hw::kCpuDevice);
+    }
+  };
+  const rt::Program program =
+      app_.build_program(submit, options_.sync_between_kernels);
+  StrategyResult result = finalize(
+      StrategyKind::kSPSingle, app_.executor().execute_pinned(program), {});
+  result.multi_decision = decision;
+  return result;
+}
+
+StrategyResult StrategyRunner::run_sp_unified() {
+  require_accelerator();
+  HS_REQUIRE(app_.kernels().size() > 1,
+             "SP-Unified applies to multi-kernel applications");
+  // The kernels are regarded as one fused kernel. In a main loop without
+  // per-iteration synchronization, data stays resident across iterations,
+  // so the unified partitioning is determined without the data transfers
+  // (paper Section IV-B4); one-shot sequences keep them on the path.
+  const bool transfers_on_path =
+      !(app_.iterations() > 1 && !app_.sync_each_iteration());
+  const glinda::KernelEstimate estimate =
+      estimate_for(app_.fused_factory(), transfers_on_path, app_.items());
+  glinda::PartitionModel model(options_.partition);
+  const glinda::PartitionDecision decision =
+      model.solve(estimate, app_.items());
+
+  app_.reset_data();
+  // One unified partitioning POINT: the same fraction of every kernel's
+  // item space goes to the GPU (identical counts when kernels share the
+  // item space; proportional for multi-pass kernels).
+  const double fraction = decision.gpu_fraction(app_.items());
+  const auto submit = [&](rt::Program& program, std::size_t index,
+                          rt::KernelId) {
+    const auto share = static_cast<std::int64_t>(
+        fraction * static_cast<double>(app_.items_of(index)) + 0.5);
+    submit_split(program, index, share);
+  };
+  const rt::Program program =
+      app_.build_program(submit, options_.sync_between_kernels);
+  return finalize(StrategyKind::kSPUnified,
+                  app_.executor().execute_pinned(program), {decision});
+}
+
+StrategyResult StrategyRunner::run_sp_varied() {
+  require_accelerator();
+  HS_REQUIRE(app_.kernels().size() > 1,
+             "SP-Varied applies to multi-kernel applications");
+  // Per-kernel optimal splits; each kernel is profiled in isolation, with
+  // its transfers on the critical path (the synchronization between kernels
+  // flushes data home every time).
+  glinda::PartitionModel model(options_.partition);
+  std::vector<glinda::PartitionDecision> decisions;
+  decisions.reserve(app_.kernels().size());
+  for (std::size_t k = 0; k < app_.kernels().size(); ++k) {
+    const std::int64_t nk = app_.items_of(k);
+    if (nk < 4) {
+      // Too narrow to profile or to feed an accelerator: the hardware-
+      // configuration decision is Only-CPU without measurement.
+      glinda::PartitionDecision tiny;
+      tiny.config = glinda::HardwareConfig::kOnlyCpu;
+      tiny.cpu_items = nk;
+      decisions.push_back(tiny);
+      continue;
+    }
+    const glinda::KernelEstimate estimate =
+        estimate_for(app_.single_kernel_factory(k), true, nk);
+    decisions.push_back(model.solve(estimate, nk));
+  }
+
+  app_.reset_data();
+  const auto submit = [&](rt::Program& program, std::size_t index,
+                          rt::KernelId) {
+    submit_split(program, index, decisions[index].gpu_items);
+  };
+  // SP-Varied requires inter-kernel synchronization by construction.
+  const rt::Program program =
+      app_.build_program(submit, /*sync_between_kernels=*/true);
+  return finalize(StrategyKind::kSPVaried,
+                  app_.executor().execute_pinned(program),
+                  std::move(decisions));
+}
+
+RateTable StrategyRunner::probe_rates(int instances_per_pair) const {
+  // Each probe runs in a fresh memory state, so the observed rate includes
+  // the transfer latencies a real instance pays.
+  RateTable rates;
+  const std::size_t devices = app_.executor().platform().device_count();
+  for (std::size_t k = 0; k < app_.kernels().size(); ++k) {
+    const rt::KernelId kernel = app_.kernels()[k];
+    const std::int64_t chunk = std::max<std::int64_t>(
+        1, app_.items_of(k) / options_.task_count);
+    for (hw::DeviceId device = 0; device < devices; ++device) {
+      double rate = 0.0;
+      for (int probe = 0; probe < instances_per_pair; ++probe) {
+        rt::Program probe_program;
+        probe_program.submit(kernel, 0, chunk, device);
+        probe_program.taskwait();
+        const rt::ExecutionReport probe_report =
+            app_.executor().execute_pinned(probe_program);
+        const double seconds = to_seconds(probe_report.makespan);
+        if (seconds > 0.0) rate = static_cast<double>(chunk) / seconds;
+      }
+      if (rate > 0.0) rates[{kernel, device}] = rate;
+    }
+  }
+  return rates;
+}
+
+StrategyResult StrategyRunner::run_sp_dag() {
+  require_accelerator();
+  // Profile every (kernel, device) pair, plan the chunked task graph with
+  // the HEFT-style planner, and execute the fully pinned result.
+  const RateTable rates = probe_rates(options_.dp_perf_profile_instances);
+  const int m = options_.task_count;
+  const auto submit = [&](rt::Program& program, std::size_t index,
+                          rt::KernelId k) {
+    program.submit_chunked(k, 0, app_.items_of(index), m);
+  };
+  const rt::Program unpinned =
+      app_.build_program(submit, options_.sync_between_kernels);
+
+  DagPlanner planner(app_.executor().platform(), rates);
+  const DagPlan plan = planner.plan(app_.executor().kernels(), unpinned);
+  const rt::Program pinned = planner.apply(unpinned, plan);
+
+  app_.reset_data();
+  return finalize(StrategyKind::kSPDag,
+                  app_.executor().execute_pinned(pinned), {});
+}
+
+StrategyResult StrategyRunner::run_dp(StrategyKind kind) {
+  require_accelerator();
+  const int m = options_.task_count;
+  const auto submit = [&](rt::Program& program, std::size_t index,
+                          rt::KernelId k) {
+    program.submit_chunked(k, 0, app_.items_of(index), m);
+  };
+  const rt::Program program =
+      app_.build_program(submit, options_.sync_between_kernels);
+
+  if (kind == StrategyKind::kDPDep) {
+    rt::BreadthFirstScheduler scheduler;
+    return finalize(kind, app_.executor().execute(program, scheduler), {});
+  }
+
+  // DP-Perf: the profiling phase gives each device 3 task instances of the
+  // dynamic task size per kernel; it is excluded from the reported time
+  // (paper Section IV-A2).
+  rt::PerfAwareScheduler scheduler;
+  for (const auto& [pair, rate] :
+       probe_rates(options_.dp_perf_profile_instances)) {
+    scheduler.seed_estimate(pair.first, pair.second, rate);
+  }
+  app_.reset_data();
+  return finalize(kind, app_.executor().execute(program, scheduler), {});
+}
+
+}  // namespace hetsched::strategies

@@ -1,0 +1,81 @@
+#include "analyzer/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hetsched::analyzer {
+namespace {
+
+TEST(Catalog, HasExactlyEightySixApplications) {
+  EXPECT_EQ(application_catalog().size(), 86u);
+}
+
+TEST(Catalog, EveryEntryClassifies) {
+  // The paper's coverage claim: the five classes cover every studied
+  // application — mechanically, classify() succeeds on each entry.
+  for (const CatalogEntry& entry : application_catalog()) {
+    EXPECT_NO_THROW(classify(entry.structure)) << entry.name;
+  }
+}
+
+TEST(Catalog, AllFiveClassesRepresented) {
+  const auto distribution = catalog_class_distribution();
+  EXPECT_EQ(distribution.size(), 5u);
+  for (const auto& [cls, count] : distribution) {
+    EXPECT_GT(count, 0u) << app_class_name(cls);
+  }
+}
+
+TEST(Catalog, DistributionSumsToTotal) {
+  std::size_t total = 0;
+  for (const auto& [cls, count] : catalog_class_distribution()) total += count;
+  EXPECT_EQ(total, 86u);
+}
+
+TEST(Catalog, FiveSuitesRepresented) {
+  std::set<std::string> suites;
+  for (const CatalogEntry& entry : application_catalog())
+    suites.insert(entry.suite);
+  EXPECT_EQ(suites.size(), 5u);
+  EXPECT_TRUE(suites.count("rodinia"));
+  EXPECT_TRUE(suites.count("parboil"));
+  EXPECT_TRUE(suites.count("shoc"));
+  EXPECT_TRUE(suites.count("nvidia-sdk"));
+  EXPECT_TRUE(suites.count("mont-blanc"));
+}
+
+TEST(Catalog, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const CatalogEntry& entry : application_catalog()) {
+    EXPECT_TRUE(names.insert(entry.name).second)
+        << "duplicate application name: " << entry.name;
+  }
+}
+
+TEST(Catalog, PaperEvaluationAppsClassifyAsInTableII) {
+  // Spot-check entries matching Table II's applications.
+  auto class_of = [](const std::string& name) {
+    for (const CatalogEntry& entry : application_catalog())
+      if (entry.name == name) return classify(entry.structure);
+    throw std::runtime_error("missing catalog entry: " + name);
+  };
+  EXPECT_EQ(class_of("matrixmul"), AppClass::kSKOne);
+  EXPECT_EQ(class_of("blackscholes"), AppClass::kSKOne);
+  EXPECT_EQ(class_of("nbody"), AppClass::kSKLoop);
+  EXPECT_EQ(class_of("hotspot"), AppClass::kSKLoop);
+  EXPECT_EQ(class_of("stream"), AppClass::kMKLoop);
+}
+
+TEST(Catalog, ClassDistributionIsStable) {
+  // Regression pin: the reconstructed study's distribution.
+  const auto distribution = catalog_class_distribution();
+  EXPECT_EQ(distribution.at(AppClass::kSKOne), 39u);
+  EXPECT_EQ(distribution.at(AppClass::kSKLoop), 19u);
+  EXPECT_EQ(distribution.at(AppClass::kMKSeq), 15u);
+  EXPECT_EQ(distribution.at(AppClass::kMKLoop), 8u);
+  EXPECT_EQ(distribution.at(AppClass::kMKDag), 5u);
+}
+
+}  // namespace
+}  // namespace hetsched::analyzer

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "analyzer/app_model.hpp"
+#include "common/error.hpp"
+
+namespace hetsched::analyzer {
+namespace {
+
+TEST(Classify, SingleKernelIsSKOne) {
+  EXPECT_EQ(classify(KernelGraph::single("k")), AppClass::kSKOne);
+}
+
+TEST(Classify, SingleKernelWithInnerLoopIsSKLoop) {
+  EXPECT_EQ(classify(KernelGraph::single("k", /*looped=*/true)),
+            AppClass::kSKLoop);
+}
+
+TEST(Classify, SingleKernelWithMainLoopIsSKLoop) {
+  KernelGraph graph = KernelGraph::single("k");
+  graph.main_loop = true;
+  EXPECT_EQ(classify(graph), AppClass::kSKLoop);
+}
+
+TEST(Classify, KernelSequenceIsMKSeq) {
+  EXPECT_EQ(classify(KernelGraph::sequence({"a", "b", "c"})),
+            AppClass::kMKSeq);
+}
+
+TEST(Classify, LoopedSequenceIsMKLoop) {
+  EXPECT_EQ(classify(KernelGraph::sequence({"a", "b"}, /*main_loop=*/true)),
+            AppClass::kMKLoop);
+}
+
+TEST(Classify, BranchingFlowIsMKDag) {
+  KernelGraph graph;
+  graph.kernels = {{"a"}, {"b"}, {"c"}};
+  graph.flow = {{0, 1}, {0, 2}};  // fork
+  EXPECT_EQ(classify(graph), AppClass::kMKDag);
+}
+
+TEST(Classify, MergingFlowIsMKDag) {
+  KernelGraph graph;
+  graph.kernels = {{"a"}, {"b"}, {"c"}};
+  graph.flow = {{0, 2}, {1, 2}};  // join
+  EXPECT_EQ(classify(graph), AppClass::kMKDag);
+}
+
+TEST(Classify, DiamondIsMKDag) {
+  KernelGraph graph;
+  graph.kernels = {{"a"}, {"b"}, {"c"}, {"d"}};
+  graph.flow = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(classify(graph), AppClass::kMKDag);
+}
+
+TEST(Classify, DisconnectedKernelsAreMKDag) {
+  // Two independent kernels with no flow between them: not a chain.
+  KernelGraph graph;
+  graph.kernels = {{"a"}, {"b"}};
+  EXPECT_EQ(classify(graph), AppClass::kMKDag);
+}
+
+TEST(Classify, InnerKernelLoopDoesNotChangeMultiKernelClass) {
+  // Paper Section III-B: a loop around one kernel of a sequence is
+  // unfolded; the application stays MK-Seq.
+  KernelGraph graph = KernelGraph::sequence({"a", "b", "c"});
+  graph.kernels[1].inner_loop = true;
+  EXPECT_EQ(classify(graph), AppClass::kMKSeq);
+}
+
+TEST(Classify, NoKernelsRejected) {
+  KernelGraph graph;
+  EXPECT_THROW(classify(graph), InvalidArgument);
+}
+
+TEST(Classify, FlowCycleRejected) {
+  KernelGraph graph;
+  graph.kernels = {{"a"}, {"b"}};
+  graph.flow = {{0, 1}, {1, 0}};
+  EXPECT_THROW(classify(graph), InvalidArgument);
+}
+
+TEST(Classify, SelfEdgeRejected) {
+  KernelGraph graph;
+  graph.kernels = {{"a"}};
+  graph.flow = {{0, 0}};
+  EXPECT_THROW(classify(graph), InvalidArgument);
+}
+
+TEST(Classify, OutOfRangeEdgeRejected) {
+  KernelGraph graph;
+  graph.kernels = {{"a"}};
+  graph.flow = {{0, 3}};
+  EXPECT_THROW(classify(graph), InvalidArgument);
+}
+
+TEST(StructureAnalysis, ChainDetection) {
+  const StructureAnalysis seq =
+      analyze_structure(KernelGraph::sequence({"a", "b", "c"}));
+  EXPECT_TRUE(seq.is_chain);
+  EXPECT_FALSE(seq.has_branching);
+  EXPECT_EQ(seq.kernel_count, 3u);
+
+  KernelGraph fork;
+  fork.kernels = {{"a"}, {"b"}, {"c"}};
+  fork.flow = {{0, 1}, {0, 2}};
+  const StructureAnalysis forked = analyze_structure(fork);
+  EXPECT_FALSE(forked.is_chain);
+  EXPECT_TRUE(forked.has_branching);
+}
+
+TEST(StructureAnalysis, DuplicateEdgesDeduplicated) {
+  KernelGraph graph;
+  graph.kernels = {{"a"}, {"b"}};
+  graph.flow = {{0, 1}, {0, 1}};  // repeated edge must not look like a fork
+  const StructureAnalysis analysis = analyze_structure(graph);
+  EXPECT_TRUE(analysis.is_chain);
+  EXPECT_EQ(classify(graph), AppClass::kMKSeq);
+}
+
+TEST(AppClassName, AllNamed) {
+  EXPECT_STREQ(app_class_name(AppClass::kSKOne), "SK-One");
+  EXPECT_STREQ(app_class_name(AppClass::kSKLoop), "SK-Loop");
+  EXPECT_STREQ(app_class_name(AppClass::kMKSeq), "MK-Seq");
+  EXPECT_STREQ(app_class_name(AppClass::kMKLoop), "MK-Loop");
+  EXPECT_STREQ(app_class_name(AppClass::kMKDag), "MK-DAG");
+}
+
+}  // namespace
+}  // namespace hetsched::analyzer

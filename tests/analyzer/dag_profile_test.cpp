@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "analyzer/app_model.hpp"
+#include "analyzer/matchmaker.hpp"
+
+namespace hetsched::analyzer {
+namespace {
+
+KernelGraph diamond() {
+  KernelGraph graph;
+  graph.kernels = {{"a"}, {"b"}, {"c"}, {"d"}};
+  graph.flow = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  return graph;
+}
+
+TEST(DagProfile, ChainIsDeepAndNarrow) {
+  const DagProfile profile =
+      profile_dag(KernelGraph::sequence({"a", "b", "c", "d"}));
+  EXPECT_EQ(profile.depth, 4u);
+  EXPECT_EQ(profile.max_width, 1u);
+  EXPECT_DOUBLE_EQ(profile.parallelism, 1.0);
+  EXPECT_FALSE(profile.wide());
+}
+
+TEST(DagProfile, DiamondHasAWideMiddle) {
+  const DagProfile profile = profile_dag(diamond());
+  EXPECT_EQ(profile.depth, 3u);
+  EXPECT_EQ(profile.max_width, 2u);
+  EXPECT_EQ(profile.level_widths, (std::vector<std::size_t>{1, 2, 1}));
+  EXPECT_NEAR(profile.parallelism, 4.0 / 3.0, 1e-12);
+  EXPECT_TRUE(profile.wide());
+}
+
+TEST(DagProfile, IndependentKernelsAreOneWideLevel) {
+  KernelGraph graph;
+  graph.kernels = {{"a"}, {"b"}, {"c"}};
+  const DagProfile profile = profile_dag(graph);
+  EXPECT_EQ(profile.depth, 1u);
+  EXPECT_EQ(profile.max_width, 3u);
+  EXPECT_DOUBLE_EQ(profile.parallelism, 3.0);
+}
+
+TEST(DagProfile, LevelsUseLongestPath) {
+  // a -> b -> d and a -> d: d sits at level 2, not 1.
+  KernelGraph graph;
+  graph.kernels = {{"a"}, {"b"}, {"d"}};
+  graph.flow = {{0, 1}, {1, 2}, {0, 2}};
+  const DagProfile profile = profile_dag(graph);
+  EXPECT_EQ(profile.depth, 3u);
+  EXPECT_EQ(profile.level_widths, (std::vector<std::size_t>{1, 1, 1}));
+}
+
+TEST(DagProfile, BackwardIndexEdgesHandled) {
+  // Edges that point to a lower kernel INDEX (still acyclic).
+  KernelGraph graph;
+  graph.kernels = {{"sink"}, {"mid"}, {"source"}};
+  graph.flow = {{2, 1}, {1, 0}};
+  const DagProfile profile = profile_dag(graph);
+  EXPECT_EQ(profile.depth, 3u);
+  EXPECT_EQ(profile.max_width, 1u);
+}
+
+TEST(DagProfile, SingleKernel) {
+  const DagProfile profile = profile_dag(KernelGraph::single("k"));
+  EXPECT_EQ(profile.depth, 1u);
+  EXPECT_EQ(profile.max_width, 1u);
+}
+
+TEST(DagProfile, ExplainIncludesProfileForDags) {
+  AppDescriptor app;
+  app.name = "diamond";
+  app.structure = diamond();
+  const std::string text = Matchmaker{}.explain(app);
+  EXPECT_NE(text.find("DAG profile: depth 3, max width 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("SP-DAG"), std::string::npos);
+}
+
+TEST(DagProfile, ExplainOmitsProfileForNonDags) {
+  AppDescriptor app;
+  app.name = "seq";
+  app.structure = KernelGraph::sequence({"a", "b"});
+  EXPECT_EQ(Matchmaker{}.explain(app).find("DAG profile"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsched::analyzer

@@ -1,0 +1,94 @@
+#include "analyzer/matchmaker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetsched::analyzer {
+namespace {
+
+AppDescriptor make_app(KernelGraph graph,
+                       SyncReason sync = SyncReason::kNone) {
+  AppDescriptor app;
+  app.name = "app";
+  app.structure = std::move(graph);
+  app.sync = sync;
+  return app;
+}
+
+TEST(Matchmaker, SingleKernelSelectsSPSingle) {
+  const MatchResult result =
+      Matchmaker{}.match(make_app(KernelGraph::single("k")));
+  EXPECT_EQ(result.app_class, AppClass::kSKOne);
+  EXPECT_EQ(result.best, StrategyKind::kSPSingle);
+  EXPECT_FALSE(result.inter_kernel_sync);
+}
+
+TEST(Matchmaker, LoopedKernelSelectsSPSingle) {
+  const MatchResult result = Matchmaker{}.match(
+      make_app(KernelGraph::single("k", true), SyncReason::kRepartitioning));
+  EXPECT_EQ(result.app_class, AppClass::kSKLoop);
+  EXPECT_EQ(result.best, StrategyKind::kSPSingle);
+}
+
+TEST(Matchmaker, SequenceWithoutSyncSelectsSPUnified) {
+  const MatchResult result =
+      Matchmaker{}.match(make_app(KernelGraph::sequence({"a", "b", "c"})));
+  EXPECT_EQ(result.app_class, AppClass::kMKSeq);
+  EXPECT_EQ(result.best, StrategyKind::kSPUnified);
+}
+
+TEST(Matchmaker, SequenceWithSyncSelectsSPVaried) {
+  const MatchResult result = Matchmaker{}.match(make_app(
+      KernelGraph::sequence({"a", "b"}), SyncReason::kHostPostProcessing));
+  EXPECT_EQ(result.best, StrategyKind::kSPVaried);
+  EXPECT_TRUE(result.inter_kernel_sync);
+}
+
+TEST(Matchmaker, LoopedSequenceSelectsByScenario) {
+  EXPECT_EQ(Matchmaker{}
+                .match(make_app(KernelGraph::sequence({"a", "b"}, true)))
+                .best,
+            StrategyKind::kSPUnified);
+  EXPECT_EQ(Matchmaker{}
+                .match(make_app(KernelGraph::sequence({"a", "b"}, true),
+                                SyncReason::kRepartitioning))
+                .best,
+            StrategyKind::kSPVaried);
+}
+
+TEST(Matchmaker, DagSelectsDPPerf) {
+  KernelGraph dag;
+  dag.kernels = {{"a"}, {"b"}, {"c"}};
+  dag.flow = {{0, 1}, {0, 2}};
+  const MatchResult result = Matchmaker{}.match(make_app(std::move(dag)));
+  EXPECT_EQ(result.app_class, AppClass::kMKDag);
+  EXPECT_EQ(result.best, StrategyKind::kDPPerf);
+}
+
+TEST(Matchmaker, RankingAndRationalePopulated) {
+  const MatchResult result =
+      Matchmaker{}.match(make_app(KernelGraph::single("k")));
+  EXPECT_EQ(result.ranking.size(), 3u);
+  EXPECT_EQ(result.ranking.front(), result.best);
+  EXPECT_FALSE(result.rationale.empty());
+}
+
+TEST(Matchmaker, ExplainMentionsClassRankingAndSelection) {
+  AppDescriptor app = make_app(KernelGraph::sequence({"copy", "scale"}),
+                               SyncReason::kRepartitioning);
+  app.name = "mini-stream";
+  const std::string text = Matchmaker{}.explain(app);
+  EXPECT_NE(text.find("mini-stream"), std::string::npos);
+  EXPECT_NE(text.find("MK-Seq"), std::string::npos);
+  EXPECT_NE(text.find("SP-Varied"), std::string::npos);
+  EXPECT_NE(text.find("1.SP-Varied"), std::string::npos);
+  EXPECT_NE(text.find("reassembled"), std::string::npos);
+}
+
+TEST(Matchmaker, MalformedAppRejected) {
+  AppDescriptor app;
+  app.name = "broken";
+  EXPECT_THROW(Matchmaker{}.match(app), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hetsched::analyzer

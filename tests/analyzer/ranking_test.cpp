@@ -1,0 +1,126 @@
+#include "analyzer/ranking.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hetsched::analyzer {
+namespace {
+
+using K = StrategyKind;
+
+TEST(Ranking, TableIRowSKOne) {
+  EXPECT_EQ(ranked_strategies(AppClass::kSKOne, false),
+            (std::vector<K>{K::kSPSingle, K::kDPPerf, K::kDPDep}));
+}
+
+TEST(Ranking, TableIRowSKLoop) {
+  EXPECT_EQ(ranked_strategies(AppClass::kSKLoop, false),
+            (std::vector<K>{K::kSPSingle, K::kDPPerf, K::kDPDep}));
+  // Sync flag is irrelevant for single-kernel classes.
+  EXPECT_EQ(ranked_strategies(AppClass::kSKLoop, true),
+            ranked_strategies(AppClass::kSKLoop, false));
+}
+
+TEST(Ranking, TableIRowMKSeqWithoutSync) {
+  EXPECT_EQ(
+      ranked_strategies(AppClass::kMKSeq, false),
+      (std::vector<K>{K::kSPUnified, K::kDPPerf, K::kDPDep, K::kSPVaried}));
+}
+
+TEST(Ranking, TableIRowMKSeqWithSync) {
+  EXPECT_EQ(
+      ranked_strategies(AppClass::kMKSeq, true),
+      (std::vector<K>{K::kSPVaried, K::kDPPerf, K::kDPDep, K::kSPUnified}));
+}
+
+TEST(Ranking, TableIRowMKLoopMatchesMKSeq) {
+  EXPECT_EQ(ranked_strategies(AppClass::kMKLoop, false),
+            ranked_strategies(AppClass::kMKSeq, false));
+  EXPECT_EQ(ranked_strategies(AppClass::kMKLoop, true),
+            ranked_strategies(AppClass::kMKSeq, true));
+}
+
+TEST(Ranking, TableIRowMKDagIsDynamicOnly) {
+  const auto ranking = ranked_strategies(AppClass::kMKDag, false);
+  EXPECT_EQ(ranking, (std::vector<K>{K::kDPPerf, K::kDPDep}));
+  for (K kind : ranking) EXPECT_TRUE(is_dynamic_strategy(kind));
+}
+
+TEST(Ranking, DPPerfAlwaysRanksAboveDPDep) {
+  // Proposition 1 is universal.
+  for (AppClass cls : {AppClass::kSKOne, AppClass::kSKLoop, AppClass::kMKSeq,
+                       AppClass::kMKLoop, AppClass::kMKDag}) {
+    for (bool sync : {false, true}) {
+      const auto ranking = ranked_strategies(cls, sync);
+      const auto perf =
+          std::find(ranking.begin(), ranking.end(), K::kDPPerf);
+      const auto dep = std::find(ranking.begin(), ranking.end(), K::kDPDep);
+      ASSERT_NE(perf, ranking.end());
+      ASSERT_NE(dep, ranking.end());
+      EXPECT_LT(perf - ranking.begin(), dep - ranking.begin());
+    }
+  }
+}
+
+TEST(Ranking, StaticStrategyAlwaysFirstExceptDag) {
+  for (AppClass cls : {AppClass::kSKOne, AppClass::kSKLoop, AppClass::kMKSeq,
+                       AppClass::kMKLoop}) {
+    for (bool sync : {false, true}) {
+      EXPECT_TRUE(is_static_strategy(ranked_strategies(cls, sync).front()));
+    }
+  }
+  EXPECT_FALSE(
+      is_static_strategy(ranked_strategies(AppClass::kMKDag, false).front()));
+}
+
+TEST(RankingExpectation, StrictnessStructure) {
+  // The first relation (static best vs dynamic) is strict; dynamic pairs tie.
+  const RankingExpectation sk = ranking_expectation(AppClass::kSKOne, false);
+  ASSERT_EQ(sk.strict.size(), sk.order.size() - 1);
+  EXPECT_TRUE(sk.strict[0]);
+  EXPECT_FALSE(sk.strict[1]);
+
+  const RankingExpectation dag =
+      ranking_expectation(AppClass::kMKDag, false);
+  ASSERT_EQ(dag.strict.size(), 1u);
+  EXPECT_FALSE(dag.strict[0]);
+}
+
+TEST(Rationale, MentionsPropositions) {
+  EXPECT_NE(ranking_rationale(AppClass::kSKOne, false).find("Proposition 2"),
+            std::string::npos);
+  EXPECT_NE(ranking_rationale(AppClass::kMKSeq, false).find("Proposition 3"),
+            std::string::npos);
+  EXPECT_NE(ranking_rationale(AppClass::kMKSeq, true).find("Proposition 3"),
+            std::string::npos);
+  EXPECT_FALSE(ranking_rationale(AppClass::kMKDag, false).empty());
+}
+
+TEST(StrategyPredicates, Partition) {
+  for (K kind : {K::kSPSingle, K::kSPUnified, K::kSPVaried}) {
+    EXPECT_TRUE(is_static_strategy(kind));
+    EXPECT_FALSE(is_dynamic_strategy(kind));
+  }
+  for (K kind : {K::kDPPerf, K::kDPDep}) {
+    EXPECT_FALSE(is_static_strategy(kind));
+    EXPECT_TRUE(is_dynamic_strategy(kind));
+  }
+  for (K kind : {K::kOnlyCpu, K::kOnlyGpu}) {
+    EXPECT_FALSE(is_static_strategy(kind));
+    EXPECT_FALSE(is_dynamic_strategy(kind));
+  }
+}
+
+TEST(StrategyNames, AllNamed) {
+  EXPECT_STREQ(strategy_name(K::kSPSingle), "SP-Single");
+  EXPECT_STREQ(strategy_name(K::kSPUnified), "SP-Unified");
+  EXPECT_STREQ(strategy_name(K::kSPVaried), "SP-Varied");
+  EXPECT_STREQ(strategy_name(K::kDPPerf), "DP-Perf");
+  EXPECT_STREQ(strategy_name(K::kDPDep), "DP-Dep");
+  EXPECT_STREQ(strategy_name(K::kOnlyCpu), "Only-CPU");
+  EXPECT_STREQ(strategy_name(K::kOnlyGpu), "Only-GPU");
+}
+
+}  // namespace
+}  // namespace hetsched::analyzer

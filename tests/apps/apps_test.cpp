@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "analyzer/matchmaker.hpp"
+#include "apps/registry.hpp"
+#include "hw/platform.hpp"
+
+namespace hetsched::apps {
+namespace {
+
+class AppsTest : public ::testing::Test {
+ protected:
+  hw::PlatformSpec platform_ = hw::make_reference_platform();
+};
+
+TEST_F(AppsTest, PaperConfigsMatchTableII) {
+  EXPECT_EQ(paper_config(PaperApp::kMatrixMul).items, 6144);
+  EXPECT_EQ(paper_config(PaperApp::kBlackScholes).items, 80'530'632);
+  EXPECT_EQ(paper_config(PaperApp::kNbody).items, 1'048'576);
+  EXPECT_EQ(paper_config(PaperApp::kHotSpot).items, 8192);
+  EXPECT_EQ(paper_config(PaperApp::kStreamSeq).items, 62'914'560);
+  EXPECT_EQ(paper_config(PaperApp::kStreamSeq).iterations, 1);
+  EXPECT_GT(paper_config(PaperApp::kStreamLoop).iterations, 1);
+  for (PaperApp app : all_paper_apps())
+    EXPECT_FALSE(paper_config(app).functional);
+}
+
+TEST_F(AppsTest, ClassificationMatchesTableII) {
+  using analyzer::AppClass;
+  const std::map<PaperApp, AppClass> expected = {
+      {PaperApp::kMatrixMul, AppClass::kSKOne},
+      {PaperApp::kBlackScholes, AppClass::kSKOne},
+      {PaperApp::kNbody, AppClass::kSKLoop},
+      {PaperApp::kHotSpot, AppClass::kSKLoop},
+      {PaperApp::kStreamSeq, AppClass::kMKSeq},
+      {PaperApp::kStreamLoop, AppClass::kMKLoop},
+  };
+  for (const auto& [kind, cls] : expected) {
+    auto app = make_paper_app(kind, platform_, test_config(kind));
+    EXPECT_EQ(analyzer::classify(app->descriptor().structure), cls)
+        << paper_app_name(kind);
+  }
+}
+
+TEST_F(AppsTest, KernelCountsMatchStructure) {
+  for (PaperApp kind : all_paper_apps()) {
+    auto app = make_paper_app(kind, platform_, test_config(kind));
+    EXPECT_EQ(app->kernels().size(),
+              app->descriptor().structure.kernel_count())
+        << paper_app_name(kind);
+  }
+}
+
+TEST_F(AppsTest, SKLoopAppsSyncEachIteration) {
+  EXPECT_TRUE(make_paper_app(PaperApp::kNbody, platform_,
+                             test_config(PaperApp::kNbody))
+                  ->sync_each_iteration());
+  EXPECT_TRUE(make_paper_app(PaperApp::kHotSpot, platform_,
+                             test_config(PaperApp::kHotSpot))
+                  ->sync_each_iteration());
+  EXPECT_FALSE(make_paper_app(PaperApp::kStreamLoop, platform_,
+                              test_config(PaperApp::kStreamLoop))
+                   ->sync_each_iteration());
+}
+
+TEST_F(AppsTest, OneShotAppsRejectIterations) {
+  Application::Config config = test_config(PaperApp::kMatrixMul);
+  config.iterations = 3;
+  EXPECT_THROW(make_paper_app(PaperApp::kMatrixMul, platform_, config),
+               InvalidArgument);
+  config = test_config(PaperApp::kBlackScholes);
+  config.iterations = 2;
+  EXPECT_THROW(make_paper_app(PaperApp::kBlackScholes, platform_, config),
+               InvalidArgument);
+}
+
+TEST_F(AppsTest, InvalidConfigRejected) {
+  Application::Config config = test_config(PaperApp::kMatrixMul);
+  config.items = 0;
+  EXPECT_THROW(make_paper_app(PaperApp::kMatrixMul, platform_, config),
+               InvalidArgument);
+}
+
+TEST_F(AppsTest, BuildProgramEndsSynchronized) {
+  for (PaperApp kind : all_paper_apps()) {
+    auto app = make_paper_app(kind, platform_, test_config(kind));
+    const rt::Program program = app->build_program(
+        [&](rt::Program& p, std::size_t, rt::KernelId k) {
+          p.submit(k, 0, app->items(), hw::kCpuDevice);
+        },
+        false);
+    EXPECT_GE(program.taskwait_count(), 1u) << paper_app_name(kind);
+    // One submission per kernel per iteration.
+    EXPECT_EQ(program.task_count(),
+              app->kernels().size() * static_cast<std::size_t>(
+                                          app->iterations()))
+        << paper_app_name(kind);
+  }
+}
+
+TEST_F(AppsTest, SyncBetweenKernelsAddsBarriers) {
+  auto app = make_paper_app(PaperApp::kStreamSeq, platform_,
+                            test_config(PaperApp::kStreamSeq));
+  auto submit = [&](rt::Program& p, std::size_t, rt::KernelId k) {
+    p.submit(k, 0, app->items(), hw::kCpuDevice);
+  };
+  const rt::Program without = app->build_program(submit, false);
+  const rt::Program with = app->build_program(submit, true);
+  EXPECT_EQ(without.taskwait_count(), 1u);
+  EXPECT_EQ(with.taskwait_count(), 4u);  // 3 inter-kernel + final
+}
+
+TEST_F(AppsTest, VerifyFailsOnUntouchedData) {
+  // Functional apps initialized but never executed must fail verification
+  // (outputs are zero) — guards against vacuous verify() implementations.
+  for (PaperApp kind : all_paper_apps()) {
+    auto app = make_paper_app(kind, platform_, test_config(kind));
+    EXPECT_THROW(app->verify(), Error) << paper_app_name(kind);
+  }
+}
+
+TEST_F(AppsTest, TimingOnlyVerifyIsNoop) {
+  Application::Config config = test_config(PaperApp::kMatrixMul);
+  config.functional = false;
+  auto app = make_paper_app(PaperApp::kMatrixMul, platform_, config);
+  EXPECT_NO_THROW(app->verify());
+}
+
+TEST_F(AppsTest, PaperAppNamesAreStable) {
+  EXPECT_STREQ(paper_app_name(PaperApp::kMatrixMul), "MatrixMul");
+  EXPECT_STREQ(paper_app_name(PaperApp::kStreamLoop), "STREAM-Loop");
+  EXPECT_EQ(all_paper_apps().size(), 6u);
+}
+
+}  // namespace
+}  // namespace hetsched::apps

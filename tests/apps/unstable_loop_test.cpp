@@ -1,0 +1,83 @@
+#include "apps/unstable_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analyzer/matchmaker.hpp"
+#include "hw/platform.hpp"
+#include "strategies/strategy_runner.hpp"
+
+namespace hetsched::apps {
+namespace {
+
+using analyzer::StrategyKind;
+
+Application::Config small_config() {
+  Application::Config config;
+  config.items = 4096;
+  config.iterations = 4;  // sweeps
+  config.functional = true;
+  return config;
+}
+
+TEST(UnstableLoop, ConvertsToMKSeq) {
+  // The paper's rule: each unstable iteration becomes its own kernel.
+  UnstableLoopApp app(hw::make_reference_platform(), small_config());
+  EXPECT_EQ(analyzer::classify(app.descriptor().structure),
+            analyzer::AppClass::kMKSeq);
+  EXPECT_EQ(app.kernels().size(), 4u);
+}
+
+TEST(UnstableLoop, MatchmakerSelectsSPVaried) {
+  // With its per-sweep host processing, the analyzer lands on SP-Varied —
+  // per-kernel (= per-iteration) splits.
+  UnstableLoopApp app(hw::make_reference_platform(), small_config());
+  EXPECT_EQ(analyzer::Matchmaker{}.match(app.descriptor()).best,
+            StrategyKind::kSPVaried);
+}
+
+TEST(UnstableLoop, GpuEfficiencyDecaysMonotonically) {
+  double previous = 1.0;
+  for (int t = 0; t < 8; ++t) {
+    const double eff = UnstableLoopApp::gpu_efficiency_at(t, 8);
+    EXPECT_LT(eff, previous);
+    EXPECT_GT(eff, 0.0);
+    previous = eff;
+  }
+}
+
+TEST(UnstableLoop, SPVariedTracksTheDrift) {
+  UnstableLoopApp app(hw::make_reference_platform(), small_config());
+  strategies::StrategyOptions options;
+  options.sync_between_kernels = true;
+  strategies::StrategyRunner runner(app, options);
+  const auto result = runner.run(StrategyKind::kSPVaried);
+  // GPU shares decrease sweep over sweep (allowing warp-rounding jitter).
+  const auto& shares = result.gpu_fraction_per_kernel;
+  ASSERT_EQ(shares.size(), 4u);
+  EXPECT_GT(shares.front(), shares.back());
+  app.verify();
+}
+
+TEST(UnstableLoop, AllStrategiesVerifyFunctionally) {
+  for (StrategyKind kind :
+       {StrategyKind::kSPVaried, StrategyKind::kSPUnified,
+        StrategyKind::kDPPerf, StrategyKind::kDPDep, StrategyKind::kOnlyCpu,
+        StrategyKind::kOnlyGpu}) {
+    UnstableLoopApp app(hw::make_reference_platform(), small_config());
+    strategies::StrategyOptions options;
+    options.sync_between_kernels = true;
+    strategies::StrategyRunner runner(app, options);
+    runner.run(kind);
+    app.verify();
+  }
+}
+
+TEST(UnstableLoop, RequiresAtLeastTwoSweeps) {
+  Application::Config config = small_config();
+  config.iterations = 1;
+  EXPECT_THROW(UnstableLoopApp(hw::make_reference_platform(), config),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hetsched::apps

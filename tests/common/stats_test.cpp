@@ -1,0 +1,82 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetsched {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, Reset) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Ema, FirstSampleIsValue) {
+  Ema ema(0.3);
+  EXPECT_FALSE(ema.has_value());
+  ema.add(10.0);
+  EXPECT_TRUE(ema.has_value());
+  EXPECT_DOUBLE_EQ(ema.value(), 10.0);
+}
+
+TEST(Ema, BlendsTowardNewSamples) {
+  Ema ema(0.5);
+  ema.add(0.0);
+  ema.add(10.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 5.0);
+  ema.add(10.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 7.5);
+}
+
+TEST(Ema, AlphaOneTracksExactly) {
+  Ema ema(1.0);
+  ema.add(3.0);
+  ema.add(8.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 8.0);
+}
+
+TEST(Ema, RejectsBadAlpha) {
+  EXPECT_THROW(Ema(0.0), InvalidArgument);
+  EXPECT_THROW(Ema(1.5), InvalidArgument);
+}
+
+TEST(Means, GeometricAndArithmetic) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(arithmetic_mean({4.0, 1.0}), 2.5);
+  EXPECT_THROW(geometric_mean({}), InvalidArgument);
+  EXPECT_THROW(geometric_mean({1.0, -1.0}), InvalidArgument);
+  EXPECT_THROW(arithmetic_mean({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,48 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW(Table({}), InvalidArgument);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, AsciiAlignment) {
+  Table t({"app", "time"});
+  t.add_row({"matrixmul", "123.4"});
+  t.add_row({"nbody", "7.0"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("app        time"), std::string::npos);
+  EXPECT_NE(out.find("matrixmul  123.4"), std::string::npos);
+  EXPECT_NE(out.find("nbody"), std::string::npos);
+  // Separator line under the header.
+  EXPECT_NE(out.find("---------  -----"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RowAccessors) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 1u);
+  EXPECT_EQ(t.row(1)[0], "2");
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,38 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(SimTimeConversions, RoundTrip) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_millis(2.5), 2 * kMillisecond + 500 * kMicrosecond);
+  EXPECT_EQ(from_micros(3.0), 3 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_millis(kMillisecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_micros(kMicrosecond), 1.0);
+}
+
+TEST(SimTimeConversions, NegativeClampsToZero) {
+  EXPECT_EQ(from_seconds(-1.0), 0);
+  EXPECT_EQ(from_millis(-0.001), 0);
+}
+
+TEST(SimTimeConversions, RoundsToNearestNanosecond) {
+  EXPECT_EQ(from_seconds(1e-9), 1);
+  EXPECT_EQ(from_seconds(1.4e-9), 1);
+  EXPECT_EQ(from_seconds(1.6e-9), 2);
+}
+
+TEST(FormatTime, UnitSelection) {
+  EXPECT_EQ(format_time(500), "500 ns");
+  EXPECT_EQ(format_time(15 * kMicrosecond), "15.00 us");
+  EXPECT_EQ(format_time(12 * kMillisecond), "12.00 ms");
+  EXPECT_EQ(format_time(90 * kSecond), "90.00 s");
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,163 @@
+#include "glinda/multi_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/matrixmul.hpp"
+#include "hw/platform.hpp"
+#include "strategies/strategy_runner.hpp"
+
+namespace hetsched::glinda {
+namespace {
+
+DeviceProfile profile(double seconds_per_item, double fixed = 0.0) {
+  DeviceProfile p;
+  p.seconds_per_item = seconds_per_item;
+  p.fixed_seconds = fixed;
+  return p;
+}
+
+MultiDeviceEstimate three_devices(double cpu, double acc1, double acc2) {
+  MultiDeviceEstimate estimate;
+  estimate.devices = {profile(cpu), profile(acc1), profile(acc2)};
+  estimate.link_bytes_per_second = 6e9;
+  estimate.transfer_on_critical_path = false;
+  return estimate;
+}
+
+TEST(MultiPartition, IdenticalAcceleratorsSplitEvenly) {
+  MultiPartitionModel model;
+  const auto decision =
+      model.solve(three_devices(1e-6, 1e-7, 1e-7), 1'000'000);
+  // Shares ~ 1/tau: CPU 1 : acc 10 : acc 10 -> ~4.8% / 47.6% / 47.6%.
+  EXPECT_NEAR(decision.share(1, 1'000'000), decision.share(2, 1'000'000),
+              0.01);
+  EXPECT_NEAR(decision.share(0, 1'000'000), 1.0 / 21.0, 0.01);
+  const std::int64_t total = std::accumulate(
+      decision.items_per_device.begin(), decision.items_per_device.end(),
+      std::int64_t{0});
+  EXPECT_EQ(total, 1'000'000);
+}
+
+TEST(MultiPartition, FasterAcceleratorGetsMore) {
+  MultiPartitionModel model;
+  const auto decision =
+      model.solve(three_devices(1e-6, 1e-7, 2e-7), 1'000'000);
+  EXPECT_GT(decision.items_per_device[1], decision.items_per_device[2]);
+}
+
+TEST(MultiPartition, TwoDeviceCaseMatchesPairwiseSolver) {
+  // With one accelerator the multi solver must agree with PartitionModel.
+  MultiDeviceEstimate multi;
+  multi.devices = {profile(1e-6), profile(1e-7)};
+  multi.link_bytes_per_second = 6e9;
+  multi.transfer_on_critical_path = false;
+  MultiPartitionModel multi_model;
+  const auto multi_decision = multi_model.solve(multi, 1'000'000);
+
+  KernelEstimate pair;
+  pair.cpu = profile(1e-6);
+  pair.gpu = profile(1e-7);
+  pair.link_bytes_per_second = 6e9;
+  pair.transfer_on_critical_path = false;
+  PartitionModel pair_model;
+  const auto pair_decision = pair_model.solve(pair, 1'000'000);
+
+  EXPECT_NEAR(static_cast<double>(multi_decision.items_per_device[1]),
+              static_cast<double>(pair_decision.gpu_items), 64.0);
+}
+
+TEST(MultiPartition, TransfersShrinkAcceleratorShares) {
+  MultiDeviceEstimate estimate = three_devices(1e-6, 1e-7, 1e-7);
+  estimate.transfer_on_critical_path = true;
+  for (std::size_t d = 1; d < 3; ++d) {
+    estimate.devices[d].h2d_bytes_per_item = 4.0;
+    estimate.devices[d].d2h_bytes_per_item = 4.0;
+  }
+  MultiPartitionModel model;
+  const auto with = model.solve(estimate, 1'000'000);
+  const auto without =
+      model.solve(three_devices(1e-6, 1e-7, 1e-7), 1'000'000);
+  EXPECT_LT(with.items_per_device[1], without.items_per_device[1]);
+  EXPECT_GT(with.items_per_device[0], without.items_per_device[0]);
+}
+
+TEST(MultiPartition, NegligibleDeviceIsDropped) {
+  // Accelerator 2 is 1000x slower than accelerator 1: its share falls
+  // under min_share and it is cut out entirely.
+  MultiPartitionModel model;
+  const auto decision =
+      model.solve(three_devices(1e-4, 1e-7, 1e-10 * 1e3), 1'000'000);
+  (void)decision;
+  const auto slow = model.solve(three_devices(1e-4, 1e-7, 1e-4), 100'000);
+  // CPU and the slow accelerator have equal speed (~0.1% share each beside
+  // the fast one) -> both dropped; everything lands on device 1.
+  EXPECT_EQ(slow.items_per_device[1], 100'000);
+}
+
+TEST(MultiPartition, FixedCostsRespected) {
+  MultiDeviceEstimate estimate = three_devices(1e-6, 1e-7, 1e-7);
+  estimate.devices[1].fixed_seconds = 0.05;  // expensive start-up
+  MultiPartitionModel model;
+  const auto decision = model.solve(estimate, 1'000'000);
+  EXPECT_LT(decision.items_per_device[1], decision.items_per_device[2]);
+}
+
+TEST(MultiPartition, GranularityRoundingApplied) {
+  MultiPartitionModel model;
+  const auto decision =
+      model.solve(three_devices(1e-6, 1e-7, 1.5e-7), 999'983);
+  EXPECT_EQ(decision.items_per_device[1] % 32, 0);
+  EXPECT_EQ(decision.items_per_device[2] % 32, 0);
+}
+
+TEST(MultiPartition, PredictionMatchesAssignment) {
+  MultiPartitionModel model;
+  const MultiDeviceEstimate estimate = three_devices(1e-6, 1e-7, 2e-7);
+  const auto decision = model.solve(estimate, 1'000'000);
+  EXPECT_NEAR(decision.predicted_seconds,
+              model.predict_seconds(estimate, decision.items_per_device),
+              1e-12);
+  // Balanced: the split beats giving everything to the fastest device.
+  std::vector<std::int64_t> all_on_one(3, 0);
+  all_on_one[1] = 1'000'000;
+  EXPECT_LT(decision.predicted_seconds,
+            model.predict_seconds(estimate, all_on_one));
+}
+
+TEST(MultiPartition, RejectsBadInput) {
+  MultiPartitionModel model;
+  MultiDeviceEstimate empty;
+  EXPECT_THROW(model.solve(empty, 100), InvalidArgument);
+  MultiDeviceEstimate bad = three_devices(1e-6, 0.0, 1e-7);
+  EXPECT_THROW(model.solve(bad, 100), InvalidArgument);
+}
+
+/// Integration: SP-Single on the dual-GPU platform splits across both GPUs
+/// and beats the single-GPU platform on a GPU-friendly workload.
+TEST(MultiPartitionIntegration, DualGpuBeatsSingleGpuOnMatrixMul) {
+  apps::Application::Config config;
+  config.items = 768;
+  config.iterations = 1;
+  config.functional = true;
+
+  apps::MatrixMulApp single(hw::make_reference_platform(), config);
+  strategies::StrategyRunner single_runner(single);
+  const auto single_result =
+      single_runner.run(analyzer::StrategyKind::kSPSingle);
+
+  apps::MatrixMulApp dual(hw::make_dual_gpu_platform(), config);
+  strategies::StrategyRunner dual_runner(dual);
+  const auto dual_result =
+      dual_runner.run(analyzer::StrategyKind::kSPSingle);
+
+  ASSERT_TRUE(dual_result.multi_decision.has_value());
+  EXPECT_GT(dual_result.multi_decision->items_per_device[1], 0);
+  EXPECT_GT(dual_result.multi_decision->items_per_device[2], 0);
+  EXPECT_LT(dual_result.report.makespan, single_result.report.makespan);
+  dual.verify();  // results stay correct across three devices
+}
+
+}  // namespace
+}  // namespace hetsched::glinda

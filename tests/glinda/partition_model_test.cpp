@@ -1,0 +1,231 @@
+#include "glinda/partition_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hetsched::glinda {
+namespace {
+
+/// A hand-built estimate: CPU 1 us/item, GPU 0.1 us/item, no transfers.
+KernelEstimate simple_estimate(double cpu_spi = 1e-6, double gpu_spi = 1e-7) {
+  KernelEstimate estimate;
+  estimate.cpu.seconds_per_item = cpu_spi;
+  estimate.gpu.seconds_per_item = gpu_spi;
+  estimate.link_bytes_per_second = 6e9;
+  estimate.transfer_on_critical_path = false;
+  return estimate;
+}
+
+TEST(PartitionModel, BalancesInverseToSpeed) {
+  // GPU 10x faster: beta = tc / (tc + tg) = 1 / 1.1 ~ 0.909.
+  PartitionModel model;
+  const PartitionDecision decision =
+      model.solve(simple_estimate(), 1'000'000);
+  EXPECT_EQ(decision.config, HardwareConfig::kPartition);
+  EXPECT_NEAR(decision.beta, 1.0 / 1.1, 1e-9);
+  EXPECT_EQ(decision.gpu_items + decision.cpu_items, 1'000'000);
+}
+
+TEST(PartitionModel, EqualDevicesSplitInHalf) {
+  PartitionModel model;
+  const PartitionDecision decision =
+      model.solve(simple_estimate(1e-6, 1e-6), 1'000'000);
+  EXPECT_NEAR(decision.beta, 0.5, 1e-9);
+}
+
+TEST(PartitionModel, TransferOnCriticalPathShrinksGpuShare) {
+  KernelEstimate with_transfer = simple_estimate();
+  with_transfer.transfer_on_critical_path = true;
+  with_transfer.gpu.h2d_bytes_per_item = 4.0;
+  with_transfer.gpu.d2h_bytes_per_item = 4.0;
+  PartitionModel model;
+  const double beta_no_transfer =
+      model.solve(simple_estimate(), 1'000'000).beta;
+  const double beta_with =
+      model.solve(with_transfer, 1'000'000).beta;
+  EXPECT_LT(beta_with, beta_no_transfer);
+}
+
+TEST(PartitionModel, GpuItemsRoundedToWarpMultiple) {
+  PartitionOptions options;
+  options.gpu_granularity = 32;
+  PartitionModel model(options);
+  const PartitionDecision decision = model.solve(simple_estimate(), 100'000);
+  EXPECT_EQ(decision.gpu_items % 32, 0);
+  EXPECT_EQ(decision.gpu_items + decision.cpu_items, 100'000);
+}
+
+TEST(PartitionModel, TinyCpuShareCollapsesToOnlyGpu) {
+  // GPU 1000x faster: CPU share ~0.1% < min_share 2% -> Only-GPU.
+  PartitionModel model;
+  const PartitionDecision decision =
+      model.solve(simple_estimate(1e-6, 1e-9), 1'000'000);
+  EXPECT_EQ(decision.config, HardwareConfig::kOnlyGpu);
+  EXPECT_EQ(decision.gpu_items, 1'000'000);
+  EXPECT_EQ(decision.cpu_items, 0);
+}
+
+TEST(PartitionModel, TinyGpuShareCollapsesToOnlyCpu) {
+  PartitionModel model;
+  const PartitionDecision decision =
+      model.solve(simple_estimate(1e-9, 1e-6), 1'000'000);
+  EXPECT_EQ(decision.config, HardwareConfig::kOnlyCpu);
+  EXPECT_EQ(decision.cpu_items, 1'000'000);
+}
+
+TEST(PartitionModel, FixedGpuCostShiftsWorkToCpu) {
+  KernelEstimate with_fixed = simple_estimate();
+  with_fixed.gpu.fixed_seconds = 0.01;  // 10 ms launch tax
+  PartitionModel model;
+  const double beta_plain = model.solve(simple_estimate(), 100'000).beta;
+  const double beta_fixed = model.solve(with_fixed, 100'000).beta;
+  EXPECT_LT(beta_fixed, beta_plain);
+}
+
+TEST(PartitionModel, FixedCostAmortizesWithProblemSize) {
+  KernelEstimate with_fixed = simple_estimate();
+  with_fixed.gpu.fixed_seconds = 0.01;
+  PartitionModel model;
+  const double beta_small = model.solve(with_fixed, 100'000).beta;
+  const double beta_large = model.solve(with_fixed, 100'000'000).beta;
+  EXPECT_GT(beta_large, beta_small);
+}
+
+TEST(PartitionModel, PredictedTimesAreConsistent) {
+  PartitionModel model;
+  const KernelEstimate estimate = simple_estimate();
+  const std::int64_t n = 1'000'000;
+  const PartitionDecision decision = model.solve(estimate, n);
+  // The balanced split beats both single-device predictions.
+  EXPECT_LT(decision.predicted_partition_seconds,
+            decision.predicted_cpu_seconds);
+  EXPECT_LT(decision.predicted_partition_seconds,
+            decision.predicted_gpu_seconds);
+  // And equals the max of the two sides by construction.
+  EXPECT_NEAR(decision.predicted_partition_seconds,
+              model.predict_split_seconds(estimate, decision.gpu_items,
+                                          decision.cpu_items),
+              1e-12);
+}
+
+TEST(PartitionModel, RejectsBadInputs) {
+  PartitionModel model;
+  EXPECT_THROW(model.solve(simple_estimate(), 0), InvalidArgument);
+  KernelEstimate bad = simple_estimate();
+  bad.cpu.seconds_per_item = 0.0;
+  EXPECT_THROW(model.solve(bad, 100), InvalidArgument);
+}
+
+TEST(Metrics, RelativeCapabilityAndGap) {
+  KernelEstimate estimate = simple_estimate();  // GPU 10x CPU
+  estimate.transfer_on_critical_path = true;
+  estimate.gpu.h2d_bytes_per_item = 3.0;
+  estimate.gpu.d2h_bytes_per_item = 3.0;  // 6 B / 6 GB/s = 1 ns/item
+  const PartitionMetrics metrics = derive_metrics(estimate);
+  EXPECT_NEAR(metrics.relative_capability, 10.0, 1e-9);
+  // transfer 1 ns/item over gpu compute 100 ns/item = 0.01.
+  EXPECT_NEAR(metrics.compute_transfer_gap, 0.01, 1e-9);
+}
+
+TEST(Metrics, NoTransferMeansZeroGap) {
+  const PartitionMetrics metrics = derive_metrics(simple_estimate());
+  EXPECT_EQ(metrics.compute_transfer_gap, 0.0);
+}
+
+TEST(WeightedSolver, UniformWeightsMatchUniformSolver) {
+  PartitionModel model;
+  const KernelEstimate estimate = simple_estimate();
+  const std::int64_t n = 100'000;
+  const PartitionDecision uniform = model.solve(estimate, n);
+  const PartitionDecision weighted = model.solve_weighted(
+      estimate, n, [](std::int64_t i) { return static_cast<double>(i); });
+  EXPECT_NEAR(weighted.beta, uniform.beta, 0.01);
+}
+
+TEST(WeightedSolver, FrontLoadedWorkShrinksGpuHead) {
+  // Triangular workload: item i costs (n - i); the head [0, p) is heavy, so
+  // equalizing finish times needs fewer head items on the GPU than the
+  // uniform split would take.
+  PartitionModel model;
+  const KernelEstimate estimate = simple_estimate(1e-6, 1e-6);  // equal
+  const std::int64_t n = 100'000;
+  auto prefix = [n](std::int64_t p) {
+    // sum_{i<p} (n - i) = p*n - p(p-1)/2
+    const double pd = static_cast<double>(p);
+    return pd * static_cast<double>(n) - pd * (pd - 1.0) / 2.0;
+  };
+  const PartitionDecision decision = model.solve_weighted(estimate, n, prefix);
+  // Equal devices: the GPU head holds half the WEIGHT, i.e. fewer than half
+  // the ITEMS (the head is heavy): p solves p*n - p^2/2 = total/2.
+  EXPECT_LT(decision.gpu_items, n / 2);
+  EXPECT_GT(decision.gpu_items, n / 4);
+  // Weighted halves: W(p) ~ total/2.
+  EXPECT_NEAR(prefix(decision.gpu_items) / prefix(n), 0.5, 0.02);
+}
+
+TEST(WeightedSolver, AllWeightAtFrontGoesToBoundary) {
+  PartitionModel model;
+  const KernelEstimate estimate = simple_estimate(1e-6, 1e-12);
+  // GPU overwhelmingly faster: takes (almost) everything.
+  const PartitionDecision decision = model.solve_weighted(
+      estimate, 10'000,
+      [](std::int64_t i) { return static_cast<double>(i); });
+  EXPECT_EQ(decision.config, HardwareConfig::kOnlyGpu);
+}
+
+TEST(WeightedSolver, RejectsBadInputs) {
+  PartitionModel model;
+  EXPECT_THROW(
+      model.solve_weighted(simple_estimate(), 100, nullptr),
+      InvalidArgument);
+  EXPECT_THROW(model.solve_weighted(simple_estimate(), 100,
+                                    [](std::int64_t) { return 0.0; }),
+               InvalidArgument);
+}
+
+TEST(HardwareConfigName, Names) {
+  EXPECT_STREQ(hardware_config_name(HardwareConfig::kOnlyCpu), "Only-CPU");
+  EXPECT_STREQ(hardware_config_name(HardwareConfig::kOnlyGpu), "Only-GPU");
+  EXPECT_STREQ(hardware_config_name(HardwareConfig::kPartition), "CPU+GPU");
+}
+
+/// Property sweep: beta is monotonically increasing in the relative
+/// hardware capability R and decreasing in the compute-transfer gap.
+class PartitionMonotonicity
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(PartitionMonotonicity, BetaRespondsToMetrics) {
+  const auto [relative_capability, transfer_bytes] = GetParam();
+  PartitionModel model;
+  const std::int64_t n = 1'000'000;
+
+  KernelEstimate estimate = simple_estimate(1e-6, 1e-6 / relative_capability);
+  estimate.transfer_on_critical_path = true;
+  estimate.gpu.h2d_bytes_per_item = transfer_bytes;
+  const double beta = model.solve(estimate, n).beta;
+
+  // More capable GPU -> larger share.
+  KernelEstimate faster = estimate;
+  faster.gpu.seconds_per_item /= 2.0;
+  EXPECT_GE(model.solve(faster, n).beta, beta);
+
+  // More transfer -> smaller share.
+  KernelEstimate heavier = estimate;
+  heavier.gpu.h2d_bytes_per_item += 16.0;
+  EXPECT_LE(model.solve(heavier, n).beta, beta);
+
+  // Conservation and bounds always hold.
+  const PartitionDecision decision = model.solve(estimate, n);
+  EXPECT_EQ(decision.gpu_items + decision.cpu_items, n);
+  EXPECT_GE(decision.beta, 0.0);
+  EXPECT_LE(decision.beta, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MetricGrid, PartitionMonotonicity,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 2.0, 8.0, 32.0),
+                       ::testing::Values(0.0, 1.0, 8.0, 64.0)));
+
+}  // namespace
+}  // namespace hetsched::glinda

@@ -1,0 +1,149 @@
+#include "hw/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hw/platform.hpp"
+
+namespace hetsched::hw {
+namespace {
+
+KernelTraits compute_bound_kernel() {
+  KernelTraits k;
+  k.name = "compute-bound";
+  k.flops_per_item = 1000.0;
+  k.device_bytes_per_item = 4.0;
+  k.cpu_compute_efficiency = 0.5;
+  k.gpu_compute_efficiency = 0.5;
+  return k;
+}
+
+KernelTraits memory_bound_kernel() {
+  KernelTraits k;
+  k.name = "memory-bound";
+  k.flops_per_item = 1.0;
+  k.device_bytes_per_item = 1000.0;
+  k.cpu_memory_efficiency = 0.8;
+  k.gpu_memory_efficiency = 0.8;
+  return k;
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  PlatformSpec platform_ = make_reference_platform();
+  RooflineCostModel model_;
+};
+
+TEST_F(CostModelTest, ZeroItemsIsFree) {
+  EXPECT_EQ(model_.lane_compute_time(compute_bound_kernel(), platform_.cpu, 0),
+            0);
+}
+
+TEST_F(CostModelTest, NegativeItemsRejected) {
+  EXPECT_THROW(
+      model_.lane_compute_time(compute_bound_kernel(), platform_.cpu, -1),
+      InvalidArgument);
+}
+
+TEST_F(CostModelTest, ComputeBoundTimeMatchesAnalyticFormula) {
+  const KernelTraits k = compute_bound_kernel();
+  const std::int64_t items = 1'000'000;
+  // time = items * flops / (eff * lane_peak)
+  const double expected =
+      items * k.flops_per_item /
+      (0.5 * platform_.cpu.lane_peak_flops(Precision::kSingle));
+  const SimTime t = model_.lane_compute_time(k, platform_.cpu, items);
+  EXPECT_NEAR(to_seconds(t), expected, expected * 1e-9);
+}
+
+TEST_F(CostModelTest, MemoryBoundTimeMatchesAnalyticFormula) {
+  const KernelTraits k = memory_bound_kernel();
+  const std::int64_t items = 1'000'000;
+  const double expected =
+      items * k.device_bytes_per_item /
+      (0.8 * platform_.cpu.lane_bandwidth_bytes());
+  const SimTime t = model_.lane_compute_time(k, platform_.cpu, items);
+  EXPECT_NEAR(to_seconds(t), expected, expected * 1e-9);
+}
+
+TEST_F(CostModelTest, RooflineTakesTheMax) {
+  KernelTraits k = compute_bound_kernel();
+  const SimTime flop_only = model_.lane_compute_time(k, platform_.cpu, 1000);
+  k.device_bytes_per_item = 1e9;  // force memory dominance
+  const SimTime mem_dominated = model_.lane_compute_time(k, platform_.cpu, 1000);
+  EXPECT_GT(mem_dominated, flop_only);
+}
+
+TEST_F(CostModelTest, GpuFasterThanCpuLaneForComputeBound) {
+  const KernelTraits k = compute_bound_kernel();
+  const SimTime cpu_lane =
+      model_.lane_compute_time(k, platform_.cpu, 100000);
+  const SimTime gpu =
+      model_.lane_compute_time(k, platform_.accelerators[0], 100000);
+  // Whole GPU vs one CPU lane: ~110x at equal efficiency.
+  EXPECT_GT(cpu_lane, 50 * gpu);
+}
+
+TEST_F(CostModelTest, InstanceTimeAddsLaunchOverhead) {
+  const KernelTraits k = compute_bound_kernel();
+  const DeviceSpec& gpu = platform_.accelerators[0];
+  EXPECT_EQ(model_.instance_time(k, gpu, 1000),
+            gpu.launch_overhead + model_.lane_compute_time(k, gpu, 1000));
+}
+
+TEST_F(CostModelTest, DeviceItemRateScalesWithLanes) {
+  const KernelTraits k = compute_bound_kernel();
+  const double lane_rate = model_.lane_item_rate(k, platform_.cpu);
+  const double device_rate = model_.device_item_rate(k, platform_.cpu);
+  EXPECT_DOUBLE_EQ(device_rate, 12.0 * lane_rate);
+}
+
+TEST_F(CostModelTest, ItemRateConsistentWithComputeTime) {
+  const KernelTraits k = memory_bound_kernel();
+  const std::int64_t items = 10'000'000;
+  const double rate = model_.lane_item_rate(k, platform_.cpu);
+  const SimTime t = model_.lane_compute_time(k, platform_.cpu, items);
+  EXPECT_NEAR(to_seconds(t), items / rate, 1e-6);
+}
+
+TEST_F(CostModelTest, TransferTimeIsLatencyPlusSize) {
+  const LinkSpec& link = platform_.link;  // 6 GB/s, 10 us
+  EXPECT_EQ(model_.transfer_time(link, 0), 0);
+  const SimTime t = model_.transfer_time(link, 6e9);
+  EXPECT_EQ(t, link.latency + kSecond);
+}
+
+TEST_F(CostModelTest, TransferRejectsNegativeBytes) {
+  EXPECT_THROW(model_.transfer_time(platform_.link, -1.0), InvalidArgument);
+}
+
+TEST_F(CostModelTest, DoublePrecisionSlowerOnGpu) {
+  KernelTraits k = compute_bound_kernel();
+  const DeviceSpec& gpu = platform_.accelerators[0];
+  const SimTime sp = model_.lane_compute_time(k, gpu, 100000);
+  k.precision = Precision::kDouble;
+  const SimTime dp = model_.lane_compute_time(k, gpu, 100000);
+  EXPECT_NEAR(static_cast<double>(dp) / static_cast<double>(sp),
+              3519.3 / 1173.1, 0.01);
+}
+
+TEST(KernelTraitsValidate, CatchesBadEfficiency) {
+  KernelTraits k;
+  k.name = "k";
+  k.flops_per_item = 1.0;
+  k.cpu_compute_efficiency = 0.0;
+  EXPECT_THROW(k.validate(), InvalidArgument);
+  k.cpu_compute_efficiency = 1.5;
+  EXPECT_THROW(k.validate(), InvalidArgument);
+}
+
+TEST(KernelTraitsValidate, RequiresSomeWork) {
+  KernelTraits k;
+  k.name = "k";
+  k.flops_per_item = 0.0;
+  k.device_bytes_per_item = 0.0;
+  EXPECT_THROW(k.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hetsched::hw

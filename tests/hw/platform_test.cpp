@@ -1,0 +1,146 @@
+#include "hw/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hw/cost_model.hpp"
+
+namespace hetsched::hw {
+namespace {
+
+TEST(ReferencePlatform, MatchesPaperTable3) {
+  const PlatformSpec p = make_reference_platform();
+  EXPECT_EQ(p.cpu.name, "Intel Xeon E5-2620");
+  EXPECT_EQ(p.cpu.cores, 6);
+  EXPECT_EQ(p.cpu.lanes, 12);  // HT enabled
+  EXPECT_DOUBLE_EQ(p.cpu.frequency_ghz, 2.0);
+  EXPECT_DOUBLE_EQ(p.cpu.peak_sp_gflops, 384.0);
+  EXPECT_DOUBLE_EQ(p.cpu.peak_dp_gflops, 192.0);
+  EXPECT_DOUBLE_EQ(p.cpu.mem_bandwidth_gbs, 42.6);
+
+  ASSERT_EQ(p.accelerators.size(), 1u);
+  const DeviceSpec& gpu = p.accelerators[0];
+  EXPECT_EQ(gpu.cls, DeviceClass::kGpu);
+  EXPECT_EQ(gpu.cores, 13);  // SMX count
+  EXPECT_DOUBLE_EQ(gpu.frequency_ghz, 0.705);
+  EXPECT_DOUBLE_EQ(gpu.peak_sp_gflops, 3519.3);
+  EXPECT_DOUBLE_EQ(gpu.peak_dp_gflops, 1173.1);
+  EXPECT_DOUBLE_EQ(gpu.mem_bandwidth_gbs, 208.0);
+  EXPECT_DOUBLE_EQ(gpu.mem_capacity_gb, 5.0);
+  EXPECT_EQ(gpu.partition_granularity, 32);  // warp size
+}
+
+TEST(ReferencePlatform, DeviceOrderingCpuFirst) {
+  const PlatformSpec p = make_reference_platform();
+  const auto devices = p.all_devices();
+  ASSERT_EQ(devices.size(), 2u);
+  EXPECT_EQ(devices[kCpuDevice].cls, DeviceClass::kCpu);
+  EXPECT_EQ(devices[1].cls, DeviceClass::kGpu);
+  EXPECT_EQ(p.device_count(), 2u);
+}
+
+TEST(DeviceSpec, LanePeaksDivideByLanes) {
+  const PlatformSpec p = make_reference_platform();
+  EXPECT_DOUBLE_EQ(p.cpu.lane_peak_flops(Precision::kSingle),
+                   384.0e9 / 12.0);
+  EXPECT_DOUBLE_EQ(p.cpu.lane_bandwidth_bytes(), 42.6e9 / 12.0);
+  // GPU has one lane: lane peak == device peak.
+  EXPECT_DOUBLE_EQ(p.accelerators[0].lane_peak_flops(Precision::kSingle),
+                   3519.3e9);
+}
+
+TEST(DeviceSpec, PrecisionSelectsPeak) {
+  const DeviceSpec cpu = make_reference_platform().cpu;
+  EXPECT_DOUBLE_EQ(cpu.peak_gflops(Precision::kSingle), 384.0);
+  EXPECT_DOUBLE_EQ(cpu.peak_gflops(Precision::kDouble), 192.0);
+}
+
+TEST(DeviceSpec, ValidationCatchesBadFields) {
+  DeviceSpec d = make_reference_platform().cpu;
+  d.lanes = 0;
+  EXPECT_THROW(d.validate(), InvalidArgument);
+  d = make_reference_platform().cpu;
+  d.peak_sp_gflops = -1;
+  EXPECT_THROW(d.validate(), InvalidArgument);
+  d = make_reference_platform().cpu;
+  d.name.clear();
+  EXPECT_THROW(d.validate(), InvalidArgument);
+}
+
+TEST(PlatformSpec, ValidationRequiresCpuAtIndexZero) {
+  PlatformSpec p = make_reference_platform();
+  p.cpu.cls = DeviceClass::kGpu;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST(PlatformSpec, ValidationRejectsCpuAccelerator) {
+  PlatformSpec p = make_reference_platform();
+  p.accelerators[0].cls = DeviceClass::kCpu;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST(PlatformVariants, LinkOverrideAppliesBandwidth) {
+  const PlatformSpec p = make_reference_platform_with_link(12.0);
+  EXPECT_DOUBLE_EQ(p.link.bandwidth_gbs, 12.0);
+}
+
+TEST(PlatformVariants, SmallGpuIsWeaker) {
+  const PlatformSpec small = make_small_gpu_platform();
+  const PlatformSpec ref = make_reference_platform();
+  EXPECT_LT(small.accelerators[0].peak_sp_gflops,
+            ref.accelerators[0].peak_sp_gflops);
+  EXPECT_LT(small.link.bandwidth_gbs, ref.link.bandwidth_gbs);
+}
+
+TEST(PlatformVariants, CpuOnlyHasNoAccelerators) {
+  const PlatformSpec p = make_cpu_only_platform();
+  EXPECT_TRUE(p.accelerators.empty());
+  EXPECT_EQ(p.device_count(), 1u);
+}
+
+TEST(DeviceClassName, Names) {
+  EXPECT_STREQ(device_class_name(DeviceClass::kCpu), "cpu");
+  EXPECT_STREQ(device_class_name(DeviceClass::kGpu), "gpu");
+  EXPECT_STREQ(device_class_name(DeviceClass::kAccelerator), "accelerator");
+}
+
+TEST(DeviceClass, OffloadPredicate) {
+  EXPECT_FALSE(is_offload_device(DeviceClass::kCpu));
+  EXPECT_TRUE(is_offload_device(DeviceClass::kGpu));
+  EXPECT_TRUE(is_offload_device(DeviceClass::kAccelerator));
+}
+
+TEST(PlatformVariants, DualGpuHasTwoIdenticalAccelerators) {
+  const PlatformSpec p = make_dual_gpu_platform();
+  ASSERT_EQ(p.accelerators.size(), 2u);
+  EXPECT_EQ(p.device_count(), 3u);
+  EXPECT_DOUBLE_EQ(p.accelerators[0].peak_sp_gflops,
+                   p.accelerators[1].peak_sp_gflops);
+  EXPECT_NE(p.accelerators[0].name, p.accelerators[1].name);
+}
+
+TEST(PlatformVariants, PhiPlatformIsHeterogeneousAccelerators) {
+  const PlatformSpec p = make_cpu_gpu_phi_platform();
+  ASSERT_EQ(p.accelerators.size(), 2u);
+  EXPECT_EQ(p.accelerators[0].cls, DeviceClass::kGpu);
+  EXPECT_EQ(p.accelerators[1].cls, DeviceClass::kAccelerator);
+  // Xeon Phi 5110P datasheet numbers.
+  EXPECT_DOUBLE_EQ(p.accelerators[1].peak_sp_gflops, 2022.0);
+  EXPECT_DOUBLE_EQ(p.accelerators[1].mem_bandwidth_gbs, 320.0);
+  EXPECT_EQ(p.accelerators[1].partition_granularity, 16);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(KernelTraitsEfficiency, AcceleratorUsesGpuSideEfficiencies) {
+  KernelTraits traits;
+  traits.name = "k";
+  traits.flops_per_item = 1.0;
+  traits.cpu_compute_efficiency = 0.1;
+  traits.gpu_compute_efficiency = 0.7;
+  EXPECT_DOUBLE_EQ(traits.compute_efficiency(DeviceClass::kAccelerator),
+                   0.7);
+  EXPECT_DOUBLE_EQ(traits.compute_efficiency(DeviceClass::kCpu), 0.1);
+}
+
+}  // namespace
+}  // namespace hetsched::hw

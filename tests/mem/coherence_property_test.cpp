@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mem/coherence.hpp"
+
+namespace hetsched::mem {
+namespace {
+
+/// Property suite: drive the coherence directory with random read/write/flush
+/// traffic against a brute-force per-byte reference model, and check the
+/// directory's answers and invariants after every step.
+///
+/// Reference model: for each byte, the set of spaces holding a valid copy.
+class CoherenceModel {
+ public:
+  CoherenceModel(std::size_t spaces, std::int64_t size)
+      : spaces_(spaces), valid_(size) {
+    for (auto& holders : valid_) holders.assign(spaces_, false);
+    for (auto& holders : valid_) holders[kHostSpace] = true;
+  }
+
+  void read(Interval range, SpaceId space) {
+    for (std::int64_t i = range.begin; i < range.end; ++i)
+      valid_[i][space] = true;
+  }
+
+  void write(Interval range, SpaceId space) {
+    for (std::int64_t i = range.begin; i < range.end; ++i) {
+      for (std::size_t s = 0; s < spaces_; ++s) valid_[i][s] = (s == space);
+    }
+  }
+
+  void flush() {
+    for (auto& holders : valid_) holders[kHostSpace] = true;
+  }
+
+  bool is_valid(Interval range, SpaceId space) const {
+    for (std::int64_t i = range.begin; i < range.end; ++i)
+      if (!valid_[i][space]) return false;
+    return true;
+  }
+
+  std::int64_t resident(SpaceId space) const {
+    std::int64_t count = 0;
+    for (const auto& holders : valid_) count += holders[space] ? 1 : 0;
+    return count;
+  }
+
+ private:
+  std::size_t spaces_;
+  std::vector<std::vector<bool>> valid_;
+};
+
+struct PropertyParams {
+  std::uint64_t seed;
+  std::size_t spaces;
+};
+
+class CoherencePropertyTest : public ::testing::TestWithParam<PropertyParams> {
+};
+
+TEST_P(CoherencePropertyTest, AgreesWithPerByteModel) {
+  const auto [seed, spaces] = GetParam();
+  constexpr std::int64_t kSize = 200;
+  Rng rng(seed);
+
+  CoherenceDirectory dir(spaces);
+  const BufferId buf = dir.register_buffer("b", kSize);
+  CoherenceModel model(spaces, kSize);
+
+  for (int step = 0; step < 300; ++step) {
+    const std::int64_t a = rng.uniform_int(0, kSize);
+    const std::int64_t b = rng.uniform_int(0, kSize);
+    const Interval range{std::min(a, b), std::max(a, b)};
+    const SpaceId space =
+        static_cast<SpaceId>(rng.uniform_int(0, static_cast<int>(spaces) - 1));
+    const double dice = rng.uniform();
+
+    if (dice < 0.45) {
+      // Read: acquire then mark, mirroring the runtime's task-input path.
+      for (const auto& op : dir.plan_acquire({buf, range}, space)) {
+        ASSERT_TRUE(model.is_valid(op.region.range, op.src))
+            << "planned transfer from a stale source";
+        dir.apply(op);
+      }
+      model.read(range, space);
+      ASSERT_TRUE(dir.is_valid({buf, range}, space));
+    } else if (dice < 0.85) {
+      if (!range.empty()) {
+        dir.note_write({buf, range}, space);
+        model.write(range, space);
+      }
+    } else {
+      for (const auto& op : dir.plan_flush_to_host()) dir.apply(op);
+      model.flush();
+      ASSERT_TRUE(dir.is_valid({buf, {0, kSize}}, kHostSpace));
+    }
+
+    // Cross-check validity on a few random probes.
+    for (int probe = 0; probe < 4; ++probe) {
+      const std::int64_t pa = rng.uniform_int(0, kSize);
+      const std::int64_t pb = rng.uniform_int(0, kSize);
+      const Interval pr{std::min(pa, pb), std::max(pa, pb)};
+      const SpaceId ps = static_cast<SpaceId>(
+          rng.uniform_int(0, static_cast<int>(spaces) - 1));
+      ASSERT_EQ(dir.is_valid({buf, pr}, ps), model.is_valid(pr, ps))
+          << "step " << step;
+    }
+
+    // Residency agrees and no byte is ever orphaned.
+    for (SpaceId s = 0; s < spaces; ++s)
+      ASSERT_EQ(dir.resident_bytes(s), model.resident(s));
+    dir.check_no_byte_orphaned();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTraffic, CoherencePropertyTest,
+    ::testing::Values(PropertyParams{1, 2}, PropertyParams{2, 2},
+                      PropertyParams{3, 3}, PropertyParams{4, 3},
+                      PropertyParams{5, 4}, PropertyParams{6, 4},
+                      PropertyParams{7, 2}, PropertyParams{8, 3}),
+    [](const ::testing::TestParamInfo<PropertyParams>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_spaces" +
+             std::to_string(param_info.param.spaces);
+    });
+
+}  // namespace
+}  // namespace hetsched::mem

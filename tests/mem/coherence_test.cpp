@@ -1,0 +1,146 @@
+#include "mem/coherence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hetsched::mem {
+namespace {
+
+constexpr SpaceId kGpu = 1;
+
+class CoherenceTest : public ::testing::Test {
+ protected:
+  CoherenceTest() : dir_(2) { buf_ = dir_.register_buffer("data", 1000); }
+
+  CoherenceDirectory dir_;
+  BufferId buf_ = 0;
+};
+
+TEST_F(CoherenceTest, FreshBufferValidOnHostOnly) {
+  EXPECT_TRUE(dir_.is_valid({buf_, {0, 1000}}, kHostSpace));
+  EXPECT_FALSE(dir_.is_valid({buf_, {0, 1}}, kGpu));
+  EXPECT_EQ(dir_.resident_bytes(kHostSpace), 1000);
+  EXPECT_EQ(dir_.resident_bytes(kGpu), 0);
+}
+
+TEST_F(CoherenceTest, AcquirePlansH2DForMissingRange) {
+  const auto plan = dir_.plan_acquire({buf_, {100, 300}}, kGpu);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].src, kHostSpace);
+  EXPECT_EQ(plan[0].dst, kGpu);
+  EXPECT_EQ(plan[0].region.range, (Interval{100, 300}));
+  EXPECT_EQ(plan[0].size_bytes(), 200);
+}
+
+TEST_F(CoherenceTest, AcquireIsIdempotentAfterApply) {
+  for (const auto& op : dir_.plan_acquire({buf_, {0, 500}}, kGpu))
+    dir_.apply(op);
+  EXPECT_TRUE(dir_.is_valid({buf_, {0, 500}}, kGpu));
+  EXPECT_TRUE(dir_.plan_acquire({buf_, {0, 500}}, kGpu).empty());
+  // Host copy stays valid (read sharing).
+  EXPECT_TRUE(dir_.is_valid({buf_, {0, 500}}, kHostSpace));
+}
+
+TEST_F(CoherenceTest, AcquirePlansOnlyTheGaps) {
+  for (const auto& op : dir_.plan_acquire({buf_, {0, 200}}, kGpu))
+    dir_.apply(op);
+  const auto plan = dir_.plan_acquire({buf_, {100, 400}}, kGpu);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].region.range, (Interval{200, 400}));
+}
+
+TEST_F(CoherenceTest, WriteInvalidatesOtherSpaces) {
+  dir_.note_write({buf_, {0, 500}}, kGpu);
+  EXPECT_TRUE(dir_.is_valid({buf_, {0, 500}}, kGpu));
+  EXPECT_FALSE(dir_.is_valid({buf_, {0, 1}}, kHostSpace));
+  EXPECT_TRUE(dir_.is_valid({buf_, {500, 1000}}, kHostSpace));
+}
+
+TEST_F(CoherenceTest, FlushBringsDirtyDataHome) {
+  dir_.note_write({buf_, {0, 500}}, kGpu);
+  const auto plan = dir_.plan_flush_to_host();
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].src, kGpu);
+  EXPECT_EQ(plan[0].dst, kHostSpace);
+  EXPECT_EQ(plan[0].region.range, (Interval{0, 500}));
+  for (const auto& op : plan) dir_.apply(op);
+  EXPECT_TRUE(dir_.is_valid({buf_, {0, 1000}}, kHostSpace));
+  EXPECT_TRUE(dir_.plan_flush_to_host().empty());
+}
+
+TEST_F(CoherenceTest, FlushWithNothingDirtyIsEmpty) {
+  EXPECT_TRUE(dir_.plan_flush_to_host().empty());
+}
+
+TEST_F(CoherenceTest, HostReacquiresAfterDeviceWrite) {
+  dir_.note_write({buf_, {200, 400}}, kGpu);
+  const auto plan = dir_.plan_acquire({buf_, {0, 600}}, kHostSpace);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].src, kGpu);
+  EXPECT_EQ(plan[0].region.range, (Interval{200, 400}));
+}
+
+TEST_F(CoherenceTest, ResidentBytesTracksCopies) {
+  for (const auto& op : dir_.plan_acquire({buf_, {0, 600}}, kGpu))
+    dir_.apply(op);
+  EXPECT_EQ(dir_.resident_bytes(kGpu), 600);
+  dir_.note_write({buf_, {0, 100}}, kHostSpace);
+  EXPECT_EQ(dir_.resident_bytes(kGpu), 500);
+}
+
+TEST_F(CoherenceTest, NoByteOrphanedHoldsThroughWrites) {
+  dir_.note_write({buf_, {0, 500}}, kGpu);
+  dir_.note_write({buf_, {250, 750}}, kHostSpace);
+  dir_.check_no_byte_orphaned();
+  EXPECT_TRUE(dir_.is_valid({buf_, {0, 250}}, kGpu));
+  EXPECT_FALSE(dir_.is_valid({buf_, {250, 500}}, kGpu));
+}
+
+TEST_F(CoherenceTest, OutOfBoundsRegionRejected) {
+  EXPECT_THROW(dir_.is_valid({buf_, {0, 1001}}, kHostSpace), InvalidArgument);
+  EXPECT_THROW(dir_.plan_acquire({buf_, {-1, 10}}, kGpu), InvalidArgument);
+  EXPECT_THROW(dir_.note_write({buf_, {990, 1100}}, kGpu), InvalidArgument);
+}
+
+TEST_F(CoherenceTest, UnknownBufferRejected) {
+  EXPECT_THROW(dir_.is_valid({buf_ + 1, {0, 1}}, kHostSpace),
+               InvalidArgument);
+}
+
+TEST_F(CoherenceTest, UnknownSpaceRejected) {
+  EXPECT_THROW(dir_.is_valid({buf_, {0, 1}}, 5), InvalidArgument);
+}
+
+TEST(Coherence, MultipleBuffersIndependent) {
+  CoherenceDirectory dir(2);
+  const BufferId a = dir.register_buffer("a", 100);
+  const BufferId b = dir.register_buffer("b", 200);
+  dir.note_write({a, {0, 100}}, 1);
+  EXPECT_FALSE(dir.is_valid({a, {0, 100}}, kHostSpace));
+  EXPECT_TRUE(dir.is_valid({b, {0, 200}}, kHostSpace));
+  EXPECT_EQ(dir.buffer(b).size_bytes, 200);
+  EXPECT_EQ(dir.buffer_count(), 2u);
+}
+
+TEST(Coherence, ThreeSpacesDeviceToDevice) {
+  CoherenceDirectory dir(3);
+  const BufferId buf = dir.register_buffer("x", 100);
+  dir.note_write({buf, {0, 100}}, 1);
+  // Device 2 must source from device 1 (host is invalid there).
+  const auto plan = dir.plan_acquire({buf, {0, 100}}, 2);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].src, 1u);
+}
+
+TEST(Coherence, RegisterBufferRejectsZeroSize) {
+  CoherenceDirectory dir(2);
+  EXPECT_THROW(dir.register_buffer("z", 0), InvalidArgument);
+}
+
+TEST(Coherence, NeedsHostSpace) {
+  EXPECT_THROW(CoherenceDirectory(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hetsched::mem

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "hw/platform.hpp"
+#include "runtime/executor.hpp"
+#include "tests/runtime/test_kernels.hpp"
+
+/// Device memory capacity enforcement: LRU eviction with write-back of
+/// dirty ranges, functional correctness under memory pressure, and the
+/// working-set-too-large error.
+namespace hetsched::rt {
+namespace {
+
+using testing::kItemBytes;
+using testing::make_map_kernel;
+
+constexpr hw::DeviceId kGpu = 1;
+constexpr std::int64_t kItems = 1000;  // 4 KB per buffer
+
+/// Reference platform with the GPU memory clamped to `bytes`.
+hw::PlatformSpec tiny_gpu_platform(double bytes) {
+  hw::PlatformSpec platform = hw::make_reference_platform();
+  platform.accelerators[0].mem_capacity_gb = bytes / 1e9;
+  return platform;
+}
+
+RuntimeOptions capacity_options() {
+  RuntimeOptions options;
+  options.enforce_memory_capacity = true;
+  return options;
+}
+
+/// Two independent in/out pairs; each task touches 8 KB.
+struct Fixture {
+  explicit Fixture(double capacity_bytes)
+      : exec(tiny_gpu_platform(capacity_bytes), RuntimeCosts{},
+             capacity_options()) {
+    a_in = exec.register_buffer("a_in", kItems * kItemBytes);
+    a_out = exec.register_buffer("a_out", kItems * kItemBytes);
+    b_in = exec.register_buffer("b_in", kItems * kItemBytes);
+    b_out = exec.register_buffer("b_out", kItems * kItemBytes);
+    ka = exec.register_kernel(make_map_kernel("ka", a_in, a_out));
+    kb = exec.register_kernel(make_map_kernel("kb", b_in, b_out));
+  }
+
+  Executor exec;
+  mem::BufferId a_in = 0, a_out = 0, b_in = 0, b_out = 0;
+  KernelId ka = 0, kb = 0;
+};
+
+TEST(Capacity, NoEvictionWhenEverythingFits) {
+  Fixture fix(1e6);  // 1 MB: plenty
+  Program program;
+  program.submit(fix.ka, 0, kItems, kGpu);
+  program.submit(fix.kb, 0, kItems, kGpu);
+  program.taskwait();
+  const ExecutionReport report = fix.exec.execute_pinned(program);
+  // Inputs in once each; no re-uploads.
+  EXPECT_EQ(report.transfers.h2d_count, 2u);
+  EXPECT_LE(report.peak_resident_bytes[kGpu], 1'000'000);
+}
+
+TEST(Capacity, AlternatingWorkingSetsEvictAndReload) {
+  // 10 KB device memory: one task's pair (8 KB) fits, two pairs do not.
+  Fixture fix(10'000);
+  Program program;
+  for (int round = 0; round < 3; ++round) {
+    program.submit(fix.ka, 0, kItems, kGpu);
+    program.submit(fix.kb, 0, kItems, kGpu);
+  }
+  program.taskwait();
+  const ExecutionReport report = fix.exec.execute_pinned(program);
+  // Every round must re-upload the evicted input: 6 H2D instead of 2.
+  EXPECT_EQ(report.transfers.h2d_count, 6u);
+  EXPECT_LE(report.peak_resident_bytes[kGpu], 10'000);
+}
+
+TEST(Capacity, DirtyEvictionWritesBack) {
+  Fixture fix(10'000);
+  Program program;
+  program.submit(fix.ka, 0, kItems, kGpu);  // a_out dirty on GPU
+  program.submit(fix.kb, 0, kItems, kGpu);  // must evict a's pair
+  program.taskwait();
+  const ExecutionReport report = fix.exec.execute_pinned(program);
+  // a_out comes home through the eviction (before the final flush would
+  // have); total D2H volume is both outputs exactly once.
+  EXPECT_EQ(report.transfers.d2h_bytes, 2 * kItems * kItemBytes);
+}
+
+TEST(Capacity, FunctionalResultsSurviveMemoryPressure) {
+  std::vector<float> data(kItems, 1.0f);
+  Executor exec(tiny_gpu_platform(10'000), RuntimeCosts{},
+                capacity_options());
+  const auto x = exec.register_buffer("x", kItems * kItemBytes);
+  const auto y = exec.register_buffer("y", kItems * kItemBytes);
+  const auto z = exec.register_buffer("z", kItems * kItemBytes);
+  exec.register_kernel(rt::testing::make_inplace_kernel(
+      "incx", x, [&data](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) data[i] += 1.0f;
+      }));
+  KernelDef ky = make_map_kernel("copy_y", x, y);
+  KernelDef kz = make_map_kernel("copy_z", x, z);
+  exec.register_kernel(std::move(ky));
+  exec.register_kernel(std::move(kz));
+  Program program;
+  program.submit(0, 0, kItems, kGpu);
+  program.submit(1, 0, kItems, kGpu);
+  program.submit(2, 0, kItems, kGpu);
+  program.submit(0, 0, kItems, kGpu);
+  program.taskwait();
+  exec.execute_pinned(program);
+  for (float v : data) EXPECT_FLOAT_EQ(v, 3.0f);
+}
+
+TEST(Capacity, OversizedWorkingSetRejected) {
+  Fixture fix(5'000);  // less than one task's 8 KB pair
+  Program program;
+  program.submit(fix.ka, 0, kItems, kGpu);
+  EXPECT_THROW(fix.exec.execute_pinned(program), InvalidArgument);
+}
+
+TEST(Capacity, DisabledByDefaultJustRecordsPeak) {
+  Executor exec(tiny_gpu_platform(10'000));  // enforcement off
+  const auto in = exec.register_buffer("in", kItems * kItemBytes);
+  const auto out = exec.register_buffer("out", kItems * kItemBytes);
+  const auto in2 = exec.register_buffer("in2", kItems * kItemBytes);
+  const auto out2 = exec.register_buffer("out2", kItems * kItemBytes);
+  exec.register_kernel(make_map_kernel("k1", in, out));
+  exec.register_kernel(make_map_kernel("k2", in2, out2));
+  Program program;
+  program.submit(0, 0, kItems, kGpu);
+  program.submit(1, 0, kItems, kGpu);
+  program.taskwait();
+  const ExecutionReport report = exec.execute_pinned(program);
+  // Peak exceeds the (unenforced) capacity and is faithfully reported.
+  EXPECT_GT(report.peak_resident_bytes[kGpu], 10'000);
+}
+
+/// Read-only kernel over one buffer: no writes, so tasks stay independent
+/// (FIFO execution order) and evictions are clean drops.
+KernelDef make_reader(std::string name, mem::BufferId buffer) {
+  KernelDef def;
+  def.name = std::move(name);
+  def.traits.name = def.name;
+  def.traits.flops_per_item = 10.0;
+  def.traits.device_bytes_per_item = 4.0;
+  def.accesses = [buffer](std::int64_t begin, std::int64_t end) {
+    return std::vector<mem::RegionAccess>{
+        {{buffer, {begin * kItemBytes, end * kItemBytes}},
+         mem::AccessMode::kRead}};
+  };
+  return def;
+}
+
+TEST(Capacity, LruPrefersColderBuffer) {
+  // Three 4 KB inputs, room for two. Access order A, B, A, C, A: at C's
+  // arrival, B is the least recently used — it must be the victim, so the
+  // final A task needs no re-upload.
+  Executor exec(tiny_gpu_platform(10'000), RuntimeCosts{},
+                capacity_options());
+  std::vector<mem::BufferId> buffers;
+  std::vector<KernelId> readers;
+  for (int i = 0; i < 3; ++i) {
+    buffers.push_back(exec.register_buffer(std::string(1, char('A' + i)),
+                                           kItems * kItemBytes));
+    readers.push_back(exec.register_kernel(
+        make_reader("read" + std::to_string(i), buffers[i])));
+  }
+  Program program;
+  program.submit(readers[0], 0, kItems, kGpu);  // A
+  program.submit(readers[1], 0, kItems, kGpu);  // B
+  program.submit(readers[0], 0, kItems, kGpu);  // A again (warms A)
+  program.submit(readers[2], 0, kItems, kGpu);  // C -> evicts B
+  program.submit(readers[0], 0, kItems, kGpu);  // A still resident
+  program.taskwait();
+  const ExecutionReport report = exec.execute_pinned(program);
+  // Uploads: A, B, C only — and the evictions were clean (no D2H at all).
+  EXPECT_EQ(report.transfers.h2d_count, 3u);
+  EXPECT_EQ(report.transfers.d2h_count, 0u);
+}
+
+}  // namespace
+}  // namespace hetsched::rt

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "hw/platform.hpp"
+#include "runtime/executor.hpp"
+#include "tests/runtime/test_kernels.hpp"
+
+namespace hetsched::rt {
+namespace {
+
+using testing::kItemBytes;
+using testing::make_map_kernel;
+
+TEST(ReportJson, ContainsAllSections) {
+  Executor exec(hw::make_reference_platform());
+  const auto in = exec.register_buffer("in", 1000 * kItemBytes);
+  const auto out = exec.register_buffer("out", 1000 * kItemBytes);
+  exec.register_kernel(make_map_kernel("my_kernel", in, out));
+  Program program;
+  program.submit(0, 0, 600, hw::DeviceId{1});
+  program.submit(0, 600, 1000, hw::kCpuDevice);
+  program.taskwait();
+  const ExecutionReport report = exec.execute_pinned(program);
+  const std::string json = report_to_json(report, exec.kernels());
+
+  EXPECT_NE(json.find("\"makespan_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tasks_executed\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"barriers\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"h2d_bytes\":2400"), std::string::npos);
+  EXPECT_NE(json.find("\"my_kernel\":600"), std::string::npos);
+  EXPECT_NE(json.find("\"my_kernel\":400"), std::string::npos);
+  EXPECT_NE(json.find("Intel Xeon E5-2620"), std::string::npos);
+  EXPECT_NE(json.find("\"class\":\"gpu\""), std::string::npos);
+  EXPECT_NE(json.find("\"peak_resident_bytes\":["), std::string::npos);
+}
+
+TEST(ReportJson, BalancedBracesAndQuotes) {
+  Executor exec(hw::make_reference_platform());
+  const auto in = exec.register_buffer("in", 100 * kItemBytes);
+  const auto out = exec.register_buffer("out", 100 * kItemBytes);
+  exec.register_kernel(make_map_kernel("k", in, out));
+  Program program;
+  program.submit(0, 0, 100, hw::kCpuDevice);
+  program.taskwait();
+  const std::string json =
+      report_to_json(exec.execute_pinned(program), exec.kernels());
+
+  int depth = 0;
+  int quotes = 0;
+  for (char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    if (ch == '"') ++quotes;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(quotes % 2, 0);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ReportJson, UnknownKernelIdGetsFallbackName) {
+  ExecutionReport report;
+  report.devices.resize(1);
+  report.devices[0].name = "cpu";
+  report.devices[0].items_per_kernel[7] = 42;
+  const std::string json = report_to_json(report, {});
+  EXPECT_NE(json.find("\"kernel7\":42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsched::rt

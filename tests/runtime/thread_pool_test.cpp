@@ -1,0 +1,112 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hetsched::rt {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.enqueue([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DefaultThreadCountAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  pool.enqueue([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // Pool remains usable after the error.
+  std::atomic<int> counter{0};
+  pool.enqueue([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.enqueue(nullptr), InvalidArgument);
+}
+
+TEST(ThreadPool, TasksCanEnqueueMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.enqueue([&] {
+    ++counter;
+    pool.enqueue([&counter] { ++counter; });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kN = 1000;
+  std::vector<std::atomic<int>> touched(kN);
+  parallel_for(pool, 0, kN, 64, [&touched](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) touched[i]++;
+  });
+  for (std::int64_t i = 0; i < kN; ++i) EXPECT_EQ(touched[i].load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, 10,
+               [&calls](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, ComputesCorrectSum) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kN = 10000;
+  std::vector<double> data(kN);
+  std::iota(data.begin(), data.end(), 0.0);
+  std::vector<double> out(kN);
+  parallel_for(pool, 0, kN, 128, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) out[i] = 2.0 * data[i];
+  });
+  const double total = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(kN) * (kN - 1));
+}
+
+TEST(ParallelFor, RejectsBadGrain) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 10, 0, [](std::int64_t, std::int64_t) {}),
+      InvalidArgument);
+}
+
+TEST(ParallelFor, GrainLargerThanRange) {
+  ThreadPool pool(2);
+  int calls = 0;
+  std::mutex mutex;
+  parallel_for(pool, 0, 10, 1000, [&](std::int64_t lo, std::int64_t hi) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++calls;
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 10);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace hetsched::rt

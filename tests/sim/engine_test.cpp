@@ -1,0 +1,114 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hetsched::sim {
+namespace {
+
+TEST(Engine, StartsAtZeroAndIdle) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0);
+  EXPECT_TRUE(engine.idle());
+  EXPECT_EQ(engine.run(), 0);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(30, [&] { order.push_back(3); });
+  engine.schedule_at(10, [&] { order.push_back(1); });
+  engine.schedule_at(20, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(Engine, EqualTimesFireInSchedulingOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    engine.schedule_at(5, [&order, i] { order.push_back(i); });
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, CallbacksCanScheduleMoreEvents) {
+  Engine engine;
+  std::vector<SimTime> fire_times;
+  engine.schedule_at(10, [&] {
+    fire_times.push_back(engine.now());
+    engine.schedule_in(5, [&] { fire_times.push_back(engine.now()); });
+  });
+  engine.run();
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(Engine, RecursiveChainTerminates) {
+  Engine engine;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100) engine.schedule_in(1, tick);
+  };
+  engine.schedule_at(0, tick);
+  engine.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(engine.now(), 99);
+  EXPECT_EQ(engine.fired_events(), 100u);
+}
+
+TEST(Engine, RunUntilLeavesLaterEventsQueued) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(10, [&] { ++fired; });
+  engine.schedule_at(20, [&] { ++fired; });
+  engine.schedule_at(30, [&] { ++fired; });
+  engine.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.pending_events(), 1u);
+  engine.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, StepFiresExactlyOne) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1, [&] { ++fired; });
+  engine.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, RejectsSchedulingInThePast) {
+  Engine engine;
+  engine.schedule_at(10, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(5, [] {}), InvalidArgument);
+}
+
+TEST(Engine, RejectsNegativeDelayAndNullCallback) {
+  Engine engine;
+  EXPECT_THROW(engine.schedule_in(-1, [] {}), InvalidArgument);
+  EXPECT_THROW(engine.schedule_at(0, nullptr), InvalidArgument);
+}
+
+TEST(Engine, ClockNeverMovesBackward) {
+  Engine engine;
+  SimTime last = -1;
+  for (int i = 0; i < 50; ++i) {
+    engine.schedule_at(i % 7 * 10, [&, i] {
+      EXPECT_GE(engine.now(), last);
+      last = engine.now();
+      (void)i;
+    });
+  }
+  engine.run();
+}
+
+}  // namespace
+}  // namespace hetsched::sim

@@ -1,0 +1,89 @@
+#include "sim/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hetsched::sim {
+namespace {
+
+TEST(Gantt, EmptyTrace) {
+  EXPECT_EQ(render_gantt(TraceRecorder{}), "(empty trace)\n");
+}
+
+TEST(Gantt, SingleComputeFillsItsRow) {
+  TraceRecorder trace;
+  trace.record("gpu", "k", TraceKind::kCompute, 0, 1000);
+  GanttOptions options;
+  options.width = 20;
+  const std::string out = render_gantt(trace, options);
+  EXPECT_NE(out.find("gpu |####################|"), std::string::npos);
+}
+
+TEST(Gantt, HalfBusyHalfIdle) {
+  TraceRecorder trace;
+  trace.record("gpu", "k", TraceKind::kCompute, 0, 500);
+  trace.record("cpu", "k", TraceKind::kCompute, 500, 1000);
+  GanttOptions options;
+  options.width = 10;
+  const std::string out = render_gantt(trace, options);
+  EXPECT_NE(out.find("gpu |#####.....|"), std::string::npos);
+  EXPECT_NE(out.find("cpu |.....#####|"), std::string::npos);
+}
+
+TEST(Gantt, GlyphsPerCategory) {
+  TraceRecorder trace;
+  trace.record("pcie", "in", TraceKind::kTransferH2D, 0, 250);
+  trace.record("pcie", "out", TraceKind::kTransferD2H, 750, 1000);
+  trace.record("gpu", "k", TraceKind::kCompute, 250, 750);
+  GanttOptions options;
+  options.width = 4;
+  const std::string out = render_gantt(trace, options);
+  EXPECT_NE(out.find("pcie |>..<|"), std::string::npos);
+  EXPECT_NE(out.find("gpu  |.##.|"), std::string::npos);
+}
+
+TEST(Gantt, ComputeWinsSalienceOverOverhead) {
+  TraceRecorder trace;
+  trace.record("lane", "o", TraceKind::kOverhead, 0, 1000);
+  trace.record("lane", "k", TraceKind::kCompute, 0, 1000);
+  GanttOptions options;
+  options.width = 10;
+  const std::string out = render_gantt(trace, options);
+  EXPECT_NE(out.find("|##########|"), std::string::npos);
+}
+
+TEST(Gantt, TinyEventStillGetsABucket) {
+  TraceRecorder trace;
+  trace.record("lane", "blip", TraceKind::kCompute, 0, 1);
+  trace.record("lane", "rest", TraceKind::kOverhead, 1, 100000);
+  GanttOptions options;
+  options.width = 10;
+  const std::string out = render_gantt(trace, options);
+  EXPECT_NE(out.find("#"), std::string::npos);
+}
+
+TEST(Gantt, IdleLanesHiddenByDefault) {
+  TraceRecorder trace;
+  trace.record("busy", "k", TraceKind::kCompute, 0, 100);
+  // A lane that only appears via a zero-salience sync would not even get a
+  // row; emulate an idle lane by an event with zero duration.
+  trace.record("idle", "nothing", TraceKind::kOverhead, 50, 50);
+  const std::string with_default = render_gantt(trace);
+  EXPECT_EQ(with_default.find("idle"), std::string::npos);
+  GanttOptions options;
+  options.hide_idle_lanes = false;
+  const std::string with_idle = render_gantt(trace, options);
+  EXPECT_NE(with_idle.find("idle"), std::string::npos);
+}
+
+TEST(Gantt, RejectsAbsurdWidth) {
+  TraceRecorder trace;
+  trace.record("a", "k", TraceKind::kCompute, 0, 10);
+  GanttOptions options;
+  options.width = 2;
+  EXPECT_THROW(render_gantt(trace, options), hetsched::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hetsched::sim

@@ -1,0 +1,100 @@
+#include "sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hetsched::sim {
+namespace {
+
+TEST(Resource, ImmediateStartWhenIdle) {
+  Resource r("gpu");
+  const BusySpan span = r.reserve(100, 50, "k0");
+  EXPECT_EQ(span.start, 100);
+  EXPECT_EQ(span.end, 150);
+  EXPECT_EQ(r.available_at(), 150);
+}
+
+TEST(Resource, QueuesBehindEarlierReservation) {
+  Resource r("gpu");
+  r.reserve(0, 100);
+  const BusySpan span = r.reserve(20, 30);
+  EXPECT_EQ(span.start, 100);  // waits for the earlier job
+  EXPECT_EQ(span.end, 130);
+}
+
+TEST(Resource, IdleGapPreserved) {
+  Resource r("gpu");
+  r.reserve(0, 10);
+  const BusySpan span = r.reserve(100, 10);
+  EXPECT_EQ(span.start, 100);  // arrives after the resource went idle
+  EXPECT_EQ(r.busy_time(), 20);
+}
+
+TEST(Resource, BusyTimeAccumulates) {
+  Resource r("lane");
+  r.reserve(0, 25);
+  r.reserve(0, 25);
+  r.reserve(0, 50);
+  EXPECT_EQ(r.busy_time(), 100);
+  EXPECT_EQ(r.request_count(), 3u);
+}
+
+TEST(Resource, UtilizationOverHorizon) {
+  Resource r("lane");
+  r.reserve(0, 50);
+  EXPECT_DOUBLE_EQ(r.utilization(100), 0.5);
+  EXPECT_DOUBLE_EQ(r.utilization(0), 0.0);
+}
+
+TEST(Resource, HistoryRecordsLabels) {
+  Resource r("pcie");
+  r.reserve(0, 10, "H2D a");
+  r.reserve(0, 5, "D2H b");
+  ASSERT_EQ(r.history().size(), 2u);
+  EXPECT_EQ(r.history()[0].label, "H2D a");
+  EXPECT_EQ(r.history()[1].start, 10);
+}
+
+TEST(Resource, HistoryCanBeDisabled) {
+  Resource r("pcie");
+  r.set_record_history(false);
+  r.reserve(0, 10, "x");
+  EXPECT_TRUE(r.history().empty());
+  EXPECT_EQ(r.busy_time(), 10);
+}
+
+TEST(Resource, ZeroDurationReservation) {
+  Resource r("lane");
+  const BusySpan span = r.reserve(5, 0);
+  EXPECT_EQ(span.start, 5);
+  EXPECT_EQ(span.end, 5);
+  EXPECT_EQ(r.busy_time(), 0);
+}
+
+TEST(Resource, ResetClearsState) {
+  Resource r("lane");
+  r.reserve(0, 10);
+  r.reset();
+  EXPECT_EQ(r.busy_time(), 0);
+  EXPECT_EQ(r.available_at(), 0);
+  EXPECT_EQ(r.request_count(), 0u);
+  EXPECT_TRUE(r.history().empty());
+}
+
+TEST(Resource, RejectsNegativeArguments) {
+  Resource r("lane");
+  EXPECT_THROW(r.reserve(-1, 10), InvalidArgument);
+  EXPECT_THROW(r.reserve(0, -10), InvalidArgument);
+}
+
+TEST(Resource, FifoOrderIndependentOfDuration) {
+  Resource r("gpu");
+  const BusySpan first = r.reserve(0, 100, "long");
+  const BusySpan second = r.reserve(0, 1, "short");
+  EXPECT_LT(first.start, second.start);  // no overtaking
+  EXPECT_EQ(second.start, first.end);
+}
+
+}  // namespace
+}  // namespace hetsched::sim

@@ -1,0 +1,85 @@
+#include "sim/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetsched::sim {
+namespace {
+
+TEST(TraceStats, EmptyTrace) {
+  const TraceStats stats = analyze_trace(TraceRecorder{});
+  EXPECT_EQ(stats.makespan, 0);
+  EXPECT_TRUE(stats.lanes.empty());
+  EXPECT_EQ(stats.overlap_fraction(), 0.0);
+}
+
+TEST(TraceStats, SingleLaneIsAllSerial) {
+  TraceRecorder trace;
+  trace.record("gpu", "k", TraceKind::kCompute, 0, 100);
+  const TraceStats stats = analyze_trace(trace);
+  EXPECT_EQ(stats.makespan, 100);
+  EXPECT_EQ(stats.serial_time, 100);
+  EXPECT_EQ(stats.overlapped_time, 0);
+  EXPECT_EQ(stats.idle_time, 0);
+  ASSERT_EQ(stats.lanes.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.lanes[0].utilization, 1.0);
+}
+
+TEST(TraceStats, PerfectOverlap) {
+  TraceRecorder trace;
+  trace.record("cpu.t0", "k", TraceKind::kCompute, 0, 100);
+  trace.record("gpu", "k", TraceKind::kCompute, 0, 100);
+  const TraceStats stats = analyze_trace(trace);
+  EXPECT_EQ(stats.overlapped_time, 100);
+  EXPECT_DOUBLE_EQ(stats.overlap_fraction(), 1.0);
+}
+
+TEST(TraceStats, PartialOverlapAndGap) {
+  TraceRecorder trace;
+  trace.record("a", "x", TraceKind::kCompute, 0, 60);
+  trace.record("b", "y", TraceKind::kCompute, 40, 100);
+  trace.record("a", "z", TraceKind::kCompute, 120, 140);
+  const TraceStats stats = analyze_trace(trace);
+  EXPECT_EQ(stats.makespan, 140);
+  EXPECT_EQ(stats.overlapped_time, 20);   // [40, 60)
+  EXPECT_EQ(stats.serial_time, 100);      // [0,40) + [60,100) + [120,140)
+  EXPECT_EQ(stats.idle_time, 20);         // [100, 120)
+}
+
+TEST(TraceStats, CategoriesAggregated) {
+  TraceRecorder trace;
+  trace.record("gpu", "k", TraceKind::kCompute, 0, 50);
+  trace.record("pcie", "in", TraceKind::kTransferH2D, 0, 30);
+  trace.record("pcie", "out", TraceKind::kTransferD2H, 50, 70);
+  trace.record("cpu.t0", "d", TraceKind::kOverhead, 0, 5);
+  trace.record("host", "tw", TraceKind::kSync, 70, 90);
+  const TraceStats stats = analyze_trace(trace);
+  EXPECT_EQ(stats.total_compute, 50);
+  EXPECT_EQ(stats.total_h2d, 30);
+  EXPECT_EQ(stats.total_d2h, 20);
+  EXPECT_EQ(stats.total_overhead, 5);
+  EXPECT_EQ(stats.total_sync, 20);
+  // Sync does not count as a busy lane.
+  for (const LaneStats& lane : stats.lanes) EXPECT_NE(lane.lane, "host");
+}
+
+TEST(TraceStats, OverlappingEventsOnOneLaneMergeForBusyTime) {
+  TraceRecorder trace;
+  trace.record("gpu", "a", TraceKind::kCompute, 0, 60);
+  trace.record("gpu", "b", TraceKind::kTransferD2H, 50, 80);
+  const TraceStats stats = analyze_trace(trace);
+  ASSERT_EQ(stats.lanes.size(), 1u);
+  EXPECT_EQ(stats.lanes[0].busy, 80);  // union, not 90
+  EXPECT_EQ(stats.serial_time, 80);
+}
+
+TEST(TraceStats, FormatMentionsKeyNumbers) {
+  TraceRecorder trace;
+  trace.record("gpu", "k", TraceKind::kCompute, 0, 10 * kMillisecond);
+  const std::string text = format_trace_stats(analyze_trace(trace));
+  EXPECT_NE(text.find("makespan"), std::string::npos);
+  EXPECT_NE(text.find("gpu"), std::string::npos);
+  EXPECT_NE(text.find("100.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsched::sim

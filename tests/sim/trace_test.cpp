@@ -1,0 +1,67 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetsched::sim {
+namespace {
+
+TEST(TraceRecorder, EmptyMakespanIsZero) {
+  TraceRecorder trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.makespan(), 0);
+}
+
+TEST(TraceRecorder, MakespanIsLatestEnd) {
+  TraceRecorder trace;
+  trace.record("gpu0", "a", TraceKind::kCompute, 0, 100);
+  trace.record("cpu.t0", "b", TraceKind::kCompute, 50, 80);
+  EXPECT_EQ(trace.makespan(), 100);
+}
+
+TEST(TraceRecorder, LaneTimeFiltersByLaneAndKind) {
+  TraceRecorder trace;
+  trace.record("gpu0", "k", TraceKind::kCompute, 0, 10);
+  trace.record("gpu0", "t", TraceKind::kTransferH2D, 10, 30);
+  trace.record("cpu.t0", "k", TraceKind::kCompute, 0, 5);
+  EXPECT_EQ(trace.lane_time("gpu0", TraceKind::kCompute), 10);
+  EXPECT_EQ(trace.lane_time("gpu0", TraceKind::kTransferH2D), 20);
+  EXPECT_EQ(trace.lane_time("cpu.t0", TraceKind::kCompute), 5);
+  EXPECT_EQ(trace.lane_time("cpu.t1", TraceKind::kCompute), 0);
+}
+
+TEST(TraceRecorder, TotalTimeSumsAcrossLanes) {
+  TraceRecorder trace;
+  trace.record("a", "x", TraceKind::kCompute, 0, 10);
+  trace.record("b", "y", TraceKind::kCompute, 0, 15);
+  EXPECT_EQ(trace.total_time(TraceKind::kCompute), 25);
+  EXPECT_EQ(trace.total_time(TraceKind::kSync), 0);
+}
+
+TEST(TraceRecorder, ChromeJsonShape) {
+  TraceRecorder trace;
+  trace.record("gpu0", "kernel \"x\"", TraceKind::kCompute, 0,
+               2 * kMicrosecond);
+  const std::string json = trace.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\\\"x\\\""), std::string::npos);  // escaped quote
+  EXPECT_NE(json.find("\"dur\":2"), std::string::npos);  // microseconds
+  EXPECT_NE(json.find("\"tid\":\"gpu0\""), std::string::npos);
+}
+
+TEST(TraceRecorder, KindNames) {
+  EXPECT_STREQ(trace_kind_name(TraceKind::kCompute), "compute");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kTransferH2D), "h2d");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kTransferD2H), "d2h");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kOverhead), "overhead");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kSync), "sync");
+}
+
+TEST(TraceRecorder, ClearEmptiesEvents) {
+  TraceRecorder trace;
+  trace.record("a", "x", TraceKind::kCompute, 0, 10);
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+}
+
+}  // namespace
+}  // namespace hetsched::sim

@@ -1,0 +1,69 @@
+#include "strategies/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "hw/platform.hpp"
+
+namespace hetsched::strategies {
+namespace {
+
+using analyzer::StrategyKind;
+
+TEST(Autotune, DefaultCandidatesAreLaneMultiples) {
+  const auto candidates = default_task_count_candidates(12);
+  EXPECT_EQ(candidates, (std::vector<int>{12, 24, 48, 96}));
+  EXPECT_THROW(default_task_count_candidates(0), InvalidArgument);
+}
+
+TEST(Autotune, PicksTheFastestTrial) {
+  auto app = apps::make_paper_app(
+      apps::PaperApp::kBlackScholes, hw::make_reference_platform(),
+      apps::test_config(apps::PaperApp::kBlackScholes));
+  const TuneResult result =
+      tune_task_count(*app, StrategyKind::kDPDep, {4, 12, 24});
+  ASSERT_EQ(result.trials.size(), 3u);
+  for (const TuneTrial& trial : result.trials) {
+    EXPECT_GE(trial.time_ms, result.best_time_ms);
+    if (trial.task_count == result.best_task_count) {
+      EXPECT_DOUBLE_EQ(trial.time_ms, result.best_time_ms);
+    }
+  }
+}
+
+TEST(Autotune, DeterministicAcrossRuns) {
+  auto make = [] {
+    return apps::make_paper_app(
+        apps::PaperApp::kStreamSeq, hw::make_reference_platform(),
+        apps::test_config(apps::PaperApp::kStreamSeq));
+  };
+  auto app1 = make();
+  auto app2 = make();
+  const TuneResult a = tune_task_count(*app1, StrategyKind::kDPPerf, {6, 12});
+  const TuneResult b = tune_task_count(*app2, StrategyKind::kDPPerf, {6, 12});
+  EXPECT_EQ(a.best_task_count, b.best_task_count);
+  EXPECT_DOUBLE_EQ(a.best_time_ms, b.best_time_ms);
+}
+
+TEST(Autotune, RejectsEmptyCandidates) {
+  auto app = apps::make_paper_app(
+      apps::PaperApp::kMatrixMul, hw::make_reference_platform(),
+      apps::test_config(apps::PaperApp::kMatrixMul));
+  EXPECT_THROW(tune_task_count(*app, StrategyKind::kDPDep, {}),
+               InvalidArgument);
+}
+
+TEST(Autotune, PaperSizeDynamicSweepHasAValley) {
+  // At the paper's BlackScholes size, tiny m starves the CPU lanes and
+  // huge m drowns in per-chunk transfers: the tuner should not pick the
+  // smallest candidate.
+  auto app = apps::make_paper_app(
+      apps::PaperApp::kBlackScholes, hw::make_reference_platform(),
+      apps::paper_config(apps::PaperApp::kBlackScholes));
+  const TuneResult result =
+      tune_task_count(*app, StrategyKind::kDPDep, {4, 12, 24, 48});
+  EXPECT_NE(result.best_task_count, 4);
+}
+
+}  // namespace
+}  // namespace hetsched::strategies

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "hw/platform.hpp"
+#include "strategies/strategy_runner.hpp"
+
+/// Decision-quality sweep: across a range of interconnects, Glinda's
+/// SP-Single execution should never lose badly to the best single-device
+/// baseline — the point of the "making the decision in practice" step.
+namespace hetsched::strategies {
+namespace {
+
+using analyzer::StrategyKind;
+
+struct SweepCase {
+  apps::PaperApp app;
+  double link_gbs;
+};
+
+class DecisionQuality : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(DecisionQuality, PartitionedRunsCompetitiveWithBaselines) {
+  const auto& c = GetParam();
+  const hw::PlatformSpec platform =
+      hw::make_reference_platform_with_link(c.link_gbs);
+  auto app = apps::make_paper_app(c.app, platform, apps::paper_config(c.app));
+  StrategyRunner runner(*app);
+
+  const double split = runner.run(StrategyKind::kSPSingle).time_ms();
+  const double cpu = runner.run(StrategyKind::kOnlyCpu).time_ms();
+  const double gpu = runner.run(StrategyKind::kOnlyGpu).time_ms();
+
+  // The model predicts in its own units; the executed split must be within
+  // 15% of the best baseline (usually it beats both).
+  EXPECT_LE(split, 1.15 * std::min(cpu, gpu))
+      << apps::paper_app_name(c.app) << " @ " << c.link_gbs << " GB/s";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LinkSweep, DecisionQuality,
+    ::testing::Values(
+        SweepCase{apps::PaperApp::kBlackScholes, 1.5},
+        SweepCase{apps::PaperApp::kBlackScholes, 6.0},
+        SweepCase{apps::PaperApp::kBlackScholes, 24.0},
+        SweepCase{apps::PaperApp::kHotSpot, 1.5},
+        SweepCase{apps::PaperApp::kHotSpot, 6.0},
+        SweepCase{apps::PaperApp::kHotSpot, 24.0},
+        SweepCase{apps::PaperApp::kMatrixMul, 1.5},
+        SweepCase{apps::PaperApp::kMatrixMul, 6.0},
+        SweepCase{apps::PaperApp::kNbody, 6.0}),
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      std::string name = apps::paper_app_name(param_info.param.app);
+      name +=
+          "_" + std::to_string(static_cast<int>(param_info.param.link_gbs * 10));
+      for (char& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+/// On a CPU-only platform the matchmaker flow still works end to end: the
+/// strategies that need an accelerator refuse cleanly, Only-CPU runs.
+TEST(DecisionQualityEdge, CpuOnlyPlatformDegradesGracefully) {
+  auto app = apps::make_paper_app(apps::PaperApp::kMatrixMul,
+                                  hw::make_cpu_only_platform(),
+                                  apps::test_config(apps::PaperApp::kMatrixMul));
+  StrategyRunner runner(*app);
+  EXPECT_THROW(runner.run(StrategyKind::kSPSingle), InvalidArgument);
+  const auto result = runner.run(StrategyKind::kOnlyCpu);
+  EXPECT_GT(result.report.makespan, 0);
+  app->verify();
+}
+
+}  // namespace
+}  // namespace hetsched::strategies

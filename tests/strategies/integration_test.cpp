@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "analyzer/ranking.hpp"
+#include "apps/registry.hpp"
+#include "hw/platform.hpp"
+#include "strategies/strategy_runner.hpp"
+
+/// End-to-end matrix: every applicable (application, strategy, sync
+/// scenario) combination executes at functional (small) problem sizes and
+/// the numerical results are verified against each app's sequential
+/// reference. This is the strongest correctness statement in the suite:
+/// whatever the partitioning, placement, transfer and invalidation dance,
+/// the computed answers are bit-for-bit the work the application asked for.
+namespace hetsched::strategies {
+namespace {
+
+using analyzer::StrategyKind;
+using apps::PaperApp;
+
+struct Case {
+  PaperApp app;
+  StrategyKind strategy;
+  bool sync_between_kernels;
+};
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  const hw::PlatformSpec platform = hw::make_reference_platform();
+  for (PaperApp app : apps::all_paper_apps()) {
+    auto application =
+        apps::make_paper_app(app, platform, apps::test_config(app));
+    const analyzer::AppClass cls =
+        analyzer::classify(application->descriptor().structure);
+    const bool multi_kernel = application->kernels().size() > 1;
+    for (bool sync : {false, true}) {
+      if (sync && !multi_kernel) continue;  // scenario is MK-only
+      for (StrategyKind kind : analyzer::ranked_strategies(
+               cls, sync || application->descriptor().inter_kernel_sync())) {
+        cases.push_back({app, kind, sync});
+      }
+      cases.push_back({app, StrategyKind::kOnlyCpu, sync});
+      cases.push_back({app, StrategyKind::kOnlyGpu, sync});
+    }
+  }
+  return cases;
+}
+
+class StrategyAppMatrix : public ::testing::TestWithParam<Case> {};
+
+TEST_P(StrategyAppMatrix, ExecutesAndVerifies) {
+  const Case& c = GetParam();
+  const hw::PlatformSpec platform = hw::make_reference_platform();
+  auto app = apps::make_paper_app(c.app, platform, apps::test_config(c.app));
+  StrategyOptions options;
+  options.sync_between_kernels = c.sync_between_kernels;
+  StrategyRunner runner(*app, options);
+
+  const StrategyResult result = runner.run(c.strategy);
+
+  // Execution completed in finite virtual time and covered all the work.
+  EXPECT_GT(result.report.makespan, 0);
+  std::int64_t executed = 0;
+  for (const auto& device : result.report.devices)
+    executed += device.total_items();
+  const std::int64_t expected =
+      app->items() * app->kernels().size() * app->iterations();
+  EXPECT_EQ(executed, expected);
+
+  // Partition fractions are sane.
+  EXPECT_GE(result.gpu_fraction_overall, 0.0);
+  EXPECT_LE(result.gpu_fraction_overall, 1.0);
+
+  // The numerical results are exactly the application's semantics.
+  app->verify();
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = apps::paper_app_name(info.param.app);
+  name += "_";
+  name += analyzer::strategy_name(info.param.strategy);
+  if (info.param.sync_between_kernels) name += "_wsync";
+  for (char& ch : name)
+    if (ch == '-') ch = '_';
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, StrategyAppMatrix,
+                         ::testing::ValuesIn(make_cases()), case_name);
+
+}  // namespace
+}  // namespace hetsched::strategies

@@ -1,0 +1,346 @@
+/// hetsched_cli — command-line front end to the matchmaker and strategies.
+///
+///   hetsched_cli list                      # applications & platforms
+///   hetsched_cli catalog                   # the 86-app structure study
+///   hetsched_cli match   --app <name>      # classify + select (Figure 2)
+///   hetsched_cli run     --app <name> [--strategy <s>] [--platform <p>]
+///                        [--sync] [--tasks <m>] [--paper-size|--small]
+///   hetsched_cli compare --app <name> [--sync] [--platform <p>] [--csv]
+///   hetsched_cli trace   --app <name> --out <file.json>
+///                        [--strategy <s>]  # chrome://tracing timeline
+///   hetsched_cli analyze --app <name> [--strategy <s>] [--gantt]
+///                        # utilization / overlap breakdown (+ timeline)
+///   hetsched_cli tune    --app <name> --strategy <s> [--sync]
+///                        # task-size auto-tuning (paper Section V)
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analyzer/catalog.hpp"
+#include "analyzer/matchmaker.hpp"
+#include "apps/registry.hpp"
+#include "apps/spectral_dag.hpp"
+#include "apps/tree_reduction.hpp"
+#include "apps/triangular.hpp"
+#include "apps/unstable_loop.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "hw/platform.hpp"
+#include "sim/gantt.hpp"
+#include "sim/trace_stats.hpp"
+#include "strategies/autotune.hpp"
+#include "strategies/strategy_runner.hpp"
+
+namespace {
+
+using namespace hetsched;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool flag(const std::string& name) const { return options.count(name); }
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) continue;
+    token = token.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[token] = argv[++i];
+    } else {
+      args.options[token] = "";
+    }
+  }
+  return args;
+}
+
+const std::map<std::string, apps::PaperApp>& app_names() {
+  static const std::map<std::string, apps::PaperApp> names = {
+      {"matrixmul", apps::PaperApp::kMatrixMul},
+      {"blackscholes", apps::PaperApp::kBlackScholes},
+      {"nbody", apps::PaperApp::kNbody},
+      {"hotspot", apps::PaperApp::kHotSpot},
+      {"stream-seq", apps::PaperApp::kStreamSeq},
+      {"stream-loop", apps::PaperApp::kStreamLoop},
+  };
+  return names;
+}
+
+hw::PlatformSpec platform_by_name(const std::string& name) {
+  if (name.empty() || name == "reference") return hw::make_reference_platform();
+  if (name == "small-gpu") return hw::make_small_gpu_platform();
+  if (name == "dual-gpu") return hw::make_dual_gpu_platform();
+  if (name == "cpu-gpu-phi") return hw::make_cpu_gpu_phi_platform();
+  if (name == "cpu-only") return hw::make_cpu_only_platform();
+  throw InvalidArgument("unknown platform '" + name +
+                        "' (reference, small-gpu, dual-gpu, cpu-gpu-phi, "
+                        "cpu-only)");
+}
+
+analyzer::StrategyKind strategy_by_name(const std::string& name) {
+  static const std::map<std::string, analyzer::StrategyKind> names = {
+      {"sp-single", analyzer::StrategyKind::kSPSingle},
+      {"sp-unified", analyzer::StrategyKind::kSPUnified},
+      {"sp-varied", analyzer::StrategyKind::kSPVaried},
+      {"dp-perf", analyzer::StrategyKind::kDPPerf},
+      {"dp-dep", analyzer::StrategyKind::kDPDep},
+      {"only-cpu", analyzer::StrategyKind::kOnlyCpu},
+      {"only-gpu", analyzer::StrategyKind::kOnlyGpu},
+      {"sp-dag", analyzer::StrategyKind::kSPDag},
+  };
+  auto it = names.find(name);
+  if (it == names.end())
+    throw InvalidArgument("unknown strategy '" + name +
+                          "' (sp-single, sp-unified, sp-varied, dp-perf, "
+                          "dp-dep, only-cpu, only-gpu, sp-dag)");
+  return it->second;
+}
+
+std::unique_ptr<apps::Application> make_app(const Args& args,
+                                            const hw::PlatformSpec& platform,
+                                            bool record_trace = false) {
+  const std::string name = args.get("app");
+  const bool small = args.flag("small");
+  apps::Application::Config extension;
+  extension.functional = small;
+  extension.record_trace = record_trace;
+  if (name == "spectral-dag") {
+    extension.items = small ? 4096 : 16'777'216;
+    extension.iterations = small ? 3 : 10;
+    return std::make_unique<apps::SpectralDagApp>(platform, extension);
+  }
+  if (name == "tree-reduction") {
+    extension.items = small ? 100'000 : 134'217'728;
+    extension.iterations = 1;
+    return std::make_unique<apps::TreeReductionApp>(platform, extension);
+  }
+  if (name == "triangular-mv") {
+    extension.items = small ? 512 : 16'384;
+    extension.iterations = 1;
+    return std::make_unique<apps::TriangularMvApp>(platform, extension);
+  }
+  if (name == "unstable-loop") {
+    extension.items = small ? 4096 : 8'388'608;
+    extension.iterations = small ? 4 : 8;
+    return std::make_unique<apps::UnstableLoopApp>(platform, extension);
+  }
+  auto it = app_names().find(name);
+  if (it == app_names().end())
+    throw InvalidArgument(
+        "unknown app '" + name +
+        "' (matrixmul, blackscholes, nbody, hotspot, stream-seq, "
+        "stream-loop, spectral-dag, tree-reduction, triangular-mv, "
+        "unstable-loop)");
+  apps::Application::Config config =
+      small ? apps::test_config(it->second) : apps::paper_config(it->second);
+  config.record_trace = record_trace;
+  return apps::make_paper_app(it->second, platform, config);
+}
+
+strategies::StrategyOptions options_from(const Args& args) {
+  strategies::StrategyOptions options;
+  options.sync_between_kernels = args.flag("sync");
+  const std::string tasks = args.get("tasks");
+  if (!tasks.empty()) options.task_count = std::stoi(tasks);
+  return options;
+}
+
+void print_result(const strategies::StrategyResult& result) {
+  std::cout << analyzer::strategy_name(result.kind) << ": "
+            << format_fixed(result.time_ms(), 2) << " ms, accelerator share "
+            << format_percent(result.gpu_fraction_overall) << ", transfers "
+            << format_bytes(static_cast<double>(
+                   result.report.transfers.total_bytes()))
+            << " (" << format_time(result.report.transfers.total_time())
+            << "), overhead " << format_time(result.report.overhead_time)
+            << "\n";
+}
+
+int cmd_list() {
+  std::cout << "applications:\n";
+  for (const auto& [name, kind] : app_names()) {
+    const auto config = apps::paper_config(kind);
+    std::cout << "  " << name << "  (" << config.items << " items, "
+              << config.iterations << " iteration(s))\n";
+  }
+  std::cout << "  spectral-dag  (16777216 items, 10 iterations; MK-DAG "
+               "extension)\n";
+  std::cout << "  tree-reduction  (134217728 inputs; shrinking MK-Seq "
+               "extension)\n";
+  std::cout << "  triangular-mv  (16384 rows; imbalanced SK-One "
+               "extension)\n";
+  std::cout << "  unstable-loop  (8388608 items, 8 sweeps; drifting-loop "
+               "extension)\n";
+  std::cout << "platforms:\n  reference, small-gpu, dual-gpu, cpu-gpu-phi, "
+               "cpu-only\n";
+  std::cout << "strategies:\n  sp-single, sp-unified, sp-varied, dp-perf, "
+               "dp-dep, only-cpu, only-gpu, sp-dag (extension)\n";
+  return 0;
+}
+
+int cmd_catalog(const Args& args) {
+  // The 86-application kernel-structure study, classified live.
+  Table table({"suite", "application", "class", "selected strategy"});
+  for (const analyzer::CatalogEntry& entry :
+       analyzer::application_catalog()) {
+    analyzer::AppDescriptor descriptor;
+    descriptor.name = entry.name;
+    descriptor.structure = entry.structure;
+    descriptor.sync = entry.sync;
+    const auto match = analyzer::Matchmaker{}.match(descriptor);
+    table.add_row({entry.suite, entry.name,
+                   analyzer::app_class_name(match.app_class),
+                   analyzer::strategy_name(match.best)});
+  }
+  table.print(std::cout, args.flag("csv"));
+  std::cout << "\nclass distribution:";
+  for (const auto& [cls, count] : analyzer::catalog_class_distribution())
+    std::cout << "  " << analyzer::app_class_name(cls) << "=" << count;
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_match(const Args& args) {
+  const hw::PlatformSpec platform = platform_by_name(args.get("platform"));
+  auto app = make_app(args, platform);
+  analyzer::AppDescriptor descriptor = app->descriptor();
+  if (args.flag("sync") && descriptor.sync == analyzer::SyncReason::kNone)
+    descriptor.sync = analyzer::SyncReason::kHostPostProcessing;
+  std::cout << analyzer::Matchmaker{}.explain(descriptor);
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const hw::PlatformSpec platform = platform_by_name(args.get("platform"));
+  auto app = make_app(args, platform);
+  strategies::StrategyRunner runner(*app, options_from(args));
+  strategies::StrategyResult result;
+  if (args.flag("strategy")) {
+    result = runner.run(strategy_by_name(args.get("strategy")));
+  } else {
+    const auto matched = runner.run_matched();
+    if (!args.flag("json")) {
+      std::cout << "analyzer selected "
+                << analyzer::strategy_name(matched.match.best) << " ("
+                << analyzer::app_class_name(matched.match.app_class)
+                << ")\n";
+    }
+    result = matched.result;
+  }
+  if (args.flag("json")) {
+    std::cout << rt::report_to_json(result.report, app->executor().kernels())
+              << "\n";
+  } else {
+    print_result(result);
+  }
+  if (args.flag("small")) {
+    app->verify();
+    if (!args.flag("json")) std::cout << "functional verification: ok\n";
+  }
+  return 0;
+}
+
+int cmd_tune(const Args& args) {
+  if (!args.flag("strategy"))
+    throw InvalidArgument("tune needs --strategy <s>");
+  const hw::PlatformSpec platform = platform_by_name(args.get("platform"));
+  auto app = make_app(args, platform);
+  const auto result = strategies::tune_task_count(
+      *app, strategy_by_name(args.get("strategy")),
+      strategies::default_task_count_candidates(platform.cpu.lanes),
+      options_from(args));
+  Table table({"m (chunks)", "time (ms)"});
+  for (const auto& trial : result.trials) {
+    table.add_row({std::to_string(trial.task_count),
+                   format_fixed(trial.time_ms, 2)});
+  }
+  table.print(std::cout, args.flag("csv"));
+  std::cout << "best: m = " << result.best_task_count << " ("
+            << format_fixed(result.best_time_ms, 2) << " ms)\n";
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  const hw::PlatformSpec platform = platform_by_name(args.get("platform"));
+  auto app = make_app(args, platform);
+  strategies::StrategyRunner runner(*app, options_from(args));
+  const auto results = runner.run_ranked_and_baselines();
+  Table table({"strategy", "time (ms)", "accelerator share"});
+  for (const auto& [kind, result] : results) {
+    table.add_row({analyzer::strategy_name(kind),
+                   format_fixed(result.time_ms(), 2),
+                   format_percent(result.gpu_fraction_overall)});
+  }
+  table.print(std::cout, args.flag("csv"));
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  const std::string out = args.get("out");
+  if (out.empty()) throw InvalidArgument("trace needs --out <file.json>");
+  const hw::PlatformSpec platform = platform_by_name(args.get("platform"));
+  auto app = make_app(args, platform, /*record_trace=*/true);
+  strategies::StrategyRunner runner(*app, options_from(args));
+  const auto result =
+      args.flag("strategy")
+          ? runner.run(strategy_by_name(args.get("strategy")))
+          : runner.run_matched().result;
+  std::ofstream file(out);
+  HS_REQUIRE(file.good(), "cannot open '" << out << "' for writing");
+  file << result.report.trace.to_chrome_json();
+  std::cout << "wrote " << result.report.trace.events().size()
+            << " trace events to " << out
+            << " (load in chrome://tracing or ui.perfetto.dev)\n";
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const hw::PlatformSpec platform = platform_by_name(args.get("platform"));
+  auto app = make_app(args, platform, /*record_trace=*/true);
+  strategies::StrategyRunner runner(*app, options_from(args));
+  const auto result =
+      args.flag("strategy")
+          ? runner.run(strategy_by_name(args.get("strategy")))
+          : runner.run_matched().result;
+  std::cout << "strategy: " << analyzer::strategy_name(result.kind) << "\n";
+  std::cout << sim::format_trace_stats(
+      sim::analyze_trace(result.report.trace));
+  if (args.flag("gantt"))
+    std::cout << "\n" << sim::render_gantt(result.report.trace);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    if (args.command == "list") return cmd_list();
+    if (args.command == "catalog") return cmd_catalog(args);
+    if (args.command == "match") return cmd_match(args);
+    if (args.command == "run") return cmd_run(args);
+    if (args.command == "compare") return cmd_compare(args);
+    if (args.command == "trace") return cmd_trace(args);
+    if (args.command == "analyze") return cmd_analyze(args);
+    if (args.command == "tune") return cmd_tune(args);
+    std::cerr << "usage: hetsched_cli "
+                 "<list|match|run|compare|trace|analyze|tune> "
+                 "[--app <name>] [--strategy <s>] [--platform <p>] "
+                 "[--sync] [--tasks <m>] [--small] [--csv] [--out <file>]\n";
+    return args.command.empty() ? 0 : 2;
+  } catch (const hetsched::Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
