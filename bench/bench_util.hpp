@@ -7,10 +7,12 @@
 
 #include "analyzer/strategy.hpp"
 #include "apps/registry.hpp"
+#include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "hw/platform.hpp"
 #include "strategies/strategy_runner.hpp"
+#include "sweep/sweep.hpp"
 
 /// Shared helpers for the paper-reproduction bench binaries.
 ///
@@ -32,11 +34,36 @@ inline BenchArgs parse_args(int argc, char** argv) {
   return args;
 }
 
-/// Runs the app's full strategy set (Table I ranking + baselines) on the
-/// reference platform at the paper's problem size.
-inline std::map<analyzer::StrategyKind, strategies::StrategyResult>
+/// Runs the app's full paper strategy set on a named platform at the
+/// paper's problem size, through the scenario-sweep engine (cache off, so
+/// benches always measure a fresh simulation). Inapplicable strategies are
+/// simply absent from the map.
+inline std::map<analyzer::StrategyKind, sweep::ScenarioOutcome>
 run_paper_app(apps::PaperApp app, bool sync_between_kernels = false,
-              const hw::PlatformSpec& platform = hw::make_reference_platform()) {
+              const std::string& platform = "reference") {
+  const std::vector<sweep::Scenario> scenarios = sweep::enumerate_matrix(
+      {app}, analyzer::paper_strategies(), {platform},
+      {sync_between_kernels}, /*small=*/false);
+  sweep::SweepOptions options;
+  options.use_cache = false;
+  const sweep::SweepRun run = sweep::SweepEngine(options).run(scenarios);
+  std::map<analyzer::StrategyKind, sweep::ScenarioOutcome> results;
+  for (const sweep::ScenarioOutcome& outcome : run.outcomes) {
+    if (outcome.status == sweep::ScenarioStatus::kFailed) {
+      throw InternalError("sweep scenario failed: " +
+                                   outcome.scenario.label() + ": " +
+                                   outcome.error);
+    }
+    if (outcome.ok()) results.emplace(outcome.scenario.strategy, outcome);
+  }
+  return results;
+}
+
+/// Direct-path variant for benches that need an ad-hoc PlatformSpec (no
+/// registered name) or the full ExecutionReport structure.
+inline std::map<analyzer::StrategyKind, strategies::StrategyResult>
+run_paper_app_on(apps::PaperApp app, bool sync_between_kernels,
+                 const hw::PlatformSpec& platform) {
   auto application =
       apps::make_paper_app(app, platform, apps::paper_config(app));
   strategies::StrategyOptions options;

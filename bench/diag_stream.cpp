@@ -5,7 +5,8 @@ int main(int argc, char** argv) {
   bool sync = argc > 1 && std::string(argv[1]) == "w";
   auto app_kind = apps::PaperApp::kStreamSeq;
   if (argc > 2 && std::string(argv[2]) == "loop") app_kind = apps::PaperApp::kStreamLoop;
-  auto results = bench::run_paper_app(app_kind, sync);
+  auto results =
+      bench::run_paper_app_on(app_kind, sync, hw::make_reference_platform());
   for (const auto& [kind, r] : results) {
     std::cout << analyzer::strategy_name(kind) << ": " << r.time_ms() << " ms"
               << "  gpu_share=" << r.gpu_fraction_overall

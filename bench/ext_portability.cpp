@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
           application->descriptor().inter_kernel_sync() || c.sync;
       const auto expectation = analyzer::ranking_expectation(cls, sync);
 
-      auto results = bench::run_paper_app(c.app, c.sync, platform);
+      auto results = bench::run_paper_app_on(c.app, c.sync, platform);
       std::vector<std::string> cells;
       bool holds = true;
       for (std::size_t i = 0; i < expectation.order.size(); ++i) {

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
     auto results = bench::run_paper_app(app);
     for (StrategyKind kind : {StrategyKind::kSPSingle, StrategyKind::kDPPerf,
                               StrategyKind::kDPDep}) {
-      const double gpu = results.at(kind).gpu_fraction_overall;
+      const double gpu = results.at(kind).gpu_fraction_overall();
       table.add_row({apps::paper_app_name(app), analyzer::strategy_name(kind),
                      bench::pct(1.0 - gpu), bench::pct(gpu)});
     }

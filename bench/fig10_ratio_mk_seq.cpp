@@ -21,15 +21,15 @@ int main(int argc, char** argv) {
   for (StrategyKind kind :
        {StrategyKind::kSPUnified, StrategyKind::kDPPerf,
         StrategyKind::kDPDep}) {
-    const double gpu = wo_sync.at(kind).gpu_fraction_overall;
+    const double gpu = wo_sync.at(kind).gpu_fraction_overall();
     table.add_row({analyzer::strategy_name(kind), "all",
                    bench::pct(1.0 - gpu), bench::pct(gpu)});
   }
   // SP-Varied: per-kernel ratios (only defined in the synced scenario).
   static const char* kKernelNames[] = {"copy", "scale", "add", "triad"};
   const auto& varied = w_sync.at(StrategyKind::kSPVaried);
-  for (std::size_t k = 0; k < varied.gpu_fraction_per_kernel.size(); ++k) {
-    const double gpu = varied.gpu_fraction_per_kernel[k];
+  for (std::size_t k = 0; k < varied.gpu_fraction_per_kernel().size(); ++k) {
+    const double gpu = varied.gpu_fraction_per_kernel()[k];
     table.add_row({"SP-Varied", kKernelNames[k], bench::pct(1.0 - gpu),
                    bench::pct(gpu)});
   }

@@ -1,5 +1,9 @@
 #include "analyzer/ranking.hpp"
 
+#include <cctype>
+
+#include "common/error.hpp"
+
 namespace hetsched::analyzer {
 
 const char* strategy_name(StrategyKind kind) {
@@ -14,6 +18,39 @@ const char* strategy_name(StrategyKind kind) {
     case StrategyKind::kSPDag: return "SP-DAG";
   }
   return "unknown";
+}
+
+StrategyKind strategy_from_name(const std::string& name) {
+  static const std::vector<StrategyKind> kAll = {
+      StrategyKind::kSPSingle, StrategyKind::kSPUnified,
+      StrategyKind::kSPVaried, StrategyKind::kDPPerf,
+      StrategyKind::kDPDep,    StrategyKind::kOnlyCpu,
+      StrategyKind::kOnlyGpu,  StrategyKind::kSPDag,
+  };
+  std::string lowered;
+  lowered.reserve(name.size());
+  for (char ch : name)
+    lowered += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(ch)));
+  for (StrategyKind kind : kAll) {
+    std::string candidate = strategy_name(kind);
+    for (char& ch : candidate)
+      ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    if (candidate == lowered) return kind;
+  }
+  throw InvalidArgument("unknown strategy '" + name +
+                        "' (sp-single, sp-unified, sp-varied, dp-perf, "
+                        "dp-dep, only-cpu, only-gpu, sp-dag)");
+}
+
+const std::vector<StrategyKind>& paper_strategies() {
+  static const std::vector<StrategyKind> kStrategies = {
+      StrategyKind::kSPSingle, StrategyKind::kSPUnified,
+      StrategyKind::kSPVaried, StrategyKind::kDPPerf,
+      StrategyKind::kDPDep,    StrategyKind::kOnlyCpu,
+      StrategyKind::kOnlyGpu,
+  };
+  return kStrategies;
 }
 
 bool is_static_strategy(StrategyKind kind) {

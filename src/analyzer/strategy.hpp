@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 /// The five partitioning strategies (paper Section III-C) plus the two
 /// single-device baselines the evaluation compares against.
@@ -21,6 +22,14 @@ enum class StrategyKind {
 };
 
 const char* strategy_name(StrategyKind kind);
+
+/// Inverse of `strategy_name`; also accepts the CLI's lower-case spelling
+/// ("sp-single"). Throws InvalidArgument on an unknown name.
+StrategyKind strategy_from_name(const std::string& name);
+
+/// All strategies of the paper's evaluation: the five partitioning
+/// strategies plus the two baselines (SP-DAG, the extension, excluded).
+const std::vector<StrategyKind>& paper_strategies();
 
 /// True for SP-*: the partitioning is fixed before execution.
 bool is_static_strategy(StrategyKind kind);

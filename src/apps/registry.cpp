@@ -21,6 +21,27 @@ const char* paper_app_name(PaperApp app) {
   return "unknown";
 }
 
+const char* paper_app_id(PaperApp app) {
+  switch (app) {
+    case PaperApp::kMatrixMul: return "matrixmul";
+    case PaperApp::kBlackScholes: return "blackscholes";
+    case PaperApp::kNbody: return "nbody";
+    case PaperApp::kHotSpot: return "hotspot";
+    case PaperApp::kStreamSeq: return "stream-seq";
+    case PaperApp::kStreamLoop: return "stream-loop";
+  }
+  return "unknown";
+}
+
+PaperApp paper_app_from_name(const std::string& name) {
+  for (PaperApp app : all_paper_apps()) {
+    if (name == paper_app_id(app) || name == paper_app_name(app)) return app;
+  }
+  throw InvalidArgument("unknown app '" + name +
+                        "' (matrixmul, blackscholes, nbody, hotspot, "
+                        "stream-seq, stream-loop)");
+}
+
 const std::vector<PaperApp>& all_paper_apps() {
   static const std::vector<PaperApp> apps = {
       PaperApp::kMatrixMul, PaperApp::kBlackScholes, PaperApp::kNbody,

@@ -23,6 +23,14 @@ enum class PaperApp {
 const char* paper_app_name(PaperApp app);
 const std::vector<PaperApp>& all_paper_apps();
 
+/// Stable lower-case identifier used by the CLI and the sweep cache key
+/// ("matrixmul", "stream-seq", ...).
+const char* paper_app_id(PaperApp app);
+
+/// Inverse of `paper_app_id` (also accepts the display name). Throws
+/// InvalidArgument on an unknown name.
+PaperApp paper_app_from_name(const std::string& name);
+
 /// The paper's problem size for `app` (timing-only: functional = false).
 Application::Config paper_config(PaperApp app);
 

@@ -176,4 +176,21 @@ PlatformSpec make_cpu_only_platform() {
   return platform;
 }
 
+PlatformSpec platform_by_name(const std::string& name) {
+  if (name.empty() || name == "reference") return make_reference_platform();
+  if (name == "small-gpu") return make_small_gpu_platform();
+  if (name == "dual-gpu") return make_dual_gpu_platform();
+  if (name == "cpu-gpu-phi") return make_cpu_gpu_phi_platform();
+  if (name == "cpu-only") return make_cpu_only_platform();
+  throw InvalidArgument("unknown platform '" + name +
+                        "' (reference, small-gpu, dual-gpu, cpu-gpu-phi, "
+                        "cpu-only)");
+}
+
+const std::vector<std::string>& platform_names() {
+  static const std::vector<std::string> kNames = {
+      "reference", "small-gpu", "dual-gpu", "cpu-gpu-phi", "cpu-only"};
+  return kNames;
+}
+
 }  // namespace hetsched::hw

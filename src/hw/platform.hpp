@@ -130,4 +130,12 @@ PlatformSpec make_dual_gpu_platform();
 /// accelerators" of the paper's future work).
 PlatformSpec make_cpu_gpu_phi_platform();
 
+/// Looks a shipped platform variant up by name: "reference" (or ""),
+/// "small-gpu", "dual-gpu", "cpu-gpu-phi", "cpu-only". Throws
+/// InvalidArgument on an unknown name.
+PlatformSpec platform_by_name(const std::string& name);
+
+/// The names accepted by `platform_by_name`, in presentation order.
+const std::vector<std::string>& platform_names();
+
 }  // namespace hetsched::hw

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/json.hpp"
+
 namespace hetsched::rt {
 
 double ExecutionReport::partition_fraction(hw::DeviceId device,
@@ -28,45 +30,33 @@ double ExecutionReport::overall_fraction(hw::DeviceId device) const {
          static_cast<double>(total);
 }
 
-namespace {
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      default: out += ch;
-    }
-  }
-  return out;
-}
-}  // namespace
-
 std::string report_to_json(const ExecutionReport& report,
                            const std::vector<KernelDef>& kernels) {
   std::ostringstream os;
+  // Doubles go through json::format_double so the serialization is
+  // byte-stable under parse -> dump round trips (the sweep cache contract).
   os << "{";
-  os << "\"makespan_ms\":" << report.makespan_ms();
+  os << "\"makespan_ms\":" << json::format_double(report.makespan_ms());
   os << ",\"tasks_executed\":" << report.tasks_executed;
   os << ",\"barriers\":" << report.barriers;
   os << ",\"scheduling_decisions\":" << report.scheduling_decisions;
-  os << ",\"overhead_ms\":" << to_millis(report.overhead_time);
+  os << ",\"overhead_ms\":"
+     << json::format_double(to_millis(report.overhead_time));
   os << ",\"transfers\":{"
      << "\"h2d_count\":" << report.transfers.h2d_count
-     << ",\"h2d_bytes\":" << report.transfers.h2d_bytes
-     << ",\"h2d_ms\":" << to_millis(report.transfers.h2d_time)
+     << ",\"h2d_bytes\":" << report.transfers.h2d_bytes << ",\"h2d_ms\":"
+     << json::format_double(to_millis(report.transfers.h2d_time))
      << ",\"d2h_count\":" << report.transfers.d2h_count
-     << ",\"d2h_bytes\":" << report.transfers.d2h_bytes
-     << ",\"d2h_ms\":" << to_millis(report.transfers.d2h_time) << "}";
+     << ",\"d2h_bytes\":" << report.transfers.d2h_bytes << ",\"d2h_ms\":"
+     << json::format_double(to_millis(report.transfers.d2h_time)) << "}";
   os << ",\"devices\":[";
   for (std::size_t d = 0; d < report.devices.size(); ++d) {
     const DeviceReport& device = report.devices[d];
     if (d != 0) os << ",";
-    os << "{\"name\":\"" << json_escape(device.name) << "\",\"class\":\""
+    os << "{\"name\":\"" << json::escape(device.name) << "\",\"class\":\""
        << hw::device_class_name(device.cls) << "\",\"lanes\":"
-       << device.lanes << ",\"compute_ms\":" << to_millis(device.compute_time)
+       << device.lanes << ",\"compute_ms\":"
+       << json::format_double(to_millis(device.compute_time))
        << ",\"instances\":" << device.instances << ",\"items_per_kernel\":{";
     bool first = true;
     for (const auto& [kernel, items] : device.items_per_kernel) {
@@ -75,7 +65,7 @@ std::string report_to_json(const ExecutionReport& report,
       const std::string name = kernel < kernels.size()
                                    ? kernels[kernel].name
                                    : "kernel" + std::to_string(kernel);
-      os << "\"" << json_escape(name) << "\":" << items;
+      os << "\"" << json::escape(name) << "\":" << items;
     }
     os << "}}";
   }

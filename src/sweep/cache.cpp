@@ -1,0 +1,106 @@
+#include "sweep/cache.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "sweep/scenario.hpp"
+
+namespace hetsched::sweep {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kMagic = "hs-sweep-cache-v1";
+
+/// Distinguishes temp files written by concurrent stores in one process.
+std::atomic<std::uint64_t> temp_counter{0};
+
+}  // namespace
+
+ResultCache::ResultCache(std::string directory)
+    : directory_(std::move(directory)) {
+  HS_REQUIRE(!directory_.empty(), "cache directory must not be empty");
+  fs::create_directories(directory_);
+}
+
+std::string ResultCache::path_for(const std::string& key) const {
+  const std::uint64_t hash = fnv1a64(key);
+  std::ostringstream os;
+  os << std::hex;
+  for (int shift = 60; shift >= 0; shift -= 4) os << ((hash >> shift) & 0xF);
+  return (fs::path(directory_) / (os.str() + ".json")).string();
+}
+
+std::optional<std::string> ResultCache::load(const std::string& key) const {
+  std::ifstream file(path_for(key), std::ios::binary);
+  if (!file.good()) return std::nullopt;
+
+  std::string magic;
+  if (!std::getline(file, magic) || magic != kMagic) return std::nullopt;
+  std::string length_line;
+  if (!std::getline(file, length_line)) return std::nullopt;
+  std::size_t key_length = 0;
+  try {
+    key_length = std::stoul(length_line);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  std::string stored_key(key_length, '\0');
+  if (!file.read(stored_key.data(),
+                 static_cast<std::streamsize>(key_length))) {
+    return std::nullopt;
+  }
+  // Digest collision or stale entry: treat as a miss, never as a hit.
+  if (stored_key != key) return std::nullopt;
+  if (file.get() != '\n') return std::nullopt;
+
+  std::string payload_length_line;
+  if (!std::getline(file, payload_length_line)) return std::nullopt;
+  std::size_t payload_length = 0;
+  try {
+    payload_length = std::stoul(payload_length_line);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  std::string payload(payload_length, '\0');
+  if (!file.read(payload.data(),
+                 static_cast<std::streamsize>(payload_length))) {
+    return std::nullopt;  // truncated entry
+  }
+  if (file.get() != std::ifstream::traits_type::eof()) {
+    return std::nullopt;  // trailing garbage
+  }
+  return payload;
+}
+
+void ResultCache::store(const std::string& key,
+                        const std::string& payload) const {
+  const std::string path = path_for(key);
+  const std::string temp =
+      path + ".tmp" +
+      std::to_string(temp_counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream file(temp, std::ios::binary | std::ios::trunc);
+    HS_REQUIRE(file.good(),
+               "cannot write sweep cache entry '" << temp << "'");
+    file << kMagic << "\n" << key.size() << "\n" << key << "\n"
+         << payload.size() << "\n" << payload;
+  }
+  fs::rename(temp, path);
+}
+
+std::size_t ResultCache::clear() const {
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(directory_, ec)) {
+    if (entry.is_regular_file() && fs::remove(entry.path())) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace hetsched::sweep

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+/// Content-addressed on-disk result cache for the sweep engine.
+///
+/// Entries are keyed by the full canonical scenario key (see
+/// sweep::scenario_key); the file name is the FNV-1a digest of the key, and
+/// the file stores the key itself ahead of the payload so a digest
+/// collision or a stale/corrupt file degrades to a miss, never to a wrong
+/// result. Writes go through a temporary file + rename so concurrent
+/// sweeps sharing a cache directory cannot observe torn entries.
+namespace hetsched::sweep {
+
+class ResultCache {
+ public:
+  /// Opens (and lazily creates) the cache rooted at `directory`.
+  explicit ResultCache(std::string directory);
+
+  const std::string& directory() const { return directory_; }
+
+  /// Returns the payload stored for `key`, or nullopt on a miss (no entry,
+  /// unreadable entry, or an entry whose stored key does not match `key`).
+  std::optional<std::string> load(const std::string& key) const;
+
+  /// Stores `payload` under `key`, replacing any previous entry.
+  void store(const std::string& key, const std::string& payload) const;
+
+  /// Removes every entry. Returns the number of entries removed.
+  std::size_t clear() const;
+
+  /// The file an entry for `key` lives in (exposed for tests).
+  std::string path_for(const std::string& key) const;
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace hetsched::sweep

@@ -1,0 +1,324 @@
+#include "sweep/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "common/error.hpp"
+#include "hw/platform.hpp"
+#include "runtime/thread_pool.hpp"
+#include "strategies/strategy_runner.hpp"
+
+namespace hetsched::sweep {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+json::Value metrics_to_json(const ScenarioMetrics& metrics) {
+  json::Value per_kernel;
+  for (double fraction : metrics.gpu_fraction_per_kernel)
+    per_kernel.push_back(json::Value(fraction));
+  if (metrics.gpu_fraction_per_kernel.empty())
+    per_kernel = json::Value(json::Value::Array{});
+
+  json::Value value;
+  value.set("time_ms", json::Value(metrics.time_ms));
+  value.set("gpu_fraction_overall",
+            json::Value(metrics.gpu_fraction_overall));
+  value.set("gpu_fraction_per_kernel", std::move(per_kernel));
+  value.set("h2d_bytes", json::Value(metrics.h2d_bytes));
+  value.set("d2h_bytes", json::Value(metrics.d2h_bytes));
+  value.set("h2d_ms", json::Value(metrics.h2d_ms));
+  value.set("d2h_ms", json::Value(metrics.d2h_ms));
+  value.set("overhead_ms", json::Value(metrics.overhead_ms));
+  value.set("tasks_executed", json::Value(metrics.tasks_executed));
+  value.set("barriers", json::Value(metrics.barriers));
+  value.set("scheduling_decisions",
+            json::Value(metrics.scheduling_decisions));
+  return value;
+}
+
+ScenarioMetrics metrics_from_json(const json::Value& value) {
+  ScenarioMetrics metrics;
+  metrics.time_ms = value.at("time_ms").as_number();
+  metrics.gpu_fraction_overall =
+      value.at("gpu_fraction_overall").as_number();
+  for (const json::Value& fraction :
+       value.at("gpu_fraction_per_kernel").as_array())
+    metrics.gpu_fraction_per_kernel.push_back(fraction.as_number());
+  metrics.h2d_bytes = value.at("h2d_bytes").as_int64();
+  metrics.d2h_bytes = value.at("d2h_bytes").as_int64();
+  metrics.h2d_ms = value.at("h2d_ms").as_number();
+  metrics.d2h_ms = value.at("d2h_ms").as_number();
+  metrics.overhead_ms = value.at("overhead_ms").as_number();
+  metrics.tasks_executed = value.at("tasks_executed").as_int64();
+  metrics.barriers = value.at("barriers").as_int64();
+  metrics.scheduling_decisions =
+      value.at("scheduling_decisions").as_int64();
+  return metrics;
+}
+
+ScenarioStatus status_from_name(const std::string& name) {
+  if (name == "ok") return ScenarioStatus::kOk;
+  if (name == "inapplicable") return ScenarioStatus::kInapplicable;
+  if (name == "failed") return ScenarioStatus::kFailed;
+  throw InvalidArgument("unknown scenario status '" + name + "'");
+}
+
+}  // namespace
+
+const char* scenario_status_name(ScenarioStatus status) {
+  switch (status) {
+    case ScenarioStatus::kOk: return "ok";
+    case ScenarioStatus::kInapplicable: return "inapplicable";
+    case ScenarioStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+std::string ScenarioOutcome::to_payload() const {
+  json::Value value;
+  value.set("scenario", scenario.to_json());
+  value.set("status", json::Value(scenario_status_name(status)));
+  if (status != ScenarioStatus::kOk) {
+    value.set("error", json::Value(error));
+    return value.dump();
+  }
+  value.set("metrics", metrics_to_json(metrics));
+  // Embedded as a JSON object; rt::report_to_json formats doubles through
+  // json::format_double, so re-dumping the parsed object reproduces the
+  // exact original bytes.
+  value.set("report", json::Value::parse(report_json));
+  return value.dump();
+}
+
+ScenarioOutcome ScenarioOutcome::from_payload(const std::string& payload) {
+  const json::Value value = json::Value::parse(payload);
+  ScenarioOutcome outcome;
+  outcome.scenario = Scenario::from_json(value.at("scenario"));
+  outcome.status = status_from_name(value.at("status").as_string());
+  if (outcome.status != ScenarioStatus::kOk) {
+    outcome.error = value.at("error").as_string();
+    return outcome;
+  }
+  outcome.metrics = metrics_from_json(value.at("metrics"));
+  outcome.report_json = value.at("report").dump();
+  return outcome;
+}
+
+SweepEngine::SweepEngine(SweepOptions options)
+    : options_(std::move(options)) {}
+
+ScenarioOutcome SweepEngine::compute(const Scenario& scenario) const {
+  ScenarioOutcome outcome;
+  outcome.scenario = scenario;
+  const Clock::time_point start = Clock::now();
+  try {
+    const hw::PlatformSpec platform =
+        hw::platform_by_name(scenario.platform);
+    apps::Application::Config config =
+        scenario.small ? apps::test_config(scenario.app)
+                       : apps::paper_config(scenario.app);
+    config.costs = scenario.costs;
+    config.record_trace = options_.record_trace;
+    const auto application =
+        apps::make_paper_app(scenario.app, platform, config);
+
+    strategies::StrategyOptions strategy_options;
+    strategy_options.sync_between_kernels = scenario.sync;
+    strategy_options.task_count = scenario.task_count;
+    strategies::StrategyRunner runner(*application, strategy_options);
+    const strategies::StrategyResult result = runner.run(scenario.strategy);
+
+    outcome.metrics.time_ms = result.time_ms();
+    outcome.metrics.gpu_fraction_overall = result.gpu_fraction_overall;
+    outcome.metrics.gpu_fraction_per_kernel = result.gpu_fraction_per_kernel;
+    const rt::TransferReport& transfers = result.report.transfers;
+    outcome.metrics.h2d_bytes = transfers.h2d_bytes;
+    outcome.metrics.d2h_bytes = transfers.d2h_bytes;
+    outcome.metrics.h2d_ms = to_millis(transfers.h2d_time);
+    outcome.metrics.d2h_ms = to_millis(transfers.d2h_time);
+    outcome.metrics.overhead_ms = to_millis(result.report.overhead_time);
+    outcome.metrics.tasks_executed =
+        static_cast<std::int64_t>(result.report.tasks_executed);
+    outcome.metrics.barriers =
+        static_cast<std::int64_t>(result.report.barriers);
+    outcome.metrics.scheduling_decisions =
+        static_cast<std::int64_t>(result.report.scheduling_decisions);
+    outcome.report_json =
+        rt::report_to_json(result.report, application->executor().kernels());
+    if (options_.record_trace)
+      outcome.trace_json = result.report.trace.to_chrome_json();
+  } catch (const InvalidArgument& error) {
+    outcome.status = ScenarioStatus::kInapplicable;
+    outcome.error = error.what();
+  } catch (const std::exception& error) {
+    outcome.status = ScenarioStatus::kFailed;
+    outcome.error = error.what();
+  }
+  outcome.wall_ms = elapsed_ms(start);
+  return outcome;
+}
+
+SweepRun SweepEngine::run(const std::vector<Scenario>& scenarios) const {
+  const Clock::time_point start = Clock::now();
+  SweepRun run;
+  run.outcomes.resize(scenarios.size());
+
+  std::unique_ptr<ResultCache> cache;
+  if (options_.use_cache)
+    cache = std::make_unique<ResultCache>(options_.cache_dir);
+
+  // Resolve cache hits up front; only misses are dispatched to workers.
+  std::vector<std::size_t> misses;
+  misses.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    bool hit = false;
+    if (cache) {
+      const Clock::time_point lookup = Clock::now();
+      if (const auto payload = cache->load(scenario_key(scenarios[i]))) {
+        try {
+          run.outcomes[i] = ScenarioOutcome::from_payload(*payload);
+          run.outcomes[i].cache_hit = true;
+          run.outcomes[i].wall_ms = elapsed_ms(lookup);
+          hit = true;
+        } catch (const InvalidArgument&) {
+          // An entry that passed the byte-level checks but no longer
+          // deserializes (e.g. written by a different build): recompute.
+          run.outcomes[i] = ScenarioOutcome{};
+        }
+      }
+    }
+    if (!hit) misses.push_back(i);
+  }
+
+  const auto compute_into = [&](std::size_t index) {
+    run.outcomes[index] = compute(scenarios[index]);
+  };
+  if (options_.parallel && misses.size() > 1) {
+    rt::ThreadPool pool(options_.jobs);
+    for (std::size_t index : misses)
+      pool.enqueue([&compute_into, index] { compute_into(index); });
+    pool.wait_idle();
+  } else {
+    for (std::size_t index : misses) compute_into(index);
+  }
+
+  if (cache) {
+    for (std::size_t index : misses) {
+      cache->store(scenario_key(scenarios[index]),
+                   run.outcomes[index].to_payload());
+    }
+  }
+
+  run.summary.scenarios = scenarios.size();
+  run.summary.computed = misses.size();
+  run.summary.cache_hits = scenarios.size() - misses.size();
+  for (const ScenarioOutcome& outcome : run.outcomes) {
+    switch (outcome.status) {
+      case ScenarioStatus::kOk: ++run.summary.ok; break;
+      case ScenarioStatus::kInapplicable: ++run.summary.inapplicable; break;
+      case ScenarioStatus::kFailed: ++run.summary.failed; break;
+    }
+  }
+  run.summary.wall_ms = elapsed_ms(start);
+  return run;
+}
+
+std::vector<GroupRanking> compute_rankings(
+    const std::vector<ScenarioOutcome>& outcomes) {
+  std::vector<GroupRanking> rankings;
+  const auto group_of = [&rankings](const std::string& name) -> GroupRanking& {
+    for (GroupRanking& ranking : rankings) {
+      if (ranking.group == name) return ranking;
+    }
+    rankings.push_back(GroupRanking{name, {}, analyzer::StrategyKind::kOnlyCpu});
+    return rankings.back();
+  };
+  for (const ScenarioOutcome& outcome : outcomes) {
+    if (!outcome.ok()) continue;
+    group_of(outcome.scenario.group())
+        .order.emplace_back(outcome.scenario.strategy, outcome.time_ms());
+  }
+  for (GroupRanking& ranking : rankings) {
+    // Stable ordering: ties broken by strategy enum position.
+    std::sort(ranking.order.begin(), ranking.order.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second < b.second;
+                return static_cast<int>(a.first) < static_cast<int>(b.first);
+              });
+    for (const auto& [kind, time] : ranking.order) {
+      (void)time;
+      if (kind != analyzer::StrategyKind::kOnlyCpu &&
+          kind != analyzer::StrategyKind::kOnlyGpu) {
+        ranking.winner = kind;
+        break;
+      }
+    }
+  }
+  return rankings;
+}
+
+std::string sweep_to_json(const SweepRun& run) {
+  json::Value summary;
+  summary.set("scenarios",
+              json::Value(static_cast<std::int64_t>(run.summary.scenarios)));
+  summary.set("ok", json::Value(static_cast<std::int64_t>(run.summary.ok)));
+  summary.set("inapplicable", json::Value(static_cast<std::int64_t>(
+                                  run.summary.inapplicable)));
+  summary.set("failed",
+              json::Value(static_cast<std::int64_t>(run.summary.failed)));
+  summary.set("cache_hits", json::Value(static_cast<std::int64_t>(
+                                run.summary.cache_hits)));
+  summary.set("computed",
+              json::Value(static_cast<std::int64_t>(run.summary.computed)));
+  summary.set("wall_ms", json::Value(run.summary.wall_ms));
+
+  json::Value scenarios{json::Value::Array{}};
+  for (const ScenarioOutcome& outcome : run.outcomes) {
+    json::Value entry;
+    entry.set("scenario", outcome.scenario.to_json());
+    entry.set("label", json::Value(outcome.scenario.label()));
+    entry.set("status",
+              json::Value(scenario_status_name(outcome.status)));
+    entry.set("cache_hit", json::Value(outcome.cache_hit));
+    entry.set("wall_ms", json::Value(outcome.wall_ms));
+    if (outcome.ok()) {
+      entry.set("metrics", metrics_to_json(outcome.metrics));
+      entry.set("report", json::Value::parse(outcome.report_json));
+    } else {
+      entry.set("error", json::Value(outcome.error));
+    }
+    scenarios.push_back(std::move(entry));
+  }
+
+  json::Value rankings{json::Value::Array{}};
+  for (const GroupRanking& ranking : compute_rankings(run.outcomes)) {
+    json::Value order{json::Value::Array{}};
+    for (const auto& [kind, time] : ranking.order) {
+      json::Value entry;
+      entry.set("strategy", json::Value(analyzer::strategy_name(kind)));
+      entry.set("time_ms", json::Value(time));
+      order.push_back(std::move(entry));
+    }
+    json::Value entry;
+    entry.set("group", json::Value(ranking.group));
+    entry.set("winner", json::Value(analyzer::strategy_name(ranking.winner)));
+    entry.set("order", std::move(order));
+    rankings.push_back(std::move(entry));
+  }
+
+  json::Value document;
+  document.set("summary", std::move(summary));
+  document.set("scenarios", std::move(scenarios));
+  document.set("rankings", std::move(rankings));
+  return document.dump();
+}
+
+}  // namespace hetsched::sweep

@@ -1,0 +1,148 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sweep/cache.hpp"
+#include "sweep/scenario.hpp"
+
+/// Batch scenario-sweep engine.
+///
+/// Takes a list of Scenarios (typically an app x strategy x platform
+/// matrix), fans them out over a worker-thread pool — every scenario builds
+/// its own Application + Executor, so simulations share nothing and the
+/// sweep is embarrassingly parallel — and memoizes results in a
+/// content-addressed on-disk cache so repeated sweeps only recompute
+/// scenarios whose key closure changed. Results are exact: a cache hit
+/// reconstructs the same bytes a fresh simulation would produce.
+///
+/// This is the substrate for the golden-shape regression suite
+/// (tests/golden) and for the `hetsched_cli sweep` verb.
+namespace hetsched::sweep {
+
+enum class ScenarioStatus {
+  kOk,
+  /// The strategy does not apply to the application class / platform
+  /// (e.g. SP-Single on STREAM, Only-GPU on cpu-only) — expected when
+  /// sweeping a full matrix.
+  kInapplicable,
+  /// The simulation raised an unexpected error (message in `error`).
+  kFailed,
+};
+
+const char* scenario_status_name(ScenarioStatus status);
+
+/// Everything the figures and rankings are computed from, flattened out of
+/// the StrategyResult so it can round-trip through the cache.
+struct ScenarioMetrics {
+  double time_ms = 0.0;
+  double gpu_fraction_overall = 0.0;
+  std::vector<double> gpu_fraction_per_kernel;
+  std::int64_t h2d_bytes = 0;
+  std::int64_t d2h_bytes = 0;
+  double h2d_ms = 0.0;
+  double d2h_ms = 0.0;
+  double overhead_ms = 0.0;
+  std::int64_t tasks_executed = 0;
+  std::int64_t barriers = 0;
+  std::int64_t scheduling_decisions = 0;
+};
+
+struct ScenarioOutcome {
+  Scenario scenario;
+  ScenarioStatus status = ScenarioStatus::kOk;
+  std::string error;  ///< set when status != kOk
+  ScenarioMetrics metrics;
+  /// Full rt::report_to_json serialization of the ExecutionReport (empty
+  /// when status != kOk). Byte-identical whether computed or cache-loaded.
+  std::string report_json;
+  /// Chrome-trace timeline (only when SweepOptions::record_trace; never
+  /// cached).
+  std::string trace_json;
+
+  /// Run metadata — not part of the canonical payload.
+  bool cache_hit = false;
+  double wall_ms = 0.0;
+
+  double time_ms() const { return metrics.time_ms; }
+  double gpu_fraction_overall() const {
+    return metrics.gpu_fraction_overall;
+  }
+  const std::vector<double>& gpu_fraction_per_kernel() const {
+    return metrics.gpu_fraction_per_kernel;
+  }
+  bool ok() const { return status == ScenarioStatus::kOk; }
+
+  /// Canonical serialization: scenario + status + metrics + report. This is
+  /// the cache payload and the determinism-comparison string; run metadata
+  /// (cache_hit, wall_ms, trace) is excluded.
+  std::string to_payload() const;
+  static ScenarioOutcome from_payload(const std::string& payload);
+};
+
+struct SweepOptions {
+  /// Fan scenarios out over a thread pool; false runs them in submission
+  /// order on the calling thread (reference mode for determinism tests).
+  bool parallel = true;
+  /// Worker count when parallel (0 = hardware concurrency).
+  unsigned jobs = 0;
+  /// Reuse / populate the on-disk result cache.
+  bool use_cache = false;
+  std::string cache_dir = ".hs-sweep-cache";
+  /// Record a chrome trace per scenario (in-memory only, disables nothing).
+  bool record_trace = false;
+};
+
+struct SweepSummary {
+  std::size_t scenarios = 0;
+  std::size_t ok = 0;
+  std::size_t inapplicable = 0;
+  std::size_t failed = 0;
+  std::size_t cache_hits = 0;
+  std::size_t computed = 0;
+  double wall_ms = 0.0;
+};
+
+struct SweepRun {
+  std::vector<ScenarioOutcome> outcomes;  ///< same order as the input
+  SweepSummary summary;
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepOptions options = {});
+
+  const SweepOptions& options() const { return options_; }
+
+  /// Runs every scenario (resolving cache hits first) and returns outcomes
+  /// in input order plus the run summary.
+  SweepRun run(const std::vector<Scenario>& scenarios) const;
+
+  /// Runs one scenario without touching the cache.
+  ScenarioOutcome compute(const Scenario& scenario) const;
+
+ private:
+  SweepOptions options_;
+};
+
+/// Per-group ranking: scenarios that share Scenario::group() (same app,
+/// platform, sync, size) ordered by ascending time, inapplicable/failed
+/// ones excluded.
+struct GroupRanking {
+  std::string group;
+  /// Strategies best-first with their times.
+  std::vector<std::pair<analyzer::StrategyKind, double>> order;
+  /// Best strategy excluding the Only-CPU/Only-GPU baselines (the paper's
+  /// "winner"); kOnlyCpu if the group has no partitioning strategy at all.
+  analyzer::StrategyKind winner = analyzer::StrategyKind::kOnlyCpu;
+};
+
+std::vector<GroupRanking> compute_rankings(
+    const std::vector<ScenarioOutcome>& outcomes);
+
+/// Machine-readable form of a whole run: summary, per-scenario outcomes
+/// (reports embedded as objects), and the per-group rankings.
+std::string sweep_to_json(const SweepRun& run);
+
+}  // namespace hetsched::sweep

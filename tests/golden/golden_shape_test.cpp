@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "sweep/sweep.hpp"
+
+/// Golden-shape regression suite.
+///
+/// Runs the six paper applications through the sweep engine at the paper's
+/// problem sizes and asserts the qualitative results recorded in
+/// expected_shapes.json: the per-class winner, the Table I strategy order
+/// (with the same 12% tie tolerance bench/table1_ranking uses), the
+/// partition-ratio shapes, and the baseline relations from DESIGN.md
+/// section 4. Any behaviour change that perturbs a winner or a ranking
+/// fails here with the offending case named.
+namespace hetsched::sweep {
+namespace {
+
+json::Value load_expectations() {
+  const std::string path =
+      std::string(HS_GOLDEN_DATA_DIR) + "/expected_shapes.json";
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << "cannot open " << path;
+  std::ostringstream text;
+  text << file.rdbuf();
+  return json::Value::parse(text.str());
+}
+
+struct CaseResult {
+  std::map<std::string, const ScenarioOutcome*> by_strategy;
+  GroupRanking ranking;
+};
+
+/// One paper-size sweep per (app, sync) case, shared across tests.
+const CaseResult& result_for(const std::string& app, bool sync) {
+  static std::map<std::string, CaseResult>* cache =
+      new std::map<std::string, CaseResult>();
+  static std::map<std::string, SweepRun>* runs =
+      new std::map<std::string, SweepRun>();
+  const std::string key = app + (sync ? "+sync" : "");
+  auto found = cache->find(key);
+  if (found != cache->end()) return found->second;
+
+  const std::vector<Scenario> scenarios =
+      enumerate_matrix({apps::paper_app_from_name(app)},
+                       analyzer::paper_strategies(), {"reference"}, {sync},
+                       /*small=*/false);
+  SweepOptions options;
+  options.use_cache = false;
+  const SweepRun& run =
+      runs->emplace(key, SweepEngine(options).run(scenarios)).first->second;
+  EXPECT_EQ(run.summary.failed, 0u) << key;
+
+  CaseResult result;
+  for (const ScenarioOutcome& outcome : run.outcomes) {
+    if (!outcome.ok()) continue;
+    result.by_strategy.emplace(
+        analyzer::strategy_name(outcome.scenario.strategy), &outcome);
+  }
+  const auto rankings = compute_rankings(run.outcomes);
+  EXPECT_EQ(rankings.size(), 1u) << key;
+  if (!rankings.empty()) result.ranking = rankings.front();
+  return cache->emplace(key, std::move(result)).first->second;
+}
+
+double time_of(const CaseResult& result, const std::string& strategy) {
+  const auto found = result.by_strategy.find(strategy);
+  EXPECT_NE(found, result.by_strategy.end()) << strategy << " did not run";
+  return found == result.by_strategy.end() ? 0.0
+                                           : found->second->time_ms();
+}
+
+class GoldenShapeTest : public ::testing::Test {
+ protected:
+  static const json::Value& expectations() {
+    static const json::Value* doc = new json::Value(load_expectations());
+    return *doc;
+  }
+};
+
+TEST_F(GoldenShapeTest, WinnersMatchDesignSection4) {
+  for (const json::Value& c : expectations().at("cases").as_array()) {
+    const std::string name = c.at("name").as_string();
+    const CaseResult& result =
+        result_for(c.at("app").as_string(), c.at("sync").as_bool());
+    EXPECT_EQ(analyzer::strategy_name(result.ranking.winner),
+              c.at("winner").as_string())
+        << name;
+  }
+}
+
+TEST_F(GoldenShapeTest, TableOneRankingsHold) {
+  const double tolerance = expectations().at("tie_tolerance").as_number();
+  for (const json::Value& c : expectations().at("cases").as_array()) {
+    const std::string name = c.at("name").as_string();
+    const CaseResult& result =
+        result_for(c.at("app").as_string(), c.at("sync").as_bool());
+    const auto& order = c.at("ranking").as_array();
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      const double faster = time_of(result, order[i].as_string());
+      const double slower = time_of(result, order[i + 1].as_string());
+      EXPECT_LE(faster, slower * (1.0 + tolerance))
+          << name << ": expected " << order[i].as_string()
+          << " <= " << order[i + 1].as_string() << " (within "
+          << tolerance * 100 << "% tie tolerance)";
+    }
+  }
+}
+
+TEST_F(GoldenShapeTest, PartitionRatiosStayInShape) {
+  for (const json::Value& c : expectations().at("cases").as_array()) {
+    const json::Value* bounds = c.find("gpu_share");
+    if (bounds == nullptr) continue;
+    const std::string name = c.at("name").as_string();
+    const CaseResult& result =
+        result_for(c.at("app").as_string(), c.at("sync").as_bool());
+    for (const json::Value& bound : bounds->as_array()) {
+      const std::string strategy = bound.at("strategy").as_string();
+      const auto found = result.by_strategy.find(strategy);
+      ASSERT_NE(found, result.by_strategy.end()) << name << ": " << strategy;
+      const double share = found->second->gpu_fraction_overall();
+      EXPECT_GE(share, bound.at("min").as_number()) << name << ": " << strategy;
+      EXPECT_LE(share, bound.at("max").as_number()) << name << ": " << strategy;
+    }
+  }
+}
+
+TEST_F(GoldenShapeTest, StrictRelationsAndBaselinesHold) {
+  for (const json::Value& c : expectations().at("cases").as_array()) {
+    const std::string name = c.at("name").as_string();
+    const CaseResult& result =
+        result_for(c.at("app").as_string(), c.at("sync").as_bool());
+    if (const json::Value* og = c.find("og_beats_oc")) {
+      const double only_gpu = time_of(result, "Only-GPU");
+      const double only_cpu = time_of(result, "Only-CPU");
+      if (og->as_bool()) {
+        EXPECT_LT(only_gpu, only_cpu) << name;
+      } else {
+        EXPECT_LT(only_cpu, only_gpu) << name;
+      }
+    }
+    if (const json::Value* relations = c.find("slower_than")) {
+      for (const json::Value& relation : relations->as_array()) {
+        EXPECT_GT(time_of(result, relation.at("slow").as_string()),
+                  time_of(result, relation.at("fast").as_string()))
+            << name;
+      }
+    }
+  }
+}
+
+TEST_F(GoldenShapeTest, ExpectationFileCoversAllSixApps) {
+  // Guards against silently dropping a case from the golden file.
+  std::map<std::string, int> per_app;
+  for (const json::Value& c : expectations().at("cases").as_array())
+    ++per_app[c.at("app").as_string()];
+  EXPECT_EQ(per_app.size(), 6u);
+  EXPECT_EQ(per_app["stream-seq"], 2);   // both sync variants
+  EXPECT_EQ(per_app["stream-loop"], 2);  // both sync variants
+}
+
+}  // namespace
+}  // namespace hetsched::sweep

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -38,6 +42,82 @@ TEST(ThreadPool, PropagatesFirstException) {
   std::atomic<int> counter{0};
   pool.enqueue([&counter] { ++counter; });
   pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  // Shutdown-while-queued: the destructor must run every task that was
+  // enqueued before it, not drop the backlog.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    // Occupy the single worker so the remaining tasks are still queued when
+    // the destructor begins.
+    pool.enqueue(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+    for (int i = 0; i < 200; ++i) pool.enqueue([&counter] { ++counter; });
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, DestructorDrainsWhileWorkersAreBlocked) {
+  // Same property, with the worker provably parked inside a task (not just
+  // sleeping) when the backlog is enqueued.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    pool.enqueue([&] {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return release; });
+    });
+    for (int i = 0; i < 50; ++i) pool.enqueue([&counter] { ++counter; });
+    EXPECT_EQ(counter.load(), 0);  // worker is parked, queue untouched
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      release = true;
+    }
+    cv.notify_one();
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ExceptionDoesNotCancelOtherTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.enqueue([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 100; ++i) pool.enqueue([&counter] { ++counter; });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, KeepsFirstOfMultipleExceptions) {
+  // A single-threaded pool sequences the tasks, so "first" is well defined.
+  ThreadPool pool(1);
+  pool.enqueue([] { throw std::runtime_error("first"); });
+  pool.enqueue([] { throw std::logic_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle did not rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "first");
+  }
+  // The slot was consumed by the rethrow: a clean wait no longer throws.
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, ExceptionInDestructorDrainIsSwallowed) {
+  // Tasks that throw during the destructor's drain must not terminate.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    pool.enqueue(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(10)); });
+    pool.enqueue([] { throw std::runtime_error("boom during shutdown"); });
+    pool.enqueue([&counter] { ++counter; });
+  }
   EXPECT_EQ(counter.load(), 1);
 }
 
@@ -86,6 +166,20 @@ TEST(ParallelFor, ComputesCorrectSum) {
   });
   const double total = std::accumulate(out.begin(), out.end(), 0.0);
   EXPECT_DOUBLE_EQ(total, static_cast<double>(kN) * (kN - 1));
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 0, 100, 10,
+                            [](std::int64_t lo, std::int64_t) {
+                              if (lo >= 50) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> counter{0};
+  parallel_for(pool, 0, 10, 1,
+               [&counter](std::int64_t, std::int64_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
 }
 
 TEST(ParallelFor, RejectsBadGrain) {

@@ -1,0 +1,101 @@
+#include "sweep/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace hetsched::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("hs_cache_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(ResultCacheTest, MissThenStoreThenHit) {
+  ResultCache cache(dir_.string());
+  EXPECT_FALSE(cache.load("key-a").has_value());
+  cache.store("key-a", "payload-a");
+  const auto loaded = cache.load("key-a");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "payload-a");
+}
+
+TEST_F(ResultCacheTest, StoreReplacesExistingEntry) {
+  ResultCache cache(dir_.string());
+  cache.store("key", "first");
+  cache.store("key", "second");
+  EXPECT_EQ(cache.load("key").value(), "second");
+}
+
+TEST_F(ResultCacheTest, PayloadMayContainAnyBytes) {
+  ResultCache cache(dir_.string());
+  const std::string payload("a\0b\nc\xff", 6);
+  cache.store("key", payload);
+  EXPECT_EQ(cache.load("key").value(), payload);
+}
+
+TEST_F(ResultCacheTest, DigestCollisionDegradesToMiss) {
+  ResultCache cache(dir_.string());
+  cache.store("key-a", "payload-a");
+  // Simulate an FNV collision: another key mapping to key-a's file. The
+  // stored key is verified on load, so this must be a miss, not payload-a.
+  const fs::path colliding = cache.path_for("key-a");
+  std::ofstream out(colliding, std::ios::binary | std::ios::trunc);
+  out << "hs-sweep-cache-v1\n" << 5 << "\nother\npayload-b";
+  out.close();
+  EXPECT_FALSE(cache.load("key-a").has_value());
+}
+
+TEST_F(ResultCacheTest, CorruptEntryDegradesToMiss) {
+  ResultCache cache(dir_.string());
+  cache.store("key", "payload");
+  std::ofstream out(cache.path_for("key"), std::ios::binary | std::ios::trunc);
+  out << "not a cache file";
+  out.close();
+  EXPECT_FALSE(cache.load("key").has_value());
+}
+
+TEST_F(ResultCacheTest, TruncatedEntryDegradesToMiss) {
+  ResultCache cache(dir_.string());
+  cache.store("key", "a long enough payload to truncate");
+  const fs::path path = cache.path_for("key");
+  fs::resize_file(path, fs::file_size(path) / 2);
+  EXPECT_FALSE(cache.load("key").has_value());
+}
+
+TEST_F(ResultCacheTest, ClearRemovesEverything) {
+  ResultCache cache(dir_.string());
+  cache.store("key-a", "a");
+  cache.store("key-b", "b");
+  EXPECT_EQ(cache.clear(), 2u);
+  EXPECT_FALSE(cache.load("key-a").has_value());
+  EXPECT_FALSE(cache.load("key-b").has_value());
+  EXPECT_EQ(cache.clear(), 0u);
+}
+
+TEST_F(ResultCacheTest, DistinctKeysGetDistinctFiles) {
+  ResultCache cache(dir_.string());
+  EXPECT_NE(cache.path_for("key-a"), cache.path_for("key-b"));
+  cache.store("key-a", "a");
+  cache.store("key-b", "b");
+  EXPECT_EQ(cache.load("key-a").value(), "a");
+  EXPECT_EQ(cache.load("key-b").value(), "b");
+}
+
+}  // namespace
+}  // namespace hetsched::sweep

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.hpp"
+
+/// The sweep cache and the golden suite both rest on one property: a
+/// scenario is a pure function of its configuration. These tests pin that
+/// down end to end — repeated runs and parallel vs serial runs must produce
+/// bit-identical canonical payloads (and traces, when recorded).
+namespace hetsched::sweep {
+namespace {
+
+std::vector<Scenario> small_grid() {
+  // A mixed slice of the matrix: single-kernel, multi-kernel, both sync
+  // variants, dynamic and static strategies (small configs keep this fast).
+  return enumerate_matrix(
+      {apps::PaperApp::kMatrixMul, apps::PaperApp::kHotSpot,
+       apps::PaperApp::kStreamSeq},
+      {analyzer::StrategyKind::kSPSingle, analyzer::StrategyKind::kSPUnified,
+       analyzer::StrategyKind::kSPVaried, analyzer::StrategyKind::kDPPerf,
+       analyzer::StrategyKind::kDPDep, analyzer::StrategyKind::kOnlyCpu},
+      {"reference"}, {false, true}, /*small=*/true);
+}
+
+std::vector<std::string> payloads_of(const SweepRun& run) {
+  std::vector<std::string> payloads;
+  payloads.reserve(run.outcomes.size());
+  for (const ScenarioOutcome& outcome : run.outcomes)
+    payloads.push_back(outcome.to_payload());
+  return payloads;
+}
+
+TEST(SweepDeterminism, RepeatedSerialRunsAreBitIdentical) {
+  SweepOptions options;
+  options.parallel = false;
+  options.use_cache = false;
+  const SweepEngine engine(options);
+  const std::vector<Scenario> grid = small_grid();
+  EXPECT_EQ(payloads_of(engine.run(grid)), payloads_of(engine.run(grid)));
+}
+
+TEST(SweepDeterminism, ParallelMatchesSerialBitForBit) {
+  SweepOptions serial;
+  serial.parallel = false;
+  serial.use_cache = false;
+  SweepOptions parallel;
+  parallel.parallel = true;
+  parallel.jobs = 4;
+  parallel.use_cache = false;
+  const std::vector<Scenario> grid = small_grid();
+  const std::vector<std::string> reference =
+      payloads_of(SweepEngine(serial).run(grid));
+  // Several parallel runs, to give interleavings a chance to differ if any
+  // state were shared between simulations.
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(payloads_of(SweepEngine(parallel).run(grid)), reference)
+        << "round " << round;
+  }
+}
+
+TEST(SweepDeterminism, TracesAreBitIdenticalToo) {
+  SweepOptions serial;
+  serial.parallel = false;
+  serial.use_cache = false;
+  serial.record_trace = true;
+  SweepOptions parallel = serial;
+  parallel.parallel = true;
+  parallel.jobs = 4;
+  const std::vector<Scenario> grid = {
+      small_grid()[0], small_grid()[2], small_grid()[13], small_grid()[20]};
+  const SweepRun a = SweepEngine(serial).run(grid);
+  const SweepRun b = SweepEngine(parallel).run(grid);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    if (!a.outcomes[i].ok()) continue;
+    EXPECT_FALSE(a.outcomes[i].trace_json.empty()) << i;
+    EXPECT_EQ(a.outcomes[i].trace_json, b.outcomes[i].trace_json) << i;
+  }
+}
+
+TEST(SweepDeterminism, CacheHitReproducesFreshComputeExactly) {
+  // The end-to-end statement of the cache contract on a real scenario (the
+  // property test fuzzes it across the matrix).
+  Scenario scenario;
+  scenario.app = apps::PaperApp::kBlackScholes;
+  scenario.strategy = analyzer::StrategyKind::kSPSingle;
+  scenario.small = true;
+  SweepOptions options;
+  options.parallel = false;
+  options.use_cache = false;
+  const SweepEngine engine(options);
+  EXPECT_EQ(
+      ScenarioOutcome::from_payload(engine.compute(scenario).to_payload())
+          .to_payload(),
+      engine.compute(scenario).to_payload());
+}
+
+}  // namespace
+}  // namespace hetsched::sweep

@@ -12,6 +12,11 @@
 ///                        # utilization / overlap breakdown (+ timeline)
 ///   hetsched_cli tune    --app <name> --strategy <s> [--sync]
 ///                        # task-size auto-tuning (paper Section V)
+///   hetsched_cli sweep   [--apps a,b] [--strategies s1,s2]
+///                        [--platforms p1,p2] [--sync-mode both|on|off]
+///                        [--small] [--serial] [--jobs N] [--no-cache]
+///                        [--cache-dir <dir>] [--json <file>] [--csv]
+///                        # batch scenario sweep with result caching
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -33,6 +38,7 @@
 #include "sim/trace_stats.hpp"
 #include "strategies/autotune.hpp"
 #include "strategies/strategy_runner.hpp"
+#include "sweep/sweep.hpp"
 
 namespace {
 
@@ -78,33 +84,11 @@ const std::map<std::string, apps::PaperApp>& app_names() {
 }
 
 hw::PlatformSpec platform_by_name(const std::string& name) {
-  if (name.empty() || name == "reference") return hw::make_reference_platform();
-  if (name == "small-gpu") return hw::make_small_gpu_platform();
-  if (name == "dual-gpu") return hw::make_dual_gpu_platform();
-  if (name == "cpu-gpu-phi") return hw::make_cpu_gpu_phi_platform();
-  if (name == "cpu-only") return hw::make_cpu_only_platform();
-  throw InvalidArgument("unknown platform '" + name +
-                        "' (reference, small-gpu, dual-gpu, cpu-gpu-phi, "
-                        "cpu-only)");
+  return hw::platform_by_name(name);
 }
 
 analyzer::StrategyKind strategy_by_name(const std::string& name) {
-  static const std::map<std::string, analyzer::StrategyKind> names = {
-      {"sp-single", analyzer::StrategyKind::kSPSingle},
-      {"sp-unified", analyzer::StrategyKind::kSPUnified},
-      {"sp-varied", analyzer::StrategyKind::kSPVaried},
-      {"dp-perf", analyzer::StrategyKind::kDPPerf},
-      {"dp-dep", analyzer::StrategyKind::kDPDep},
-      {"only-cpu", analyzer::StrategyKind::kOnlyCpu},
-      {"only-gpu", analyzer::StrategyKind::kOnlyGpu},
-      {"sp-dag", analyzer::StrategyKind::kSPDag},
-  };
-  auto it = names.find(name);
-  if (it == names.end())
-    throw InvalidArgument("unknown strategy '" + name +
-                          "' (sp-single, sp-unified, sp-varied, dp-perf, "
-                          "dp-dep, only-cpu, only-gpu, sp-dag)");
-  return it->second;
+  return analyzer::strategy_from_name(name);
 }
 
 std::unique_ptr<apps::Application> make_app(const Args& args,
@@ -321,6 +305,117 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char ch : text) {
+    if (ch == ',') {
+      if (!current.empty()) parts.push_back(current);
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  if (!current.empty()) parts.push_back(current);
+  return parts;
+}
+
+int cmd_sweep(const Args& args) {
+  // Axis selection: defaults cover the paper's full evaluation matrix.
+  std::vector<apps::PaperApp> sweep_apps;
+  if (args.flag("apps")) {
+    for (const std::string& name : split_list(args.get("apps")))
+      sweep_apps.push_back(apps::paper_app_from_name(name));
+  } else {
+    sweep_apps = apps::all_paper_apps();
+  }
+  std::vector<analyzer::StrategyKind> sweep_strategies;
+  if (args.flag("strategies")) {
+    for (const std::string& name : split_list(args.get("strategies")))
+      sweep_strategies.push_back(analyzer::strategy_from_name(name));
+  } else {
+    sweep_strategies = analyzer::paper_strategies();
+  }
+  const std::vector<std::string> sweep_platforms =
+      args.flag("platforms") ? split_list(args.get("platforms"))
+                             : std::vector<std::string>{"reference"};
+  const std::string sync_mode = args.get("sync-mode", "both");
+  std::vector<bool> sync_variants;
+  if (sync_mode == "both") sync_variants = {false, true};
+  else if (sync_mode == "on") sync_variants = {true};
+  else if (sync_mode == "off") sync_variants = {false};
+  else throw InvalidArgument("--sync-mode must be both, on, or off");
+
+  std::vector<sweep::Scenario> scenarios = sweep::enumerate_matrix(
+      sweep_apps, sweep_strategies, sweep_platforms, sync_variants,
+      args.flag("small"));
+  if (args.flag("tasks")) {
+    const int task_count = std::stoi(args.get("tasks"));
+    for (sweep::Scenario& scenario : scenarios)
+      scenario.task_count = task_count;
+  }
+
+  sweep::SweepOptions options;
+  options.parallel = !args.flag("serial");
+  if (args.flag("jobs"))
+    options.jobs = static_cast<unsigned>(std::stoul(args.get("jobs")));
+  options.use_cache = !args.flag("no-cache");
+  options.cache_dir = args.get("cache-dir", ".hs-sweep-cache");
+
+  const sweep::SweepEngine engine(options);
+  const sweep::SweepRun run = engine.run(scenarios);
+
+  if (args.flag("json") && args.get("json").empty()) {
+    std::cout << sweep::sweep_to_json(run) << "\n";
+    return run.summary.failed == 0 ? 0 : 1;
+  }
+
+  Table table({"scenario", "status", "time (ms)", "accelerator share",
+               "source", "wall (ms)"});
+  for (const sweep::ScenarioOutcome& outcome : run.outcomes) {
+    table.add_row(
+        {outcome.scenario.label(),
+         sweep::scenario_status_name(outcome.status),
+         outcome.ok() ? format_fixed(outcome.time_ms(), 2) : "-",
+         outcome.ok() ? format_percent(outcome.gpu_fraction_overall()) : "-",
+         outcome.cache_hit ? "cache" : "computed",
+         format_fixed(outcome.wall_ms, 2)});
+  }
+  table.print(std::cout, args.flag("csv"));
+
+  std::cout << "\nranking per scenario group (best first):\n";
+  for (const sweep::GroupRanking& ranking :
+       sweep::compute_rankings(run.outcomes)) {
+    std::vector<std::string> names;
+    for (const auto& [kind, time] : ranking.order) {
+      names.push_back(std::string(analyzer::strategy_name(kind)) + " (" +
+                      format_fixed(time, 1) + ")");
+    }
+    std::cout << "  " << ranking.group << ": " << join(names, " > ")
+              << "  [winner: " << analyzer::strategy_name(ranking.winner)
+              << "]\n";
+  }
+
+  const sweep::SweepSummary& summary = run.summary;
+  std::cout << "\nsweep: " << summary.scenarios << " scenario(s) in "
+            << format_fixed(summary.wall_ms, 1) << " ms — " << summary.ok
+            << " ok, " << summary.inapplicable << " inapplicable, "
+            << summary.failed << " failed; " << summary.cache_hits
+            << " cache hit(s), " << summary.computed << " computed ("
+            << (options.parallel ? "parallel" : "serial") << ")\n";
+  if (options.use_cache)
+    std::cout << "cache: " << options.cache_dir << "\n";
+
+  if (args.flag("json")) {
+    std::ofstream file(args.get("json"));
+    HS_REQUIRE(file.good(),
+               "cannot open '" << args.get("json") << "' for writing");
+    file << sweep::sweep_to_json(run) << "\n";
+    std::cout << "wrote JSON to " << args.get("json") << "\n";
+  }
+  return run.summary.failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -334,8 +429,9 @@ int main(int argc, char** argv) {
     if (args.command == "trace") return cmd_trace(args);
     if (args.command == "analyze") return cmd_analyze(args);
     if (args.command == "tune") return cmd_tune(args);
+    if (args.command == "sweep") return cmd_sweep(args);
     std::cerr << "usage: hetsched_cli "
-                 "<list|match|run|compare|trace|analyze|tune> "
+                 "<list|match|run|compare|trace|analyze|tune|sweep> "
                  "[--app <name>] [--strategy <s>] [--platform <p>] "
                  "[--sync] [--tasks <m>] [--small] [--csv] [--out <file>]\n";
     return args.command.empty() ? 0 : 2;
