@@ -1,0 +1,219 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hetsched::faults {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSlowdown: return "slowdown";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kLinkDegrade: return "link-degrade";
+    case FaultKind::kDeviceFailure: return "device-failure";
+  }
+  return "unknown";
+}
+
+FaultKind fault_kind_from_name(const std::string& name) {
+  if (name == "slowdown") return FaultKind::kSlowdown;
+  if (name == "stall") return FaultKind::kStall;
+  if (name == "link-degrade") return FaultKind::kLinkDegrade;
+  if (name == "device-failure") return FaultKind::kDeviceFailure;
+  throw InvalidArgument("unknown fault kind '" + name + "'");
+}
+
+void FaultPlan::validate(std::size_t device_count) const {
+  HS_REQUIRE(retry.max_retries >= 0,
+             "retry.max_retries=" << retry.max_retries);
+  HS_REQUIRE(retry.backoff_base >= 0,
+             "retry.backoff_base=" << retry.backoff_base);
+  HS_REQUIRE(retry.backoff_multiplier >= 1.0,
+             "retry.backoff_multiplier=" << retry.backoff_multiplier);
+  HS_REQUIRE(retry.divergence_threshold > 1.0,
+             "retry.divergence_threshold=" << retry.divergence_threshold);
+  for (const FaultEvent& event : events) {
+    HS_REQUIRE(event.start >= 0, "fault event starts at " << event.start);
+    switch (event.kind) {
+      case FaultKind::kSlowdown:
+        HS_REQUIRE(event.device < device_count,
+                   "slowdown targets unknown device " << event.device);
+        HS_REQUIRE(event.duration > 0,
+                   "slowdown duration " << event.duration);
+        HS_REQUIRE(event.magnitude >= 1.0,
+                   "slowdown magnitude " << event.magnitude
+                                         << " (must be >= 1)");
+        break;
+      case FaultKind::kStall:
+        HS_REQUIRE(event.device < device_count,
+                   "stall targets unknown device " << event.device);
+        HS_REQUIRE(event.duration > 0, "stall duration " << event.duration);
+        break;
+      case FaultKind::kLinkDegrade:
+        HS_REQUIRE(event.duration > 0,
+                   "link-degrade duration " << event.duration);
+        HS_REQUIRE(event.magnitude >= 1.0,
+                   "link-degrade magnitude " << event.magnitude
+                                             << " (must be >= 1)");
+        break;
+      case FaultKind::kDeviceFailure:
+        HS_REQUIRE(event.device < device_count,
+                   "failure targets unknown device " << event.device);
+        HS_REQUIRE(event.device != hw::kCpuDevice,
+                   "device 0 (the host CPU) orchestrates the run and "
+                   "cannot fail");
+        break;
+    }
+  }
+}
+
+json::Value FaultPlan::to_json() const {
+  json::Value events_json{json::Value::Array{}};
+  for (const FaultEvent& event : events) {
+    json::Value entry;
+    entry.set("kind", json::Value(fault_kind_name(event.kind)));
+    entry.set("device",
+              json::Value(static_cast<std::int64_t>(event.device)));
+    entry.set("start_ns", json::Value(event.start));
+    entry.set("duration_ns", json::Value(event.duration));
+    entry.set("magnitude", json::Value(event.magnitude));
+    events_json.push_back(std::move(entry));
+  }
+  json::Value retry_json;
+  retry_json.set("max_retries",
+                 json::Value(static_cast<std::int64_t>(retry.max_retries)));
+  retry_json.set("backoff_base_ns", json::Value(retry.backoff_base));
+  retry_json.set("backoff_multiplier",
+                 json::Value(retry.backoff_multiplier));
+  retry_json.set("divergence_threshold",
+                 json::Value(retry.divergence_threshold));
+
+  json::Value value;
+  value.set("name", json::Value(name));
+  value.set("events", std::move(events_json));
+  value.set("retry", std::move(retry_json));
+  return value;
+}
+
+FaultPlan FaultPlan::from_json(const json::Value& value) {
+  FaultPlan plan;
+  plan.name = value.at("name").as_string();
+  for (const json::Value& entry : value.at("events").as_array()) {
+    FaultEvent event;
+    event.kind = fault_kind_from_name(entry.at("kind").as_string());
+    event.device =
+        static_cast<hw::DeviceId>(entry.at("device").as_int64());
+    event.start = entry.at("start_ns").as_int64();
+    event.duration = entry.at("duration_ns").as_int64();
+    event.magnitude = entry.at("magnitude").as_number();
+    plan.events.push_back(event);
+  }
+  const json::Value& retry = value.at("retry");
+  plan.retry.max_retries =
+      static_cast<int>(retry.at("max_retries").as_int64());
+  plan.retry.backoff_base = retry.at("backoff_base_ns").as_int64();
+  plan.retry.backoff_multiplier =
+      retry.at("backoff_multiplier").as_number();
+  plan.retry.divergence_threshold =
+      retry.at("divergence_threshold").as_number();
+  return plan;
+}
+
+std::string FaultPlan::canonical_key() const { return to_json().dump(); }
+
+namespace {
+
+SimTime at_fraction(SimTime horizon, double fraction) {
+  return std::max<SimTime>(
+      1, static_cast<SimTime>(static_cast<double>(horizon) * fraction));
+}
+
+}  // namespace
+
+FaultPlan generate_fault_plan(std::uint64_t seed, std::size_t device_count,
+                              SimTime horizon, GeneratorOptions options) {
+  HS_REQUIRE(horizon > 0, "generate_fault_plan horizon " << horizon);
+  HS_REQUIRE(options.events >= 0,
+             "generate_fault_plan events " << options.events);
+  Rng rng(seed);
+  FaultPlan plan;
+  plan.name = "generated";
+  plan.events.reserve(static_cast<std::size_t>(options.events));
+  const bool has_accelerator = device_count > 1;
+  for (int i = 0; i < options.events; ++i) {
+    FaultEvent event;
+    // Draw the kind first so the stream of rng calls is fixed per event.
+    const std::int64_t top = options.allow_failures && has_accelerator
+                                 ? 3
+                                 : (has_accelerator ? 2 : 0);
+    const std::int64_t pick = rng.uniform_int(0, std::max<std::int64_t>(
+                                                     top, 0));
+    if (!has_accelerator || pick == 2) {
+      event.kind = FaultKind::kLinkDegrade;
+    } else if (pick == 3) {
+      event.kind = FaultKind::kDeviceFailure;
+    } else {
+      event.kind = pick == 0 ? FaultKind::kSlowdown : FaultKind::kStall;
+    }
+    event.device =
+        has_accelerator
+            ? static_cast<hw::DeviceId>(rng.uniform_int(
+                  1, static_cast<std::int64_t>(device_count) - 1))
+            : hw::kCpuDevice;
+    event.start =
+        at_fraction(horizon, rng.uniform(0.0, options.start_fraction));
+    event.duration =
+        at_fraction(horizon, rng.uniform(options.min_duration_fraction,
+                                         options.max_duration_fraction));
+    event.magnitude =
+        rng.uniform(options.min_magnitude, options.max_magnitude);
+    plan.events.push_back(event);
+  }
+  return plan;
+}
+
+std::vector<std::string> named_fault_plans() {
+  return {"gpu-slowdown", "gpu-stall", "link-degrade", "gpu-failure",
+          "storm"};
+}
+
+FaultPlan make_named_plan(const std::string& name, SimTime horizon,
+                          std::uint64_t seed) {
+  HS_REQUIRE(horizon > 0, "make_named_plan horizon " << horizon);
+  FaultPlan plan;
+  plan.name = name;
+  if (name == "gpu-slowdown") {
+    plan.events.push_back({FaultKind::kSlowdown, 1,
+                           at_fraction(horizon, 0.2),
+                           at_fraction(horizon, 0.6), 4.0});
+    return plan;
+  }
+  if (name == "gpu-stall") {
+    plan.events.push_back({FaultKind::kStall, 1, at_fraction(horizon, 0.3),
+                           at_fraction(horizon, 0.2), 1.0});
+    return plan;
+  }
+  if (name == "link-degrade") {
+    plan.events.push_back({FaultKind::kLinkDegrade, 1,
+                           at_fraction(horizon, 0.1),
+                           at_fraction(horizon, 0.8), 4.0});
+    return plan;
+  }
+  if (name == "gpu-failure") {
+    plan.events.push_back(
+        {FaultKind::kDeviceFailure, 1, at_fraction(horizon, 0.35), 0, 1.0});
+    return plan;
+  }
+  if (name == "storm") {
+    plan = generate_fault_plan(seed, /*device_count=*/2, horizon);
+    plan.name = name;
+    return plan;
+  }
+  throw InvalidArgument("unknown fault plan '" + name +
+                        "' (gpu-slowdown, gpu-stall, link-degrade, "
+                        "gpu-failure, storm)");
+}
+
+}  // namespace hetsched::faults

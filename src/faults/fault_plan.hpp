@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/time.hpp"
+#include "hw/platform.hpp"
+
+/// Declarative fault/perturbation plans.
+///
+/// A FaultPlan is the complete description of everything that goes wrong in
+/// one simulated run: device slowdowns, transient stalls, link bandwidth
+/// degradation, and permanent device failures, each anchored at an absolute
+/// virtual time. Plans are plain data — parseable from JSON, serializable
+/// byte-stably, and generatable from an `hs::Rng` seed — so a faulted run
+/// is exactly as reproducible as a fault-free one: the same (plan, program,
+/// platform) triple always yields the same ExecutionReport bytes.
+namespace hetsched::faults {
+
+enum class FaultKind {
+  /// The device computes `magnitude`x slower for the window's duration.
+  kSlowdown,
+  /// The device makes no progress at all for the window's duration.
+  kStall,
+  /// Every byte on the host<->device link takes `magnitude`x longer.
+  kLinkDegrade,
+  /// The device dies at `start` and never comes back. `duration` and
+  /// `magnitude` are ignored. Device 0 (the host CPU, which orchestrates
+  /// the run) cannot fail.
+  kDeviceFailure,
+};
+
+const char* fault_kind_name(FaultKind kind);
+FaultKind fault_kind_from_name(const std::string& name);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kSlowdown;
+  /// Target device (ignored for kLinkDegrade — the platform has one link).
+  hw::DeviceId device = 1;
+  SimTime start = 0;
+  SimTime duration = 0;
+  /// Throughput divisor for kSlowdown / kLinkDegrade; must be >= 1.
+  double magnitude = 1.0;
+};
+
+/// How the runtime reacts when a device failure displaces queued chunks.
+struct RetryPolicy {
+  /// Give up on a chunk after this many re-announcements.
+  int max_retries = 3;
+  /// Virtual-time delay before the first re-announcement.
+  SimTime backoff_base = 50 * kMicrosecond;
+  /// Each further retry multiplies the delay by this factor.
+  double backoff_multiplier = 2.0;
+  /// A chunk whose observed completion time exceeds the model prediction by
+  /// more than this factor counts as diverged: the executor re-partitions
+  /// the device's remaining (dynamically placed) queue through the
+  /// scheduler.
+  double divergence_threshold = 1.5;
+};
+
+struct FaultPlan {
+  std::string name = "custom";
+  std::vector<FaultEvent> events;
+  RetryPolicy retry;
+
+  bool empty() const { return events.empty(); }
+
+  /// Throws InvalidArgument on malformed plans: device ids out of range,
+  /// magnitudes below 1, negative times, or a failure of device 0.
+  void validate(std::size_t device_count) const;
+
+  json::Value to_json() const;
+  static FaultPlan from_json(const json::Value& value);
+
+  /// Byte-stable serialization (dump of to_json) — the determinism key.
+  std::string canonical_key() const;
+};
+
+struct GeneratorOptions {
+  /// Number of perturbation events to draw.
+  int events = 4;
+  /// Window start is drawn uniformly in [0, start_fraction * horizon].
+  double start_fraction = 0.7;
+  /// Window duration is drawn uniformly in this fraction range of horizon.
+  double min_duration_fraction = 0.05;
+  double max_duration_fraction = 0.3;
+  /// Slowdown / link-degrade magnitude range.
+  double min_magnitude = 1.5;
+  double max_magnitude = 6.0;
+  /// Whether the generator may also draw permanent device failures.
+  bool allow_failures = false;
+};
+
+/// Draws a plan from a seed: every stochastic choice goes through hs::Rng,
+/// so equal (seed, device_count, horizon, options) yield byte-identical
+/// plans. Devices 1..device_count-1 are eligible targets; with a single
+/// device only link faults are drawn.
+FaultPlan generate_fault_plan(std::uint64_t seed, std::size_t device_count,
+                              SimTime horizon, GeneratorOptions options = {});
+
+/// Built-in plan families, scaled to `horizon` (typically the fault-free
+/// makespan of the scenario under test):
+///   gpu-slowdown  device 1 computes 4x slower over [0.2, 0.8] of horizon
+///   gpu-stall     device 1 frozen over [0.3, 0.5] of horizon
+///   link-degrade  link 4x slower over [0.1, 0.9] of horizon
+///   gpu-failure   device 1 dies at 0.35 of horizon
+///   storm         a seeded random mix (see generate_fault_plan)
+/// `seed` only affects "storm". Throws InvalidArgument for unknown names.
+FaultPlan make_named_plan(const std::string& name, SimTime horizon,
+                          std::uint64_t seed = 0);
+
+/// The names make_named_plan accepts, in deterministic order.
+std::vector<std::string> named_fault_plans();
+
+}  // namespace hetsched::faults

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// Per-run fault/resilience accounting, embedded in rt::ExecutionReport.
+namespace hetsched::faults {
+
+struct FaultReport {
+  /// Whether a FaultPlan was armed for this run at all. When false every
+  /// other field is at its default and the run was an ordinary one.
+  bool active = false;
+  std::string plan_name;
+  /// Plan events whose start time fell inside the run.
+  std::int64_t injected_faults = 0;
+  /// Chunks re-announced after their device failed (each re-announcement
+  /// counts once, including the ones that later succeeded).
+  std::int64_t retries = 0;
+  /// Chunks that ultimately ran on a different device than the one they
+  /// were queued on when it failed.
+  std::int64_t migrated_tasks = 0;
+  /// Chunks given up on after exhausting RetryPolicy::max_retries, plus
+  /// chunks pinned to a failed device (which have nowhere to go).
+  std::int64_t abandoned_tasks = 0;
+  /// Chunks pulled back from a diverged device's queue and re-placed.
+  std::int64_t repartitioned_tasks = 0;
+  /// Completions whose observed time exceeded the model prediction by more
+  /// than RetryPolicy::divergence_threshold.
+  std::int64_t divergence_events = 0;
+  std::int64_t failed_devices = 0;
+  /// Tasks that never completed (only possible when chunks were abandoned).
+  std::int64_t unfinished_tasks = 0;
+  /// False when abandoned chunks left part of the program unexecuted; the
+  /// report's makespan then covers only the work that did finish.
+  bool run_completed = true;
+};
+
+}  // namespace hetsched::faults

@@ -1,0 +1,133 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hetsched::faults {
+
+FaultInjector::FaultInjector(FaultPlan plan, std::size_t device_count)
+    : plan_(std::move(plan)) {
+  plan_.validate(device_count);
+  compute_windows_.resize(device_count);
+  failure_.resize(device_count);
+
+  std::vector<const FaultEvent*> link_events;
+  std::vector<std::vector<const FaultEvent*>> device_events(device_count);
+  for (const FaultEvent& event : plan_.events) {
+    switch (event.kind) {
+      case FaultKind::kSlowdown:
+      case FaultKind::kStall:
+        device_events[event.device].push_back(&event);
+        break;
+      case FaultKind::kLinkDegrade:
+        link_events.push_back(&event);
+        break;
+      case FaultKind::kDeviceFailure: {
+        std::optional<SimTime>& at = failure_[event.device];
+        if (!at || event.start < *at) at = event.start;
+        break;
+      }
+    }
+  }
+  for (std::size_t d = 0; d < device_count; ++d) {
+    compute_windows_[d] = build_profile(device_events[d]);
+  }
+  link_windows_ = build_profile(link_events);
+}
+
+std::vector<FaultInjector::Window> FaultInjector::build_profile(
+    const std::vector<const FaultEvent*>& events) {
+  if (events.empty()) return {};
+  std::vector<SimTime> edges;
+  edges.reserve(events.size() * 2);
+  for (const FaultEvent* event : events) {
+    edges.push_back(event->start);
+    edges.push_back(event->start + event->duration);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  std::vector<Window> profile;
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    const SimTime lo = edges[i];
+    const SimTime hi = edges[i + 1];
+    double rate = 1.0;
+    for (const FaultEvent* event : events) {
+      if (event->start <= lo && lo < event->start + event->duration) {
+        if (event->kind == FaultKind::kStall) {
+          rate = 0.0;
+        } else if (rate > 0.0) {
+          rate /= event->magnitude;
+        }
+      }
+    }
+    if (rate == 1.0) continue;
+    if (!profile.empty() && profile.back().end == lo &&
+        profile.back().rate == rate) {
+      profile.back().end = hi;
+    } else {
+      profile.push_back({lo, hi, rate});
+    }
+  }
+  return profile;
+}
+
+SimTime FaultInjector::stretch(const std::vector<Window>& windows,
+                               SimTime start, SimTime nominal) {
+  if (nominal <= 0) return nominal;
+  double remaining = static_cast<double>(nominal);
+  double elapsed = 0.0;
+  SimTime cursor = start;
+  for (const Window& window : windows) {
+    if (window.end <= cursor) continue;
+    if (window.start > cursor) {
+      const double gap = static_cast<double>(window.start - cursor);
+      if (remaining <= gap) {
+        return static_cast<SimTime>(std::llround(elapsed + remaining));
+      }
+      remaining -= gap;
+      elapsed += gap;
+      cursor = window.start;
+    }
+    const double length = static_cast<double>(window.end - cursor);
+    const double capacity = length * window.rate;
+    if (window.rate > 0.0 && remaining <= capacity) {
+      return static_cast<SimTime>(
+          std::llround(elapsed + remaining / window.rate));
+    }
+    remaining -= capacity;
+    elapsed += length;
+    cursor = window.end;
+  }
+  // Nominal speed after the last perturbation window.
+  return static_cast<SimTime>(std::llround(elapsed + remaining));
+}
+
+SimTime FaultInjector::stretch_compute(hw::DeviceId device, SimTime start,
+                                       SimTime nominal) const {
+  HS_ASSERT(device < compute_windows_.size());
+  return stretch(compute_windows_[device], start, nominal);
+}
+
+SimTime FaultInjector::stretch_link(SimTime start, SimTime nominal) const {
+  return stretch(link_windows_, start, nominal);
+}
+
+std::optional<SimTime> FaultInjector::failure_time(
+    hw::DeviceId device) const {
+  HS_ASSERT(device < failure_.size());
+  return failure_[device];
+}
+
+std::vector<FaultEvent> FaultInjector::events_started_by(
+    SimTime horizon) const {
+  std::vector<FaultEvent> started;
+  for (const FaultEvent& event : plan_.events) {
+    if (event.start < horizon) started.push_back(event);
+  }
+  return started;
+}
+
+}  // namespace hetsched::faults

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+
+/// Compiled form of a FaultPlan, queried by the executor on the hot path.
+///
+/// Construction folds the plan's (possibly overlapping) perturbation events
+/// into per-channel piecewise-constant *rate profiles*: one profile per
+/// device for compute throughput and one for the host<->device link. A rate
+/// of 1.0 is nominal speed, overlapping slowdowns multiply (rate =
+/// 1 / product of magnitudes), and a stall forces the rate to zero for its
+/// window. Stretching a nominal duration through a profile is pure integer/
+/// IEEE-double arithmetic over the plan — no hidden state — so identical
+/// plans always stretch identically.
+namespace hetsched::faults {
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::size_t device_count);
+
+  const FaultPlan& plan() const { return plan_; }
+  const RetryPolicy& retry() const { return plan_.retry; }
+
+  /// Virtual time a compute burst occupies when it starts at `start` on
+  /// `device` and would take `nominal` on a healthy device. Always
+  /// >= nominal (rates never exceed 1).
+  SimTime stretch_compute(hw::DeviceId device, SimTime start,
+                          SimTime nominal) const;
+
+  /// Same, for a transfer on the host<->device link.
+  SimTime stretch_link(SimTime start, SimTime nominal) const;
+
+  /// When `device` permanently fails, if ever (earliest failure event).
+  std::optional<SimTime> failure_time(hw::DeviceId device) const;
+
+  /// Plan events whose start time falls inside [0, horizon) — the faults
+  /// that were actually injected into a run of that length.
+  std::vector<FaultEvent> events_started_by(SimTime horizon) const;
+
+ private:
+  /// One maximal segment of constant degraded rate; segments per channel
+  /// are disjoint and sorted. Gaps between segments run at rate 1.0.
+  struct Window {
+    SimTime start = 0;
+    SimTime end = 0;
+    double rate = 1.0;
+  };
+
+  static std::vector<Window> build_profile(
+      const std::vector<const FaultEvent*>& events);
+  static SimTime stretch(const std::vector<Window>& windows, SimTime start,
+                         SimTime nominal);
+
+  FaultPlan plan_;
+  std::vector<std::vector<Window>> compute_windows_;
+  std::vector<Window> link_windows_;
+  std::vector<std::optional<SimTime>> failure_;
+};
+
+}  // namespace hetsched::faults

@@ -157,6 +157,15 @@ void CoherenceDirectory::invalidate_device_copies() {
   }
 }
 
+void CoherenceDirectory::reclaim_space_to_host(SpaceId space) {
+  HS_REQUIRE(space < space_count_ && space != kHostSpace,
+             "reclaim_space_to_host: space " << space);
+  for (BufferState& st : buffers_) {
+    st.valid[kHostSpace].insert(st.valid[space]);
+    st.valid[space] = IntervalSet{};
+  }
+}
+
 std::int64_t CoherenceDirectory::resident_bytes(SpaceId space) const {
   HS_REQUIRE(space < space_count_, "unknown space " << space);
   std::int64_t total = 0;

@@ -77,6 +77,14 @@ class CoherenceDirectory {
   /// the host already covers every buffer (flush first).
   void invalidate_device_copies();
 
+  /// Device-loss recovery: every byte valid in `space` becomes valid on the
+  /// host instead, and `space` is left empty. Models a failed device whose
+  /// data is recovered from a host-side shadow (the fault subsystem's
+  /// checkpoint-on-host model) — unlike plan_evict, no transfer is planned,
+  /// because the dead device cannot DMA its memory out. Preserves the
+  /// no-byte-orphaned invariant by construction.
+  void reclaim_space_to_host(SpaceId space);
+
   /// Bytes of `space`'s memory currently holding valid data (for device
   /// memory-capacity accounting).
   std::int64_t resident_bytes(SpaceId space) const;

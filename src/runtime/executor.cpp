@@ -1,12 +1,15 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <map>
 #include <set>
 
+#include "common/json.hpp"
 #include "common/logging.hpp"
 #include "common/range_map.hpp"
+#include "faults/injector.hpp"
 #include "runtime/task_graph.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -43,7 +46,8 @@ class Run {
       const RuntimeOptions& options, const hw::RooflineCostModel& cost_model,
       const std::vector<KernelDef>& kernels,
       const std::vector<std::pair<std::string, std::int64_t>>& buffers,
-      const Program& program, Scheduler& scheduler)
+      const Program& program, Scheduler& scheduler,
+      const std::optional<faults::FaultPlan>& fault_plan)
       : platform_(platform),
         costs_(costs),
         options_(options),
@@ -80,10 +84,32 @@ class Run {
       report_.devices[d].lanes = devices_[d].lanes;
     }
     report_.peak_resident_bytes.assign(devices_.size(), 0);
+
+    if (fault_plan) {
+      injector_.emplace(*fault_plan, devices_.size());
+      report_.faults.active = true;
+      report_.faults.plan_name = fault_plan->name;
+    }
+    failed_.assign(devices_.size(), false);
+    retry_count_.assign(graph_.size(), 0);
+    dispatch_epoch_.assign(graph_.size(), 0);
+    body_ran_.assign(graph_.size(), false);
+    running_.resize(devices_.size());
+    for (std::size_t d = 0; d < devices_.size(); ++d)
+      running_[d].assign(device_states_[d].lanes.size(), std::nullopt);
   }
 
   ExecutionReport execute() {
     scheduler_.begin_run(platform_, kernels_);
+    if (injector_) {
+      for (hw::DeviceId d = 0; d < devices_.size(); ++d) {
+        if (const auto at = injector_->failure_time(d)) {
+          engine_.schedule_at(*at, [this, d] {
+            on_device_failure(d, engine_.now());
+          });
+        }
+      }
+    }
     // Task creation happens on the host thread as the program runs; task i
     // becomes announceable no earlier than its creation time.
     for (TaskId id : graph_.initial_ready()) {
@@ -95,12 +121,21 @@ class Run {
         static_cast<SimTime>(graph_.size()) * costs_.task_creation;
     engine_.run();
 
+    std::size_t unfinished = 0;
     for (std::size_t id = 0; id < graph_.size(); ++id) {
-      HS_ASSERT_MSG(completed_[id],
+      if (completed_[id]) continue;
+      // Without abandoned chunks every task must complete; with them, the
+      // abandoned chunks and their dependents legitimately never finish —
+      // the run reports its degradation honestly instead of hanging.
+      HS_ASSERT_MSG(report_.faults.abandoned_tasks > 0,
                     "deadlock: task " << id << " never completed");
+      ++unfinished;
     }
+    report_.faults.unfinished_tasks = static_cast<std::int64_t>(unfinished);
+    report_.faults.run_completed = unfinished == 0;
     coherence_.check_no_byte_orphaned();
     report_.makespan = last_completion_;
+    if (injector_) record_injected_faults();
     return std::move(report_);
   }
 
@@ -140,6 +175,9 @@ class Run {
     st.cpu_ok = kernel.has_cpu_impl;
     st.gpu_ok = kernel.has_gpu_impl;
     st.locality = affinity_[id];
+    // A locality hint pointing at a failed device would strand the task in
+    // the pool (the breadth-first scheduler never steals bound work).
+    if (st.locality && failed_[*st.locality]) st.locality.reset();
     sched_info_[id] = st;
 
     if (node.pinned_device) {
@@ -149,7 +187,15 @@ class Run {
       HS_REQUIRE(st.runs_on(d), "kernel '" << kernel.name
                                            << "' pinned to device " << d
                                            << " without an implementation");
+      if (failed_[d]) {
+        // Static partitioning has nowhere else to put the chunk.
+        abandon(id, now, "pinned to failed " + devices_[d].name);
+        return;
+      }
       device_states_[d].queue.push_back(id);
+    } else if (!runnable_somewhere(st)) {
+      abandon(id, now, "no surviving device runs it");
+      return;
     } else if (auto chosen = scheduler_.on_ready(st, now)) {
       HS_REQUIRE(*chosen < devices_.size(),
                  "scheduler chose unknown device " << *chosen);
@@ -157,11 +203,27 @@ class Run {
                  "scheduler placed kernel '"
                      << kernel.name << "' on device " << *chosen
                      << " without an implementation");
+      HS_REQUIRE(!failed_[*chosen],
+                 "scheduler placed work on failed device " << *chosen);
       device_states_[d_checked(*chosen)].queue.push_back(id);
     } else {
       pool_.push_back(st);
     }
     pump(now);
+  }
+
+  bool runnable_somewhere(const SchedTask& task) const {
+    for (hw::DeviceId d = 0; d < devices_.size(); ++d)
+      if (!failed_[d] && task.runs_on(d)) return true;
+    return false;
+  }
+
+  void abandon(TaskId id, SimTime now, const std::string& why) {
+    ++report_.faults.abandoned_tasks;
+    if (options_.record_trace)
+      report_.trace.record("faults",
+                           "abandon task " + std::to_string(id) + ": " + why,
+                           sim::TraceKind::kRecovery, now, now);
   }
 
   hw::DeviceId d_checked(hw::DeviceId d) const { return d; }
@@ -178,6 +240,7 @@ class Run {
         // Order: devices 1..N (accelerators), then 0 (CPU).
         const hw::DeviceId d =
             (i + 1 < devices_.size()) ? (i + 1) : hw::kCpuDevice;
+        if (failed_[d]) continue;
         auto& state = device_states_[d];
         for (std::size_t lane = 0; lane < state.lanes.size(); ++lane) {
           if (state.lanes[lane].available_at() > now) continue;
@@ -244,15 +307,23 @@ class Run {
           std::max(data_ready, region_ready_time(access.region, space_of(d)));
     }
 
-    const SimTime compute = cost_model_.instance_time(kernel.traits, device,
+    const SimTime nominal = cost_model_.instance_time(kernel.traits, device,
                                                       node.begin, node.end);
+    const SimTime compute =
+        injector_ ? injector_->stretch_compute(d, data_ready, nominal)
+                  : nominal;
     const SimTime end = data_ready + compute;
     lane.reserve(now, end - now,
                  kernel.name + " [" + std::to_string(node.begin) + "," +
                      std::to_string(node.end) + ")");
 
-    if (options_.functional_execution && kernel.body)
+    // At most once per task: a chunk displaced by a device failure is
+    // re-dispatched elsewhere, and non-idempotent kernel bodies must not
+    // observe the work twice.
+    if (options_.functional_execution && kernel.body && !body_ran_[id]) {
+      body_ran_[id] = true;
       kernel.body(node.begin, node.end);
+    }
 
     for (const mem::RegionAccess& access : node.accesses) {
       if (access.writes() && !access.region.empty()) {
@@ -279,9 +350,13 @@ class Run {
                              sim::TraceKind::kOverhead, now, now + overhead);
     }
 
+    running_[d][lane_index] = InFlight{id, compute, node.kernel, node.items()};
     const SimTime occupancy = end - now;
-    engine_.schedule_at(end, [this, id, d, compute, occupancy] {
-      complete(id, d, compute, occupancy, engine_.now());
+    const std::uint64_t epoch = dispatch_epoch_[id];
+    engine_.schedule_at(end, [this, id, d, lane_index, compute, nominal,
+                              occupancy, epoch] {
+      complete(id, d, lane_index, compute, nominal, occupancy, epoch,
+               engine_.now());
     });
   }
 
@@ -290,7 +365,7 @@ class Run {
   /// transfer's completion time.
   SimTime issue_transfer(const mem::TransferOp& op, SimTime arrival,
                          sim::Resource* co_lane = nullptr) {
-    const SimTime duration = cost_model_.transfer_time(
+    const SimTime nominal = cost_model_.transfer_time(
         platform_.link, static_cast<double>(op.size_bytes()));
     const bool to_host = op.dst == mem::kHostSpace;
     const std::string label =
@@ -299,10 +374,11 @@ class Run {
         std::to_string(op.region.range.begin) + "," +
         std::to_string(op.region.range.end) + ")";
     SimTime start = link_.earliest_start(arrival);
-    if (co_lane != nullptr) {
+    if (co_lane != nullptr)
       start = std::max(start, co_lane->earliest_start(arrival));
-      co_lane->reserve(start, duration, label);
-    }
+    const SimTime duration =
+        injector_ ? injector_->stretch_link(start, nominal) : nominal;
+    if (co_lane != nullptr) co_lane->reserve(start, duration, label);
     const sim::BusySpan span = link_.reserve(start, duration, label);
     coherence_.apply(op);
     region_ready_[{op.dst, op.region.buffer}].assign(op.region.range,
@@ -390,8 +466,14 @@ class Run {
     });
   }
 
-  void complete(TaskId id, hw::DeviceId d, SimTime compute,
-                SimTime occupancy, SimTime now) {
+  void complete(TaskId id, hw::DeviceId d, std::size_t lane_index,
+                SimTime compute, SimTime nominal, SimTime occupancy,
+                std::uint64_t epoch, SimTime now) {
+    // A device failure displaced this dispatch after its completion event
+    // was scheduled (the engine has no event cancellation): the chunk is
+    // riding a retry elsewhere, or was abandoned. Ignore the stale event.
+    if (dispatch_epoch_[id] != epoch) return;
+    running_[d][lane_index].reset();
     // Asynchronous write-back: final outputs (no later kernel touches them)
     // head home immediately, overlapping the copy with the OTHER devices'
     // compute so the eventual taskwait finds them already in host memory.
@@ -416,7 +498,166 @@ class Run {
       }
     }
     scheduler_.on_complete(sched_info_[id], d, compute, occupancy, now);
+    if (injector_) check_divergence(d, compute, nominal, now);
+    if (retry_count_[id] > 0) ++report_.faults.migrated_tasks;
     finish_task(id, d, now);
+  }
+
+  /// The chunk took `compute` against a model prediction of `nominal`. When
+  /// the gap exceeds the plan's divergence threshold, the device is slower
+  /// than the partitioning believed: tell the scheduler (which just saw the
+  /// slow completion via on_complete, so its estimates are current) and pull
+  /// the device's dynamically placed backlog back through it — the DP
+  /// re-partitioning loop. Statically pinned chunks stay put: SP strategies
+  /// intentionally do not adapt.
+  void check_divergence(hw::DeviceId d, SimTime compute, SimTime nominal,
+                        SimTime now) {
+    if (nominal <= 0) return;
+    const double threshold = injector_->retry().divergence_threshold;
+    if (static_cast<double>(compute) <=
+        threshold * static_cast<double>(nominal))
+      return;
+    ++report_.faults.divergence_events;
+    SimTime busy_until = now;
+    for (const sim::Resource& lane : device_states_[d].lanes)
+      busy_until = std::max(busy_until, lane.available_at());
+    scheduler_.on_divergence(d, busy_until, now);
+
+    auto& queue = device_states_[d].queue;
+    std::deque<TaskId> keep;
+    std::vector<TaskId> drained;
+    for (TaskId q : queue) {
+      if (graph_.node(q).pinned_device) keep.push_back(q);
+      else drained.push_back(q);
+    }
+    if (drained.empty()) return;
+    queue = std::move(keep);
+    report_.faults.repartitioned_tasks +=
+        static_cast<std::int64_t>(drained.size());
+    if (options_.record_trace)
+      report_.trace.record("faults",
+                           "re-partition " + std::to_string(drained.size()) +
+                               " chunks off " + devices_[d].name,
+                           sim::TraceKind::kRecovery, now, now);
+    for (TaskId q : drained) {
+      if (affinity_[q] && *affinity_[q] == d) affinity_[q].reset();
+      announce(q, now);
+    }
+  }
+
+  /// Permanent device failure (fault injection): displace everything the
+  /// device holds and never use it again.
+  void on_device_failure(hw::DeviceId d, SimTime now) {
+    if (failed_[d]) return;
+    failed_[d] = true;
+    scheduler_.on_device_failed(d, now);
+
+    // In-flight dispatches are lost. Reverse their accounting (so work
+    // conservation holds once they re-run elsewhere) and invalidate their
+    // pending completion events via the dispatch epoch.
+    std::vector<TaskId> displaced;
+    for (std::optional<InFlight>& slot : running_[d]) {
+      if (!slot) continue;
+      DeviceReport& dr = report_.devices[d];
+      dr.compute_time -= slot->compute;
+      --dr.instances;
+      auto it = dr.items_per_kernel.find(slot->kernel);
+      HS_ASSERT(it != dr.items_per_kernel.end());
+      it->second -= slot->items;
+      if (it->second == 0) dr.items_per_kernel.erase(it);
+      ++dispatch_epoch_[slot->id];
+      displaced.push_back(slot->id);
+      slot.reset();
+    }
+    auto& queue = device_states_[d].queue;
+    displaced.insert(displaced.end(), queue.begin(), queue.end());
+    queue.clear();
+
+    // The dead device's memory is gone. Recovery model: every byte it held
+    // re-validates on the host (checkpoint-on-host shadow) with no billed
+    // transfer — the dead device cannot DMA its memory out — so surviving
+    // devices re-fetch what they need over the link as usual.
+    coherence_.reclaim_space_to_host(space_of(d));
+    for (auto it = region_ready_.begin(); it != region_ready_.end();)
+      it = it->first.first == space_of(d) ? region_ready_.erase(it)
+                                          : std::next(it);
+    for (auto it = last_touch_.begin(); it != last_touch_.end();)
+      it = it->first.first == space_of(d) ? last_touch_.erase(it)
+                                          : std::next(it);
+
+    // Pool tasks bound to the dead chain become free agents; pool tasks no
+    // surviving device can run are abandoned.
+    for (SchedTask& t : pool_) {
+      if (t.locality == d) t.locality.reset();
+    }
+    for (std::size_t i = pool_.size(); i-- > 0;) {
+      if (runnable_somewhere(pool_[i])) continue;
+      abandon(pool_[i].id, now, "no surviving device runs it");
+      pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+
+    for (TaskId id : displaced) retry_or_abandon(id, d, now);
+    pump(now);
+  }
+
+  void retry_or_abandon(TaskId id, hw::DeviceId failed_device, SimTime now) {
+    const TaskNode& node = graph_.node(id);
+    if (node.pinned_device) {
+      // Static partitioning has nowhere to move the chunk: report honestly.
+      abandon(id, now, "pinned to failed " + devices_[failed_device].name);
+      return;
+    }
+    if (affinity_[id] && *affinity_[id] == failed_device)
+      affinity_[id].reset();
+    const faults::RetryPolicy& retry = injector_->retry();
+    const int attempt = ++retry_count_[id];
+    if (attempt > retry.max_retries) {
+      abandon(id, now, "retry budget exhausted");
+      return;
+    }
+    ++report_.faults.retries;
+    // Exponential virtual-time backoff before the chunk re-enters
+    // scheduling (a real runtime would spend this re-establishing contexts).
+    double delay = static_cast<double>(retry.backoff_base);
+    for (int i = 1; i < attempt; ++i) delay *= retry.backoff_multiplier;
+    const SimTime at =
+        now + std::max<SimTime>(static_cast<SimTime>(std::llround(delay)), 0);
+    if (options_.record_trace)
+      report_.trace.record("faults",
+                           "retry " + std::to_string(attempt) + " task " +
+                               std::to_string(id),
+                           sim::TraceKind::kRecovery, now, at);
+    engine_.schedule_at(at, [this, id] { announce(id, engine_.now()); });
+  }
+
+  /// Post-run: count the plan events that actually landed inside the run
+  /// and, when tracing, paint them as annotated rows on a "faults" lane.
+  void record_injected_faults() {
+    const std::vector<faults::FaultEvent> injected =
+        injector_->events_started_by(report_.makespan);
+    report_.faults.injected_faults =
+        static_cast<std::int64_t>(injected.size());
+    std::set<hw::DeviceId> dead;
+    for (const faults::FaultEvent& event : injected)
+      if (event.kind == faults::FaultKind::kDeviceFailure)
+        dead.insert(event.device);
+    report_.faults.failed_devices = static_cast<std::int64_t>(dead.size());
+    if (!options_.record_trace) return;
+    for (const faults::FaultEvent& event : injected) {
+      const bool failure =
+          event.kind == faults::FaultKind::kDeviceFailure;
+      const SimTime end =
+          failure ? report_.makespan
+                  : std::min(event.start + event.duration, report_.makespan);
+      std::string label = faults::fault_kind_name(event.kind);
+      if (event.kind != faults::FaultKind::kLinkDegrade)
+        label += " " + devices_[event.device].name;
+      if (event.kind == faults::FaultKind::kSlowdown ||
+          event.kind == faults::FaultKind::kLinkDegrade)
+        label += " x" + json::format_double(event.magnitude);
+      report_.trace.record("faults", label, sim::TraceKind::kFault,
+                           event.start, std::max(end, event.start));
+    }
   }
 
   void finish_task(TaskId id, std::optional<hw::DeviceId> device,
@@ -538,6 +779,23 @@ class Run {
   std::vector<bool> completed_;
   std::vector<SchedTask> pool_;
 
+  /// Fault-injection state (all empty/default when no plan is armed).
+  std::optional<faults::FaultInjector> injector_;
+  std::vector<bool> failed_;
+  std::vector<int> retry_count_;
+  /// Bumped when a failure displaces a task's dispatch; completion events
+  /// carry the epoch they were scheduled under and stale ones are ignored.
+  std::vector<std::uint64_t> dispatch_epoch_;
+  std::vector<bool> body_ran_;
+  struct InFlight {
+    TaskId id = 0;
+    SimTime compute = 0;
+    KernelId kernel = 0;
+    std::int64_t items = 0;
+  };
+  /// Per device, per lane: the dispatch currently occupying it.
+  std::vector<std::vector<std::optional<InFlight>>> running_;
+
   ExecutionReport report_;
   SimTime last_completion_ = 0;
   /// (space, buffer) -> byte ranges -> time their current copy lands.
@@ -558,7 +816,7 @@ ExecutionReport Executor::execute(const Program& program,
   for (const BufferInfo& info : buffers_)
     buffer_specs.emplace_back(info.name, info.size_bytes);
   Run run(platform_, costs_, options_, cost_model_, kernels_, buffer_specs,
-          program, scheduler);
+          program, scheduler, fault_plan_);
   return run.execute();
 }
 

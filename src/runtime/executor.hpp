@@ -1,9 +1,11 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "hw/cost_model.hpp"
 #include "hw/platform.hpp"
 #include "mem/coherence.hpp"
@@ -83,6 +85,18 @@ class Executor {
   const hw::RooflineCostModel& cost_model() const { return cost_model_; }
   const RuntimeCosts& costs() const { return costs_; }
 
+  /// Arms a fault plan for subsequent execute() calls (nullopt disarms).
+  /// The plan is validated against this executor's platform. Faulted runs
+  /// are exactly as deterministic as fault-free ones: the plan is plain
+  /// data, and every perturbation is pure arithmetic over it.
+  void set_fault_plan(std::optional<faults::FaultPlan> plan) {
+    if (plan) plan->validate(platform_.device_count());
+    fault_plan_ = std::move(plan);
+  }
+  const std::optional<faults::FaultPlan>& fault_plan() const {
+    return fault_plan_;
+  }
+
   /// Executes `program` to completion under `scheduler`, in virtual time.
   /// May be called repeatedly; each call starts from a fresh memory state
   /// (all buffers valid on host), modelling a fresh application run.
@@ -99,6 +113,7 @@ class Executor {
   hw::RooflineCostModel cost_model_;
 
   std::vector<KernelDef> kernels_;
+  std::optional<faults::FaultPlan> fault_plan_;
   struct BufferInfo {
     std::string name;
     std::int64_t size_bytes;

@@ -74,7 +74,21 @@ std::string report_to_json(const ExecutionReport& report,
     if (s != 0) os << ",";
     os << report.peak_resident_bytes[s];
   }
-  os << "]}";
+  os << "]";
+  const faults::FaultReport& faults = report.faults;
+  os << ",\"faults\":{"
+     << "\"active\":" << (faults.active ? "true" : "false")
+     << ",\"plan\":\"" << json::escape(faults.plan_name) << "\""
+     << ",\"injected\":" << faults.injected_faults
+     << ",\"retries\":" << faults.retries
+     << ",\"migrated\":" << faults.migrated_tasks
+     << ",\"abandoned\":" << faults.abandoned_tasks
+     << ",\"repartitioned\":" << faults.repartitioned_tasks
+     << ",\"divergence_events\":" << faults.divergence_events
+     << ",\"failed_devices\":" << faults.failed_devices
+     << ",\"unfinished_tasks\":" << faults.unfinished_tasks
+     << ",\"run_completed\":" << (faults.run_completed ? "true" : "false")
+     << "}}";
   return os.str();
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "faults/fault_report.hpp"
 #include "hw/platform.hpp"
 #include "runtime/kernel.hpp"
 #include "sim/trace.hpp"
@@ -60,6 +61,9 @@ struct ExecutionReport {
 
   /// Optional timeline (populated when RuntimeOptions::record_trace).
   sim::TraceRecorder trace;
+
+  /// Fault-injection accounting (all defaults when no plan was armed).
+  faults::FaultReport faults;
 
   /// Fraction of kernel `k`'s items executed by `device`. Returns 0 when the
   /// kernel executed no items at all.

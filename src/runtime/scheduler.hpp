@@ -91,6 +91,28 @@ class Scheduler {
     (void)now;
   }
 
+  /// `device` permanently failed at `now` (fault injection). The executor
+  /// has already drained the device's queue; adaptive schedulers should
+  /// stop placing work there. Pull schedulers whose pick never offers a
+  /// task to a device it wasn't asked for need no action.
+  virtual void on_device_failed(hw::DeviceId device, SimTime now) {
+    (void)device;
+    (void)now;
+  }
+
+  /// A completion on `device` diverged from the model prediction by more
+  /// than the armed fault plan's threshold; the executor is about to pull
+  /// the device's dynamically placed queue back for re-partitioning.
+  /// `busy_until` is when the device's lanes actually free up — adaptive
+  /// schedulers should fold it into their backlog picture so the re-offered
+  /// work lands somewhere faster.
+  virtual void on_divergence(hw::DeviceId device, SimTime busy_until,
+                             SimTime now) {
+    (void)device;
+    (void)busy_until;
+    (void)now;
+  }
+
   /// Completion feedback. `compute_time` is the kernel execution time alone
   /// (launch + compute); `occupancy_time` is the full dispatch-to-completion
   /// latency the worker observed, including waits for host<->device

@@ -63,6 +63,7 @@ class PerfAwareScheduler final : public Scheduler {
     lane_available_.clear();
     for (const hw::DeviceSpec& device : platform.all_devices())
       lane_available_.emplace_back(device.lanes, 0);
+    dead_.assign(platform.all_devices().size(), false);
     round_robin_ = 0;
   }
 
@@ -73,7 +74,7 @@ class PerfAwareScheduler final : public Scheduler {
     bool missing_estimate = false;
 
     for (hw::DeviceId d = 0; d < lane_available_.size(); ++d) {
-      if (!task.runs_on(d)) continue;
+      if (dead_[d] || !task.runs_on(d)) continue;
       if (!has_estimate(task.kernel, d)) {
         missing_estimate = true;
         continue;
@@ -92,7 +93,7 @@ class PerfAwareScheduler final : public Scheduler {
     if (missing_estimate) {
       for (std::size_t step = 0; step < lane_available_.size(); ++step) {
         const hw::DeviceId d = (round_robin_ + step) % lane_available_.size();
-        if (task.runs_on(d) && !has_estimate(task.kernel, d)) {
+        if (!dead_[d] && task.runs_on(d) && !has_estimate(task.kernel, d)) {
           round_robin_ = d + 1;
           commit(task, d, now);
           return d;
@@ -100,7 +101,9 @@ class PerfAwareScheduler final : public Scheduler {
       }
     }
 
-    HS_ASSERT_MSG(best.has_value(), "task runs on no known device");
+    // Every surviving device lacks support: decline and let the task sit in
+    // the pool (with fault injection, a device the task runs on may be dead).
+    if (!best) return std::nullopt;
 
     // Locality-aware tie-breaking: the estimates cannot see the transfers a
     // cross-device placement incurs, so when the task's data already lives
@@ -108,7 +111,7 @@ class PerfAwareScheduler final : public Scheduler {
     // margin of the best, keep the chain local (the versioning scheduler's
     // affinity heuristic).
     if (task.locality && *task.locality != *best &&
-        task.runs_on(*task.locality) &&
+        !dead_[*task.locality] && task.runs_on(*task.locality) &&
         has_estimate(task.kernel, *task.locality)) {
       const SimTime local_finish =
           estimated_finish(task, *task.locality, now);
@@ -120,6 +123,22 @@ class PerfAwareScheduler final : public Scheduler {
 
     commit(task, *best, now);
     return best;
+  }
+
+  void on_device_failed(hw::DeviceId device, SimTime now) override {
+    (void)now;
+    if (device < dead_.size()) dead_[device] = true;
+  }
+
+  void on_divergence(hw::DeviceId device, SimTime busy_until,
+                     SimTime now) override {
+    (void)now;
+    // The device is slower than the estimates believed: sync the committed
+    // backlog with what its lanes actually have left, so earliest-finish
+    // placement routes the re-offered work elsewhere until the EMA catches
+    // up with the perturbed speed.
+    if (device >= lane_available_.size()) return;
+    for (SimTime& t : lane_available_[device]) t = std::max(t, busy_until);
   }
 
   void on_complete(const SchedTask& task, hw::DeviceId device,
@@ -197,6 +216,7 @@ class PerfAwareScheduler final : public Scheduler {
   std::map<std::pair<KernelId, hw::DeviceId>, Ema> estimates_;
   std::map<std::pair<KernelId, hw::DeviceId>, Ema> flush_penalty_;
   std::vector<std::vector<SimTime>> lane_available_;
+  std::vector<bool> dead_;
   std::size_t round_robin_ = 0;
 };
 

@@ -20,6 +20,10 @@ int salience(TraceKind kind) {
     case TraceKind::kTransferD2H: return 3;
     case TraceKind::kOverhead: return 2;
     case TraceKind::kSync: return 1;
+    // Fault/recovery annotations live on their own lane, so a high salience
+    // only ever outranks other annotations sharing a bucket there.
+    case TraceKind::kFault: return 5;
+    case TraceKind::kRecovery: return 4;
   }
   return 0;
 }
@@ -31,6 +35,8 @@ char glyph(TraceKind kind) {
     case TraceKind::kTransferD2H: return '<';
     case TraceKind::kOverhead: return 'o';
     case TraceKind::kSync: return '~';
+    case TraceKind::kFault: return 'X';
+    case TraceKind::kRecovery: return '+';
   }
   return '?';
 }
@@ -69,7 +75,8 @@ std::string render_gantt(const TraceRecorder& trace, GanttOptions options) {
 
   std::ostringstream os;
   os << "timeline: 0 .. " << format_time(makespan) << "  ('#' compute, "
-     << "'>' H2D, '<' D2H, 'o' overhead, '~' sync)\n";
+     << "'>' H2D, '<' D2H, 'o' overhead, '~' sync, 'X' fault, "
+     << "'+' recovery)\n";
   for (const auto& [lane, row] : rows) {
     bool has_work = false;
     std::string cells;

@@ -12,6 +12,8 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kTransferD2H: return "d2h";
     case TraceKind::kOverhead: return "overhead";
     case TraceKind::kSync: return "sync";
+    case TraceKind::kFault: return "fault";
+    case TraceKind::kRecovery: return "recovery";
   }
   return "unknown";
 }

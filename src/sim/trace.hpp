@@ -19,6 +19,12 @@ enum class TraceKind {
   kTransferD2H,
   kOverhead,
   kSync,
+  /// An injected perturbation window (fault subsystem): slowdown, stall,
+  /// link degradation, or device failure, painted on a dedicated lane.
+  kFault,
+  /// A resilience action: chunk retry/migration, queue re-partitioning, or
+  /// an abandoned chunk.
+  kRecovery,
 };
 
 const char* trace_kind_name(TraceKind kind);

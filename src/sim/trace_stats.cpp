@@ -33,6 +33,12 @@ TraceStats analyze_trace(const TraceRecorder& trace) {
       case TraceKind::kSync:
         stats.total_sync += event.duration();
         continue;  // waiting, not work: skip lane accounting
+      case TraceKind::kFault:
+        stats.total_fault += event.duration();
+        continue;  // annotation, not work: skip lane accounting
+      case TraceKind::kRecovery:
+        stats.total_recovery += event.duration();
+        continue;  // annotation, not work: skip lane accounting
     }
     LaneStats& lane = lanes[event.lane];
     lane.lane = event.lane;
@@ -107,6 +113,9 @@ std::string format_trace_stats(const TraceStats& stats) {
      << format_time(stats.total_d2h) << ", overhead "
      << format_time(stats.total_overhead) << ", sync "
      << format_time(stats.total_sync) << "\n";
+  if (stats.total_fault > 0 || stats.total_recovery > 0)
+    os << "faults: perturbation windows " << format_time(stats.total_fault)
+       << ", recovery actions " << format_time(stats.total_recovery) << "\n";
   os << "concurrency: overlapped " << format_time(stats.overlapped_time)
      << " (" << format_percent(stats.overlap_fraction()) << "), serial "
      << format_time(stats.serial_time) << ", idle "

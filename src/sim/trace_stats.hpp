@@ -33,6 +33,10 @@ struct TraceStats {
   SimTime total_d2h = 0;
   SimTime total_overhead = 0;
   SimTime total_sync = 0;
+  /// Injected perturbation window time and resilience action (retry
+  /// backoff) time — annotations, excluded from lane busy accounting.
+  SimTime total_fault = 0;
+  SimTime total_recovery = 0;
 
   /// Concurrency profile over [0, makespan]: time with >= 2 busy lanes
   /// (overlap), exactly 1 (serial), and 0 (gaps: barrier waits etc.).

@@ -11,6 +11,44 @@ namespace hetsched::strategies {
 
 using analyzer::StrategyKind;
 
+namespace {
+
+/// Arms the application's executor with the strategy's fault plan for the
+/// duration of one measured execution. Profiling probes share the same
+/// executor, so scoping the plan this tightly is what keeps them on the
+/// healthy platform.
+class FaultPlanGuard {
+ public:
+  FaultPlanGuard(rt::Executor& executor,
+                 const std::optional<faults::FaultPlan>& plan)
+      : executor_(executor), armed_(plan.has_value()) {
+    if (armed_) executor_.set_fault_plan(*plan);
+  }
+  ~FaultPlanGuard() {
+    if (armed_) executor_.set_fault_plan(std::nullopt);
+  }
+  FaultPlanGuard(const FaultPlanGuard&) = delete;
+  FaultPlanGuard& operator=(const FaultPlanGuard&) = delete;
+
+ private:
+  rt::Executor& executor_;
+  bool armed_;
+};
+
+}  // namespace
+
+rt::ExecutionReport StrategyRunner::measured_execute_pinned(
+    const rt::Program& program) {
+  FaultPlanGuard guard(app_.executor(), options_.fault_plan);
+  return app_.executor().execute_pinned(program);
+}
+
+rt::ExecutionReport StrategyRunner::measured_execute(
+    const rt::Program& program, rt::Scheduler& scheduler) {
+  FaultPlanGuard guard(app_.executor(), options_.fault_plan);
+  return app_.executor().execute(program, scheduler);
+}
+
 StrategyRunner::StrategyRunner(apps::Application& app,
                                StrategyOptions options)
     : app_(app), options_(options) {
@@ -108,7 +146,7 @@ StrategyResult StrategyRunner::run_only(hw::DeviceId device,
   };
   const rt::Program program =
       app_.build_program(submit, options_.sync_between_kernels);
-  return finalize(kind, app_.executor().execute_pinned(program), {});
+  return finalize(kind, measured_execute_pinned(program), {});
 }
 
 void StrategyRunner::submit_split(rt::Program& program,
@@ -173,8 +211,8 @@ StrategyResult StrategyRunner::run_sp_single() {
   };
   const rt::Program program =
       app_.build_program(submit, options_.sync_between_kernels);
-  return finalize(StrategyKind::kSPSingle,
-                  app_.executor().execute_pinned(program), {decision});
+  return finalize(StrategyKind::kSPSingle, measured_execute_pinned(program),
+                  {decision});
 }
 
 /// SP-Single generalized to platforms with several accelerators: profile
@@ -222,8 +260,8 @@ StrategyResult StrategyRunner::run_sp_single_multi() {
   };
   const rt::Program program =
       app_.build_program(submit, options_.sync_between_kernels);
-  StrategyResult result = finalize(
-      StrategyKind::kSPSingle, app_.executor().execute_pinned(program), {});
+  StrategyResult result = finalize(StrategyKind::kSPSingle,
+                                   measured_execute_pinned(program), {});
   result.multi_decision = decision;
   return result;
 }
@@ -257,8 +295,8 @@ StrategyResult StrategyRunner::run_sp_unified() {
   };
   const rt::Program program =
       app_.build_program(submit, options_.sync_between_kernels);
-  return finalize(StrategyKind::kSPUnified,
-                  app_.executor().execute_pinned(program), {decision});
+  return finalize(StrategyKind::kSPUnified, measured_execute_pinned(program),
+                  {decision});
 }
 
 StrategyResult StrategyRunner::run_sp_varied() {
@@ -295,8 +333,7 @@ StrategyResult StrategyRunner::run_sp_varied() {
   // SP-Varied requires inter-kernel synchronization by construction.
   const rt::Program program =
       app_.build_program(submit, /*sync_between_kernels=*/true);
-  return finalize(StrategyKind::kSPVaried,
-                  app_.executor().execute_pinned(program),
+  return finalize(StrategyKind::kSPVaried, measured_execute_pinned(program),
                   std::move(decisions));
 }
 
@@ -344,8 +381,8 @@ StrategyResult StrategyRunner::run_sp_dag() {
   const rt::Program pinned = planner.apply(unpinned, plan);
 
   app_.reset_data();
-  return finalize(StrategyKind::kSPDag,
-                  app_.executor().execute_pinned(pinned), {});
+  return finalize(StrategyKind::kSPDag, measured_execute_pinned(pinned),
+                  {});
 }
 
 StrategyResult StrategyRunner::run_dp(StrategyKind kind) {
@@ -360,7 +397,7 @@ StrategyResult StrategyRunner::run_dp(StrategyKind kind) {
 
   if (kind == StrategyKind::kDPDep) {
     rt::BreadthFirstScheduler scheduler;
-    return finalize(kind, app_.executor().execute(program, scheduler), {});
+    return finalize(kind, measured_execute(program, scheduler), {});
   }
 
   // DP-Perf: the profiling phase gives each device 3 task instances of the
@@ -372,7 +409,7 @@ StrategyResult StrategyRunner::run_dp(StrategyKind kind) {
     scheduler.seed_estimate(pair.first, pair.second, rate);
   }
   app_.reset_data();
-  return finalize(kind, app_.executor().execute(program, scheduler), {});
+  return finalize(kind, measured_execute(program, scheduler), {});
 }
 
 }  // namespace hetsched::strategies

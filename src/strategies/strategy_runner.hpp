@@ -7,6 +7,7 @@
 #include "analyzer/matchmaker.hpp"
 #include "analyzer/strategy.hpp"
 #include "apps/app.hpp"
+#include "faults/fault_plan.hpp"
 #include "glinda/multi_device.hpp"
 #include "glinda/partition_model.hpp"
 #include "strategies/dag_planner.hpp"
@@ -46,6 +47,12 @@ struct StrategyOptions {
   glinda::PartitionOptions partition;
   /// DP-Perf profiling instances per (kernel, device).
   int dp_perf_profile_instances = 3;
+  /// Fault plan armed around the MEASURED execution only. Profiling runs
+  /// (Glinda sampling, DP-Perf seeding probes) observe the healthy
+  /// platform — the paper profiles before the perturbation happens — so
+  /// static splits are honest pre-fault decisions and the injected faults
+  /// hit every strategy's measured run identically.
+  std::optional<faults::FaultPlan> fault_plan;
 };
 
 struct StrategyResult {
@@ -95,6 +102,11 @@ class StrategyRunner {
   StrategyResult run_sp_varied();
   StrategyResult run_sp_dag();
   StrategyResult run_dp(analyzer::StrategyKind kind);
+
+  /// The measured executions — the ones options_.fault_plan perturbs.
+  rt::ExecutionReport measured_execute_pinned(const rt::Program& program);
+  rt::ExecutionReport measured_execute(const rt::Program& program,
+                                       rt::Scheduler& scheduler);
 
   /// Probes every (kernel, device) pair with a few pinned chunk instances
   /// in fresh memory state and returns the observed rates — the profiling

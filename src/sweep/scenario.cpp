@@ -31,6 +31,18 @@ void append_device(std::ostringstream& os, const hw::DeviceSpec& device) {
 
 }  // namespace
 
+namespace {
+
+std::string fault_suffix(const Scenario& scenario) {
+  if (scenario.fault_plan.empty()) return "";
+  std::string out = "+fault:" + scenario.fault_plan;
+  if (scenario.fault_seed != 0)
+    out += "#" + std::to_string(scenario.fault_seed);
+  return out;
+}
+
+}  // namespace
+
 std::string Scenario::label() const {
   std::string out = apps::paper_app_id(app);
   out += "/";
@@ -38,6 +50,7 @@ std::string Scenario::label() const {
   if (platform != "reference") out += "@" + platform;
   if (sync) out += "+sync";
   if (small) out += "+small";
+  out += fault_suffix(*this);
   return out;
 }
 
@@ -47,6 +60,7 @@ std::string Scenario::group() const {
   out += platform.empty() ? "reference" : platform;
   if (sync) out += "+sync";
   if (small) out += "+small";
+  out += fault_suffix(*this);
   return out;
 }
 
@@ -64,6 +78,9 @@ json::Value Scenario::to_json() const {
   value.set("small", json::Value(small));
   value.set("task_count", json::Value(task_count));
   value.set("costs", std::move(costs_json));
+  value.set("fault_plan", json::Value(fault_plan));
+  value.set("fault_seed",
+            json::Value(static_cast<std::int64_t>(fault_seed)));
   return value;
 }
 
@@ -80,6 +97,11 @@ Scenario Scenario::from_json(const json::Value& value) {
   scenario.costs.task_creation = costs.at("task_creation_ns").as_int64();
   scenario.costs.dispatch_overhead = costs.at("dispatch_ns").as_int64();
   scenario.costs.taskwait_overhead = costs.at("taskwait_ns").as_int64();
+  // Lenient reads: scenario files written before the fault axes existed.
+  if (const json::Value* plan = value.find("fault_plan"))
+    scenario.fault_plan = plan->as_string();
+  if (const json::Value* seed = value.find("fault_seed"))
+    scenario.fault_seed = static_cast<std::uint64_t>(seed->as_int64());
   return scenario;
 }
 
@@ -100,6 +122,8 @@ std::string scenario_key(const Scenario& scenario) {
   os << "costs task_creation_ns=" << scenario.costs.task_creation
      << " dispatch_ns=" << scenario.costs.dispatch_overhead
      << " taskwait_ns=" << scenario.costs.taskwait_overhead << "\n";
+  os << "fault_plan=" << scenario.fault_plan
+     << " fault_seed=" << scenario.fault_seed << "\n";
   os << "platform=" << platform.name << "\n";
   for (const hw::DeviceSpec& device : platform.all_devices()) {
     append_device(os, device);

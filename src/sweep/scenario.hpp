@@ -24,7 +24,7 @@ namespace hetsched::sweep {
 /// cost-model behaviour change, new default StrategyOptions, a report
 /// schema change. The version participates in every cache key, so bumping
 /// it invalidates all previously cached results at once.
-inline constexpr const char* kSweepCodeVersion = "hs-sweep-1";
+inline constexpr const char* kSweepCodeVersion = "hs-sweep-2";
 
 struct Scenario {
   apps::PaperApp app = apps::PaperApp::kMatrixMul;
@@ -39,6 +39,12 @@ struct Scenario {
   int task_count = 12;
   /// Runtime overhead knobs charged by the executor.
   rt::RuntimeCosts costs;
+  /// Named fault plan (faults::make_named_plan) injected into the measured
+  /// execution; empty = healthy run. Plan horizons resolve against the
+  /// scenario's own fault-free makespan, which the engine computes first.
+  std::string fault_plan;
+  /// Seed for seeded plan families ("storm"); ignored otherwise.
+  std::uint64_t fault_seed = 0;
 
   /// Human-readable identifier, e.g. "matrixmul/sp-single+sync" (the
   /// platform is included only when it is not the reference one:

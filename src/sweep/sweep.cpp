@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <memory>
 
 #include "common/error.hpp"
+#include "faults/fault_plan.hpp"
 #include "hw/platform.hpp"
 #include "runtime/thread_pool.hpp"
 #include "strategies/strategy_runner.hpp"
@@ -41,6 +43,15 @@ json::Value metrics_to_json(const ScenarioMetrics& metrics) {
   value.set("barriers", json::Value(metrics.barriers));
   value.set("scheduling_decisions",
             json::Value(metrics.scheduling_decisions));
+  value.set("degradation_ratio", json::Value(metrics.degradation_ratio));
+  value.set("baseline_time_ms", json::Value(metrics.baseline_time_ms));
+  value.set("faults_injected", json::Value(metrics.faults_injected));
+  value.set("fault_retries", json::Value(metrics.fault_retries));
+  value.set("migrated_tasks", json::Value(metrics.migrated_tasks));
+  value.set("repartitioned_tasks",
+            json::Value(metrics.repartitioned_tasks));
+  value.set("abandoned_tasks", json::Value(metrics.abandoned_tasks));
+  value.set("run_completed", json::Value(metrics.run_completed));
   return value;
 }
 
@@ -61,6 +72,14 @@ ScenarioMetrics metrics_from_json(const json::Value& value) {
   metrics.barriers = value.at("barriers").as_int64();
   metrics.scheduling_decisions =
       value.at("scheduling_decisions").as_int64();
+  metrics.degradation_ratio = value.at("degradation_ratio").as_number();
+  metrics.baseline_time_ms = value.at("baseline_time_ms").as_number();
+  metrics.faults_injected = value.at("faults_injected").as_int64();
+  metrics.fault_retries = value.at("fault_retries").as_int64();
+  metrics.migrated_tasks = value.at("migrated_tasks").as_int64();
+  metrics.repartitioned_tasks = value.at("repartitioned_tasks").as_int64();
+  metrics.abandoned_tasks = value.at("abandoned_tasks").as_int64();
+  metrics.run_completed = value.at("run_completed").as_bool();
   return metrics;
 }
 
@@ -119,6 +138,27 @@ ScenarioOutcome SweepEngine::compute(const Scenario& scenario) const {
   ScenarioOutcome outcome;
   outcome.scenario = scenario;
   const Clock::time_point start = Clock::now();
+
+  // Faulted scenarios are measured against their own fault-free twin: the
+  // baseline run fixes the horizon the named plan's relative offsets
+  // resolve against, and its makespan is the degradation denominator. The
+  // twin is computed fresh (no cache) — it is part of this scenario's
+  // deterministic closure, not a separate sweep entry.
+  double baseline_ms = 0.0;
+  if (!scenario.fault_plan.empty()) {
+    Scenario healthy = scenario;
+    healthy.fault_plan.clear();
+    healthy.fault_seed = 0;
+    const ScenarioOutcome base = compute(healthy);
+    if (!base.ok()) {
+      outcome.status = base.status;
+      outcome.error = base.error;
+      outcome.wall_ms = elapsed_ms(start);
+      return outcome;
+    }
+    baseline_ms = base.metrics.time_ms;
+  }
+
   try {
     const hw::PlatformSpec platform =
         hw::platform_by_name(scenario.platform);
@@ -133,6 +173,12 @@ ScenarioOutcome SweepEngine::compute(const Scenario& scenario) const {
     strategies::StrategyOptions strategy_options;
     strategy_options.sync_between_kernels = scenario.sync;
     strategy_options.task_count = scenario.task_count;
+    if (!scenario.fault_plan.empty()) {
+      const SimTime horizon =
+          std::max<SimTime>(1, std::llround(baseline_ms * 1e6));
+      strategy_options.fault_plan = faults::make_named_plan(
+          scenario.fault_plan, horizon, scenario.fault_seed);
+    }
     strategies::StrategyRunner runner(*application, strategy_options);
     const strategies::StrategyResult result = runner.run(scenario.strategy);
 
@@ -151,6 +197,18 @@ ScenarioOutcome SweepEngine::compute(const Scenario& scenario) const {
         static_cast<std::int64_t>(result.report.barriers);
     outcome.metrics.scheduling_decisions =
         static_cast<std::int64_t>(result.report.scheduling_decisions);
+    const faults::FaultReport& fault_report = result.report.faults;
+    outcome.metrics.faults_injected = fault_report.injected_faults;
+    outcome.metrics.fault_retries = fault_report.retries;
+    outcome.metrics.migrated_tasks = fault_report.migrated_tasks;
+    outcome.metrics.repartitioned_tasks = fault_report.repartitioned_tasks;
+    outcome.metrics.abandoned_tasks = fault_report.abandoned_tasks;
+    outcome.metrics.run_completed = fault_report.run_completed;
+    if (!scenario.fault_plan.empty()) {
+      outcome.metrics.baseline_time_ms = baseline_ms;
+      if (fault_report.run_completed && baseline_ms > 0.0)
+        outcome.metrics.degradation_ratio = result.time_ms() / baseline_ms;
+    }
     outcome.report_json =
         rt::report_to_json(result.report, application->executor().kernels());
     if (options_.record_trace)

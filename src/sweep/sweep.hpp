@@ -47,6 +47,20 @@ struct ScenarioMetrics {
   std::int64_t tasks_executed = 0;
   std::int64_t barriers = 0;
   std::int64_t scheduling_decisions = 0;
+  /// Fault axis (meaningful only when Scenario::fault_plan is set; zeros
+  /// and run_completed=true otherwise). The engine first computes the same
+  /// scenario fault-free to obtain `baseline_time_ms`, resolves the named
+  /// plan against that makespan, and reports the slowdown as
+  /// degradation_ratio = faulted time / baseline time (0 when the faulted
+  /// run did not complete — an honest DNF, not a number).
+  double degradation_ratio = 0.0;
+  double baseline_time_ms = 0.0;
+  std::int64_t faults_injected = 0;
+  std::int64_t fault_retries = 0;
+  std::int64_t migrated_tasks = 0;
+  std::int64_t repartitioned_tasks = 0;
+  std::int64_t abandoned_tasks = 0;
+  bool run_completed = true;
 };
 
 struct ScenarioOutcome {

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "sweep/sweep.hpp"
+
+/// Sweep-level fault semantics: a faulted scenario is still a pure
+/// function of its fields (byte-identical payloads run to run), and the
+/// checked-in acceptance contrast holds — under a mid-run GPU failure the
+/// dynamic strategy finishes by migrating work while the static one
+/// reports an honest DNF instead of hanging.
+namespace hetsched::sweep {
+namespace {
+
+Scenario faulted_scenario(analyzer::StrategyKind strategy,
+                          const std::string& plan,
+                          std::uint64_t seed = 0) {
+  Scenario scenario;
+  scenario.app = apps::PaperApp::kMatrixMul;
+  scenario.strategy = strategy;
+  scenario.small = true;
+  scenario.fault_plan = plan;
+  scenario.fault_seed = seed;
+  return scenario;
+}
+
+SweepEngine serial_engine() {
+  SweepOptions options;
+  options.parallel = false;
+  options.use_cache = false;
+  return SweepEngine(options);
+}
+
+TEST(FaultDeterminism, SameScenarioSameBytes) {
+  const Scenario scenario =
+      faulted_scenario(analyzer::StrategyKind::kDPPerf, "gpu-slowdown");
+  const SweepEngine engine = serial_engine();
+  const ScenarioOutcome a = engine.compute(scenario);
+  const ScenarioOutcome b = engine.compute(scenario);
+  ASSERT_TRUE(a.ok()) << a.error;
+  EXPECT_EQ(a.to_payload(), b.to_payload());
+  EXPECT_EQ(a.report_json, b.report_json);
+}
+
+TEST(FaultDeterminism, SeededStormIsReproducibleAndSeedSensitive) {
+  const SweepEngine engine = serial_engine();
+  const ScenarioOutcome a = engine.compute(
+      faulted_scenario(analyzer::StrategyKind::kDPDep, "storm", 7));
+  const ScenarioOutcome b = engine.compute(
+      faulted_scenario(analyzer::StrategyKind::kDPDep, "storm", 7));
+  const ScenarioOutcome c = engine.compute(
+      faulted_scenario(analyzer::StrategyKind::kDPDep, "storm", 8));
+  ASSERT_TRUE(a.ok()) << a.error;
+  ASSERT_TRUE(c.ok()) << c.error;
+  EXPECT_EQ(a.to_payload(), b.to_payload());
+  // Different seed, different perturbations -> a different report.
+  EXPECT_NE(a.report_json, c.report_json);
+}
+
+TEST(FaultDeterminism, FaultedScenarioRoundTripsThroughThePayload) {
+  const Scenario scenario =
+      faulted_scenario(analyzer::StrategyKind::kDPPerf, "gpu-stall", 3);
+  const ScenarioOutcome outcome = serial_engine().compute(scenario);
+  ASSERT_TRUE(outcome.ok()) << outcome.error;
+  const ScenarioOutcome reloaded =
+      ScenarioOutcome::from_payload(outcome.to_payload());
+  EXPECT_EQ(reloaded.scenario.fault_plan, "gpu-stall");
+  EXPECT_EQ(reloaded.scenario.fault_seed, 3u);
+  EXPECT_EQ(reloaded.to_payload(), outcome.to_payload());
+  EXPECT_EQ(reloaded.metrics.degradation_ratio,
+            outcome.metrics.degradation_ratio);
+}
+
+TEST(FaultAcceptance, DynamicMigratesWhereStaticHonestlyDnfs) {
+  const SweepEngine engine = serial_engine();
+
+  // DP-Dep keeps the GPU pulling work until late in the run, so the 35%
+  // failure point catches it mid-chunk with work still queued — the
+  // migration path in full. (DP-Perf's profiled EFT placement front-loads
+  // the GPU so aggressively on this small problem that the failure can
+  // land after its GPU phase already ended.)
+  const ScenarioOutcome dynamic = engine.compute(
+      faulted_scenario(analyzer::StrategyKind::kDPDep, "gpu-failure"));
+  ASSERT_TRUE(dynamic.ok()) << dynamic.error;
+  EXPECT_TRUE(dynamic.metrics.run_completed);
+  EXPECT_GT(dynamic.metrics.migrated_tasks, 0);
+  EXPECT_GT(dynamic.metrics.degradation_ratio, 1.0);
+
+  const ScenarioOutcome pinned = engine.compute(
+      faulted_scenario(analyzer::StrategyKind::kSPSingle, "gpu-failure"));
+  ASSERT_TRUE(pinned.ok()) << pinned.error;
+  EXPECT_FALSE(pinned.metrics.run_completed);
+  EXPECT_GT(pinned.metrics.abandoned_tasks, 0);
+  // DNF: no degradation number is reported for an incomplete run.
+  EXPECT_EQ(pinned.metrics.degradation_ratio, 0.0);
+  EXPECT_GT(pinned.metrics.baseline_time_ms, 0.0);
+}
+
+TEST(FaultAcceptance, FaultFreeScenariosReportNoFaultMetrics) {
+  Scenario scenario;
+  scenario.app = apps::PaperApp::kMatrixMul;
+  scenario.strategy = analyzer::StrategyKind::kDPPerf;
+  scenario.small = true;
+  const ScenarioOutcome outcome = serial_engine().compute(scenario);
+  ASSERT_TRUE(outcome.ok()) << outcome.error;
+  EXPECT_TRUE(outcome.metrics.run_completed);
+  EXPECT_EQ(outcome.metrics.faults_injected, 0);
+  EXPECT_EQ(outcome.metrics.degradation_ratio, 0.0);
+  EXPECT_EQ(outcome.metrics.baseline_time_ms, 0.0);
+}
+
+TEST(FaultAcceptance, LabelsAndKeysCarryTheFaultAxes) {
+  const Scenario scenario =
+      faulted_scenario(analyzer::StrategyKind::kDPPerf, "storm", 9);
+  EXPECT_NE(scenario.label().find("+fault:storm#9"), std::string::npos);
+  EXPECT_NE(scenario.group().find("+fault:storm#9"), std::string::npos);
+
+  Scenario healthy = scenario;
+  healthy.fault_plan.clear();
+  healthy.fault_seed = 0;
+  EXPECT_NE(scenario_key(scenario), scenario_key(healthy));
+  EXPECT_EQ(healthy.label().find("+fault"), std::string::npos);
+
+  const Scenario reparsed = Scenario::from_json(scenario.to_json());
+  EXPECT_EQ(reparsed.fault_plan, "storm");
+  EXPECT_EQ(reparsed.fault_seed, 9u);
+  EXPECT_EQ(scenario_key(reparsed), scenario_key(scenario));
+}
+
+}  // namespace
+}  // namespace hetsched::sweep

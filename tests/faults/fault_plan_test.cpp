@@ -1,0 +1,127 @@
+#include "faults/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hetsched::faults {
+namespace {
+
+constexpr SimTime kHorizon = 10 * kMillisecond;
+
+TEST(FaultKindNames, RoundTrip) {
+  for (FaultKind kind :
+       {FaultKind::kSlowdown, FaultKind::kStall, FaultKind::kLinkDegrade,
+        FaultKind::kDeviceFailure}) {
+    EXPECT_EQ(fault_kind_from_name(fault_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(fault_kind_from_name("meteor"), InvalidArgument);
+}
+
+TEST(FaultPlanValidate, AcceptsEveryNamedPlan) {
+  for (const std::string& name : named_fault_plans()) {
+    const FaultPlan plan = make_named_plan(name, kHorizon, /*seed=*/7);
+    EXPECT_EQ(plan.name, name);
+    EXPECT_FALSE(plan.empty());
+    EXPECT_NO_THROW(plan.validate(/*device_count=*/2));
+  }
+  EXPECT_THROW(make_named_plan("meteor", kHorizon), InvalidArgument);
+}
+
+TEST(FaultPlanValidate, RejectsMalformedEvents) {
+  const auto plan_with = [](FaultEvent event) {
+    FaultPlan plan;
+    plan.events.push_back(event);
+    return plan;
+  };
+  // Device out of range.
+  EXPECT_THROW(plan_with({FaultKind::kSlowdown, 9, 0, 100, 2.0}).validate(2),
+               InvalidArgument);
+  // Windowed kinds need a positive duration.
+  EXPECT_THROW(plan_with({FaultKind::kSlowdown, 1, 0, 0, 2.0}).validate(2),
+               InvalidArgument);
+  EXPECT_THROW(plan_with({FaultKind::kStall, 1, 0, 0, 1.0}).validate(2),
+               InvalidArgument);
+  // Slowdown / link-degrade magnitudes below 1 would be speed-ups.
+  EXPECT_THROW(plan_with({FaultKind::kSlowdown, 1, 0, 100, 0.5}).validate(2),
+               InvalidArgument);
+  EXPECT_THROW(
+      plan_with({FaultKind::kLinkDegrade, 1, 0, 100, 0.5}).validate(2),
+      InvalidArgument);
+  // The host CPU orchestrates the run and cannot fail.
+  EXPECT_THROW(
+      plan_with({FaultKind::kDeviceFailure, hw::kCpuDevice, 10, 0, 1.0})
+          .validate(2),
+      InvalidArgument);
+  // Negative start.
+  EXPECT_THROW(plan_with({FaultKind::kStall, 1, -5, 100, 1.0}).validate(2),
+               InvalidArgument);
+}
+
+TEST(FaultPlanValidate, RejectsMalformedRetryPolicy) {
+  FaultPlan plan;
+  plan.retry.max_retries = -1;
+  EXPECT_THROW(plan.validate(2), InvalidArgument);
+  plan.retry = RetryPolicy{};
+  plan.retry.backoff_multiplier = 0.5;
+  EXPECT_THROW(plan.validate(2), InvalidArgument);
+  plan.retry = RetryPolicy{};
+  plan.retry.divergence_threshold = 1.0;
+  EXPECT_THROW(plan.validate(2), InvalidArgument);
+}
+
+TEST(FaultPlanJson, RoundTripsExactly) {
+  const FaultPlan plan = make_named_plan("storm", kHorizon, /*seed=*/42);
+  const FaultPlan reparsed = FaultPlan::from_json(plan.to_json());
+  EXPECT_EQ(plan.canonical_key(), reparsed.canonical_key());
+  EXPECT_EQ(reparsed.name, "storm");
+  EXPECT_EQ(reparsed.events.size(), plan.events.size());
+}
+
+TEST(FaultPlanGenerator, IsDeterministicInTheSeed) {
+  const FaultPlan a = generate_fault_plan(123, 2, kHorizon);
+  const FaultPlan b = generate_fault_plan(123, 2, kHorizon);
+  const FaultPlan c = generate_fault_plan(124, 2, kHorizon);
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+  EXPECT_NE(a.canonical_key(), c.canonical_key());
+}
+
+TEST(FaultPlanGenerator, ProducesValidPlansAcrossSeeds) {
+  GeneratorOptions options;
+  options.allow_failures = true;
+  options.events = 6;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const FaultPlan plan = generate_fault_plan(seed, 3, kHorizon, options);
+    EXPECT_NO_THROW(plan.validate(3)) << "seed " << seed;
+    EXPECT_EQ(plan.events.size(), 6u);
+    for (const FaultEvent& event : plan.events) {
+      EXPECT_LE(event.start, kHorizon);
+      if (event.kind != FaultKind::kDeviceFailure) {
+        EXPECT_GT(event.duration, 0);
+      }
+    }
+  }
+}
+
+TEST(FaultPlanGenerator, CpuOnlyPlatformsGetLinkEventsOnly) {
+  // With no accelerator there is no device to slow down or fail; the only
+  // shared channel left is the (degenerate) link.
+  const FaultPlan plan = generate_fault_plan(5, /*device_count=*/1, kHorizon);
+  for (const FaultEvent& event : plan.events)
+    EXPECT_EQ(event.kind, FaultKind::kLinkDegrade);
+}
+
+TEST(NamedPlans, ScaleWithTheHorizon) {
+  const FaultPlan small = make_named_plan("gpu-slowdown", 1000);
+  const FaultPlan large = make_named_plan("gpu-slowdown", 100000);
+  ASSERT_EQ(small.events.size(), 1u);
+  ASSERT_EQ(large.events.size(), 1u);
+  EXPECT_EQ(small.events[0].start * 100, large.events[0].start);
+  EXPECT_EQ(small.events[0].duration * 100, large.events[0].duration);
+  EXPECT_EQ(small.events[0].magnitude, large.events[0].magnitude);
+}
+
+}  // namespace
+}  // namespace hetsched::faults

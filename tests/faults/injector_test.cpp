@@ -1,0 +1,109 @@
+#include "faults/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hetsched::faults {
+namespace {
+
+FaultPlan plan_of(std::vector<FaultEvent> events) {
+  FaultPlan plan;
+  plan.events = std::move(events);
+  return plan;
+}
+
+TEST(FaultInjector, NoFaultsMeansIdentityStretch) {
+  const FaultInjector injector(FaultPlan{}, 2);
+  EXPECT_EQ(injector.stretch_compute(1, 0, 1000), 1000);
+  EXPECT_EQ(injector.stretch_link(500, 1000), 1000);
+  EXPECT_FALSE(injector.failure_time(1).has_value());
+  EXPECT_TRUE(injector.events_started_by(1'000'000).empty());
+}
+
+TEST(FaultInjector, SlowdownStretchesOnlyInsideItsWindow) {
+  // x2 slowdown on device 1 over [1000, 2000).
+  const FaultInjector injector(
+      plan_of({{FaultKind::kSlowdown, 1, 1000, 1000, 2.0}}), 2);
+  // Entirely before the window: untouched.
+  EXPECT_EQ(injector.stretch_compute(1, 0, 500), 500);
+  // Entirely inside: doubled.
+  EXPECT_EQ(injector.stretch_compute(1, 1000, 400), 800);
+  // Straddling the leading edge: 500 at full rate, then 500 work takes
+  // 1000 ns at half rate.
+  EXPECT_EQ(injector.stretch_compute(1, 500, 1000), 1500);
+  // Work that outlives the window resumes at full speed after it: 500
+  // capacity consumed inside, the remaining 300 run 1:1.
+  EXPECT_EQ(injector.stretch_compute(1, 1000, 800), 1300);
+  // Starting after the window: untouched.
+  EXPECT_EQ(injector.stretch_compute(1, 2000, 700), 700);
+  // Other devices are untouched.
+  EXPECT_EQ(injector.stretch_compute(0, 1000, 400), 400);
+}
+
+TEST(FaultInjector, StallFreezesProgressForItsDuration) {
+  // Stall on device 1 over [100, 200).
+  const FaultInjector injector(
+      plan_of({{FaultKind::kStall, 1, 100, 100, 1.0}}), 2);
+  // 150 ns of work started at 0: 100 done before the stall, frozen for
+  // 100, the last 50 after it => 250 ns wall time.
+  EXPECT_EQ(injector.stretch_compute(1, 0, 150), 250);
+  // Started inside the stall: waits out the rest of it first.
+  EXPECT_EQ(injector.stretch_compute(1, 150, 30), 80);
+}
+
+TEST(FaultInjector, OverlappingSlowdownsCompound) {
+  // x2 over [0, 1000) and x3 over [500, 1500): rates 1/2, 1/6, 1/3.
+  const FaultInjector injector(
+      plan_of({{FaultKind::kSlowdown, 1, 0, 1000, 2.0},
+               {FaultKind::kSlowdown, 1, 500, 1000, 3.0}}),
+      2);
+  // 250 work from t=0 at rate 1/2 -> 500 ns.
+  EXPECT_EQ(injector.stretch_compute(1, 0, 250), 500);
+  // 350 work from t=0: 250 done by t=500 (rate 1/2), ~83.3 more through
+  // the doubly-slowed [500,1000) stretch (rate 1/6), and the final ~16.7
+  // at rate 1/3 takes 50 ns -> 1050 total.
+  EXPECT_EQ(injector.stretch_compute(1, 0, 350), 1050);
+}
+
+TEST(FaultInjector, LinkDegradeIsAChannelNotADevice) {
+  const FaultInjector injector(
+      plan_of({{FaultKind::kLinkDegrade, 1, 0, 1000, 4.0}}), 2);
+  EXPECT_EQ(injector.stretch_link(0, 100), 400);
+  EXPECT_EQ(injector.stretch_compute(1, 0, 100), 100);  // compute untouched
+}
+
+TEST(FaultInjector, EarliestFailurePerDeviceWins) {
+  const FaultInjector injector(
+      plan_of({{FaultKind::kDeviceFailure, 1, 900, 0, 1.0},
+               {FaultKind::kDeviceFailure, 1, 300, 0, 1.0}}),
+      2);
+  ASSERT_TRUE(injector.failure_time(1).has_value());
+  EXPECT_EQ(*injector.failure_time(1), 300);
+  EXPECT_FALSE(injector.failure_time(0).has_value());
+}
+
+TEST(FaultInjector, EventsStartedByIsStrict) {
+  const FaultInjector injector(
+      plan_of({{FaultKind::kSlowdown, 1, 100, 50, 2.0},
+               {FaultKind::kSlowdown, 1, 500, 50, 2.0}}),
+      2);
+  EXPECT_EQ(injector.events_started_by(100).size(), 0u);
+  EXPECT_EQ(injector.events_started_by(101).size(), 1u);
+  EXPECT_EQ(injector.events_started_by(1000).size(), 2u);
+}
+
+TEST(FaultInjector, ZeroAndNegativeNominalPassThrough) {
+  const FaultInjector injector(
+      plan_of({{FaultKind::kStall, 1, 0, 100, 1.0}}), 2);
+  EXPECT_EQ(injector.stretch_compute(1, 0, 0), 0);
+}
+
+TEST(FaultInjector, ValidatesThePlanOnConstruction) {
+  EXPECT_THROW(
+      FaultInjector(plan_of({{FaultKind::kSlowdown, 5, 0, 100, 2.0}}), 2),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hetsched::faults

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "faults/fault_plan.hpp"
+#include "hw/platform.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/schedulers/perf_aware.hpp"
+#include "runtime/schedulers/work_stealing.hpp"
+#include "sim/gantt.hpp"
+#include "sim/trace_stats.hpp"
+#include "tests/runtime/test_kernels.hpp"
+
+/// End-to-end resilience behaviour of the executor under an armed
+/// FaultPlan: dynamic strategies survive device loss by migrating work,
+/// static (pinned) runs report the damage honestly instead of hanging, and
+/// everything stays exactly deterministic.
+namespace hetsched::rt {
+namespace {
+
+using testing::kItemBytes;
+using testing::make_map_kernel;
+
+constexpr hw::DeviceId kGpu = 1;
+constexpr std::int64_t kItems = 12000;
+constexpr int kChunks = 24;
+
+struct Bench {
+  Executor exec;
+  Program program;
+
+  explicit Bench(RuntimeOptions options = {})
+      : exec(hw::make_reference_platform(), RuntimeCosts{}, options) {
+    const auto a = exec.register_buffer("a", kItems * kItemBytes);
+    const auto b = exec.register_buffer("b", kItems * kItemBytes);
+    KernelDef def = make_map_kernel("heavy", a, b);
+    def.traits.flops_per_item = 50000.0;
+    exec.register_kernel(std::move(def));
+    program.submit_chunked(0, 0, kItems, kChunks);
+    program.taskwait();
+  }
+};
+
+std::int64_t executed_items(const ExecutionReport& report) {
+  std::int64_t total = 0;
+  for (const DeviceReport& device : report.devices)
+    total += device.total_items();
+  return total;
+}
+
+faults::FaultPlan failure_at(SimTime when) {
+  faults::FaultPlan plan;
+  plan.name = "mid-run-gpu-loss";
+  plan.events.push_back(
+      {faults::FaultKind::kDeviceFailure, kGpu, when, 0, 1.0});
+  return plan;
+}
+
+TEST(Resilience, DynamicRunMigratesAroundDeviceFailure) {
+  Bench bench;
+  WorkStealingScheduler healthy;
+  const ExecutionReport before = bench.exec.execute(bench.program, healthy);
+  ASSERT_GT(before.devices[kGpu].instances, 0u);
+
+  // Kill the GPU a quarter of the way through the healthy makespan: it is
+  // mid-chunk, with more queued behind it.
+  bench.exec.set_fault_plan(failure_at(before.makespan / 4));
+  WorkStealingScheduler sched;
+  const ExecutionReport report = bench.exec.execute(bench.program, sched);
+
+  EXPECT_TRUE(report.faults.active);
+  EXPECT_TRUE(report.faults.run_completed);
+  EXPECT_EQ(report.faults.failed_devices, 1);
+  EXPECT_EQ(report.faults.abandoned_tasks, 0);
+  EXPECT_EQ(report.faults.unfinished_tasks, 0);
+  EXPECT_GT(report.faults.retries, 0);
+  EXPECT_GT(report.faults.migrated_tasks, 0);
+  // Work conservation: every chunk ran exactly once, nothing lost to the
+  // dead device and nothing double-counted by the displaced in-flight one.
+  EXPECT_EQ(report.tasks_executed, static_cast<std::size_t>(kChunks));
+  EXPECT_EQ(executed_items(report), kItems);
+  // Losing the fast device must cost time.
+  EXPECT_GT(report.makespan, before.makespan);
+}
+
+TEST(Resilience, PinnedRunReportsHonestIncompletionOnDeviceFailure) {
+  Bench bench;
+  // A static split that leans on the GPU: one big pinned GPU instance plus
+  // a small pinned CPU tail — the SP shape, which by design does NOT adapt.
+  Program pinned;
+  pinned.submit(0, 0, kItems - 1000, kGpu);
+  pinned.submit(0, kItems - 1000, kItems, hw::kCpuDevice);
+  pinned.taskwait();
+
+  // Fail the GPU halfway through its own busy period (its pinned instance
+  // starts near t=0 and runs for ~compute_time), so the instance is
+  // guaranteed to be in flight — the overall makespan is CPU-dominated and
+  // half of *it* could land after the GPU already finished.
+  const ExecutionReport before = bench.exec.execute_pinned(pinned);
+  bench.exec.set_fault_plan(
+      failure_at(before.devices[kGpu].compute_time / 2));
+  const ExecutionReport report = bench.exec.execute_pinned(pinned);
+
+  // The run terminates (no hang) and says exactly what it lost.
+  EXPECT_FALSE(report.faults.run_completed);
+  EXPECT_GT(report.faults.abandoned_tasks, 0);
+  EXPECT_GT(report.faults.unfinished_tasks, 0);
+  EXPECT_EQ(report.faults.migrated_tasks, 0);  // pinned work cannot move
+  EXPECT_LT(executed_items(report), kItems);
+}
+
+TEST(Resilience, DivergenceRepartitionsQueuedWork) {
+  Bench bench;
+  PerfAwareScheduler healthy;
+  const ExecutionReport before = bench.exec.execute(bench.program, healthy);
+
+  // A x6 slowdown from early on: completions on the GPU overshoot the cost
+  // model's prediction past the divergence threshold, so the executor
+  // drains its queue and re-offers those chunks to the scheduler.
+  faults::FaultPlan plan;
+  plan.name = "gpu-crawl";
+  plan.events.push_back({faults::FaultKind::kSlowdown, kGpu,
+                         before.makespan / 8, 2 * before.makespan, 6.0});
+  bench.exec.set_fault_plan(plan);
+  PerfAwareScheduler sched;
+  const ExecutionReport report = bench.exec.execute(bench.program, sched);
+
+  EXPECT_TRUE(report.faults.run_completed);
+  EXPECT_GT(report.faults.divergence_events, 0);
+  EXPECT_GT(report.faults.repartitioned_tasks, 0);
+  EXPECT_EQ(report.tasks_executed, static_cast<std::size_t>(kChunks));
+  EXPECT_EQ(executed_items(report), kItems);
+  EXPECT_GT(report.makespan, before.makespan);
+}
+
+TEST(Resilience, LinkDegradeStretchesTransfers) {
+  Bench bench;
+  WorkStealingScheduler healthy;
+  const ExecutionReport before = bench.exec.execute(bench.program, healthy);
+  ASSERT_GT(before.transfers.total_time(), 0);
+
+  faults::FaultPlan plan;
+  plan.name = "pcie-contention";
+  plan.events.push_back({faults::FaultKind::kLinkDegrade, kGpu, 0,
+                         4 * before.makespan, 8.0});
+  bench.exec.set_fault_plan(plan);
+  WorkStealingScheduler sched;
+  const ExecutionReport report = bench.exec.execute(bench.program, sched);
+
+  EXPECT_TRUE(report.faults.run_completed);
+  EXPECT_GT(report.transfers.total_time(), before.transfers.total_time());
+  EXPECT_EQ(executed_items(report), kItems);
+}
+
+TEST(Resilience, DisarmingThePlanRestoresTheBaseline) {
+  Bench bench;
+  WorkStealingScheduler s1;
+  const ExecutionReport before = bench.exec.execute(bench.program, s1);
+
+  // Aim the slowdown window at the GPU's own busy period: the makespan
+  // here is CPU-bound, so a window placed relative to it could open after
+  // the GPU already drained the pool and change nothing.
+  bench.exec.set_fault_plan(faults::make_named_plan(
+      "gpu-slowdown", before.devices[kGpu].compute_time));
+  WorkStealingScheduler s2;
+  const ExecutionReport faulted = bench.exec.execute(bench.program, s2);
+  EXPECT_TRUE(faulted.faults.active);
+  EXPECT_EQ(faulted.faults.injected_faults, 1);
+  EXPECT_GT(faulted.devices[kGpu].compute_time,
+            before.devices[kGpu].compute_time);
+  EXPECT_GE(faulted.makespan, before.makespan);
+
+  bench.exec.set_fault_plan(std::nullopt);
+  WorkStealingScheduler s3;
+  const ExecutionReport after = bench.exec.execute(bench.program, s3);
+  EXPECT_FALSE(after.faults.active);
+  EXPECT_EQ(report_to_json(after, bench.exec.kernels()),
+            report_to_json(before, bench.exec.kernels()));
+}
+
+TEST(Resilience, FaultedRunsAreByteDeterministic) {
+  Bench bench;
+  bench.exec.set_fault_plan(
+      faults::make_named_plan("storm", 5 * kMillisecond, /*seed=*/99));
+  WorkStealingScheduler s1;
+  const ExecutionReport a = bench.exec.execute(bench.program, s1);
+  WorkStealingScheduler s2;
+  const ExecutionReport b = bench.exec.execute(bench.program, s2);
+  EXPECT_EQ(report_to_json(a, bench.exec.kernels()),
+            report_to_json(b, bench.exec.kernels()));
+}
+
+TEST(Resilience, TraceAnnotatesFaultWindowsAndRecoveryActions) {
+  RuntimeOptions options;
+  options.record_trace = true;
+  Bench bench(options);
+  WorkStealingScheduler healthy;
+  const ExecutionReport before = bench.exec.execute(bench.program, healthy);
+
+  bench.exec.set_fault_plan(failure_at(before.makespan / 4));
+  WorkStealingScheduler sched;
+  const ExecutionReport report = bench.exec.execute(bench.program, sched);
+
+  std::size_t fault_rows = 0;
+  std::size_t recovery_rows = 0;
+  for (const sim::TraceEvent& event : report.trace.events()) {
+    if (event.kind == sim::TraceKind::kFault) ++fault_rows;
+    if (event.kind == sim::TraceKind::kRecovery) ++recovery_rows;
+  }
+  EXPECT_GT(fault_rows, 0u);
+  EXPECT_GT(recovery_rows, 0u);
+
+  const sim::TraceStats stats = sim::analyze_trace(report.trace);
+  EXPECT_GT(stats.total_fault, 0);
+  EXPECT_GT(stats.total_recovery, 0);
+  EXPECT_NE(sim::format_trace_stats(stats).find("faults:"),
+            std::string::npos);
+  // The Gantt legend and rows carry the fault glyphs.
+  EXPECT_NE(sim::render_gantt(report.trace).find('X'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsched::rt

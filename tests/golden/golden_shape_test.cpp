@@ -154,6 +154,44 @@ TEST_F(GoldenShapeTest, StrictRelationsAndBaselinesHold) {
   }
 }
 
+TEST_F(GoldenShapeTest, AdaptiveStrategiesDegradeLessUnderFaults) {
+  SweepOptions options;
+  options.use_cache = false;
+  options.parallel = false;
+  const SweepEngine engine(options);
+  for (const json::Value& c : expectations().at("fault_cases").as_array()) {
+    const std::string name = c.at("name").as_string();
+    Scenario base;
+    base.app = apps::paper_app_from_name(c.at("app").as_string());
+    base.sync = c.at("sync").as_bool();
+    base.small = c.at("small").as_bool();
+    base.fault_plan = c.at("plan").as_string();
+
+    Scenario adaptive = base;
+    adaptive.strategy =
+        analyzer::strategy_from_name(c.at("adaptive").as_string());
+    Scenario pinned = base;
+    pinned.strategy =
+        analyzer::strategy_from_name(c.at("static").as_string());
+
+    const ScenarioOutcome fast = engine.compute(adaptive);
+    const ScenarioOutcome slow = engine.compute(pinned);
+    ASSERT_TRUE(fast.ok()) << name << ": " << fast.error;
+    ASSERT_TRUE(slow.ok()) << name << ": " << slow.error;
+    EXPECT_TRUE(fast.metrics.run_completed) << name;
+    EXPECT_TRUE(slow.metrics.run_completed) << name;
+    // The static split is stuck with its pre-fault plan and pays for the
+    // perturbation; the dynamic strategy keeps its exposure strictly
+    // smaller (by rebalancing, or by having packed the accelerator phase
+    // tightly enough that the window finds less work to hurt).
+    EXPECT_GT(slow.metrics.degradation_ratio, 1.0) << name;
+    EXPECT_LT(fast.metrics.degradation_ratio,
+              slow.metrics.degradation_ratio)
+        << name << ": adaptive " << fast.metrics.degradation_ratio
+        << " vs static " << slow.metrics.degradation_ratio;
+  }
+}
+
 TEST_F(GoldenShapeTest, ExpectationFileCoversAllSixApps) {
   // Guards against silently dropping a case from the golden file.
   std::map<std::string, int> per_app;

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "faults/fault_plan.hpp"
+#include "hw/platform.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/schedulers/perf_aware.hpp"
+#include "runtime/schedulers/work_stealing.hpp"
+#include "tests/runtime/test_kernels.hpp"
+
+/// Work-conservation under perturbed device speeds: whatever a FaultPlan
+/// does to throughput, the dynamic schedulers must execute every chunk
+/// exactly once — no chunk lost in a drained queue, none double-run by a
+/// stale completion — and stay deterministic.
+namespace hetsched::rt {
+namespace {
+
+using testing::kItemBytes;
+using testing::make_map_kernel;
+
+constexpr hw::DeviceId kGpu = 1;
+constexpr std::int64_t kItems = 9000;
+constexpr int kChunks = 18;
+
+class PerturbedFixture {
+ public:
+  PerturbedFixture() : exec_(hw::make_reference_platform()) {
+    const auto a = exec_.register_buffer("a", kItems * kItemBytes);
+    const auto b = exec_.register_buffer("b", kItems * kItemBytes);
+    KernelDef def = make_map_kernel("work", a, b);
+    def.traits.flops_per_item = 20000.0;
+    exec_.register_kernel(std::move(def));
+    program_.submit_chunked(0, 0, kItems, kChunks);
+    program_.taskwait();
+  }
+
+  ExecutionReport run(Scheduler& scheduler,
+                      std::optional<faults::FaultPlan> plan) {
+    exec_.set_fault_plan(std::move(plan));
+    return exec_.execute(program_, scheduler);
+  }
+
+ private:
+  Executor exec_;
+  Program program_;
+};
+
+void expect_conserved(const ExecutionReport& report) {
+  EXPECT_TRUE(report.faults.run_completed);
+  EXPECT_EQ(report.tasks_executed, static_cast<std::size_t>(kChunks));
+  std::int64_t items = 0;
+  for (const DeviceReport& device : report.devices) {
+    for (const auto& [kernel, count] : device.items_per_kernel) {
+      EXPECT_EQ(kernel, 0u);
+      EXPECT_GE(count, 0);
+      items += count;
+    }
+  }
+  EXPECT_EQ(items, kItems);
+}
+
+std::vector<faults::FaultPlan> perturbation_plans() {
+  const SimTime horizon = 2 * kMillisecond;
+  std::vector<faults::FaultPlan> plans;
+  plans.push_back(faults::make_named_plan("gpu-slowdown", horizon));
+  plans.push_back(faults::make_named_plan("gpu-stall", horizon));
+  plans.push_back(faults::make_named_plan("link-degrade", horizon));
+  for (std::uint64_t seed : {1ull, 2ull, 3ull})
+    plans.push_back(faults::make_named_plan("storm", horizon, seed));
+  return plans;
+}
+
+TEST(PerturbedSchedulers, WorkStealingConservesWorkUnderEveryPlan) {
+  for (const faults::FaultPlan& plan : perturbation_plans()) {
+    PerturbedFixture fixture;
+    WorkStealingScheduler scheduler;
+    const ExecutionReport report = fixture.run(scheduler, plan);
+    SCOPED_TRACE("plan " + plan.canonical_key());
+    expect_conserved(report);
+  }
+}
+
+TEST(PerturbedSchedulers, PerfAwareConservesWorkUnderEveryPlan) {
+  for (const faults::FaultPlan& plan : perturbation_plans()) {
+    PerturbedFixture fixture;
+    PerfAwareScheduler scheduler;
+    const ExecutionReport report = fixture.run(scheduler, plan);
+    SCOPED_TRACE("plan " + plan.canonical_key());
+    expect_conserved(report);
+  }
+}
+
+TEST(PerturbedSchedulers, SlowdownsOnlyEverCostTime) {
+  PerturbedFixture fixture;
+  WorkStealingScheduler healthy;
+  const ExecutionReport baseline = fixture.run(healthy, std::nullopt);
+
+  faults::FaultPlan mild;
+  mild.events.push_back({faults::FaultKind::kSlowdown, kGpu, 0,
+                         4 * baseline.makespan, 2.0});
+  faults::FaultPlan harsh = mild;
+  harsh.events[0].magnitude = 8.0;
+
+  WorkStealingScheduler s1;
+  const ExecutionReport mild_report = fixture.run(s1, mild);
+  WorkStealingScheduler s2;
+  const ExecutionReport harsh_report = fixture.run(s2, harsh);
+
+  expect_conserved(mild_report);
+  expect_conserved(harsh_report);
+  EXPECT_GE(mild_report.makespan, baseline.makespan);
+  EXPECT_GE(harsh_report.makespan, mild_report.makespan);
+}
+
+TEST(PerturbedSchedulers, PerturbedRunsAreDeterministic) {
+  const faults::FaultPlan plan =
+      faults::make_named_plan("storm", 2 * kMillisecond, /*seed=*/5);
+  PerturbedFixture fixture;
+  PerfAwareScheduler s1;
+  const ExecutionReport a = fixture.run(s1, plan);
+  PerfAwareScheduler s2;
+  const ExecutionReport b = fixture.run(s2, plan);
+  EXPECT_EQ(a.makespan, b.makespan);
+  for (std::size_t d = 0; d < a.devices.size(); ++d) {
+    EXPECT_EQ(a.devices[d].instances, b.devices[d].instances);
+    EXPECT_EQ(a.devices[d].items_per_kernel, b.devices[d].items_per_kernel);
+  }
+}
+
+}  // namespace
+}  // namespace hetsched::rt

@@ -91,6 +91,31 @@ TEST(Engine, RejectsSchedulingInThePast) {
   EXPECT_THROW(engine.schedule_at(5, [] {}), InvalidArgument);
 }
 
+// The stronger form of the past-scheduling guard: a callback running at
+// t=20 must not be able to schedule before 20 — silently firing such an
+// event late would let a fault-recovery path corrupt causality. The other
+// events around the throwing callback must still fire normally.
+TEST(Engine, RejectsSchedulingInThePastFromMidRunCallback) {
+  Engine engine;
+  int fired = 0;
+  bool threw = false;
+  engine.schedule_at(10, [&] { ++fired; });
+  engine.schedule_at(20, [&] {
+    ++fired;
+    try {
+      engine.schedule_at(15, [&] { ++fired; });
+    } catch (const InvalidArgument&) {
+      threw = true;
+    }
+    engine.schedule_at(20, [&] { ++fired; });  // "now" itself is fine
+  });
+  engine.schedule_at(30, [&] { ++fired; });
+  engine.run();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(engine.now(), 30);
+}
+
 TEST(Engine, RejectsNegativeDelayAndNullCallback) {
   Engine engine;
   EXPECT_THROW(engine.schedule_in(-1, [] {}), InvalidArgument);

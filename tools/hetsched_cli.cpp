@@ -17,6 +17,13 @@
 ///                        [--small] [--serial] [--jobs N] [--no-cache]
 ///                        [--cache-dir <dir>] [--json <file>] [--csv]
 ///                        # batch scenario sweep with result caching
+///   hetsched_cli faults  [--plan <name>] [--seed <n>] [--app a|--apps a,b]
+///                        [--strategies s1,s2] [--platform <p>] [--sync]
+///                        [--small] [--tasks <m>] [--serial] [--jobs N]
+///                        [--no-cache] [--cache-dir <dir>] [--json <file>]
+///                        [--csv]   # degradation study under a FaultPlan
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -33,6 +40,7 @@
 #include "apps/unstable_loop.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "faults/fault_plan.hpp"
 #include "hw/platform.hpp"
 #include "sim/gantt.hpp"
 #include "sim/trace_stats.hpp"
@@ -416,6 +424,109 @@ int cmd_sweep(const Args& args) {
   return run.summary.failed == 0 ? 0 : 1;
 }
 
+int cmd_faults(const Args& args) {
+  // Degradation study: run an app x strategy matrix under ONE named
+  // FaultPlan and report each strategy's slowdown against its own
+  // fault-free baseline. This is where the resilience contrast shows up:
+  // DP strategies migrate / re-partition around the perturbation while SP
+  // strategies honestly eat it (or DNF on a device failure).
+  const std::string plan_name = args.get("plan", "gpu-slowdown");
+  const std::vector<std::string> known_plans = faults::named_fault_plans();
+  if (std::find(known_plans.begin(), known_plans.end(), plan_name) ==
+      known_plans.end()) {
+    throw InvalidArgument("unknown fault plan '" + plan_name + "' (" +
+                          join(known_plans, ", ") + ")");
+  }
+  const std::uint64_t seed =
+      args.flag("seed") ? std::stoull(args.get("seed")) : 0;
+
+  // --apps takes a list; --app (the single-app spelling every other verb
+  // uses) works too.
+  std::vector<apps::PaperApp> fault_apps;
+  const std::string app_list =
+      args.flag("apps") ? args.get("apps") : args.get("app");
+  if (!app_list.empty()) {
+    for (const std::string& name : split_list(app_list))
+      fault_apps.push_back(apps::paper_app_from_name(name));
+  } else {
+    fault_apps = apps::all_paper_apps();
+  }
+  std::vector<analyzer::StrategyKind> fault_strategies;
+  if (args.flag("strategies")) {
+    for (const std::string& name : split_list(args.get("strategies")))
+      fault_strategies.push_back(analyzer::strategy_from_name(name));
+  } else {
+    fault_strategies = analyzer::paper_strategies();
+  }
+
+  std::vector<sweep::Scenario> scenarios = sweep::enumerate_matrix(
+      fault_apps, fault_strategies, {args.get("platform", "reference")},
+      {args.flag("sync")}, args.flag("small"));
+  for (sweep::Scenario& scenario : scenarios) {
+    scenario.fault_plan = plan_name;
+    scenario.fault_seed = seed;
+    if (args.flag("tasks")) scenario.task_count = std::stoi(args.get("tasks"));
+  }
+
+  sweep::SweepOptions options;
+  options.parallel = !args.flag("serial");
+  if (args.flag("jobs"))
+    options.jobs = static_cast<unsigned>(std::stoul(args.get("jobs")));
+  options.use_cache = !args.flag("no-cache");
+  options.cache_dir = args.get("cache-dir", ".hs-sweep-cache");
+
+  const sweep::SweepEngine engine(options);
+  const sweep::SweepRun run = engine.run(scenarios);
+
+  if (args.flag("json") && args.get("json").empty()) {
+    std::cout << sweep::sweep_to_json(run) << "\n";
+    return run.summary.failed == 0 ? 0 : 1;
+  }
+
+  std::cout << "fault plan: " << plan_name;
+  if (seed != 0) std::cout << " (seed " << seed << ")";
+  std::cout << " — degradation = faulted time / fault-free time; DNF = run "
+               "did not complete\n\n";
+
+  Table table({"scenario", "status", "baseline (ms)", "faulted (ms)",
+               "degradation", "retries", "migrated", "repart.", "abandoned"});
+  for (const sweep::ScenarioOutcome& outcome : run.outcomes) {
+    const sweep::ScenarioMetrics& metrics = outcome.metrics;
+    std::string degradation = "-";
+    if (outcome.ok()) {
+      degradation = metrics.run_completed
+                        ? format_fixed(metrics.degradation_ratio, 2) + "x"
+                        : "DNF";
+    }
+    table.add_row(
+        {outcome.scenario.label(),
+         sweep::scenario_status_name(outcome.status),
+         outcome.ok() ? format_fixed(metrics.baseline_time_ms, 2) : "-",
+         outcome.ok() ? format_fixed(metrics.time_ms, 2) : "-", degradation,
+         outcome.ok() ? std::to_string(metrics.fault_retries) : "-",
+         outcome.ok() ? std::to_string(metrics.migrated_tasks) : "-",
+         outcome.ok() ? std::to_string(metrics.repartitioned_tasks) : "-",
+         outcome.ok() ? std::to_string(metrics.abandoned_tasks) : "-"});
+  }
+  table.print(std::cout, args.flag("csv"));
+
+  const sweep::SweepSummary& summary = run.summary;
+  std::cout << "\nfaults: " << summary.scenarios << " scenario(s) in "
+            << format_fixed(summary.wall_ms, 1) << " ms — " << summary.ok
+            << " ok, " << summary.inapplicable << " inapplicable, "
+            << summary.failed << " failed; " << summary.cache_hits
+            << " cache hit(s), " << summary.computed << " computed\n";
+
+  if (args.flag("json")) {
+    std::ofstream file(args.get("json"));
+    HS_REQUIRE(file.good(),
+               "cannot open '" << args.get("json") << "' for writing");
+    file << sweep::sweep_to_json(run) << "\n";
+    std::cout << "wrote JSON to " << args.get("json") << "\n";
+  }
+  return run.summary.failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -430,8 +541,9 @@ int main(int argc, char** argv) {
     if (args.command == "analyze") return cmd_analyze(args);
     if (args.command == "tune") return cmd_tune(args);
     if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "faults") return cmd_faults(args);
     std::cerr << "usage: hetsched_cli "
-                 "<list|match|run|compare|trace|analyze|tune|sweep> "
+                 "<list|match|run|compare|trace|analyze|tune|sweep|faults> "
                  "[--app <name>] [--strategy <s>] [--platform <p>] "
                  "[--sync] [--tasks <m>] [--small] [--csv] [--out <file>]\n";
     return args.command.empty() ? 0 : 2;
