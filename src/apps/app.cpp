@@ -19,6 +19,7 @@ Application::Application(const hw::PlatformSpec& platform, Config config,
   rt::RuntimeOptions options;
   options.functional_execution = config_.functional;
   options.record_trace = config_.record_trace;
+  options.record_observability = config_.record_observability;
   executor_ =
       std::make_unique<rt::Executor>(platform, config_.costs, options);
 }

@@ -35,6 +35,9 @@ class Application {
     rt::RuntimeCosts costs;
     /// Record a full execution timeline into every report (chrome trace).
     bool record_trace = false;
+    /// Record metrics, chunk-lifecycle spans, and the placement audit log
+    /// into every report (rt::ExecutionReport::obs).
+    bool record_observability = false;
   };
 
   virtual ~Application() = default;

@@ -65,6 +65,15 @@ class Ema {
   double value() const { return value_; }
   std::size_t count() const { return count_; }
 
+  /// Discards all history but keeps alpha. Used by probe-and-forgive: after
+  /// a transient perturbation ends, the poisoned average is dropped and the
+  /// next observation re-seeds the estimate outright.
+  void reset() {
+    value_ = 0.0;
+    has_value_ = false;
+    count_ = 0;
+  }
+
  private:
   double alpha_;
   double value_ = 0.0;

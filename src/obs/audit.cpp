@@ -1,0 +1,28 @@
+#include "obs/audit.hpp"
+
+namespace hetsched::obs {
+
+json::Value AuditLog::to_json() const {
+  json::Value root{json::Value::Array{}};
+  for (const PlacementRecord& record : records_) {
+    json::Value r{json::Value::Object{}};
+    r.set("task", json::Value(static_cast<double>(record.task)));
+    r.set("kernel", json::Value(record.kernel));
+    r.set("device", json::Value(record.device));
+    r.set("reason", json::Value(record.reason));
+    r.set("time_ms", json::Value(to_millis(record.time)));
+    json::Value estimates{json::Value::Array{}};
+    for (const PlacementEstimate& est : record.estimates) {
+      json::Value e{json::Value::Object{}};
+      e.set("device", json::Value(est.device));
+      e.set("finish_ms", json::Value(est.finish_ms));
+      e.set("rate_items_per_s", json::Value(est.rate_items_per_s));
+      estimates.push_back(std::move(e));
+    }
+    r.set("estimates", std::move(estimates));
+    root.push_back(std::move(r));
+  }
+  return root;
+}
+
+}  // namespace hetsched::obs

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/time.hpp"
+
+/// Decision audit log: every scheduler placement records the per-device
+/// estimates it compared and why the winner won, so "why did chunk 17 land
+/// on the CPU" is answerable from the export instead of from a debugger.
+/// The matchmaker's ranking audit lives in strategies::DecisionExplanation;
+/// this log covers the dynamic per-chunk decisions.
+namespace hetsched::obs {
+
+/// One candidate the scheduler considered for a placement.
+struct PlacementEstimate {
+  std::string device;
+  double finish_ms = -1.0;        ///< predicted finish time, <0 = unknown
+  double rate_items_per_s = 0.0;  ///< EMA rate backing the prediction, 0 = none
+};
+
+struct PlacementRecord {
+  std::uint64_t task = 0;
+  std::string kernel;
+  std::string device;  ///< the winner
+  /// "earliest-finish" | "explore" | "locality" | "probe"
+  std::string reason;
+  SimTime time = 0;
+  std::vector<PlacementEstimate> estimates;
+};
+
+class AuditLog {
+ public:
+  void enable(bool on = true) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void add(PlacementRecord record) {
+    if (enabled_) records_.push_back(std::move(record));
+  }
+
+  const std::vector<PlacementRecord>& placements() const { return records_; }
+
+  json::Value to_json() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<PlacementRecord> records_;
+};
+
+}  // namespace hetsched::obs

@@ -1,0 +1,33 @@
+#include "obs/observability.hpp"
+
+#include <sstream>
+
+#include "sim/trace.hpp"
+
+namespace hetsched::obs {
+
+json::Value RunObservability::to_json() const {
+  json::Value root{json::Value::Object{}};
+  root.set("metrics", metrics.to_json());
+  root.set("spans", spans.to_json());
+  root.set("placements", audit.to_json());
+  return root;
+}
+
+std::string chrome_trace_with_counters(const sim::TraceRecorder& trace,
+                                       const MetricsRegistry& metrics) {
+  std::vector<std::string> extra;
+  for (const auto& [key, track] : metrics.tracks()) {
+    for (const auto& sample : track.series()) {
+      std::ostringstream os;
+      os << "{\"name\":\"" << json::escape(key)
+         << "\",\"ph\":\"C\",\"ts\":" << to_micros(sample.time)
+         << ",\"pid\":1,\"args\":{\"value\":"
+         << json::format_double(sample.value) << "}}";
+      extra.push_back(os.str());
+    }
+  }
+  return trace.to_chrome_json(extra);
+}
+
+}  // namespace hetsched::obs

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace hetsched::sim {
+class TraceRecorder;
+}  // namespace hetsched::sim
+
+namespace hetsched::obs {
+
+/// Everything observed about one run: the metrics registry, the chunk span
+/// log, and the placement audit. Owned by the ExecutionReport (shared_ptr,
+/// so it survives report moves) and created only when
+/// RuntimeOptions::record_observability is set — otherwise the runtime
+/// carries a null pointer and pays one branch per instrumentation site.
+struct RunObservability {
+  MetricsRegistry metrics;
+  SpanLog spans;
+  AuditLog audit;
+
+  void enable() {
+    metrics.enable();
+    spans.enable();
+    audit.enable();
+  }
+  bool enabled() const { return metrics.enabled(); }
+
+  /// Byte-stable combined export: {"metrics":…,"spans":…,"placements":…}.
+  json::Value to_json() const;
+};
+
+/// Renders the chrome-trace JSON with one Perfetto counter track ("ph":"C")
+/// merged in per registry counter track, so queue depth / EMA / in-flight
+/// transfer curves appear alongside the Gantt lanes in the trace viewer.
+std::string chrome_trace_with_counters(const sim::TraceRecorder& trace,
+                                       const MetricsRegistry& metrics);
+
+}  // namespace hetsched::obs

@@ -1,0 +1,72 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+namespace hetsched::obs {
+
+const char* span_phase_name(SpanPhase phase) {
+  switch (phase) {
+    case SpanPhase::kAnnounce: return "announce";
+    case SpanPhase::kSchedule: return "schedule";
+    case SpanPhase::kH2D: return "h2d";
+    case SpanPhase::kCompute: return "compute";
+    case SpanPhase::kD2H: return "d2h";
+    case SpanPhase::kComplete: return "complete";
+    case SpanPhase::kRetry: return "retry";
+    case SpanPhase::kMigrate: return "migrate";
+    case SpanPhase::kAbandon: return "abandon";
+  }
+  return "?";
+}
+
+std::uint64_t SpanLog::record(std::uint64_t task, int attempt, SpanPhase phase,
+                              SimTime start, SimTime end, std::string detail) {
+  if (!enabled_) return 0;
+  ChunkSpan span;
+  span.id = spans_.size() + 1;
+  span.task = task;
+  span.attempt = attempt;
+  span.phase = phase;
+  span.start = start;
+  span.end = end;
+  span.detail = std::move(detail);
+  auto it = last_span_.find(task);
+  span.parent = it == last_span_.end() ? 0 : it->second;
+  last_span_[task] = span.id;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+std::vector<const ChunkSpan*> SpanLog::chain(std::uint64_t task) const {
+  std::vector<const ChunkSpan*> out;
+  for (const ChunkSpan& span : spans_) {
+    if (span.task == task) out.push_back(&span);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> SpanLog::tasks() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(last_span_.size());
+  for (const auto& [task, _] : last_span_) out.push_back(task);
+  return out;
+}
+
+json::Value SpanLog::to_json() const {
+  json::Value root = json::Value(json::Value::Array{});
+  for (const ChunkSpan& span : spans_) {
+    json::Value s = json::Value(json::Value::Object{});
+    s.set("id", json::Value(static_cast<double>(span.id)));
+    s.set("task", json::Value(static_cast<double>(span.task)));
+    s.set("attempt", json::Value(static_cast<double>(span.attempt)));
+    s.set("phase", json::Value(span_phase_name(span.phase)));
+    s.set("start", json::Value(static_cast<double>(span.start)));
+    s.set("end", json::Value(static_cast<double>(span.end)));
+    s.set("detail", json::Value(span.detail));
+    s.set("parent", json::Value(static_cast<double>(span.parent)));
+    root.push_back(std::move(s));
+  }
+  return root;
+}
+
+}  // namespace hetsched::obs

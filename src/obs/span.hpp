@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/time.hpp"
+
+/// Causal chunk-lifecycle spans, layered over the flat TraceRecorder.
+///
+/// Each chunk's life is a chain `announce → schedule → h2d → compute → d2h →
+/// complete`; faults splice extra links in (`retry`, `migrate`, then a fresh
+/// `announce`), and the chain ends in `complete` or `abandon`. Parent links
+/// are assigned automatically: a new span's parent is the chunk's previous
+/// span, so the chain survives retries, migrations, and re-partitions and a
+/// faulted chunk's full odyssey is one queryable trail.
+namespace hetsched::obs {
+
+enum class SpanPhase {
+  kAnnounce,
+  kSchedule,
+  kH2D,
+  kCompute,
+  kD2H,
+  kComplete,
+  kRetry,
+  kMigrate,
+  kAbandon,
+};
+
+const char* span_phase_name(SpanPhase phase);
+
+struct ChunkSpan {
+  std::uint64_t id = 0;       ///< 1-based; 0 is "no span"
+  std::uint64_t task = 0;     ///< chunk (task graph node) this belongs to
+  int attempt = 0;            ///< retry count at record time
+  SpanPhase phase = SpanPhase::kAnnounce;
+  SimTime start = 0;
+  SimTime end = 0;
+  std::string detail;         ///< device/lane name or human note
+  std::uint64_t parent = 0;   ///< previous span of the same chunk, 0 = root
+};
+
+class SpanLog {
+ public:
+  void enable(bool on = true) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Appends a span and links it to the chunk's previous span. Returns the
+  /// new span id (0 while disabled).
+  std::uint64_t record(std::uint64_t task, int attempt, SpanPhase phase,
+                       SimTime start, SimTime end, std::string detail = {});
+
+  const std::vector<ChunkSpan>& spans() const { return spans_; }
+
+  /// All spans of one chunk, in causal (recording) order.
+  std::vector<const ChunkSpan*> chain(std::uint64_t task) const;
+
+  /// Distinct chunk ids present in the log, ascending.
+  std::vector<std::uint64_t> tasks() const;
+
+  json::Value to_json() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<ChunkSpan> spans_;
+  std::map<std::uint64_t, std::uint64_t> last_span_;  // task -> last span id
+};
+
+}  // namespace hetsched::obs

@@ -1,0 +1,103 @@
+#include "obs/validate.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/trace.hpp"
+
+namespace hetsched::obs {
+namespace {
+
+std::string task_tag(std::uint64_t task) {
+  return "chunk " + std::to_string(task);
+}
+
+}  // namespace
+
+void append_span_violations(const SpanLog& spans,
+                            std::vector<std::string>& problems) {
+  for (std::uint64_t task : spans.tasks()) {
+    const auto chain = spans.chain(task);
+    if (chain.empty()) continue;
+    if (chain.front()->phase != SpanPhase::kAnnounce) {
+      problems.push_back(task_tag(task) + ": chain opens with '" +
+                         span_phase_name(chain.front()->phase) +
+                         "', expected 'announce'");
+    }
+    const SpanPhase last = chain.back()->phase;
+    if (last != SpanPhase::kComplete && last != SpanPhase::kAbandon) {
+      problems.push_back(task_tag(task) + ": chain is not closed (ends in '" +
+                         span_phase_name(last) + "')");
+    }
+    std::uint64_t expected_parent = 0;
+    SimTime prev_start = 0;
+    for (const ChunkSpan* span : chain) {
+      if (span->start < 0 || span->end < span->start) {
+        problems.push_back(task_tag(task) + ": span '" +
+                           span_phase_name(span->phase) +
+                           "' has an invalid time range");
+      }
+      if (span->parent != expected_parent) {
+        problems.push_back(task_tag(task) + ": span '" +
+                           span_phase_name(span->phase) +
+                           "' has a broken parent link");
+      }
+      // Recovery phases interrupt a dispatch whose compute span was already
+      // recorded with a future start, so they may begin before their parent.
+      const bool recovery = span->phase == SpanPhase::kRetry ||
+                            span->phase == SpanPhase::kMigrate ||
+                            span->phase == SpanPhase::kAbandon;
+      if (!recovery && span->start < prev_start) {
+        problems.push_back(task_tag(task) + ": span '" +
+                           span_phase_name(span->phase) +
+                           "' starts before its parent");
+      }
+      prev_start = recovery ? span->start : std::max(prev_start, span->start);
+      expected_parent = span->id;
+    }
+  }
+}
+
+std::vector<std::string> validate_trace(const sim::TraceRecorder& trace,
+                                        SimTime makespan,
+                                        const SpanLog* spans) {
+  std::vector<std::string> problems;
+
+  std::map<std::string, std::vector<const sim::TraceEvent*>> compute_by_lane;
+  for (const sim::TraceEvent& event : trace.events()) {
+    if (event.start < 0 || event.end < event.start) {
+      problems.push_back("event '" + event.label + "' on lane '" + event.lane +
+                         "' has an invalid time range");
+      continue;
+    }
+    if (event.kind == sim::TraceKind::kCompute) {
+      compute_by_lane[event.lane].push_back(&event);
+    }
+    if ((event.kind == sim::TraceKind::kFault ||
+         event.kind == sim::TraceKind::kRecovery) &&
+        makespan > 0 && event.start > makespan) {
+      problems.push_back(std::string(sim::trace_kind_name(event.kind)) +
+                         " event '" + event.label +
+                         "' begins after the run window ends");
+    }
+  }
+
+  for (auto& [lane, events] : compute_by_lane) {
+    std::stable_sort(events.begin(), events.end(),
+                     [](const sim::TraceEvent* a, const sim::TraceEvent* b) {
+                       return a->start < b->start;
+                     });
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      if (events[i]->start < events[i - 1]->end) {
+        problems.push_back("lane '" + lane + "': compute events '" +
+                           events[i - 1]->label + "' and '" +
+                           events[i]->label + "' overlap");
+      }
+    }
+  }
+
+  if (spans != nullptr) append_span_violations(*spans, problems);
+  return problems;
+}
+
+}  // namespace hetsched::obs

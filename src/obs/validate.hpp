@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "obs/span.hpp"
+
+namespace hetsched::sim {
+class TraceRecorder;
+}  // namespace hetsched::sim
+
+namespace hetsched::obs {
+
+/// Lints a finished run's trace (and optionally its span log) for physical
+/// impossibilities and broken causality. Returns one message per violation;
+/// empty means clean. Checks:
+///   - every event has start >= 0 and end >= start
+///   - no two kCompute events overlap on the same lane (a lane is one
+///     execution resource; overlap means the simulator double-booked it)
+///   - kFault / kRecovery events begin inside the run window [0, makespan]
+///   - span chains (when given): each chunk's chain opens with `announce`,
+///     closes with `complete` or `abandon`, has valid parent links, and
+///     span start times never go backwards along the chain
+void append_span_violations(const SpanLog& spans,
+                            std::vector<std::string>& problems);
+
+std::vector<std::string> validate_trace(const sim::TraceRecorder& trace,
+                                        SimTime makespan,
+                                        const SpanLog* spans = nullptr);
+
+}  // namespace hetsched::obs

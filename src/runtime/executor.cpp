@@ -5,6 +5,7 @@
 #include <deque>
 #include <map>
 #include <set>
+#include <string_view>
 
 #include "common/json.hpp"
 #include "common/logging.hpp"
@@ -97,9 +98,24 @@ class Run {
     running_.resize(devices_.size());
     for (std::size_t d = 0; d < devices_.size(); ++d)
       running_[d].assign(device_states_[d].lanes.size(), std::nullopt);
+
+    if (options_.record_observability) {
+      report_.obs = std::make_shared<obs::RunObservability>();
+      report_.obs->enable();
+      obs_ = report_.obs.get();
+      queue_key_.reserve(devices_.size());
+      compute_hist_key_.reserve(devices_.size());
+      for (const hw::DeviceSpec& device : devices_) {
+        queue_key_.push_back(
+            obs::metric_key("queue_depth", {{"device", device.name}}));
+        compute_hist_key_.push_back(
+            obs::metric_key("chunk_compute_ms", {{"device", device.name}}));
+      }
+    }
   }
 
   ExecutionReport execute() {
+    scheduler_.set_observability(obs_);
     scheduler_.begin_run(platform_, kernels_);
     if (injector_) {
       for (hw::DeviceId d = 0; d < devices_.size(); ++d) {
@@ -136,6 +152,27 @@ class Run {
     coherence_.check_no_byte_orphaned();
     report_.makespan = last_completion_;
     if (injector_) record_injected_faults();
+    if (obs_) {
+      obs_->metrics.gauge_set("makespan_ms", to_millis(report_.makespan));
+      obs_->metrics.gauge_set("overhead_ms", to_millis(report_.overhead_time));
+      // Fold each device's queue-depth curve into a time-weighted
+      // distribution: "how deep was the backlog, for how long".
+      for (hw::DeviceId d = 0; d < devices_.size(); ++d) {
+        const obs::CounterTrack* track =
+            obs_->metrics.find_track(queue_key_[d]);
+        if (track == nullptr) continue;
+        obs_->metrics.histogram_bounds(
+            obs::metric_key("queue_depth_time_ms",
+                            {{"device", devices_[d].name}}),
+            {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+        obs::observe_time_weighted(
+            obs_->metrics,
+            obs::metric_key("queue_depth_time_ms",
+                            {{"device", devices_[d].name}}),
+            track->series(), report_.makespan);
+      }
+    }
+    scheduler_.set_observability(nullptr);
     return std::move(report_);
   }
 
@@ -145,6 +182,25 @@ class Run {
   }
 
   mem::SpaceId space_of(hw::DeviceId device) const { return device; }
+
+  // Observability helpers: one branch each when recording is off.
+  void obs_count(std::string_view key, std::int64_t delta = 1) {
+    if (obs_) obs_->metrics.counter_add(key, delta);
+  }
+  void obs_track(std::string_view key, SimTime time, double delta) {
+    if (obs_) obs_->metrics.track_add(key, time, delta);
+  }
+  void obs_span(TaskId id, obs::SpanPhase phase, SimTime start, SimTime end,
+                std::string detail = {}) {
+    if (obs_)
+      obs_->spans.record(id, retry_count_[id], phase, start, end,
+                         std::move(detail));
+  }
+  std::string_view queue_key_d(hw::DeviceId d) const {
+    // Empty (and unused by the guarded sinks) when recording is off.
+    return queue_key_.empty() ? std::string_view{}
+                              : std::string_view(queue_key_[d]);
+  }
 
   /// A task just became unblocked at `now`; enters scheduling once both its
   /// dependencies and its host-side creation have happened.
@@ -179,6 +235,8 @@ class Run {
     // the pool (the breadth-first scheduler never steals bound work).
     if (st.locality && failed_[*st.locality]) st.locality.reset();
     sched_info_[id] = st;
+    obs_span(id, obs::SpanPhase::kAnnounce, now, now, kernel.name);
+    obs_count("chunks_announced");
 
     if (node.pinned_device) {
       const hw::DeviceId d = *node.pinned_device;
@@ -193,6 +251,9 @@ class Run {
         return;
       }
       device_states_[d].queue.push_back(id);
+      obs_span(id, obs::SpanPhase::kSchedule, now, now,
+               devices_[d].name + " (pinned)");
+      obs_track(queue_key_d(d), now, 1);
     } else if (!runnable_somewhere(st)) {
       abandon(id, now, "no surviving device runs it");
       return;
@@ -206,8 +267,12 @@ class Run {
       HS_REQUIRE(!failed_[*chosen],
                  "scheduler placed work on failed device " << *chosen);
       device_states_[d_checked(*chosen)].queue.push_back(id);
+      obs_span(id, obs::SpanPhase::kSchedule, now, now,
+               devices_[*chosen].name);
+      obs_track(queue_key_d(*chosen), now, 1);
     } else {
       pool_.push_back(st);
+      obs_track("pool_depth", now, 1);
     }
     pump(now);
   }
@@ -220,6 +285,8 @@ class Run {
 
   void abandon(TaskId id, SimTime now, const std::string& why) {
     ++report_.faults.abandoned_tasks;
+    obs_span(id, obs::SpanPhase::kAbandon, now, now, why);
+    obs_count("chunks_abandoned");
     if (options_.record_trace)
       report_.trace.record("faults",
                            "abandon task " + std::to_string(id) + ": " + why,
@@ -246,9 +313,11 @@ class Run {
           if (state.lanes[lane].available_at() > now) continue;
           std::optional<TaskId> task;
           bool via_scheduler = false;
+          bool from_pool = false;
           if (!state.queue.empty()) {
             task = state.queue.front();
             state.queue.pop_front();
+            obs_track(queue_key_d(d), now, -1);
             via_scheduler = !graph_.node(*task).pinned_device.has_value();
           } else if (!pool_.empty()) {
             if (auto index = scheduler_.pick(d, pool_, now)) {
@@ -259,11 +328,13 @@ class Run {
               task = pool_[*index].id;
               pool_.erase(pool_.begin() +
                           static_cast<std::ptrdiff_t>(*index));
+              obs_track("pool_depth", now, -1);
               via_scheduler = true;
+              from_pool = true;
             }
           }
           if (!task) break;  // nothing runnable for this device
-          dispatch(*task, d, lane, via_scheduler, now);
+          dispatch(*task, d, lane, via_scheduler, from_pool, now);
           progress = true;
         }
       }
@@ -271,7 +342,7 @@ class Run {
   }
 
   void dispatch(TaskId id, hw::DeviceId d, std::size_t lane_index,
-                bool via_scheduler, SimTime now) {
+                bool via_scheduler, bool from_pool, SimTime now) {
     const TaskNode& node = graph_.node(id);
     const KernelDef& kernel = kernels_[node.kernel];
     const hw::DeviceSpec& device = devices_[d];
@@ -283,6 +354,11 @@ class Run {
       ++report_.scheduling_decisions;
     }
     report_.overhead_time += overhead;
+    // Pool tasks are placed right here (pull-style); queued tasks already
+    // got their schedule span at announce time.
+    if (from_pool)
+      obs_span(id, obs::SpanPhase::kSchedule, now, now + overhead,
+               devices_[d].name);
 
     // Capacity: make room for this task's working set before staging it.
     SimTime evict_done = now + overhead;
@@ -307,12 +383,23 @@ class Run {
           std::max(data_ready, region_ready_time(access.region, space_of(d)));
     }
 
+    if (data_ready > evict_done)
+      obs_span(id, obs::SpanPhase::kH2D, evict_done, data_ready,
+               "stage inputs on " + devices_[d].name);
+
     const SimTime nominal = cost_model_.instance_time(kernel.traits, device,
                                                       node.begin, node.end);
     const SimTime compute =
         injector_ ? injector_->stretch_compute(d, data_ready, nominal)
                   : nominal;
     const SimTime end = data_ready + compute;
+    obs_span(id, obs::SpanPhase::kCompute, end - compute, end, lane.name());
+    if (obs_) {
+      obs_->metrics.counter_add(
+          obs::metric_key("chunks_dispatched", {{"device", devices_[d].name}}),
+          1);
+      obs_->metrics.observe(compute_hist_key_[d], to_millis(compute));
+    }
     lane.reserve(now, end - now,
                  kernel.name + " [" + std::to_string(node.begin) + "," +
                      std::to_string(node.end) + ")");
@@ -380,6 +467,9 @@ class Run {
         injector_ ? injector_->stretch_link(start, nominal) : nominal;
     if (co_lane != nullptr) co_lane->reserve(start, duration, label);
     const sim::BusySpan span = link_.reserve(start, duration, label);
+    obs_track("inflight_transfers", start, 1);
+    obs_track("inflight_transfers", start + duration, -1);
+    obs_count(to_host ? "transfers_d2h" : "transfers_h2d");
     coherence_.apply(op);
     region_ready_[{op.dst, op.region.buffer}].assign(op.region.range,
                                                      span.end);
@@ -492,15 +582,29 @@ class Run {
       }
       if (lane.available_at() > now) {
         occupancy += lane.available_at() - now;
+        obs_span(id, obs::SpanPhase::kD2H, now, lane.available_at(),
+                 "write-back from " + devices_[d].name);
         // Wake the dispatcher when the queue drains so waiting work resumes.
         engine_.schedule_at(lane.available_at(),
                             [this] { pump(engine_.now()); });
       }
     }
+    obs_span(id, obs::SpanPhase::kComplete, now, now, devices_[d].name);
+    obs_count("chunks_completed");
     scheduler_.on_complete(sched_info_[id], d, compute, occupancy, now);
-    if (injector_) check_divergence(d, compute, nominal, now);
+    bool rediverged = false;
+    if (injector_) rediverged = check_divergence(d, compute, nominal, now);
+    if (probe_inflight_ && probe_inflight_->first == id &&
+        probe_inflight_->second == d) {
+      probe_inflight_.reset();
+      // The probe survived on the once-benched device: its estimate has just
+      // re-seeded from a healthy observation, so re-offer the other devices'
+      // dynamic backlog and let it win work back.
+      if (!rediverged) rebalance_after_probe(d, now);
+    }
     if (retry_count_[id] > 0) ++report_.faults.migrated_tasks;
     finish_task(id, d, now);
+    if (injector_) maybe_probe(now);
   }
 
   /// The chunk took `compute` against a model prediction of `nominal`. When
@@ -510,14 +614,15 @@ class Run {
   /// the device's dynamically placed backlog back through it — the DP
   /// re-partitioning loop. Statically pinned chunks stay put: SP strategies
   /// intentionally do not adapt.
-  void check_divergence(hw::DeviceId d, SimTime compute, SimTime nominal,
+  bool check_divergence(hw::DeviceId d, SimTime compute, SimTime nominal,
                         SimTime now) {
-    if (nominal <= 0) return;
+    if (nominal <= 0) return false;
     const double threshold = injector_->retry().divergence_threshold;
     if (static_cast<double>(compute) <=
         threshold * static_cast<double>(nominal))
-      return;
+      return false;
     ++report_.faults.divergence_events;
+    obs_count("divergence_events");
     SimTime busy_until = now;
     for (const sim::Resource& lane : device_states_[d].lanes)
       busy_until = std::max(busy_until, lane.available_at());
@@ -530,8 +635,9 @@ class Run {
       if (graph_.node(q).pinned_device) keep.push_back(q);
       else drained.push_back(q);
     }
-    if (drained.empty()) return;
+    if (drained.empty()) return true;
     queue = std::move(keep);
+    obs_track(queue_key_d(d), now, -static_cast<double>(drained.size()));
     report_.faults.repartitioned_tasks +=
         static_cast<std::int64_t>(drained.size());
     if (options_.record_trace)
@@ -541,6 +647,122 @@ class Run {
                            sim::TraceKind::kRecovery, now, now);
     for (TaskId q : drained) {
       if (affinity_[q] && *affinity_[q] == d) affinity_[q].reset();
+      obs_span(q, obs::SpanPhase::kMigrate, now, now,
+               "re-partition off " + devices_[d].name);
+      announce(q, now);
+    }
+    return true;
+  }
+
+  /// Probe-and-forgive: after a completion (fault plans only), ask the
+  /// scheduler whether a benched device has earned a probe. If so, reroute
+  /// one queued compatible chunk there; its completion re-seeds the
+  /// scheduler's estimate (forgiveness) and triggers a rebalance.
+  void maybe_probe(SimTime now) {
+    if (probe_inflight_) return;
+    const auto target = scheduler_.probe_request(now);
+    if (!target || failed_[*target]) return;
+
+    // Victim: an unpinned compatible chunk from the back of the deepest
+    // other queue (least imminent work — stealing it costs the donor least).
+    std::optional<hw::DeviceId> source;
+    std::size_t best_depth = 0;
+    for (hw::DeviceId d = 0; d < devices_.size(); ++d) {
+      if (d == *target || failed_[d]) continue;
+      const auto& queue = device_states_[d].queue;
+      bool movable = false;
+      for (TaskId q : queue) {
+        if (!graph_.node(q).pinned_device && sched_info_[q].runs_on(*target)) {
+          movable = true;
+          break;
+        }
+      }
+      if (movable && queue.size() > best_depth) {
+        source = d;
+        best_depth = queue.size();
+      }
+    }
+    std::optional<TaskId> chosen;
+    if (source) {
+      auto& queue = device_states_[*source].queue;
+      for (auto it = queue.rbegin(); it != queue.rend(); ++it) {
+        if (!graph_.node(*it).pinned_device &&
+            sched_info_[*it].runs_on(*target)) {
+          chosen = *it;
+          queue.erase(std::next(it).base());
+          obs_track(queue_key_d(*source), now, -1);
+          break;
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < pool_.size(); ++i) {
+        if (!pool_[i].runs_on(*target)) continue;
+        chosen = pool_[i].id;
+        pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(i));
+        obs_track("pool_depth", now, -1);
+        break;
+      }
+    }
+    if (!chosen) return;
+
+    probe_inflight_ = {*chosen, *target};
+    device_states_[*target].queue.push_back(*chosen);
+    obs_track(queue_key_d(*target), now, 1);
+    obs_span(*chosen, obs::SpanPhase::kMigrate, now, now,
+             "probe to " + devices_[*target].name);
+    obs_count("probe_chunks");
+    if (obs_) {
+      obs::PlacementRecord record;
+      record.task = *chosen;
+      record.kernel = kernels_[graph_.node(*chosen).kernel].name;
+      record.device = devices_[*target].name;
+      record.reason = "probe";
+      record.time = now;
+      obs_->audit.add(std::move(record));
+    }
+    if (options_.record_trace)
+      report_.trace.record("faults",
+                           "probe chunk " + std::to_string(*chosen) + " to " +
+                               devices_[*target].name,
+                           sim::TraceKind::kRecovery, now, now);
+    scheduler_.on_probe_dispatched(*target, now);
+    pump(now);
+  }
+
+  /// The probe completed healthy: pull every other device's dynamically
+  /// placed backlog back through the scheduler so the forgiven device can
+  /// win work again (the reverse of the divergence drain).
+  void rebalance_after_probe(hw::DeviceId probed, SimTime now) {
+    std::vector<TaskId> drained;
+    for (hw::DeviceId d = 0; d < devices_.size(); ++d) {
+      if (d == probed || failed_[d]) continue;
+      auto& queue = device_states_[d].queue;
+      std::deque<TaskId> keep;
+      std::size_t pulled = 0;
+      for (TaskId q : queue) {
+        if (graph_.node(q).pinned_device) {
+          keep.push_back(q);
+        } else {
+          drained.push_back(q);
+          ++pulled;
+        }
+      }
+      if (pulled == 0) continue;
+      queue = std::move(keep);
+      obs_track(queue_key_d(d), now, -static_cast<double>(pulled));
+    }
+    if (drained.empty()) return;
+    report_.faults.repartitioned_tasks +=
+        static_cast<std::int64_t>(drained.size());
+    if (options_.record_trace)
+      report_.trace.record("faults",
+                           "re-offer " + std::to_string(drained.size()) +
+                               " chunks after probe on " +
+                               devices_[probed].name,
+                           sim::TraceKind::kRecovery, now, now);
+    for (TaskId q : drained) {
+      obs_span(q, obs::SpanPhase::kMigrate, now, now,
+               "re-offer after probe on " + devices_[probed].name);
       announce(q, now);
     }
   }
@@ -550,6 +772,9 @@ class Run {
   void on_device_failure(hw::DeviceId d, SimTime now) {
     if (failed_[d]) return;
     failed_[d] = true;
+    obs_count("device_failures");
+    if (probe_inflight_ && probe_inflight_->second == d)
+      probe_inflight_.reset();
     scheduler_.on_device_failed(d, now);
 
     // In-flight dispatches are lost. Reverse their accounting (so work
@@ -571,6 +796,8 @@ class Run {
     }
     auto& queue = device_states_[d].queue;
     displaced.insert(displaced.end(), queue.begin(), queue.end());
+    if (!queue.empty())
+      obs_track(queue_key_d(d), now, -static_cast<double>(queue.size()));
     queue.clear();
 
     // The dead device's memory is gone. Recovery model: every byte it held
@@ -594,6 +821,7 @@ class Run {
       if (runnable_somewhere(pool_[i])) continue;
       abandon(pool_[i].id, now, "no surviving device runs it");
       pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(i));
+      obs_track("pool_depth", now, -1);
     }
 
     for (TaskId id : displaced) retry_or_abandon(id, d, now);
@@ -622,6 +850,12 @@ class Run {
     for (int i = 1; i < attempt; ++i) delay *= retry.backoff_multiplier;
     const SimTime at =
         now + std::max<SimTime>(static_cast<SimTime>(std::llround(delay)), 0);
+    obs_span(id, obs::SpanPhase::kRetry, now, at,
+             "off " + devices_[failed_device].name + ", attempt " +
+                 std::to_string(attempt));
+    obs_count("chunks_retried");
+    obs_track("retry_backlog", now, 1);
+    obs_track("retry_backlog", at, -1);
     if (options_.record_trace)
       report_.trace.record("faults",
                            "retry " + std::to_string(attempt) + " task " +
@@ -795,6 +1029,14 @@ class Run {
   };
   /// Per device, per lane: the dispatch currently occupying it.
   std::vector<std::vector<std::optional<InFlight>>> running_;
+  /// Probe chunk currently en route to a benched device (task, device).
+  std::optional<std::pair<TaskId, hw::DeviceId>> probe_inflight_;
+
+  /// Observability sinks (null when record_observability is off) and the
+  /// per-device metric keys built once at construction.
+  obs::RunObservability* obs_ = nullptr;
+  std::vector<std::string> queue_key_;
+  std::vector<std::string> compute_hist_key_;
 
   ExecutionReport report_;
   SimTime last_completion_ = 0;

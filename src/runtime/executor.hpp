@@ -58,6 +58,11 @@ struct RuntimeOptions {
   /// device memory throws StateError. Off by default — the paper's
   /// workloads fit the K20m's 5 GB.
   bool enforce_memory_capacity = false;
+  /// Record metrics, chunk-lifecycle spans, and the placement audit into
+  /// ExecutionReport::obs (src/obs). Deterministic — virtual time only —
+  /// and near-zero-cost when off: the runtime carries a null pointer and
+  /// pays one branch per instrumentation site.
+  bool record_observability = false;
 };
 
 /// Trivial pull scheduler: first ready task that the idle device supports.

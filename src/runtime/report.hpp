@@ -2,12 +2,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/time.hpp"
 #include "faults/fault_report.hpp"
 #include "hw/platform.hpp"
+#include "obs/observability.hpp"
 #include "runtime/kernel.hpp"
 #include "sim/trace.hpp"
 
@@ -64,6 +66,11 @@ struct ExecutionReport {
 
   /// Fault-injection accounting (all defaults when no plan was armed).
   faults::FaultReport faults;
+
+  /// Metrics / spans / placement audit (populated when
+  /// RuntimeOptions::record_observability; null otherwise). Shared so the
+  /// scheduler's pointer into it stays valid across report moves.
+  std::shared_ptr<obs::RunObservability> obs;
 
   /// Fraction of kernel `k`'s items executed by `device`. Returns 0 when the
   /// kernel executed no items at all.

@@ -23,6 +23,10 @@
 ///
 /// Statically partitioned programs pin every task, so the scheduler is never
 /// consulted for placement.
+namespace hetsched::obs {
+struct RunObservability;
+}  // namespace hetsched::obs
+
 namespace hetsched::rt {
 
 /// Scheduler-visible view of one ready task instance.
@@ -127,6 +131,28 @@ class Scheduler {
     (void)occupancy_time;
     (void)now;
   }
+
+  /// Probe-and-forgive support. After each completion (while a fault plan
+  /// is armed) the executor asks whether any benched device deserves a
+  /// probe chunk; returning a device makes the executor reroute one queued
+  /// compatible chunk there, then call `on_probe_dispatched`. Schedulers
+  /// without a bench list never probe.
+  virtual std::optional<hw::DeviceId> probe_request(SimTime now) {
+    (void)now;
+    return std::nullopt;
+  }
+  virtual void on_probe_dispatched(hw::DeviceId device, SimTime now) {
+    (void)device;
+    (void)now;
+  }
+
+  /// Points the scheduler at the active run's observability sinks (null
+  /// between runs or when recording is off). Set by the executor before
+  /// `begin_run` and cleared after the run.
+  void set_observability(obs::RunObservability* obs) { obs_ = obs; }
+
+ protected:
+  obs::RunObservability* obs_ = nullptr;
 };
 
 }  // namespace hetsched::rt

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/observability.hpp"
 #include "runtime/scheduler.hpp"
 
 /// Performance-aware scheduler — the substrate of the paper's DP-Perf
@@ -25,6 +27,14 @@
 /// earliest-finish placement over a short task stream overshoots the
 /// optimal GPU share (it commits to the fast device until its backlog
 /// exceeds one CPU-lane instance), reproducing Section IV-B1.
+///
+/// Probe-and-forgive: after a divergence drain benches a device, every
+/// `probe_every` completions elsewhere the scheduler asks the executor for
+/// one probe chunk to the benched device. When that chunk completes, the
+/// poisoned (kernel, device) estimate is dropped and re-seeded from the
+/// fresh observation — so a *transient* slowdown costs a few probes, and
+/// once the perturbation ends the device wins its work share back instead
+/// of starving forever (the ROADMAP's 10x-degradation item).
 namespace hetsched::rt {
 
 class PerfAwareScheduler final : public Scheduler {
@@ -32,11 +42,15 @@ class PerfAwareScheduler final : public Scheduler {
   explicit PerfAwareScheduler(SimTime decision_cost = 5 * kMicrosecond,
                               double ema_alpha = 0.5,
                               bool compute_only_estimates = false,
-                              double locality_margin = 1.0)
+                              double locality_margin = 1.0,
+                              int probe_every = 4)
       : decision_cost_(decision_cost),
         ema_alpha_(ema_alpha),
         compute_only_estimates_(compute_only_estimates),
-        locality_margin_(locality_margin) {}
+        locality_margin_(locality_margin),
+        probe_every_(probe_every) {
+    HS_REQUIRE(probe_every > 0, "probe_every=" << probe_every);
+  }
 
   std::string name() const override { return "perf-aware"; }
   SimTime decision_cost() const override { return decision_cost_; }
@@ -59,12 +73,21 @@ class PerfAwareScheduler final : public Scheduler {
 
   void begin_run(const hw::PlatformSpec& platform,
                  const std::vector<KernelDef>& kernels) override {
-    (void)kernels;
     lane_available_.clear();
     for (const hw::DeviceSpec& device : platform.all_devices())
       lane_available_.emplace_back(device.lanes, 0);
-    dead_.assign(platform.all_devices().size(), false);
+    const std::size_t n = platform.all_devices().size();
+    dead_.assign(n, false);
+    diverged_.assign(n, false);
+    probe_outstanding_.assign(n, false);
+    completions_since_probe_.assign(n, 0);
     round_robin_ = 0;
+    device_names_.clear();
+    for (const hw::DeviceSpec& device : platform.all_devices())
+      device_names_.push_back(device.name);
+    kernel_names_.clear();
+    for (const KernelDef& kernel : kernels) kernel_names_.push_back(kernel.name);
+    ema_keys_.clear();
   }
 
   std::optional<hw::DeviceId> on_ready(const SchedTask& task,
@@ -72,6 +95,7 @@ class PerfAwareScheduler final : public Scheduler {
     std::optional<hw::DeviceId> best;
     SimTime best_finish = 0;
     bool missing_estimate = false;
+    std::vector<obs::PlacementEstimate> compared;
 
     for (hw::DeviceId d = 0; d < lane_available_.size(); ++d) {
       if (dead_[d] || !task.runs_on(d)) continue;
@@ -80,6 +104,9 @@ class PerfAwareScheduler final : public Scheduler {
         continue;
       }
       const SimTime finish = estimated_finish(task, d, now);
+      if (obs_)
+        compared.push_back({device_name(d), to_millis(finish),
+                            estimated_rate(task.kernel, d)});
       if (!best || finish < best_finish) {
         best = d;
         best_finish = finish;
@@ -95,6 +122,7 @@ class PerfAwareScheduler final : public Scheduler {
         const hw::DeviceId d = (round_robin_ + step) % lane_available_.size();
         if (!dead_[d] && task.runs_on(d) && !has_estimate(task.kernel, d)) {
           round_robin_ = d + 1;
+          record_placement(task, d, "explore", now, std::move(compared));
           commit(task, d, now);
           return d;
         }
@@ -110,6 +138,7 @@ class PerfAwareScheduler final : public Scheduler {
     // on some device and that device's estimated finish is within the
     // margin of the best, keep the chain local (the versioning scheduler's
     // affinity heuristic).
+    bool locality_won = false;
     if (task.locality && *task.locality != *best &&
         !dead_[*task.locality] && task.runs_on(*task.locality) &&
         has_estimate(task.kernel, *task.locality)) {
@@ -118,16 +147,23 @@ class PerfAwareScheduler final : public Scheduler {
       if (static_cast<double>(local_finish) <=
           (1.0 + locality_margin_) * static_cast<double>(best_finish)) {
         best = *task.locality;
+        locality_won = true;
       }
     }
 
+    record_placement(task, *best, locality_won ? "locality" : "earliest-finish",
+                     now, std::move(compared));
     commit(task, *best, now);
     return best;
   }
 
   void on_device_failed(hw::DeviceId device, SimTime now) override {
     (void)now;
-    if (device < dead_.size()) dead_[device] = true;
+    if (device < dead_.size()) {
+      dead_[device] = true;
+      diverged_[device] = false;
+      probe_outstanding_[device] = false;
+    }
   }
 
   void on_divergence(hw::DeviceId device, SimTime busy_until,
@@ -139,18 +175,58 @@ class PerfAwareScheduler final : public Scheduler {
     // up with the perturbed speed.
     if (device >= lane_available_.size()) return;
     for (SimTime& t : lane_available_[device]) t = std::max(t, busy_until);
+    // Bench the device; probes start once enough completions land elsewhere.
+    diverged_[device] = true;
+    completions_since_probe_[device] = 0;
   }
 
   void on_complete(const SchedTask& task, hw::DeviceId device,
                    SimTime compute_time, SimTime occupancy_time,
                    SimTime now) override {
-    (void)now;
     if (task.items <= 0) return;
     const SimTime observed =
         compute_only_estimates_ ? compute_time : occupancy_time;
     const double seconds = to_seconds(std::max<SimTime>(observed, 1));
-    estimate(task.kernel, device)
-        .add(static_cast<double>(task.items) / seconds);
+    const double rate = static_cast<double>(task.items) / seconds;
+    Ema& ema = estimate(task.kernel, device);
+    if (device < diverged_.size() && diverged_[device]) {
+      // Forgive: drop the poisoned history and re-seed from this fresh
+      // observation; also re-sync the backlog picture (the divergence drain
+      // emptied the device's queue, so its lanes are free from here on).
+      // If the device is still perturbed, the executor's divergence check
+      // on this same completion benches it again.
+      ema.reset();
+      ema.add(rate);
+      for (SimTime& t : lane_available_[device]) t = std::min(t, now);
+      diverged_[device] = false;
+      probe_outstanding_[device] = false;
+      if (obs_) obs_->metrics.counter_add("ema_reseeds", 1);
+    } else {
+      ema.add(rate);
+    }
+    // Completions elsewhere advance each benched device toward its next
+    // probe.
+    for (hw::DeviceId d = 0; d < diverged_.size(); ++d)
+      if (d != device && diverged_[d]) ++completions_since_probe_[d];
+    if (obs_)
+      obs_->metrics.track_set(ema_key(task.kernel, device), now, ema.value());
+  }
+
+  std::optional<hw::DeviceId> probe_request(SimTime now) override {
+    (void)now;
+    for (hw::DeviceId d = 0; d < diverged_.size(); ++d) {
+      if (diverged_[d] && !dead_[d] && !probe_outstanding_[d] &&
+          completions_since_probe_[d] >= probe_every_)
+        return d;
+    }
+    return std::nullopt;
+  }
+
+  void on_probe_dispatched(hw::DeviceId device, SimTime now) override {
+    (void)now;
+    if (device >= probe_outstanding_.size()) return;
+    probe_outstanding_[device] = true;
+    completions_since_probe_[device] = 0;
   }
 
   void on_flush(const SchedTask& task, hw::DeviceId device, SimTime duration,
@@ -178,6 +254,40 @@ class PerfAwareScheduler final : public Scheduler {
     auto [it, inserted] =
         estimates_.try_emplace({kernel, device}, Ema{ema_alpha_});
     return it->second;
+  }
+
+  const std::string& device_name(hw::DeviceId device) const {
+    static const std::string unknown = "?";
+    return device < device_names_.size() ? device_names_[device] : unknown;
+  }
+
+  const std::string& kernel_name(KernelId kernel) const {
+    static const std::string unknown = "?";
+    return kernel < kernel_names_.size() ? kernel_names_[kernel] : unknown;
+  }
+
+  const std::string& ema_key(KernelId kernel, hw::DeviceId device) {
+    auto [it, inserted] = ema_keys_.try_emplace({kernel, device});
+    if (inserted) {
+      it->second =
+          obs::metric_key("ema_items_per_s", {{"kernel", kernel_name(kernel)},
+                                              {"device", device_name(device)}});
+    }
+    return it->second;
+  }
+
+  void record_placement(const SchedTask& task, hw::DeviceId chosen,
+                        const char* reason, SimTime now,
+                        std::vector<obs::PlacementEstimate> compared) {
+    if (obs_ == nullptr) return;
+    obs::PlacementRecord record;
+    record.task = task.id;
+    record.kernel = kernel_name(task.kernel);
+    record.device = device_name(chosen);
+    record.reason = reason;
+    record.time = now;
+    record.estimates = std::move(compared);
+    obs_->audit.add(std::move(record));
   }
 
   SimTime estimated_duration(const SchedTask& task, hw::DeviceId d) const {
@@ -213,11 +323,22 @@ class PerfAwareScheduler final : public Scheduler {
   double ema_alpha_;
   bool compute_only_estimates_;
   double locality_margin_;
+  int probe_every_;
   std::map<std::pair<KernelId, hw::DeviceId>, Ema> estimates_;
   std::map<std::pair<KernelId, hw::DeviceId>, Ema> flush_penalty_;
   std::vector<std::vector<SimTime>> lane_available_;
   std::vector<bool> dead_;
   std::size_t round_robin_ = 0;
+
+  /// Probe-and-forgive state (all reset in begin_run).
+  std::vector<bool> diverged_;
+  std::vector<bool> probe_outstanding_;
+  std::vector<int> completions_since_probe_;
+
+  /// Observability label caches.
+  std::vector<std::string> device_names_;
+  std::vector<std::string> kernel_names_;
+  std::map<std::pair<KernelId, hw::DeviceId>, std::string> ema_keys_;
 };
 
 }  // namespace hetsched::rt

@@ -56,6 +56,11 @@ std::string json_escape(const std::string& s) {
 }  // namespace
 
 std::string TraceRecorder::to_chrome_json() const {
+  return to_chrome_json({});
+}
+
+std::string TraceRecorder::to_chrome_json(
+    const std::vector<std::string>& extra_event_objects) const {
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;
@@ -68,6 +73,11 @@ std::string TraceRecorder::to_chrome_json() const {
        << to_micros(event.start) << ",\"dur\":"
        << to_micros(event.end - event.start)
        << ",\"pid\":1,\"tid\":\"" << json_escape(event.lane) << "\"}";
+  }
+  for (const auto& object : extra_event_objects) {
+    if (!first) os << ",";
+    first = false;
+    os << object;
   }
   os << "]}";
   return os.str();

@@ -63,6 +63,12 @@ class TraceRecorder {
   /// Chrome trace-event JSON ("traceEvents" array of complete events).
   std::string to_chrome_json() const;
 
+  /// Same, with pre-rendered event objects (e.g. Perfetto "ph":"C" counter
+  /// samples from the observability layer) appended to the array. Each
+  /// string must be one complete JSON object, no trailing comma.
+  std::string to_chrome_json(
+      const std::vector<std::string>& extra_event_objects) const;
+
  private:
   std::vector<TraceEvent> events_;
 };

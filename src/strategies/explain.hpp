@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyzer/matchmaker.hpp"
+#include "apps/app.hpp"
+#include "strategies/strategy_runner.hpp"
+
+/// Decision explanation: the matchmaker's Table-I selection for an
+/// application, annotated with the predicted-time inputs that justify it.
+///
+/// The predictions come from the same probe pass DP-Perf and the SP-DAG
+/// planner seed themselves with (StrategyRunner::probe_rates): each
+/// (kernel, device) pair is probed with a few pinned chunk instances, the
+/// observed items/s become per-device capacities (CPU rate scales by lane
+/// count), and each strategy is scored as the sum over kernels of
+/// items / capacity of the device set it may use, times the iteration
+/// count. Ideal-overlap lower bounds, not simulations — their job is to
+/// show WHY the ranking looks the way it does, cheaply and
+/// deterministically.
+namespace hetsched::strategies {
+
+struct StrategyPrediction {
+  analyzer::StrategyKind kind = analyzer::StrategyKind::kOnlyCpu;
+  /// Predicted wall time; -1 when no prediction is possible (a kernel has
+  /// no probed rate on any device the strategy may use).
+  double predicted_ms = -1.0;
+  /// Which capacities produced the number, e.g. "cpu only" or
+  /// "all devices combined".
+  std::string basis;
+};
+
+struct DecisionExplanation {
+  std::string app;
+  std::string platform;
+  analyzer::MatchResult match;
+  /// Ranking order first (best first), then the baselines not in the
+  /// ranking.
+  std::vector<StrategyPrediction> predictions;
+  /// Probed whole-device capacities, items/s, per kernel then device
+  /// (device order = platform order, CPU first); 0 = no rate observed.
+  std::vector<std::string> kernel_names;
+  std::vector<std::string> device_names;
+  std::vector<std::vector<double>> capacities;
+
+  /// Byte-stable JSON document (json::Value ordering rules).
+  std::string to_json() const;
+  /// Human-readable multi-line rendering for the CLI.
+  std::string render() const;
+};
+
+/// Runs the matchmaker on `app` and scores every ranked strategy plus the
+/// baselines from a fresh probe pass. Deterministic for a fixed app +
+/// platform + options.
+DecisionExplanation explain_decision(apps::Application& app,
+                                     const StrategyOptions& options = {});
+
+}  // namespace hetsched::strategies

@@ -94,6 +94,11 @@ class StrategyRunner {
 
   const StrategyOptions& options() const { return options_; }
 
+  /// Probes every (kernel, device) pair with a few pinned chunk instances
+  /// in fresh memory state and returns the observed rates — the profiling
+  /// phase shared by DP-Perf, the SP-DAG planner, and decision explanation.
+  RateTable probe_rates(int instances_per_pair) const;
+
  private:
   StrategyResult run_only(hw::DeviceId device, analyzer::StrategyKind kind);
   StrategyResult run_sp_single();
@@ -107,11 +112,6 @@ class StrategyRunner {
   rt::ExecutionReport measured_execute_pinned(const rt::Program& program);
   rt::ExecutionReport measured_execute(const rt::Program& program,
                                        rt::Scheduler& scheduler);
-
-  /// Probes every (kernel, device) pair with a few pinned chunk instances
-  /// in fresh memory state and returns the observed rates — the profiling
-  /// phase shared by DP-Perf and the SP-DAG planner.
-  RateTable probe_rates(int instances_per_pair) const;
 
   /// Submits instances of the kernel at sequence position `kernel_index`,
   /// split at `gpu_items`: [0, gpu_items) as one GPU instance, the rest of

@@ -35,46 +35,87 @@ std::string ResultCache::path_for(const std::string& key) const {
   return (fs::path(directory_) / (os.str() + ".json")).string();
 }
 
-std::optional<std::string> ResultCache::load(const std::string& key) const {
-  std::ifstream file(path_for(key), std::ios::binary);
-  if (!file.good()) return std::nullopt;
+namespace {
+
+enum class EntryStatus { kHit, kNoEntry, kKeyMismatch, kCorrupt };
+
+EntryStatus read_entry(const std::string& path, const std::string& key,
+                       std::string& payload) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.good()) return EntryStatus::kNoEntry;
 
   std::string magic;
-  if (!std::getline(file, magic) || magic != kMagic) return std::nullopt;
+  if (!std::getline(file, magic) || magic != kMagic) {
+    return EntryStatus::kCorrupt;
+  }
   std::string length_line;
-  if (!std::getline(file, length_line)) return std::nullopt;
+  if (!std::getline(file, length_line)) return EntryStatus::kCorrupt;
   std::size_t key_length = 0;
   try {
     key_length = std::stoul(length_line);
   } catch (const std::exception&) {
-    return std::nullopt;
+    return EntryStatus::kCorrupt;
   }
   std::string stored_key(key_length, '\0');
   if (!file.read(stored_key.data(),
                  static_cast<std::streamsize>(key_length))) {
-    return std::nullopt;
+    return EntryStatus::kCorrupt;
   }
-  // Digest collision or stale entry: treat as a miss, never as a hit.
-  if (stored_key != key) return std::nullopt;
-  if (file.get() != '\n') return std::nullopt;
+  // Digest collision or stale entry: treat as a miss, never as a hit. The
+  // entry itself may be valid for some other key, so it is not corrupt.
+  if (stored_key != key) return EntryStatus::kKeyMismatch;
+  if (file.get() != '\n') return EntryStatus::kCorrupt;
 
   std::string payload_length_line;
-  if (!std::getline(file, payload_length_line)) return std::nullopt;
+  if (!std::getline(file, payload_length_line)) return EntryStatus::kCorrupt;
   std::size_t payload_length = 0;
   try {
     payload_length = std::stoul(payload_length_line);
   } catch (const std::exception&) {
-    return std::nullopt;
+    return EntryStatus::kCorrupt;
   }
-  std::string payload(payload_length, '\0');
+  payload.assign(payload_length, '\0');
   if (!file.read(payload.data(),
                  static_cast<std::streamsize>(payload_length))) {
-    return std::nullopt;  // truncated entry
+    return EntryStatus::kCorrupt;  // truncated entry
   }
   if (file.get() != std::ifstream::traits_type::eof()) {
-    return std::nullopt;  // trailing garbage
+    return EntryStatus::kCorrupt;  // trailing garbage
   }
-  return payload;
+  return EntryStatus::kHit;
+}
+
+}  // namespace
+
+std::optional<std::string> ResultCache::load(const std::string& key) const {
+  const std::string path = path_for(key);
+  std::string payload;
+  switch (read_entry(path, key, payload)) {
+    case EntryStatus::kHit:
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return payload;
+    case EntryStatus::kCorrupt: {
+      // A corrupt file would shadow this slot forever; drop it now so the
+      // recomputed result can land cleanly.
+      std::error_code ec;
+      if (fs::remove(path, ec)) {
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    case EntryStatus::kNoEntry:
+    case EntryStatus::kKeyMismatch:
+      break;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void ResultCache::evict(const std::string& key) const {
+  std::error_code ec;
+  if (fs::remove(path_for(key), ec)) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void ResultCache::store(const std::string& key,
@@ -91,6 +132,7 @@ void ResultCache::store(const std::string& key,
          << payload.size() << "\n" << payload;
   }
   fs::rename(temp, path);
+  stores_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::size_t ResultCache::clear() const {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -9,9 +11,19 @@
 /// sweep::scenario_key); the file name is the FNV-1a digest of the key, and
 /// the file stores the key itself ahead of the payload so a digest
 /// collision or a stale/corrupt file degrades to a miss, never to a wrong
-/// result. Writes go through a temporary file + rename so concurrent
+/// result. Corrupt entries (bad magic, torn framing, trailing garbage) are
+/// deleted on discovery — counted as evictions — so they cannot shadow the
+/// slot forever. Writes go through a temporary file + rename so concurrent
 /// sweeps sharing a cache directory cannot observe torn entries.
 namespace hetsched::sweep {
+
+/// Snapshot of the cache's activity counters (per ResultCache instance).
+struct CacheCounters {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t stores = 0;
+  std::int64_t evictions = 0;
+};
 
 class ResultCache {
  public:
@@ -27,14 +39,28 @@ class ResultCache {
   /// Stores `payload` under `key`, replacing any previous entry.
   void store(const std::string& key, const std::string& payload) const;
 
+  /// Deletes the entry for `key` (e.g. its payload failed deserialization
+  /// downstream). Counted as an eviction when a file was actually removed.
+  void evict(const std::string& key) const;
+
   /// Removes every entry. Returns the number of entries removed.
   std::size_t clear() const;
 
   /// The file an entry for `key` lives in (exposed for tests).
   std::string path_for(const std::string& key) const;
 
+  CacheCounters counters() const {
+    return {hits_.load(), misses_.load(), stores_.load(), evictions_.load()};
+  }
+
  private:
   std::string directory_;
+  /// Atomics: loads run on the coordinating thread but stores/evictions may
+  /// land from sweep worker threads.
+  mutable std::atomic<std::int64_t> hits_{0};
+  mutable std::atomic<std::int64_t> misses_{0};
+  mutable std::atomic<std::int64_t> stores_{0};
+  mutable std::atomic<std::int64_t> evictions_{0};
 };
 
 }  // namespace hetsched::sweep

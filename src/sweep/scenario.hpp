@@ -24,7 +24,7 @@ namespace hetsched::sweep {
 /// cost-model behaviour change, new default StrategyOptions, a report
 /// schema change. The version participates in every cache key, so bumping
 /// it invalidates all previously cached results at once.
-inline constexpr const char* kSweepCodeVersion = "hs-sweep-2";
+inline constexpr const char* kSweepCodeVersion = "hs-sweep-3";
 
 struct Scenario {
   apps::PaperApp app = apps::PaperApp::kMatrixMul;

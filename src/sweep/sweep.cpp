@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "faults/fault_plan.hpp"
 #include "hw/platform.hpp"
+#include "obs/validate.hpp"
 #include "runtime/thread_pool.hpp"
 #include "strategies/strategy_runner.hpp"
 
@@ -167,6 +168,9 @@ ScenarioOutcome SweepEngine::compute(const Scenario& scenario) const {
                        : apps::paper_config(scenario.app);
     config.costs = scenario.costs;
     config.record_trace = options_.record_trace;
+    // Spans ride along with the trace so validate_trace can check the
+    // chunk-lifecycle chains, not just lane overlap.
+    config.record_observability = options_.record_trace;
     const auto application =
         apps::make_paper_app(scenario.app, platform, config);
 
@@ -211,8 +215,12 @@ ScenarioOutcome SweepEngine::compute(const Scenario& scenario) const {
     }
     outcome.report_json =
         rt::report_to_json(result.report, application->executor().kernels());
-    if (options_.record_trace)
+    if (options_.record_trace) {
       outcome.trace_json = result.report.trace.to_chrome_json();
+      outcome.trace_violations = obs::validate_trace(
+          result.report.trace, result.report.makespan,
+          result.report.obs ? &result.report.obs->spans : nullptr);
+    }
   } catch (const InvalidArgument& error) {
     outcome.status = ScenarioStatus::kInapplicable;
     outcome.error = error.what();
@@ -248,7 +256,9 @@ SweepRun SweepEngine::run(const std::vector<Scenario>& scenarios) const {
           hit = true;
         } catch (const InvalidArgument&) {
           // An entry that passed the byte-level checks but no longer
-          // deserializes (e.g. written by a different build): recompute.
+          // deserializes (e.g. written by a different build): drop it and
+          // recompute.
+          cache->evict(scenario_key(scenarios[i]));
           run.outcomes[i] = ScenarioOutcome{};
         }
       }
@@ -278,6 +288,11 @@ SweepRun SweepEngine::run(const std::vector<Scenario>& scenarios) const {
   run.summary.scenarios = scenarios.size();
   run.summary.computed = misses.size();
   run.summary.cache_hits = scenarios.size() - misses.size();
+  if (cache) {
+    run.summary.cache_misses = misses.size();
+    run.summary.cache_evictions =
+        static_cast<std::size_t>(cache->counters().evictions);
+  }
   for (const ScenarioOutcome& outcome : run.outcomes) {
     switch (outcome.status) {
       case ScenarioStatus::kOk: ++run.summary.ok; break;
@@ -334,6 +349,10 @@ std::string sweep_to_json(const SweepRun& run) {
               json::Value(static_cast<std::int64_t>(run.summary.failed)));
   summary.set("cache_hits", json::Value(static_cast<std::int64_t>(
                                 run.summary.cache_hits)));
+  summary.set("cache_misses", json::Value(static_cast<std::int64_t>(
+                                  run.summary.cache_misses)));
+  summary.set("cache_evictions", json::Value(static_cast<std::int64_t>(
+                                     run.summary.cache_evictions)));
   summary.set("computed",
               json::Value(static_cast<std::int64_t>(run.summary.computed)));
   summary.set("wall_ms", json::Value(run.summary.wall_ms));
@@ -347,6 +366,12 @@ std::string sweep_to_json(const SweepRun& run) {
               json::Value(scenario_status_name(outcome.status)));
     entry.set("cache_hit", json::Value(outcome.cache_hit));
     entry.set("wall_ms", json::Value(outcome.wall_ms));
+    if (!outcome.trace_violations.empty()) {
+      json::Value violations{json::Value::Array{}};
+      for (const std::string& violation : outcome.trace_violations)
+        violations.push_back(json::Value(violation));
+      entry.set("trace_violations", std::move(violations));
+    }
     if (outcome.ok()) {
       entry.set("metrics", metrics_to_json(outcome.metrics));
       entry.set("report", json::Value::parse(outcome.report_json));

@@ -74,6 +74,9 @@ struct ScenarioOutcome {
   /// Chrome-trace timeline (only when SweepOptions::record_trace; never
   /// cached).
   std::string trace_json;
+  /// obs::validate_trace findings for the recorded timeline (only when
+  /// SweepOptions::record_trace; empty = clean). Run metadata, never cached.
+  std::vector<std::string> trace_violations;
 
   /// Run metadata — not part of the canonical payload.
   bool cache_hit = false;
@@ -114,6 +117,11 @@ struct SweepSummary {
   std::size_t inapplicable = 0;
   std::size_t failed = 0;
   std::size_t cache_hits = 0;
+  /// Cache lookups that found no usable entry (0 when the cache is off).
+  std::size_t cache_misses = 0;
+  /// Entries the cache discarded this run (corrupt files plus entries whose
+  /// payload failed deserialization).
+  std::size_t cache_evictions = 0;
   std::size_t computed = 0;
   double wall_ms = 0.0;
 };

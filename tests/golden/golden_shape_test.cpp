@@ -52,6 +52,9 @@ const CaseResult& result_for(const std::string& app, bool sync) {
                        /*small=*/false);
   SweepOptions options;
   options.use_cache = false;
+  // Traces (and the chunk-span log riding along with them) feed the
+  // obs::validate_trace well-formedness check below.
+  options.record_trace = true;
   const SweepRun& run =
       runs->emplace(key, SweepEngine(options).run(scenarios)).first->second;
   EXPECT_EQ(run.summary.failed, 0u) << key;
@@ -59,6 +62,9 @@ const CaseResult& result_for(const std::string& app, bool sync) {
   CaseResult result;
   for (const ScenarioOutcome& outcome : run.outcomes) {
     if (!outcome.ok()) continue;
+    EXPECT_TRUE(outcome.trace_violations.empty())
+        << key << "/" << outcome.scenario.label() << ": "
+        << outcome.trace_violations.front();
     result.by_strategy.emplace(
         analyzer::strategy_name(outcome.scenario.strategy), &outcome);
   }

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "obs/span.hpp"
+
+namespace hetsched::obs {
+namespace {
+
+TEST(SpanLogTest, DisabledRecordsNothing) {
+  SpanLog log;
+  EXPECT_EQ(log.record(1, 0, SpanPhase::kAnnounce, 0, 0), 0u);
+  EXPECT_TRUE(log.spans().empty());
+  EXPECT_TRUE(log.tasks().empty());
+}
+
+TEST(SpanLogTest, AutoParentsWithinEachChunk) {
+  SpanLog log;
+  log.enable();
+  const std::uint64_t a1 = log.record(7, 0, SpanPhase::kAnnounce, 0, 0);
+  const std::uint64_t b1 = log.record(8, 0, SpanPhase::kAnnounce, 0, 0);
+  const std::uint64_t a2 = log.record(7, 0, SpanPhase::kSchedule, 0, 5);
+  const std::uint64_t a3 =
+      log.record(7, 0, SpanPhase::kCompute, 5, 30, "gpu0");
+  EXPECT_EQ(a1, 1u);
+  EXPECT_EQ(b1, 2u);
+  EXPECT_EQ(a2, 3u);
+  EXPECT_EQ(a3, 4u);
+
+  const auto chain = log.chain(7);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0]->parent, 0u);   // root
+  EXPECT_EQ(chain[1]->parent, a1);   // parent skips task 8's span
+  EXPECT_EQ(chain[2]->parent, a2);
+  EXPECT_EQ(chain[2]->detail, "gpu0");
+
+  const auto other = log.chain(8);
+  ASSERT_EQ(other.size(), 1u);
+  EXPECT_EQ(other[0]->parent, 0u);
+
+  EXPECT_EQ(log.tasks(), (std::vector<std::uint64_t>{7, 8}));
+}
+
+TEST(SpanLogTest, ChainSurvivesRetryAndMigration) {
+  SpanLog log;
+  log.enable();
+  log.record(3, 0, SpanPhase::kAnnounce, 0, 0);
+  log.record(3, 0, SpanPhase::kSchedule, 0, 1);
+  log.record(3, 0, SpanPhase::kCompute, 1, 10, "gpu0");
+  log.record(3, 1, SpanPhase::kRetry, 4, 6, "off gpu0, attempt 1");
+  log.record(3, 1, SpanPhase::kMigrate, 6, 6, "to cpu");
+  log.record(3, 1, SpanPhase::kCompute, 6, 20, "cpu.t0");
+  log.record(3, 1, SpanPhase::kComplete, 20, 20);
+  const auto chain = log.chain(3);
+  ASSERT_EQ(chain.size(), 7u);
+  for (std::size_t i = 1; i < chain.size(); ++i)
+    EXPECT_EQ(chain[i]->parent, chain[i - 1]->id) << i;
+  EXPECT_EQ(chain.back()->phase, SpanPhase::kComplete);
+  EXPECT_EQ(chain[3]->attempt, 1);
+}
+
+TEST(SpanLogTest, JsonShape) {
+  SpanLog log;
+  log.enable();
+  log.record(1, 0, SpanPhase::kAnnounce, 0, 0);
+  log.record(1, 0, SpanPhase::kComplete, 9, 9, "done");
+  const json::Value doc = log.to_json();
+  ASSERT_EQ(doc.as_array().size(), 2u);
+  const json::Value& second = doc.as_array()[1];
+  EXPECT_DOUBLE_EQ(second.at("id").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(second.at("task").as_number(), 1.0);
+  EXPECT_EQ(second.at("phase").as_string(), "complete");
+  EXPECT_DOUBLE_EQ(second.at("start").as_number(), 9.0);
+  EXPECT_EQ(second.at("detail").as_string(), "done");
+  EXPECT_DOUBLE_EQ(second.at("parent").as_number(), 1.0);
+}
+
+TEST(SpanPhaseTest, NamesRoundTripTheLifecycle) {
+  EXPECT_STREQ(span_phase_name(SpanPhase::kAnnounce), "announce");
+  EXPECT_STREQ(span_phase_name(SpanPhase::kH2D), "h2d");
+  EXPECT_STREQ(span_phase_name(SpanPhase::kAbandon), "abandon");
+}
+
+}  // namespace
+}  // namespace hetsched::obs

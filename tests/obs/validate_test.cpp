@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "obs/span.hpp"
+#include "obs/validate.hpp"
+#include "sim/trace.hpp"
+
+namespace hetsched::obs {
+namespace {
+
+TEST(ValidateTraceTest, CleanTracePasses) {
+  sim::TraceRecorder trace;
+  trace.record("gpu0", "k[0:8)", sim::TraceKind::kCompute, 0, 10);
+  trace.record("gpu0", "k[8:16)", sim::TraceKind::kCompute, 10, 20);
+  trace.record("cpu.t0", "k[16:24)", sim::TraceKind::kCompute, 5, 15);
+  trace.record("faults", "slowdown", sim::TraceKind::kFault, 2, 8);
+  EXPECT_TRUE(validate_trace(trace, /*makespan=*/20).empty());
+}
+
+TEST(ValidateTraceTest, FlagsOverlappingComputeOnOneLane) {
+  sim::TraceRecorder trace;
+  trace.record("gpu0", "a", sim::TraceKind::kCompute, 0, 10);
+  trace.record("gpu0", "b", sim::TraceKind::kCompute, 9, 15);
+  const auto problems = validate_trace(trace, 15);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("overlap"), std::string::npos);
+}
+
+TEST(ValidateTraceTest, DifferentLanesMayOverlap) {
+  sim::TraceRecorder trace;
+  trace.record("gpu0", "a", sim::TraceKind::kCompute, 0, 10);
+  trace.record("cpu.t0", "b", sim::TraceKind::kCompute, 0, 10);
+  // Transfers may also overlap compute on the same lane's timeline.
+  trace.record("gpu0", "h2d", sim::TraceKind::kTransferH2D, 0, 5);
+  EXPECT_TRUE(validate_trace(trace, 10).empty());
+}
+
+TEST(ValidateTraceTest, FlagsInvalidTimeRange) {
+  sim::TraceRecorder trace;
+  trace.record("gpu0", "a", sim::TraceKind::kCompute, 10, 5);
+  const auto problems = validate_trace(trace, 10);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("invalid time range"), std::string::npos);
+}
+
+TEST(ValidateTraceTest, FlagsFaultOutsideRunWindow) {
+  sim::TraceRecorder trace;
+  trace.record("gpu0", "a", sim::TraceKind::kCompute, 0, 10);
+  trace.record("faults", "late", sim::TraceKind::kFault, 50, 60);
+  const auto problems = validate_trace(trace, /*makespan=*/10);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("after the run window"), std::string::npos);
+  // With no makespan known, the window check is skipped.
+  EXPECT_TRUE(validate_trace(trace, 0).empty());
+}
+
+TEST(ValidateSpansTest, WellFormedChainPasses) {
+  SpanLog log;
+  log.enable();
+  log.record(1, 0, SpanPhase::kAnnounce, 0, 0);
+  log.record(1, 0, SpanPhase::kSchedule, 0, 1);
+  log.record(1, 0, SpanPhase::kCompute, 1, 10);
+  log.record(1, 0, SpanPhase::kComplete, 10, 10);
+  std::vector<std::string> problems;
+  append_span_violations(log, problems);
+  EXPECT_TRUE(problems.empty());
+}
+
+TEST(ValidateSpansTest, FlagsChainNotOpeningWithAnnounce) {
+  SpanLog log;
+  log.enable();
+  log.record(1, 0, SpanPhase::kSchedule, 0, 1);
+  log.record(1, 0, SpanPhase::kComplete, 1, 1);
+  std::vector<std::string> problems;
+  append_span_violations(log, problems);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("expected 'announce'"), std::string::npos);
+}
+
+TEST(ValidateSpansTest, FlagsUnclosedChain) {
+  SpanLog log;
+  log.enable();
+  log.record(1, 0, SpanPhase::kAnnounce, 0, 0);
+  log.record(1, 0, SpanPhase::kCompute, 0, 10);
+  std::vector<std::string> problems;
+  append_span_violations(log, problems);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("not closed"), std::string::npos);
+}
+
+TEST(ValidateSpansTest, AbandonClosesAChain) {
+  SpanLog log;
+  log.enable();
+  log.record(1, 0, SpanPhase::kAnnounce, 0, 0);
+  log.record(1, 3, SpanPhase::kAbandon, 5, 5);
+  std::vector<std::string> problems;
+  append_span_violations(log, problems);
+  EXPECT_TRUE(problems.empty());
+}
+
+TEST(ValidateSpansTest, FlagsNonRecoverySpanStartingBeforeParent) {
+  SpanLog log;
+  log.enable();
+  log.record(1, 0, SpanPhase::kAnnounce, 5, 5);
+  log.record(1, 0, SpanPhase::kSchedule, 1, 2);  // rewinds time: broken
+  log.record(1, 0, SpanPhase::kComplete, 6, 6);
+  std::vector<std::string> problems;
+  append_span_violations(log, problems);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("starts before its parent"), std::string::npos);
+}
+
+TEST(ValidateSpansTest, RecoveryMayStartBeforeDisplacedCompute) {
+  // A compute span is recorded at dispatch with its FUTURE completion
+  // window; a fault interrupts it mid-flight, so the retry legitimately
+  // starts before the compute span's start.
+  SpanLog log;
+  log.enable();
+  log.record(1, 0, SpanPhase::kAnnounce, 0, 0);
+  log.record(1, 0, SpanPhase::kSchedule, 0, 1);
+  log.record(1, 0, SpanPhase::kCompute, 8, 16);   // displaced dispatch
+  log.record(1, 1, SpanPhase::kRetry, 3, 5);      // fault hit at t=3
+  log.record(1, 1, SpanPhase::kCompute, 5, 12);
+  log.record(1, 1, SpanPhase::kComplete, 12, 12);
+  std::vector<std::string> problems;
+  append_span_violations(log, problems);
+  EXPECT_TRUE(problems.empty());
+}
+
+TEST(ValidateTraceTest, SpanViolationsRideAlong) {
+  sim::TraceRecorder trace;
+  trace.record("gpu0", "a", sim::TraceKind::kCompute, 0, 10);
+  SpanLog log;
+  log.enable();
+  log.record(1, 0, SpanPhase::kAnnounce, 0, 0);  // never closed
+  const auto problems = validate_trace(trace, 10, &log);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("chunk 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsched::obs

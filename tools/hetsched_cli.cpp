@@ -22,6 +22,13 @@
 ///                        [--small] [--tasks <m>] [--serial] [--jobs N]
 ///                        [--no-cache] [--cache-dir <dir>] [--json <file>]
 ///                        [--csv]   # degradation study under a FaultPlan
+///   hetsched_cli metrics --app <name> [--strategy <s>] [--plan <name>|none]
+///                        [--seed <n>] [--format prom|json] [--out <file>]
+///                        [--sync] [--small] [--tasks <m>] [--platform <p>]
+///                        # metrics registry of one (optionally faulted) run
+///   hetsched_cli explain --app <name> [--json] [--sync] [--tasks <m>]
+///                        [--platform <p>] [--small]
+///                        # matchmaker decision + predicted-time inputs
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
@@ -42,9 +49,11 @@
 #include "common/table.hpp"
 #include "faults/fault_plan.hpp"
 #include "hw/platform.hpp"
+#include "obs/observability.hpp"
 #include "sim/gantt.hpp"
 #include "sim/trace_stats.hpp"
 #include "strategies/autotune.hpp"
+#include "strategies/explain.hpp"
 #include "strategies/strategy_runner.hpp"
 #include "sweep/sweep.hpp"
 
@@ -101,12 +110,14 @@ analyzer::StrategyKind strategy_by_name(const std::string& name) {
 
 std::unique_ptr<apps::Application> make_app(const Args& args,
                                             const hw::PlatformSpec& platform,
-                                            bool record_trace = false) {
+                                            bool record_trace = false,
+                                            bool record_obs = false) {
   const std::string name = args.get("app");
   const bool small = args.flag("small");
   apps::Application::Config extension;
   extension.functional = small;
   extension.record_trace = record_trace;
+  extension.record_observability = record_obs;
   if (name == "spectral-dag") {
     extension.items = small ? 4096 : 16'777'216;
     extension.iterations = small ? 3 : 10;
@@ -137,6 +148,7 @@ std::unique_ptr<apps::Application> make_app(const Args& args,
   apps::Application::Config config =
       small ? apps::test_config(it->second) : apps::paper_config(it->second);
   config.record_trace = record_trace;
+  config.record_observability = record_obs;
   return apps::make_paper_app(it->second, platform, config);
 }
 
@@ -282,7 +294,8 @@ int cmd_trace(const Args& args) {
   const std::string out = args.get("out");
   if (out.empty()) throw InvalidArgument("trace needs --out <file.json>");
   const hw::PlatformSpec platform = platform_by_name(args.get("platform"));
-  auto app = make_app(args, platform, /*record_trace=*/true);
+  auto app =
+      make_app(args, platform, /*record_trace=*/true, /*record_obs=*/true);
   strategies::StrategyRunner runner(*app, options_from(args));
   const auto result =
       args.flag("strategy")
@@ -290,7 +303,14 @@ int cmd_trace(const Args& args) {
           : runner.run_matched().result;
   std::ofstream file(out);
   HS_REQUIRE(file.good(), "cannot open '" << out << "' for writing");
-  file << result.report.trace.to_chrome_json();
+  // Counter tracks (queue depth, EMA estimates, in-flight transfers) ride
+  // along as Perfetto "C" events when observability was recorded.
+  if (result.report.obs) {
+    file << obs::chrome_trace_with_counters(result.report.trace,
+                                            result.report.obs->metrics);
+  } else {
+    file << result.report.trace.to_chrome_json();
+  }
   std::cout << "wrote " << result.report.trace.events().size()
             << " trace events to " << out
             << " (load in chrome://tracing or ui.perfetto.dev)\n";
@@ -409,8 +429,10 @@ int cmd_sweep(const Args& args) {
             << format_fixed(summary.wall_ms, 1) << " ms — " << summary.ok
             << " ok, " << summary.inapplicable << " inapplicable, "
             << summary.failed << " failed; " << summary.cache_hits
-            << " cache hit(s), " << summary.computed << " computed ("
-            << (options.parallel ? "parallel" : "serial") << ")\n";
+            << " cache hit(s), " << summary.cache_misses << " miss(es), "
+            << summary.cache_evictions << " evicted, " << summary.computed
+            << " computed (" << (options.parallel ? "parallel" : "serial")
+            << ")\n";
   if (options.use_cache)
     std::cout << "cache: " << options.cache_dir << "\n";
 
@@ -515,7 +537,9 @@ int cmd_faults(const Args& args) {
             << format_fixed(summary.wall_ms, 1) << " ms — " << summary.ok
             << " ok, " << summary.inapplicable << " inapplicable, "
             << summary.failed << " failed; " << summary.cache_hits
-            << " cache hit(s), " << summary.computed << " computed\n";
+            << " cache hit(s), " << summary.cache_misses << " miss(es), "
+            << summary.cache_evictions << " evicted, " << summary.computed
+            << " computed\n";
 
   if (args.flag("json")) {
     std::ofstream file(args.get("json"));
@@ -525,6 +549,79 @@ int cmd_faults(const Args& args) {
     std::cout << "wrote JSON to " << args.get("json") << "\n";
   }
   return run.summary.failed == 0 ? 0 : 1;
+}
+
+int cmd_metrics(const Args& args) {
+  const std::string format = args.get("format", "prom");
+  if (format != "prom" && format != "json")
+    throw InvalidArgument("--format must be prom or json, got '" + format +
+                          "'");
+  const hw::PlatformSpec platform = platform_by_name(args.get("platform"));
+  const analyzer::StrategyKind kind =
+      strategy_by_name(args.get("strategy", "dp-perf"));
+  strategies::StrategyOptions options = options_from(args);
+
+  const std::string plan_name = args.get("plan", "none");
+  if (plan_name != "none") {
+    const std::vector<std::string> known_plans = faults::named_fault_plans();
+    if (std::find(known_plans.begin(), known_plans.end(), plan_name) ==
+        known_plans.end()) {
+      throw InvalidArgument("unknown fault plan '" + plan_name + "' (" +
+                            join(known_plans, ", ") + ", none)");
+    }
+    // A healthy twin fixes the horizon the plan's relative offsets resolve
+    // against — same convention as the faults verb and the sweep engine.
+    auto baseline_app = make_app(args, platform);
+    strategies::StrategyRunner baseline(*baseline_app, options);
+    const SimTime horizon =
+        std::max<SimTime>(1, baseline.run(kind).report.makespan);
+    const std::uint64_t seed =
+        args.flag("seed") ? std::stoull(args.get("seed")) : 0;
+    options.fault_plan = faults::make_named_plan(plan_name, horizon, seed);
+  }
+
+  auto app =
+      make_app(args, platform, /*record_trace=*/false, /*record_obs=*/true);
+  strategies::StrategyRunner runner(*app, options);
+  const strategies::StrategyResult result = runner.run(kind);
+  HS_REQUIRE(result.report.obs != nullptr,
+             "run produced no observability data");
+  const obs::RunObservability& observed = *result.report.obs;
+
+  const std::vector<std::string> problems = observed.metrics.validate();
+  if (!problems.empty()) {
+    std::cerr << "metrics registry failed validation:\n";
+    for (const std::string& problem : problems)
+      std::cerr << "  " << problem << "\n";
+    return 3;
+  }
+
+  const std::string output = format == "prom"
+                                 ? observed.metrics.to_prometheus()
+                                 : observed.to_json().dump() + "\n";
+  const std::string out = args.get("out");
+  if (!out.empty()) {
+    std::ofstream file(out);
+    HS_REQUIRE(file.good(), "cannot open '" << out << "' for writing");
+    file << output;
+    std::cout << "wrote " << format << " metrics to " << out << "\n";
+  } else {
+    std::cout << output;
+  }
+  return 0;
+}
+
+int cmd_explain(const Args& args) {
+  const hw::PlatformSpec platform = platform_by_name(args.get("platform"));
+  auto app = make_app(args, platform);
+  const strategies::DecisionExplanation explanation =
+      strategies::explain_decision(*app, options_from(args));
+  if (args.flag("json")) {
+    std::cout << explanation.to_json() << "\n";
+  } else {
+    std::cout << explanation.render();
+  }
+  return 0;
 }
 
 }  // namespace
@@ -542,8 +639,11 @@ int main(int argc, char** argv) {
     if (args.command == "tune") return cmd_tune(args);
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "faults") return cmd_faults(args);
+    if (args.command == "metrics") return cmd_metrics(args);
+    if (args.command == "explain") return cmd_explain(args);
     std::cerr << "usage: hetsched_cli "
-                 "<list|match|run|compare|trace|analyze|tune|sweep|faults> "
+                 "<list|catalog|match|run|compare|trace|analyze|tune|sweep|"
+                 "faults|metrics|explain> "
                  "[--app <name>] [--strategy <s>] [--platform <p>] "
                  "[--sync] [--tasks <m>] [--small] [--csv] [--out <file>]\n";
     return args.command.empty() ? 0 : 2;
