@@ -99,22 +99,44 @@ class Run {
     for (std::size_t d = 0; d < devices_.size(); ++d)
       running_[d].assign(device_states_[d].lanes.size(), std::nullopt);
 
+    // Per-span history on the lanes and the link only feeds traces and
+    // tests; untraced runs (the sweep hot path) skip it so every reserve()
+    // stops copying a label string into a history vector.
+    for (DeviceState& state : device_states_)
+      for (sim::Resource& lane : state.lanes)
+        lane.set_record_history(options_.record_trace);
+    link_.set_record_history(options_.record_trace);
+
     if (options_.record_observability) {
       report_.obs = std::make_shared<obs::RunObservability>();
       report_.obs->enable();
       obs_ = report_.obs.get();
       queue_key_.reserve(devices_.size());
       compute_hist_key_.reserve(devices_.size());
+      dispatch_key_.reserve(devices_.size());
       for (const hw::DeviceSpec& device : devices_) {
         queue_key_.push_back(
             obs::metric_key("queue_depth", {{"device", device.name}}));
         compute_hist_key_.push_back(
             obs::metric_key("chunk_compute_ms", {{"device", device.name}}));
+        dispatch_key_.push_back(
+            obs::metric_key("chunks_dispatched", {{"device", device.name}}));
       }
     }
   }
 
   ExecutionReport execute() {
+    // Steady state keeps roughly one event in flight per announced task plus
+    // one per busy lane; sizing the queue for the whole graph up front means
+    // the hot scheduling loop never reallocates.
+    std::size_t total_lanes = 0;
+    for (const DeviceState& state : device_states_)
+      total_lanes += state.lanes.size();
+    engine_.reserve_events(graph_.size() + total_lanes + 16);
+    if (options_.record_trace) {
+      // Compute + dispatch-overhead spans per task plus transfer spans.
+      report_.trace.reserve(graph_.size() * 3);
+    }
     scheduler_.set_observability(obs_);
     scheduler_.begin_run(platform_, kernels_);
     if (injector_) {
@@ -151,6 +173,7 @@ class Run {
     report_.faults.run_completed = unfinished == 0;
     coherence_.check_no_byte_orphaned();
     report_.makespan = last_completion_;
+    report_.sim_events = engine_.fired_events();
     if (injector_) record_injected_faults();
     if (obs_) {
       obs_->metrics.gauge_set("makespan_ms", to_millis(report_.makespan));
@@ -235,8 +258,10 @@ class Run {
     // the pool (the breadth-first scheduler never steals bound work).
     if (st.locality && failed_[*st.locality]) st.locality.reset();
     sched_info_[id] = st;
-    obs_span(id, obs::SpanPhase::kAnnounce, now, now, kernel.name);
-    obs_count("chunks_announced");
+    if (obs_) {
+      obs_span(id, obs::SpanPhase::kAnnounce, now, now, kernel.name);
+      obs_count("chunks_announced");
+    }
 
     if (node.pinned_device) {
       const hw::DeviceId d = *node.pinned_device;
@@ -251,9 +276,11 @@ class Run {
         return;
       }
       device_states_[d].queue.push_back(id);
-      obs_span(id, obs::SpanPhase::kSchedule, now, now,
-               devices_[d].name + " (pinned)");
-      obs_track(queue_key_d(d), now, 1);
+      if (obs_) {
+        obs_span(id, obs::SpanPhase::kSchedule, now, now,
+                 devices_[d].name + " (pinned)");
+        obs_track(queue_key_d(d), now, 1);
+      }
     } else if (!runnable_somewhere(st)) {
       abandon(id, now, "no surviving device runs it");
       return;
@@ -267,9 +294,11 @@ class Run {
       HS_REQUIRE(!failed_[*chosen],
                  "scheduler placed work on failed device " << *chosen);
       device_states_[d_checked(*chosen)].queue.push_back(id);
-      obs_span(id, obs::SpanPhase::kSchedule, now, now,
-               devices_[*chosen].name);
-      obs_track(queue_key_d(*chosen), now, 1);
+      if (obs_) {
+        obs_span(id, obs::SpanPhase::kSchedule, now, now,
+                 devices_[*chosen].name);
+        obs_track(queue_key_d(*chosen), now, 1);
+      }
     } else {
       pool_.push_back(st);
       obs_track("pool_depth", now, 1);
@@ -356,7 +385,7 @@ class Run {
     report_.overhead_time += overhead;
     // Pool tasks are placed right here (pull-style); queued tasks already
     // got their schedule span at announce time.
-    if (from_pool)
+    if (obs_ && from_pool)
       obs_span(id, obs::SpanPhase::kSchedule, now, now + overhead,
                devices_[d].name);
 
@@ -383,7 +412,7 @@ class Run {
           std::max(data_ready, region_ready_time(access.region, space_of(d)));
     }
 
-    if (data_ready > evict_done)
+    if (obs_ && data_ready > evict_done)
       obs_span(id, obs::SpanPhase::kH2D, evict_done, data_ready,
                "stage inputs on " + devices_[d].name);
 
@@ -393,16 +422,18 @@ class Run {
         injector_ ? injector_->stretch_compute(d, data_ready, nominal)
                   : nominal;
     const SimTime end = data_ready + compute;
-    obs_span(id, obs::SpanPhase::kCompute, end - compute, end, lane.name());
     if (obs_) {
-      obs_->metrics.counter_add(
-          obs::metric_key("chunks_dispatched", {{"device", devices_[d].name}}),
-          1);
+      obs_span(id, obs::SpanPhase::kCompute, end - compute, end, lane.name());
+      obs_->metrics.counter_add(dispatch_key_[d], 1);
       obs_->metrics.observe(compute_hist_key_[d], to_millis(compute));
     }
+    // The reservation label only surfaces via lane history (traces); skip
+    // the three-way string concatenation on the untraced hot path.
     lane.reserve(now, end - now,
-                 kernel.name + " [" + std::to_string(node.begin) + "," +
-                     std::to_string(node.end) + ")");
+                 options_.record_trace
+                     ? kernel.name + " [" + std::to_string(node.begin) + "," +
+                           std::to_string(node.end) + ")"
+                     : std::string());
 
     // At most once per task: a chunk displaced by a device failure is
     // re-dispatched elsewhere, and non-idempotent kernel bodies must not
@@ -455,11 +486,15 @@ class Run {
     const SimTime nominal = cost_model_.transfer_time(
         platform_.link, static_cast<double>(op.size_bytes()));
     const bool to_host = op.dst == mem::kHostSpace;
-    const std::string label =
-        std::string(to_host ? "D2H " : "H2D ") +
-        coherence_.buffer(op.region.buffer).name + "[" +
-        std::to_string(op.region.range.begin) + "," +
-        std::to_string(op.region.range.end) + ")";
+    // Labels feed the trace (via the returned span) and lane history; an
+    // untraced run never reads them, so skip the concatenation.
+    std::string label;
+    if (options_.record_trace) {
+      label = std::string(to_host ? "D2H " : "H2D ") +
+              coherence_.buffer(op.region.buffer).name + "[" +
+              std::to_string(op.region.range.begin) + "," +
+              std::to_string(op.region.range.end) + ")";
+    }
     SimTime start = link_.earliest_start(arrival);
     if (co_lane != nullptr)
       start = std::max(start, co_lane->earliest_start(arrival));
@@ -582,15 +617,18 @@ class Run {
       }
       if (lane.available_at() > now) {
         occupancy += lane.available_at() - now;
-        obs_span(id, obs::SpanPhase::kD2H, now, lane.available_at(),
-                 "write-back from " + devices_[d].name);
+        if (obs_)
+          obs_span(id, obs::SpanPhase::kD2H, now, lane.available_at(),
+                   "write-back from " + devices_[d].name);
         // Wake the dispatcher when the queue drains so waiting work resumes.
         engine_.schedule_at(lane.available_at(),
                             [this] { pump(engine_.now()); });
       }
     }
-    obs_span(id, obs::SpanPhase::kComplete, now, now, devices_[d].name);
-    obs_count("chunks_completed");
+    if (obs_) {
+      obs_span(id, obs::SpanPhase::kComplete, now, now, devices_[d].name);
+      obs_count("chunks_completed");
+    }
     scheduler_.on_complete(sched_info_[id], d, compute, occupancy, now);
     bool rediverged = false;
     if (injector_) rediverged = check_divergence(d, compute, nominal, now);
@@ -1037,6 +1075,7 @@ class Run {
   obs::RunObservability* obs_ = nullptr;
   std::vector<std::string> queue_key_;
   std::vector<std::string> compute_hist_key_;
+  std::vector<std::string> dispatch_key_;
 
   ExecutionReport report_;
   SimTime last_completion_ = 0;

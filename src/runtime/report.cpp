@@ -40,6 +40,7 @@ std::string report_to_json(const ExecutionReport& report,
   os << ",\"tasks_executed\":" << report.tasks_executed;
   os << ",\"barriers\":" << report.barriers;
   os << ",\"scheduling_decisions\":" << report.scheduling_decisions;
+  os << ",\"sim_events\":" << report.sim_events;
   os << ",\"overhead_ms\":"
      << json::format_double(to_millis(report.overhead_time));
   os << ",\"transfers\":{"

@@ -57,6 +57,9 @@ struct ExecutionReport {
   std::size_t scheduling_decisions = 0;
   std::size_t barriers = 0;
   std::size_t tasks_executed = 0;
+  /// Discrete events fired by the simulation engine for this run — the
+  /// denominator for simulated-events-per-second throughput numbers.
+  std::uint64_t sim_events = 0;
 
   /// Peak bytes simultaneously valid in each space (capacity accounting).
   std::vector<std::int64_t> peak_resident_bytes;

@@ -51,6 +51,11 @@ class Engine {
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t fired_events() const { return fired_; }
 
+  /// Pre-sizes the event queue's backing vector so steady-state scheduling
+  /// never reallocates (callers typically know roughly how many events are
+  /// in flight: tasks + lanes + a constant).
+  void reserve_events(std::size_t capacity) { queue_.reserve(capacity); }
+
  private:
   struct Event {
     SimTime at;
@@ -63,13 +68,18 @@ class Engine {
       return a.seq > b.seq;
     }
   };
+  /// priority_queue with access to the protected backing container, so the
+  /// engine can reserve capacity up front.
+  struct EventQueue : std::priority_queue<Event, std::vector<Event>, Later> {
+    void reserve(std::size_t capacity) { c.reserve(capacity); }
+  };
 
   void fire(Event event);
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
 };
 
 }  // namespace hetsched::sim

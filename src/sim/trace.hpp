@@ -50,6 +50,9 @@ class TraceRecorder {
   const std::vector<TraceEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }
   void clear() { events_.clear(); }
+  /// Pre-sizes the event vector (recorders that know the approximate event
+  /// count avoid growth reallocations in the record hot loop).
+  void reserve(std::size_t capacity) { events_.reserve(capacity); }
 
   /// Latest end time across all events (0 when empty).
   SimTime makespan() const;

@@ -1,0 +1,141 @@
+#include "sweep/bench.hpp"
+
+#include <chrono>
+
+#include "analyzer/strategy.hpp"
+#include "apps/registry.hpp"
+#include "common/json.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/scenario.hpp"
+
+namespace hetsched::sweep {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+/// The cold/warm workload: two structurally different apps under every
+/// paper strategy on the reference platform — big enough to exercise the
+/// worker pool and the store loop, small enough for a CI smoke run.
+std::vector<Scenario> canonical_matrix(bool small) {
+  return enumerate_matrix(
+      {apps::PaperApp::kMatrixMul, apps::PaperApp::kNbody},
+      analyzer::paper_strategies(), {"reference"}, {false}, small);
+}
+
+/// The shared-twin workload: S seeds of the seeded "storm" plan on one
+/// scenario. Every seed's fault-free twin has the same healthy key, so the
+/// in-run memo computes exactly one baseline.
+std::vector<Scenario> twin_matrix(bool small, int seeds) {
+  std::vector<Scenario> scenarios;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    Scenario scenario;
+    scenario.app = apps::PaperApp::kMatrixMul;
+    scenario.strategy = analyzer::StrategyKind::kDPPerf;
+    scenario.small = small;
+    scenario.fault_plan = "storm";
+    scenario.fault_seed = static_cast<std::uint64_t>(seed);
+    scenarios.push_back(scenario);
+  }
+  return scenarios;
+}
+
+BenchPhase measure(std::string name, const SweepEngine& engine,
+                   const std::vector<Scenario>& scenarios) {
+  BenchPhase phase;
+  phase.name = std::move(name);
+  const Clock::time_point start = Clock::now();
+  const SweepRun run = engine.run(scenarios);
+  phase.wall_ms = elapsed_ms(start);
+  phase.summary = run.summary;
+  for (const ScenarioOutcome& outcome : run.outcomes) {
+    if (outcome.ok()) phase.sim_events += outcome.metrics.sim_events;
+  }
+  if (phase.wall_ms > 0.0) {
+    phase.events_per_second =
+        static_cast<double>(phase.sim_events) / (phase.wall_ms / 1000.0);
+  }
+  return phase;
+}
+
+json::Value phase_to_json(const BenchPhase& phase) {
+  const SweepSummary& summary = phase.summary;
+  json::Value value;
+  value.set("name", json::Value(phase.name));
+  value.set("scenarios",
+            json::Value(static_cast<std::int64_t>(summary.scenarios)));
+  value.set("ok", json::Value(static_cast<std::int64_t>(summary.ok)));
+  value.set("computed",
+            json::Value(static_cast<std::int64_t>(summary.computed)));
+  value.set("cache_hits",
+            json::Value(static_cast<std::int64_t>(summary.cache_hits)));
+  value.set("cache_misses",
+            json::Value(static_cast<std::int64_t>(summary.cache_misses)));
+  value.set("twin_memo_hits",
+            json::Value(static_cast<std::int64_t>(summary.twin_memo_hits)));
+  value.set("twin_computes",
+            json::Value(static_cast<std::int64_t>(summary.twin_computes)));
+  value.set("scenario_dedup_hits",
+            json::Value(static_cast<std::int64_t>(
+                summary.scenario_dedup_hits)));
+  value.set("sim_events", json::Value(phase.sim_events));
+  value.set("wall_ms", json::Value(phase.wall_ms));
+  value.set("sim_events_per_second", json::Value(phase.events_per_second));
+  return value;
+}
+
+}  // namespace
+
+BenchResult run_bench(const BenchOptions& options) {
+  BenchResult result;
+  result.options = options;
+
+  SweepOptions sweep_options;
+  sweep_options.parallel = options.parallel;
+  sweep_options.jobs = options.jobs;
+  sweep_options.use_cache = true;
+  sweep_options.cache_dir = options.cache_dir;
+
+  // Phase one must be genuinely cold: drop whatever a previous bench left.
+  ResultCache(options.cache_dir).clear();
+
+  const std::vector<Scenario> matrix = canonical_matrix(options.small);
+  const SweepEngine cached_engine(sweep_options);
+  result.cold = measure("cold_cache", cached_engine, matrix);
+  result.warm = measure("warm_cache", cached_engine, matrix);
+
+  // Shared twins are an in-run effect; the cache would hide them.
+  SweepOptions twin_options = sweep_options;
+  twin_options.use_cache = false;
+  result.twins = measure("faulted_shared_twins", SweepEngine(twin_options),
+                         twin_matrix(options.small, options.fault_seeds));
+  return result;
+}
+
+std::string bench_to_json(const BenchResult& result) {
+  json::Value workload;
+  workload.set("small", json::Value(result.options.small));
+  workload.set("parallel", json::Value(result.options.parallel));
+  workload.set("fault_seeds",
+               json::Value(static_cast<std::int64_t>(
+                   result.options.fault_seeds)));
+  workload.set("sweep_code_version", json::Value(kSweepCodeVersion));
+
+  json::Value phases{json::Value::Array{}};
+  phases.push_back(phase_to_json(result.cold));
+  phases.push_back(phase_to_json(result.warm));
+  phases.push_back(phase_to_json(result.twins));
+
+  json::Value document;
+  document.set("bench", json::Value("sweep"));
+  document.set("workload", std::move(workload));
+  document.set("phases", std::move(phases));
+  return document.dump();
+}
+
+}  // namespace hetsched::sweep

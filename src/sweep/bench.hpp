@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.hpp"
+
+/// Reproducible sweep benchmark harness (the `hetsched_cli bench` verb).
+///
+/// Times the canonical three-phase sweep that exercises every layer of the
+/// hot path:
+///   cold   — fresh cache directory, every scenario simulated and stored;
+///   warm   — identical sweep again, every scenario served from disk;
+///   twins  — N fault seeds of one seeded plan on one scenario, all sharing
+///            a single fault-free baseline twin through the in-run memo.
+/// Each phase reports wall-clock, the total simulated events its results
+/// represent, and the resulting events-per-second throughput (for the warm
+/// phase that is the cache's effective serving rate: N events' worth of
+/// results per second without simulating any of them).
+namespace hetsched::sweep {
+
+struct BenchOptions {
+  /// Small functional app configurations (the CI smoke size); false runs
+  /// the paper problem sizes.
+  bool small = true;
+  bool parallel = true;
+  /// Worker count when parallel (0 = hardware concurrency).
+  unsigned jobs = 0;
+  /// Seed count for the shared-twin phase (S seeds -> 1 baseline compute,
+  /// S - 1 twin memo hits).
+  int fault_seeds = 6;
+  /// Cache directory for the cold/warm phases; cleared before the cold run
+  /// so phase one is genuinely cold.
+  std::string cache_dir = ".hs-bench-cache";
+};
+
+struct BenchPhase {
+  std::string name;
+  SweepSummary summary;
+  /// Sum of ScenarioMetrics::sim_events over ok outcomes.
+  std::int64_t sim_events = 0;
+  double wall_ms = 0.0;
+  double events_per_second = 0.0;
+};
+
+struct BenchResult {
+  BenchOptions options;
+  BenchPhase cold;
+  BenchPhase warm;
+  BenchPhase twins;
+};
+
+/// Runs the three phases in order and returns their measurements.
+BenchResult run_bench(const BenchOptions& options = {});
+
+/// Serializes a BenchResult. Workload-describing fields (scenario counts,
+/// cache/memo counters, sim_events) are deterministic for a given build, so
+/// two runs differ only in the wall_ms / events_per_second timing fields;
+/// key order and double formatting are byte-stable.
+std::string bench_to_json(const BenchResult& result);
+
+}  // namespace hetsched::sweep

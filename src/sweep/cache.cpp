@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "sweep/scenario.hpp"
 
 namespace hetsched::sweep {
@@ -44,6 +45,25 @@ EntryStatus read_entry(const std::string& path, const std::string& key,
   std::ifstream file(path, std::ios::binary);
   if (!file.good()) return EntryStatus::kNoEntry;
 
+  // Length lines are untrusted input: a corrupt entry must not be able to
+  // request a multi-GB allocation (std::bad_alloc would abort the whole
+  // sweep). Nothing framed inside the file can be longer than the file.
+  file.seekg(0, std::ios::end);
+  const std::streamoff file_size = file.tellg();
+  file.seekg(0, std::ios::beg);
+  if (file_size < 0) return EntryStatus::kCorrupt;
+  const auto parse_bounded_length =
+      [file_size](const std::string& line, std::size_t& out) {
+        try {
+          const unsigned long long value = std::stoull(line);
+          if (value > static_cast<unsigned long long>(file_size)) return false;
+          out = static_cast<std::size_t>(value);
+          return true;
+        } catch (const std::exception&) {
+          return false;
+        }
+      };
+
   std::string magic;
   if (!std::getline(file, magic) || magic != kMagic) {
     return EntryStatus::kCorrupt;
@@ -51,9 +71,7 @@ EntryStatus read_entry(const std::string& path, const std::string& key,
   std::string length_line;
   if (!std::getline(file, length_line)) return EntryStatus::kCorrupt;
   std::size_t key_length = 0;
-  try {
-    key_length = std::stoul(length_line);
-  } catch (const std::exception&) {
+  if (!parse_bounded_length(length_line, key_length)) {
     return EntryStatus::kCorrupt;
   }
   std::string stored_key(key_length, '\0');
@@ -69,9 +87,7 @@ EntryStatus read_entry(const std::string& path, const std::string& key,
   std::string payload_length_line;
   if (!std::getline(file, payload_length_line)) return EntryStatus::kCorrupt;
   std::size_t payload_length = 0;
-  try {
-    payload_length = std::stoul(payload_length_line);
-  } catch (const std::exception&) {
+  if (!parse_bounded_length(payload_length_line, payload_length)) {
     return EntryStatus::kCorrupt;
   }
   payload.assign(payload_length, '\0');
@@ -118,21 +134,34 @@ void ResultCache::evict(const std::string& key) const {
   }
 }
 
-void ResultCache::store(const std::string& key,
+bool ResultCache::store(const std::string& key,
                         const std::string& payload) const {
   const std::string path = path_for(key);
   const std::string temp =
       path + ".tmp" +
       std::to_string(temp_counter.fetch_add(1, std::memory_order_relaxed));
+  const auto drop = [&](const char* why) {
+    HS_WARN << "sweep cache store dropped (" << why << "): " << path;
+    std::error_code cleanup_ec;
+    fs::remove(temp, cleanup_ec);
+    dropped_stores_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  };
   {
     std::ofstream file(temp, std::ios::binary | std::ios::trunc);
-    HS_REQUIRE(file.good(),
-               "cannot write sweep cache entry '" << temp << "'");
+    if (!file.good()) return drop("cannot open temp file");
     file << kMagic << "\n" << key.size() << "\n" << key << "\n"
          << payload.size() << "\n" << payload;
+    file.flush();
+    if (!file.good()) return drop("short write");
   }
-  fs::rename(temp, path);
+  // One failed rename must not throw out of a post-sweep store loop and
+  // discard the remaining computed results.
+  std::error_code ec;
+  fs::rename(temp, path, ec);
+  if (ec) return drop(ec.message().c_str());
   stores_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 std::size_t ResultCache::clear() const {

@@ -23,6 +23,9 @@ struct CacheCounters {
   std::int64_t misses = 0;
   std::int64_t stores = 0;
   std::int64_t evictions = 0;
+  /// Store attempts that could not land (unwritable directory, failed
+  /// rename). Stores are best-effort: a drop loses reuse, never a result.
+  std::int64_t dropped_stores = 0;
 };
 
 class ResultCache {
@@ -36,8 +39,12 @@ class ResultCache {
   /// unreadable entry, or an entry whose stored key does not match `key`).
   std::optional<std::string> load(const std::string& key) const;
 
-  /// Stores `payload` under `key`, replacing any previous entry.
-  void store(const std::string& key, const std::string& payload) const;
+  /// Stores `payload` under `key`, replacing any previous entry. Best
+  /// effort: on an I/O failure (unwritable directory, failed rename) the
+  /// temp file is cleaned up, a warning is logged, dropped_stores is
+  /// counted, and false is returned — one bad slot never aborts the rest of
+  /// a sweep's store loop.
+  bool store(const std::string& key, const std::string& payload) const;
 
   /// Deletes the entry for `key` (e.g. its payload failed deserialization
   /// downstream). Counted as an eviction when a file was actually removed.
@@ -50,7 +57,8 @@ class ResultCache {
   std::string path_for(const std::string& key) const;
 
   CacheCounters counters() const {
-    return {hits_.load(), misses_.load(), stores_.load(), evictions_.load()};
+    return {hits_.load(), misses_.load(), stores_.load(), evictions_.load(),
+            dropped_stores_.load()};
   }
 
  private:
@@ -61,6 +69,7 @@ class ResultCache {
   mutable std::atomic<std::int64_t> misses_{0};
   mutable std::atomic<std::int64_t> stores_{0};
   mutable std::atomic<std::int64_t> evictions_{0};
+  mutable std::atomic<std::int64_t> dropped_stores_{0};
 };
 
 }  // namespace hetsched::sweep

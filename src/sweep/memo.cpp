@@ -1,0 +1,41 @@
+#include "sweep/memo.hpp"
+
+#include "sweep/sweep.hpp"
+
+namespace hetsched::sweep {
+
+ScenarioMemo::Lookup ScenarioMemo::get_or_compute(const std::string& key,
+                                                  const ComputeFn& compute) {
+  std::promise<OutcomePtr> promise;
+  std::shared_future<OutcomePtr> future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = futures_.find(key);
+    if (it == futures_.end()) {
+      owner = true;
+      future = promise.get_future().share();
+      futures_.emplace(key, future);
+    } else {
+      future = it->second;
+    }
+  }
+  if (owner) {
+    // compute() reports failures through ScenarioOutcome::status, but guard
+    // anyway: an escaped exception must not leave waiters blocked forever.
+    try {
+      promise.set_value(
+          std::make_shared<const ScenarioOutcome>(compute()));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return {future.get(), !owner};
+}
+
+std::size_t ScenarioMemo::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return futures_.size();
+}
+
+}  // namespace hetsched::sweep

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+/// In-process scenario memo table for one SweepEngine::run.
+///
+/// The on-disk ResultCache deduplicates work *across* sweeps; this table
+/// deduplicates work *within* one run: identical scenarios in the input
+/// list compute once, and every faulted scenario's fault-free baseline twin
+/// is shared by all faulted scenarios that map to the same healthy key — N
+/// fault seeds x M plans cost one baseline instead of N x M.
+///
+/// Thread-safety follows the single-flight pattern: the first caller of a
+/// key becomes its owner and computes the value; concurrent callers receive
+/// a std::shared_future and block on that one computation instead of racing
+/// their own. Ownership is decided under the mutex, the computation itself
+/// runs outside it, so distinct keys never serialize each other.
+namespace hetsched::sweep {
+
+struct ScenarioOutcome;
+
+/// Counters the sweep summary (and the obs registry, when wired) report.
+struct MemoCounters {
+  /// Baseline-twin lookups served from the table (a twin somebody else
+  /// computed, or is computing, this run).
+  std::int64_t twin_hits = 0;
+  /// Baseline twins actually computed (the acceptance bar: S faulted
+  /// scenarios sharing one healthy twin => exactly 1).
+  std::int64_t twin_computes = 0;
+};
+
+class ScenarioMemo {
+ public:
+  using OutcomePtr = std::shared_ptr<const ScenarioOutcome>;
+  using ComputeFn = std::function<ScenarioOutcome()>;
+
+  struct Lookup {
+    OutcomePtr outcome;
+    /// True when the value came from (or was being computed for) another
+    /// caller — i.e. this lookup did not pay for the computation.
+    bool shared = false;
+  };
+
+  ScenarioMemo() = default;
+  ScenarioMemo(const ScenarioMemo&) = delete;
+  ScenarioMemo& operator=(const ScenarioMemo&) = delete;
+
+  /// Returns the memoized outcome for `key`, invoking `compute` exactly
+  /// once per key across all threads. Blocks until the owning computation
+  /// finishes when another thread got there first.
+  Lookup get_or_compute(const std::string& key, const ComputeFn& compute);
+
+  /// Marks one baseline-twin lookup in the counters (`shared` is the flag
+  /// returned by get_or_compute for that lookup).
+  void note_twin_lookup(bool shared) {
+    if (shared) {
+      twin_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      twin_computes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  MemoCounters counters() const {
+    return {twin_hits_.load(std::memory_order_relaxed),
+            twin_computes_.load(std::memory_order_relaxed)};
+  }
+
+  std::size_t entries() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_future<OutcomePtr>> futures_;
+  std::atomic<std::int64_t> twin_hits_{0};
+  std::atomic<std::int64_t> twin_computes_{0};
+};
+
+}  // namespace hetsched::sweep

@@ -24,7 +24,9 @@ namespace hetsched::sweep {
 /// cost-model behaviour change, new default StrategyOptions, a report
 /// schema change. The version participates in every cache key, so bumping
 /// it invalidates all previously cached results at once.
-inline constexpr const char* kSweepCodeVersion = "hs-sweep-3";
+/// hs-sweep-4: payloads gained metrics.sim_events and optional persisted
+/// trace/trace_violations members.
+inline constexpr const char* kSweepCodeVersion = "hs-sweep-4";
 
 struct Scenario {
   apps::PaperApp app = apps::PaperApp::kMatrixMul;

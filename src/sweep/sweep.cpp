@@ -1,13 +1,16 @@
 #include "sweep/sweep.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <unordered_map>
 
 #include "common/error.hpp"
 #include "faults/fault_plan.hpp"
 #include "hw/platform.hpp"
+#include "obs/metrics.hpp"
 #include "obs/validate.hpp"
 #include "runtime/thread_pool.hpp"
 #include "strategies/strategy_runner.hpp"
@@ -53,6 +56,7 @@ json::Value metrics_to_json(const ScenarioMetrics& metrics) {
             json::Value(metrics.repartitioned_tasks));
   value.set("abandoned_tasks", json::Value(metrics.abandoned_tasks));
   value.set("run_completed", json::Value(metrics.run_completed));
+  value.set("sim_events", json::Value(metrics.sim_events));
   return value;
 }
 
@@ -81,6 +85,7 @@ ScenarioMetrics metrics_from_json(const json::Value& value) {
   metrics.repartitioned_tasks = value.at("repartitioned_tasks").as_int64();
   metrics.abandoned_tasks = value.at("abandoned_tasks").as_int64();
   metrics.run_completed = value.at("run_completed").as_bool();
+  metrics.sim_events = value.at("sim_events").as_int64();
   return metrics;
 }
 
@@ -115,6 +120,17 @@ std::string ScenarioOutcome::to_payload() const {
   // json::format_double, so re-dumping the parsed object reproduces the
   // exact original bytes.
   value.set("report", json::Value::parse(report_json));
+  if (!trace_json.empty()) {
+    // Traced outcomes persist trace + validator findings so a --trace run
+    // that hits the cache still returns them (stored as an opaque string:
+    // the trace is already serialized chrome JSON and must round-trip
+    // byte-exactly).
+    value.set("trace", json::Value(trace_json));
+    json::Value violations{json::Value::Array{}};
+    for (const std::string& violation : trace_violations)
+      violations.push_back(json::Value(violation));
+    value.set("trace_violations", std::move(violations));
+  }
   return value.dump();
 }
 
@@ -129,6 +145,13 @@ ScenarioOutcome ScenarioOutcome::from_payload(const std::string& payload) {
   }
   outcome.metrics = metrics_from_json(value.at("metrics"));
   outcome.report_json = value.at("report").dump();
+  // Lenient: entries cached by an untraced run have no trace members.
+  if (const json::Value* trace = value.find("trace")) {
+    outcome.trace_json = trace->as_string();
+    for (const json::Value& violation :
+         value.at("trace_violations").as_array())
+      outcome.trace_violations.push_back(violation.as_string());
+  }
   return outcome;
 }
 
@@ -136,6 +159,11 @@ SweepEngine::SweepEngine(SweepOptions options)
     : options_(std::move(options)) {}
 
 ScenarioOutcome SweepEngine::compute(const Scenario& scenario) const {
+  return compute_scenario(scenario, nullptr);
+}
+
+ScenarioOutcome SweepEngine::compute_scenario(const Scenario& scenario,
+                                              ScenarioMemo* memo) const {
   ScenarioOutcome outcome;
   outcome.scenario = scenario;
   const Clock::time_point start = Clock::now();
@@ -143,21 +171,36 @@ ScenarioOutcome SweepEngine::compute(const Scenario& scenario) const {
   // Faulted scenarios are measured against their own fault-free twin: the
   // baseline run fixes the horizon the named plan's relative offsets
   // resolve against, and its makespan is the degradation denominator. The
-  // twin is computed fresh (no cache) — it is part of this scenario's
-  // deterministic closure, not a separate sweep entry.
+  // twin is part of this scenario's deterministic closure, not a separate
+  // sweep entry — but within one run() every faulted scenario that maps to
+  // the same healthy key shares ONE twin computation through the memo
+  // instead of recomputing it per fault seed / plan.
   double baseline_ms = 0.0;
   if (!scenario.fault_plan.empty()) {
     Scenario healthy = scenario;
     healthy.fault_plan.clear();
     healthy.fault_seed = 0;
-    const ScenarioOutcome base = compute(healthy);
-    if (!base.ok()) {
-      outcome.status = base.status;
-      outcome.error = base.error;
+    ScenarioMemo::OutcomePtr shared_base;
+    ScenarioOutcome owned_base;
+    const ScenarioOutcome* base = nullptr;
+    if (memo != nullptr) {
+      const ScenarioMemo::Lookup lookup = memo->get_or_compute(
+          scenario_key(healthy),
+          [this, &healthy, memo] { return compute_scenario(healthy, memo); });
+      memo->note_twin_lookup(lookup.shared);
+      shared_base = lookup.outcome;
+      base = shared_base.get();
+    } else {
+      owned_base = compute_scenario(healthy, nullptr);
+      base = &owned_base;
+    }
+    if (!base->ok()) {
+      outcome.status = base->status;
+      outcome.error = base->error;
       outcome.wall_ms = elapsed_ms(start);
       return outcome;
     }
-    baseline_ms = base.metrics.time_ms;
+    baseline_ms = base->metrics.time_ms;
   }
 
   try {
@@ -201,6 +244,8 @@ ScenarioOutcome SweepEngine::compute(const Scenario& scenario) const {
         static_cast<std::int64_t>(result.report.barriers);
     outcome.metrics.scheduling_decisions =
         static_cast<std::int64_t>(result.report.scheduling_decisions);
+    outcome.metrics.sim_events =
+        static_cast<std::int64_t>(result.report.sim_events);
     const faults::FaultReport& fault_report = result.report.faults;
     outcome.metrics.faults_injected = fault_report.injected_faults;
     outcome.metrics.fault_retries = fault_report.retries;
@@ -241,24 +286,68 @@ SweepRun SweepEngine::run(const std::vector<Scenario>& scenarios) const {
   if (options_.use_cache)
     cache = std::make_unique<ResultCache>(options_.cache_dir);
 
+  // The scenario key is the unit of identity for every layer below: it is
+  // hashed for the disk cache, compared for in-run dedup, and derived again
+  // for every baseline twin. Compute each input's key exactly once here
+  // instead of once per use inside the loops.
+  std::vector<std::string> keys;
+  keys.reserve(scenarios.size());
+  for (const Scenario& scenario : scenarios)
+    keys.push_back(scenario_key(scenario));
+
+  // Group duplicate inputs: only the first occurrence of a key touches the
+  // cache or a worker; later occurrences copy its outcome (scenario dedup).
+  std::unordered_map<std::string_view, std::size_t> first_by_key;
+  first_by_key.reserve(keys.size());
+  std::vector<std::size_t> primaries;
+  primaries.reserve(scenarios.size());
+  std::vector<std::pair<std::size_t, std::size_t>> duplicates;  // dup, primary
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const auto [it, inserted] = first_by_key.emplace(keys[i], i);
+    if (inserted) {
+      primaries.push_back(i);
+    } else {
+      duplicates.emplace_back(i, it->second);
+    }
+  }
+
   // Resolve cache hits up front; only misses are dispatched to workers.
   std::vector<std::size_t> misses;
-  misses.reserve(scenarios.size());
-  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+  misses.reserve(primaries.size());
+  for (std::size_t i : primaries) {
     bool hit = false;
     if (cache) {
       const Clock::time_point lookup = Clock::now();
-      if (const auto payload = cache->load(scenario_key(scenarios[i]))) {
+      if (const auto payload = cache->load(keys[i])) {
         try {
-          run.outcomes[i] = ScenarioOutcome::from_payload(*payload);
-          run.outcomes[i].cache_hit = true;
-          run.outcomes[i].wall_ms = elapsed_ms(lookup);
-          hit = true;
+          ScenarioOutcome outcome = ScenarioOutcome::from_payload(*payload);
+          if (outcome.status == ScenarioStatus::kFailed) {
+            // Failed outcomes are never stored (transient failures must not
+            // replay as permanent hits); an entry like this predates that
+            // rule, so drop it and recompute.
+            cache->evict(keys[i]);
+          } else if (options_.record_trace && outcome.ok() &&
+                     outcome.trace_json.empty()) {
+            // The entry predates trace persistence (or was written by an
+            // untraced run). It is still valid for untraced consumers, so
+            // leave it in place, but this traced run must recompute — the
+            // fresh store below upgrades the entry with its trace.
+          } else {
+            if (!options_.record_trace) {
+              // Untraced runs return exactly what a fresh compute would.
+              outcome.trace_json.clear();
+              outcome.trace_violations.clear();
+            }
+            run.outcomes[i] = std::move(outcome);
+            run.outcomes[i].cache_hit = true;
+            run.outcomes[i].wall_ms = elapsed_ms(lookup);
+            hit = true;
+          }
         } catch (const InvalidArgument&) {
           // An entry that passed the byte-level checks but no longer
           // deserializes (e.g. written by a different build): drop it and
           // recompute.
-          cache->evict(scenario_key(scenarios[i]));
+          cache->evict(keys[i]);
           run.outcomes[i] = ScenarioOutcome{};
         }
       }
@@ -266,8 +355,27 @@ SweepRun SweepEngine::run(const std::vector<Scenario>& scenarios) const {
     if (!hit) misses.push_back(i);
   }
 
+  // One memo per run: shares fault-free baseline twins across all faulted
+  // scenarios (and catches a twin doubling as a top-level scenario, in
+  // either order). `crossover_hits` counts top-level scenarios whose result
+  // materialized from a twin somebody else computed.
+  ScenarioMemo memo;
+  std::atomic<std::size_t> crossover_hits{0};
   const auto compute_into = [&](std::size_t index) {
-    run.outcomes[index] = compute(scenarios[index]);
+    const Clock::time_point begin = Clock::now();
+    const ScenarioMemo::Lookup lookup = memo.get_or_compute(
+        keys[index],
+        [this, &scenarios, &memo, index] {
+          return compute_scenario(scenarios[index], &memo);
+        });
+    run.outcomes[index] = *lookup.outcome;
+    // Equal keys imply equal results, but echo this row's own descriptor.
+    run.outcomes[index].scenario = scenarios[index];
+    if (lookup.shared) {
+      run.outcomes[index].memo_hit = true;
+      run.outcomes[index].wall_ms = elapsed_ms(begin);
+      crossover_hits.fetch_add(1, std::memory_order_relaxed);
+    }
   };
   if (options_.parallel && misses.size() > 1) {
     rt::ThreadPool pool(options_.jobs);
@@ -280,18 +388,40 @@ SweepRun SweepEngine::run(const std::vector<Scenario>& scenarios) const {
 
   if (cache) {
     for (std::size_t index : misses) {
-      cache->store(scenario_key(scenarios[index]),
-                   run.outcomes[index].to_payload());
+      // Never persist kFailed: a transient failure (OOM, interrupted run)
+      // must not replay as a permanent cache hit.
+      if (run.outcomes[index].status == ScenarioStatus::kFailed) continue;
+      cache->store(keys[index], run.outcomes[index].to_payload());
     }
   }
 
+  // Duplicates copy their primary's outcome — computed, cache-loaded, or
+  // shared, it is the same bytes a fresh compute would produce.
+  for (const auto& [dup, primary] : duplicates) {
+    const Clock::time_point begin = Clock::now();
+    run.outcomes[dup] = run.outcomes[primary];
+    run.outcomes[dup].scenario = scenarios[dup];
+    run.outcomes[dup].cache_hit = false;
+    run.outcomes[dup].memo_hit = true;
+    run.outcomes[dup].wall_ms = elapsed_ms(begin);
+  }
+
   run.summary.scenarios = scenarios.size();
-  run.summary.computed = misses.size();
-  run.summary.cache_hits = scenarios.size() - misses.size();
+  run.summary.computed = misses.size() - crossover_hits.load();
+  run.summary.cache_hits = primaries.size() - misses.size();
+  run.summary.scenario_dedup_hits = duplicates.size() + crossover_hits.load();
+  const MemoCounters memo_counters = memo.counters();
+  run.summary.twin_memo_hits =
+      static_cast<std::size_t>(memo_counters.twin_hits);
+  run.summary.twin_computes =
+      static_cast<std::size_t>(memo_counters.twin_computes);
   if (cache) {
     run.summary.cache_misses = misses.size();
+    const CacheCounters cache_counters = cache->counters();
     run.summary.cache_evictions =
-        static_cast<std::size_t>(cache->counters().evictions);
+        static_cast<std::size_t>(cache_counters.evictions);
+    run.summary.cache_dropped_stores =
+        static_cast<std::size_t>(cache_counters.dropped_stores);
   }
   for (const ScenarioOutcome& outcome : run.outcomes) {
     switch (outcome.status) {
@@ -301,6 +431,24 @@ SweepRun SweepEngine::run(const std::vector<Scenario>& scenarios) const {
     }
   }
   run.summary.wall_ms = elapsed_ms(start);
+
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& registry = *options_.metrics;
+    registry.counter_add(obs::kSweepTwinMemoHits,
+                         static_cast<std::int64_t>(run.summary.twin_memo_hits));
+    registry.counter_add(obs::kSweepTwinComputes,
+                         static_cast<std::int64_t>(run.summary.twin_computes));
+    registry.counter_add(
+        obs::kSweepScenarioDedupHits,
+        static_cast<std::int64_t>(run.summary.scenario_dedup_hits));
+    registry.counter_add(obs::kSweepCacheHits,
+                         static_cast<std::int64_t>(run.summary.cache_hits));
+    registry.counter_add(obs::kSweepCacheMisses,
+                         static_cast<std::int64_t>(run.summary.cache_misses));
+    registry.counter_add(
+        obs::kSweepCacheDroppedStores,
+        static_cast<std::int64_t>(run.summary.cache_dropped_stores));
+  }
   return run;
 }
 
@@ -353,8 +501,18 @@ std::string sweep_to_json(const SweepRun& run) {
                                   run.summary.cache_misses)));
   summary.set("cache_evictions", json::Value(static_cast<std::int64_t>(
                                      run.summary.cache_evictions)));
+  summary.set("cache_dropped_stores",
+              json::Value(static_cast<std::int64_t>(
+                  run.summary.cache_dropped_stores)));
   summary.set("computed",
               json::Value(static_cast<std::int64_t>(run.summary.computed)));
+  summary.set("twin_memo_hits", json::Value(static_cast<std::int64_t>(
+                                    run.summary.twin_memo_hits)));
+  summary.set("twin_computes", json::Value(static_cast<std::int64_t>(
+                                   run.summary.twin_computes)));
+  summary.set("scenario_dedup_hits",
+              json::Value(static_cast<std::int64_t>(
+                  run.summary.scenario_dedup_hits)));
   summary.set("wall_ms", json::Value(run.summary.wall_ms));
 
   json::Value scenarios{json::Value::Array{}};
@@ -365,6 +523,7 @@ std::string sweep_to_json(const SweepRun& run) {
     entry.set("status",
               json::Value(scenario_status_name(outcome.status)));
     entry.set("cache_hit", json::Value(outcome.cache_hit));
+    entry.set("memo_hit", json::Value(outcome.memo_hit));
     entry.set("wall_ms", json::Value(outcome.wall_ms));
     if (!outcome.trace_violations.empty()) {
       json::Value violations{json::Value::Array{}};

@@ -5,7 +5,12 @@
 #include <vector>
 
 #include "sweep/cache.hpp"
+#include "sweep/memo.hpp"
 #include "sweep/scenario.hpp"
+
+namespace hetsched::obs {
+class MetricsRegistry;
+}  // namespace hetsched::obs
 
 /// Batch scenario-sweep engine.
 ///
@@ -61,6 +66,10 @@ struct ScenarioMetrics {
   std::int64_t repartitioned_tasks = 0;
   std::int64_t abandoned_tasks = 0;
   bool run_completed = true;
+  /// Discrete events the simulator fired for this scenario (the measured
+  /// run only, not the baseline twin) — the bench harness's throughput
+  /// denominator.
+  std::int64_t sim_events = 0;
 };
 
 struct ScenarioOutcome {
@@ -71,15 +80,20 @@ struct ScenarioOutcome {
   /// Full rt::report_to_json serialization of the ExecutionReport (empty
   /// when status != kOk). Byte-identical whether computed or cache-loaded.
   std::string report_json;
-  /// Chrome-trace timeline (only when SweepOptions::record_trace; never
-  /// cached).
+  /// Chrome-trace timeline (only when SweepOptions::record_trace). Part of
+  /// the canonical payload when present, so a traced run that hits the
+  /// cache still returns its trace.
   std::string trace_json;
   /// obs::validate_trace findings for the recorded timeline (only when
-  /// SweepOptions::record_trace; empty = clean). Run metadata, never cached.
+  /// SweepOptions::record_trace; empty = clean). Persisted alongside
+  /// trace_json.
   std::vector<std::string> trace_violations;
 
   /// Run metadata — not part of the canonical payload.
   bool cache_hit = false;
+  /// Result was copied from an identical scenario computed earlier in the
+  /// same run (in-process dedup, no simulation and no disk involved).
+  bool memo_hit = false;
   double wall_ms = 0.0;
 
   double time_ms() const { return metrics.time_ms; }
@@ -107,8 +121,14 @@ struct SweepOptions {
   /// Reuse / populate the on-disk result cache.
   bool use_cache = false;
   std::string cache_dir = ".hs-sweep-cache";
-  /// Record a chrome trace per scenario (in-memory only, disables nothing).
+  /// Record a chrome trace per scenario. Traced outcomes persist their
+  /// trace in the cache; a traced run that hits an entry cached without a
+  /// trace recomputes the scenario instead of silently dropping it.
   bool record_trace = false;
+  /// When set, run() mirrors its summary counters (twin_memo_hits,
+  /// scenario_dedup_hits, cache hit/miss/dropped-store totals) into this
+  /// registry under the obs::kSweep* names. Not owned; must outlive run().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SweepSummary {
@@ -122,7 +142,18 @@ struct SweepSummary {
   /// Entries the cache discarded this run (corrupt files plus entries whose
   /// payload failed deserialization).
   std::size_t cache_evictions = 0;
+  /// Store attempts the cache dropped (unwritable directory, failed
+  /// rename); the sweep result is unaffected, only future reuse is lost.
+  std::size_t cache_dropped_stores = 0;
   std::size_t computed = 0;
+  /// Fault-free baseline twins served from the in-run memo instead of being
+  /// recomputed (S faulted scenarios sharing one twin => S - 1 hits).
+  std::size_t twin_memo_hits = 0;
+  /// Baseline twins actually computed this run.
+  std::size_t twin_computes = 0;
+  /// Scenarios whose key matched an earlier scenario in the same input list
+  /// and were copied instead of recomputed.
+  std::size_t scenario_dedup_hits = 0;
   double wall_ms = 0.0;
 };
 
@@ -141,10 +172,16 @@ class SweepEngine {
   /// in input order plus the run summary.
   SweepRun run(const std::vector<Scenario>& scenarios) const;
 
-  /// Runs one scenario without touching the cache.
+  /// Runs one scenario without touching the cache or the in-run memo (the
+  /// reference path memoized runs are compared against).
   ScenarioOutcome compute(const Scenario& scenario) const;
 
  private:
+  /// compute() with an optional memo: baseline twins resolve through `memo`
+  /// (shared across all scenarios of one run()) when it is non-null.
+  ScenarioOutcome compute_scenario(const Scenario& scenario,
+                                   ScenarioMemo* memo) const;
+
   SweepOptions options_;
 };
 

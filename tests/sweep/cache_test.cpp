@@ -78,6 +78,57 @@ TEST_F(ResultCacheTest, TruncatedEntryDegradesToMiss) {
   EXPECT_FALSE(cache.load("key").has_value());
 }
 
+TEST_F(ResultCacheTest, OversizedKeyLengthDegradesToMiss) {
+  ResultCache cache(dir_.string());
+  // A corrupt length line must not be able to request a multi-GB string
+  // allocation (std::bad_alloc would abort the whole sweep): lengths are
+  // bounded by the file size, so this is a plain corrupt-entry miss.
+  std::ofstream out(cache.path_for("key"), std::ios::binary | std::ios::trunc);
+  out << "hs-sweep-cache-v1\n" << "99999999999999999\n" << "key\n"
+      << 7 << "\npayload";
+  out.close();
+  EXPECT_FALSE(cache.load("key").has_value());
+  // Corrupt entries are evicted on discovery.
+  EXPECT_FALSE(fs::exists(cache.path_for("key")));
+  EXPECT_EQ(cache.counters().evictions, 1);
+}
+
+TEST_F(ResultCacheTest, OversizedPayloadLengthDegradesToMiss) {
+  ResultCache cache(dir_.string());
+  std::ofstream out(cache.path_for("key"), std::ios::binary | std::ios::trunc);
+  out << "hs-sweep-cache-v1\n" << 3 << "\nkey\n"
+      << "88888888888888888888\npayload";
+  out.close();
+  EXPECT_FALSE(cache.load("key").has_value());
+  EXPECT_EQ(cache.counters().evictions, 1);
+}
+
+TEST_F(ResultCacheTest, UnparsableLengthLineDegradesToMiss) {
+  ResultCache cache(dir_.string());
+  std::ofstream out(cache.path_for("key"), std::ios::binary | std::ios::trunc);
+  out << "hs-sweep-cache-v1\nnot-a-number\nkey\n7\npayload";
+  out.close();
+  EXPECT_FALSE(cache.load("key").has_value());
+}
+
+TEST_F(ResultCacheTest, RenameFailureDropsStoreGracefully) {
+  ResultCache cache(dir_.string());
+  // A directory squatting on the entry's path makes the final rename fail.
+  // Store must not throw (one bad slot would abort the whole post-sweep
+  // store loop), must clean up its temp file, and must count the drop.
+  fs::create_directories(cache.path_for("blocked-key"));
+  EXPECT_FALSE(cache.store("blocked-key", "payload"));
+  EXPECT_EQ(cache.counters().dropped_stores, 1);
+  EXPECT_EQ(cache.counters().stores, 0);
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_)) {
+    EXPECT_FALSE(entry.is_regular_file())
+        << "temp file leaked: " << entry.path();
+  }
+  // Other slots are unaffected.
+  EXPECT_TRUE(cache.store("good-key", "payload"));
+  EXPECT_EQ(cache.load("good-key").value(), "payload");
+}
+
 TEST_F(ResultCacheTest, ClearRemovesEverything) {
   ResultCache cache(dir_.string());
   cache.store("key-a", "a");

@@ -133,6 +133,137 @@ TEST(SweepEngine, UndeserializableCacheEntryIsRecomputed) {
   fs::remove_all(dir);
 }
 
+TEST(SweepEngine, FailedCacheEntryIsNeverReplayed) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "hs_sweep_cache_failed";
+  fs::remove_all(dir);
+  SweepOptions options = serial_options();
+  options.use_cache = true;
+  options.cache_dir = dir.string();
+  const Scenario scenario = small_scenario(
+      apps::PaperApp::kMatrixMul, analyzer::StrategyKind::kSPSingle);
+
+  // Plant a failed outcome under the scenario's key — what the engine
+  // would have stored before failed outcomes were barred from the cache.
+  ScenarioOutcome failed;
+  failed.scenario = scenario;
+  failed.status = ScenarioStatus::kFailed;
+  failed.error = "transient failure";
+  {
+    ResultCache cache(dir.string());
+    cache.store(scenario_key(scenario), failed.to_payload());
+  }
+
+  // A transient failure must not replay as a permanent hit: the entry is
+  // evicted and the scenario recomputed.
+  const SweepRun run = SweepEngine(options).run({scenario});
+  EXPECT_EQ(run.summary.cache_hits, 0u);
+  EXPECT_EQ(run.summary.computed, 1u);
+  ASSERT_TRUE(run.outcomes[0].ok()) << run.outcomes[0].error;
+  EXPECT_FALSE(run.outcomes[0].cache_hit);
+
+  // The recompute replaced the failed entry with the good outcome.
+  ResultCache cache(dir.string());
+  const auto stored = cache.load(scenario_key(scenario));
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_EQ(ScenarioOutcome::from_payload(*stored).status,
+            ScenarioStatus::kOk);
+  fs::remove_all(dir);
+}
+
+TEST(SweepEngine, OkAndInapplicableOutcomesAreStored) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "hs_sweep_cache_store_set";
+  fs::remove_all(dir);
+  SweepOptions options = serial_options();
+  options.use_cache = true;
+  options.cache_dir = dir.string();
+  const std::vector<Scenario> scenarios = {
+      small_scenario(apps::PaperApp::kMatrixMul,
+                     analyzer::StrategyKind::kSPSingle),
+      small_scenario(apps::PaperApp::kStreamSeq,
+                     analyzer::StrategyKind::kSPSingle),  // inapplicable
+  };
+  const SweepRun cold = SweepEngine(options).run(scenarios);
+  EXPECT_EQ(cold.summary.ok, 1u);
+  EXPECT_EQ(cold.summary.inapplicable, 1u);
+  // Both statuses are cacheable (inapplicability is deterministic); the
+  // warm run serves them without recomputing.
+  const SweepRun warm = SweepEngine(options).run(scenarios);
+  EXPECT_EQ(warm.summary.cache_hits, 2u);
+  EXPECT_EQ(warm.summary.computed, 0u);
+  EXPECT_EQ(warm.outcomes[1].status, ScenarioStatus::kInapplicable);
+  fs::remove_all(dir);
+}
+
+TEST(SweepEngine, TracedRunKeepsItsTraceThroughTheCache) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "hs_sweep_cache_trace";
+  fs::remove_all(dir);
+  SweepOptions options = serial_options();
+  options.use_cache = true;
+  options.cache_dir = dir.string();
+  options.record_trace = true;
+  const SweepEngine engine(options);
+  const std::vector<Scenario> scenarios = {
+      small_scenario(apps::PaperApp::kNbody,
+                     analyzer::StrategyKind::kDPPerf),
+  };
+  const SweepRun cold = engine.run(scenarios);
+  ASSERT_TRUE(cold.outcomes[0].ok()) << cold.outcomes[0].error;
+  ASSERT_FALSE(cold.outcomes[0].trace_json.empty());
+
+  // The bug this pins: a traced run that hits the cache used to lose its
+  // trace because the payload never carried it.
+  const SweepRun warm = engine.run(scenarios);
+  EXPECT_TRUE(warm.outcomes[0].cache_hit);
+  EXPECT_EQ(warm.outcomes[0].trace_json, cold.outcomes[0].trace_json);
+  EXPECT_EQ(warm.outcomes[0].trace_violations,
+            cold.outcomes[0].trace_violations);
+  EXPECT_EQ(warm.outcomes[0].to_payload(), cold.outcomes[0].to_payload());
+  fs::remove_all(dir);
+}
+
+TEST(SweepEngine, TracedRunRecomputesOverUntracedEntry) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "hs_sweep_cache_trace_upgrade";
+  fs::remove_all(dir);
+  SweepOptions untraced = serial_options();
+  untraced.use_cache = true;
+  untraced.cache_dir = dir.string();
+  const std::vector<Scenario> scenarios = {
+      small_scenario(apps::PaperApp::kHotSpot,
+                     analyzer::StrategyKind::kDPDep),
+  };
+  // Seed the cache from an untraced run.
+  const SweepRun untraced_cold = SweepEngine(untraced).run(scenarios);
+  ASSERT_TRUE(untraced_cold.outcomes[0].ok());
+
+  // A traced run finds the entry but it carries no trace: recompute (and
+  // upgrade the entry) instead of silently returning a traceless outcome.
+  SweepOptions traced = untraced;
+  traced.record_trace = true;
+  const SweepRun traced_run = SweepEngine(traced).run(scenarios);
+  EXPECT_EQ(traced_run.summary.cache_hits, 0u);
+  EXPECT_EQ(traced_run.summary.computed, 1u);
+  EXPECT_FALSE(traced_run.outcomes[0].trace_json.empty());
+
+  // The upgraded entry now serves traced runs from the cache...
+  const SweepRun traced_warm = SweepEngine(traced).run(scenarios);
+  EXPECT_EQ(traced_warm.summary.cache_hits, 1u);
+  EXPECT_EQ(traced_warm.outcomes[0].trace_json,
+            traced_run.outcomes[0].trace_json);
+
+  // ...and untraced runs still get exactly what a fresh untraced compute
+  // would produce (no trace members in the outcome).
+  const SweepRun untraced_warm = SweepEngine(untraced).run(scenarios);
+  EXPECT_EQ(untraced_warm.summary.cache_hits, 1u);
+  EXPECT_TRUE(untraced_warm.outcomes[0].trace_json.empty());
+  EXPECT_EQ(untraced_warm.outcomes[0].to_payload(),
+            untraced_cold.outcomes[0].to_payload());
+  fs::remove_all(dir);
+}
+
 TEST(ComputeRankings, OrdersWithinGroupAndPicksWinner) {
   const std::vector<Scenario> scenarios = enumerate_matrix(
       {apps::PaperApp::kMatrixMul}, analyzer::paper_strategies(),

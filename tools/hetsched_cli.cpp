@@ -29,6 +29,10 @@
 ///   hetsched_cli explain --app <name> [--json] [--sync] [--tasks <m>]
 ///                        [--platform <p>] [--small]
 ///                        # matchmaker decision + predicted-time inputs
+///   hetsched_cli bench   [--paper-size] [--serial] [--jobs N] [--seeds S]
+///                        [--cache-dir <dir>] [--out <file>]
+///                        # sweep hot-path benchmark (cold / warm / shared
+///                        # twins), writes BENCH_sweep.json by default
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
@@ -55,6 +59,7 @@
 #include "strategies/autotune.hpp"
 #include "strategies/explain.hpp"
 #include "strategies/strategy_runner.hpp"
+#include "sweep/bench.hpp"
 #include "sweep/sweep.hpp"
 
 namespace {
@@ -611,6 +616,44 @@ int cmd_metrics(const Args& args) {
   return 0;
 }
 
+int cmd_bench(const Args& args) {
+  sweep::BenchOptions options;
+  // The benchmark defaults to the small functional configs so the `bench`
+  // ctest label stays a smoke run; --paper-size measures the real sizes.
+  options.small = !args.flag("paper-size");
+  options.parallel = !args.flag("serial");
+  if (args.flag("jobs"))
+    options.jobs = static_cast<unsigned>(std::stoul(args.get("jobs")));
+  if (args.flag("seeds")) options.fault_seeds = std::stoi(args.get("seeds"));
+  options.cache_dir = args.get("cache-dir", ".hs-bench-cache");
+
+  const sweep::BenchResult result = sweep::run_bench(options);
+
+  const auto print_phase = [](const sweep::BenchPhase& phase) {
+    std::cout << "  " << phase.name << ": " << phase.summary.scenarios
+              << " scenario(s) in " << format_fixed(phase.wall_ms, 1)
+              << " ms — " << phase.summary.computed << " computed, "
+              << phase.summary.cache_hits << " cache hit(s), "
+              << phase.summary.twin_computes << " twin(s) computed, "
+              << phase.summary.twin_memo_hits << " twin memo hit(s); "
+              << phase.sim_events << " sim events ("
+              << format_fixed(phase.events_per_second / 1e6, 2) << " M/s)\n";
+  };
+  std::cout << "sweep bench ("
+            << (options.small ? "small configs" : "paper sizes") << ", "
+            << (options.parallel ? "parallel" : "serial") << "):\n";
+  print_phase(result.cold);
+  print_phase(result.warm);
+  print_phase(result.twins);
+
+  const std::string out = args.get("out", "BENCH_sweep.json");
+  std::ofstream file(out);
+  HS_REQUIRE(file.good(), "cannot open '" << out << "' for writing");
+  file << sweep::bench_to_json(result) << "\n";
+  std::cout << "wrote " << out << "\n";
+  return 0;
+}
+
 int cmd_explain(const Args& args) {
   const hw::PlatformSpec platform = platform_by_name(args.get("platform"));
   auto app = make_app(args, platform);
@@ -641,9 +684,10 @@ int main(int argc, char** argv) {
     if (args.command == "faults") return cmd_faults(args);
     if (args.command == "metrics") return cmd_metrics(args);
     if (args.command == "explain") return cmd_explain(args);
+    if (args.command == "bench") return cmd_bench(args);
     std::cerr << "usage: hetsched_cli "
                  "<list|catalog|match|run|compare|trace|analyze|tune|sweep|"
-                 "faults|metrics|explain> "
+                 "faults|metrics|explain|bench> "
                  "[--app <name>] [--strategy <s>] [--platform <p>] "
                  "[--sync] [--tasks <m>] [--small] [--csv] [--out <file>]\n";
     return args.command.empty() ? 0 : 2;
