@@ -172,7 +172,10 @@ class Run {
     report_.faults.unfinished_tasks = static_cast<std::int64_t>(unfinished);
     report_.faults.run_completed = unfinished == 0;
     coherence_.check_no_byte_orphaned();
-    report_.makespan = last_completion_;
+    // A DNF run can end on an abandon, after the last completion; the
+    // reported window must cover that final fault-handling action or the
+    // trace holds recovery events outside the run.
+    report_.makespan = std::max(last_completion_, last_fault_action_);
     report_.sim_events = engine_.fired_events();
     if (injector_) record_injected_faults();
     if (obs_) {
@@ -314,6 +317,7 @@ class Run {
 
   void abandon(TaskId id, SimTime now, const std::string& why) {
     ++report_.faults.abandoned_tasks;
+    last_fault_action_ = std::max(last_fault_action_, now);
     obs_span(id, obs::SpanPhase::kAbandon, now, now, why);
     obs_count("chunks_abandoned");
     if (options_.record_trace)
@@ -882,6 +886,7 @@ class Run {
       return;
     }
     ++report_.faults.retries;
+    last_fault_action_ = std::max(last_fault_action_, now);
     // Exponential virtual-time backoff before the chunk re-enters
     // scheduling (a real runtime would spend this re-establishing contexts).
     double delay = static_cast<double>(retry.backoff_base);
@@ -1079,6 +1084,9 @@ class Run {
 
   ExecutionReport report_;
   SimTime last_completion_ = 0;
+  /// Latest abandon/retry moment; on a DNF run fault handling can outlast
+  /// the last completion, and the run window must still cover it.
+  SimTime last_fault_action_ = 0;
   /// (space, buffer) -> byte ranges -> time their current copy lands.
   std::map<std::pair<mem::SpaceId, mem::BufferId>, RangeMap<SimTime>>
       region_ready_;

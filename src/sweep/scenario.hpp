@@ -26,7 +26,9 @@ namespace hetsched::sweep {
 /// it invalidates all previously cached results at once.
 /// hs-sweep-4: payloads gained metrics.sim_events and optional persisted
 /// trace/trace_violations members.
-inline constexpr const char* kSweepCodeVersion = "hs-sweep-4";
+/// hs-sweep-5: a DNF run's makespan now extends to its last fault-handling
+/// action (abandon/retry), so recorded recovery events stay in-window.
+inline constexpr const char* kSweepCodeVersion = "hs-sweep-5";
 
 struct Scenario {
   apps::PaperApp app = apps::PaperApp::kMatrixMul;

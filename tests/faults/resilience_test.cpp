@@ -2,6 +2,7 @@
 
 #include "faults/fault_plan.hpp"
 #include "hw/platform.hpp"
+#include "obs/validate.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/schedulers/perf_aware.hpp"
 #include "runtime/schedulers/work_stealing.hpp"
@@ -105,6 +106,36 @@ TEST(Resilience, PinnedRunReportsHonestIncompletionOnDeviceFailure) {
   EXPECT_GT(report.faults.unfinished_tasks, 0);
   EXPECT_EQ(report.faults.migrated_tasks, 0);  // pinned work cannot move
   EXPECT_LT(executed_items(report), kItems);
+}
+
+// Found by the fuzzer (seed 30, trace-validity oracle): when a pinned run
+// loses its device after every other chunk already finished, the abandon is
+// the last act of the run — the reported window must stretch to cover it,
+// or the trace holds a recovery event past the end.
+TEST(Resilience, RunWindowCoversAbandonAfterLastCompletion) {
+  RuntimeOptions options;
+  options.record_trace = true;
+  Bench bench(options);
+  // Tiny CPU tail, huge pinned GPU share: the tail completes early and the
+  // GPU instance is still in flight long after.
+  Program pinned;
+  pinned.submit(0, 0, kItems - 20, kGpu);
+  pinned.submit(0, kItems - 20, kItems, hw::kCpuDevice);
+  pinned.taskwait();
+
+  const ExecutionReport before = bench.exec.execute_pinned(pinned);
+  const SimTime gpu_busy = before.devices[kGpu].compute_time;
+  // Premise of the shape: every completion lands well before the failure.
+  ASSERT_GT(gpu_busy, 2 * before.devices[hw::kCpuDevice].compute_time);
+  bench.exec.set_fault_plan(failure_at(gpu_busy - 1));
+  const ExecutionReport report = bench.exec.execute_pinned(pinned);
+
+  ASSERT_FALSE(report.faults.run_completed);
+  ASSERT_GT(report.faults.abandoned_tasks, 0);
+  for (const sim::TraceEvent& event : report.trace.events())
+    EXPECT_LE(event.start, report.makespan);
+  EXPECT_TRUE(
+      obs::validate_trace(report.trace, report.makespan).empty());
 }
 
 TEST(Resilience, DivergenceRepartitionsQueuedWork) {
