@@ -1,0 +1,139 @@
+#include "check/engine.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace hetsched::check {
+
+json::Value Counterexample::to_json() const {
+  json::Value transforms{json::Value::Array{}};
+  for (const std::string& name : shrink_transforms)
+    transforms.push_back(json::Value(name));
+  json::Value value;
+  value.set("version", json::Value(kCheckVersion));
+  value.set("seed", json::Value(std::to_string(original.seed)));
+  value.set("oracle", json::Value(violation.oracle));
+  value.set("detail", json::Value(violation.detail));
+  value.set("case", minimal.to_json());
+  value.set("original_case", original.to_json());
+  value.set("shrink_transforms", std::move(transforms));
+  value.set("shrink_evaluations", json::Value(shrink_evaluations));
+  return value;
+}
+
+Counterexample Counterexample::from_json(const json::Value& value) {
+  Counterexample out;
+  out.minimal = FuzzCase::from_json(value.at("case"));
+  out.original = FuzzCase::from_json(value.at("original_case"));
+  out.violation.oracle = value.at("oracle").as_string();
+  out.violation.detail = value.at("detail").as_string();
+  for (const json::Value& name :
+       value.at("shrink_transforms").as_array())
+    out.shrink_transforms.push_back(name.as_string());
+  out.shrink_evaluations =
+      static_cast<int>(value.at("shrink_evaluations").as_int64());
+  return out;
+}
+
+std::string FuzzResult::render() const {
+  std::ostringstream os;
+  for (const Counterexample& cx : counterexamples) {
+    os << "COUNTEREXAMPLE seed=" << cx.original.seed
+       << " oracle=" << cx.violation.oracle << "\n";
+    os << "  detail: " << cx.violation.detail << "\n";
+    os << "  original: " << cx.original.describe() << "\n";
+    os << "  minimal:  " << cx.minimal.describe() << "\n";
+    if (!cx.shrink_transforms.empty()) {
+      os << "  shrunk via:";
+      for (const std::string& name : cx.shrink_transforms)
+        os << " " << name;
+      os << " (" << cx.shrink_evaluations << " oracle evaluations)\n";
+    }
+    os << "  replay: hetsched_cli fuzz --seed " << cx.original.seed
+       << " --iters 1\n";
+  }
+  os << "fuzz: " << seeds_run.size() << " case"
+     << (seeds_run.size() == 1 ? "" : "s") << " checked, ";
+  if (clean()) {
+    os << "all oracles passed\n";
+  } else {
+    os << counterexamples.size() << " counterexample"
+       << (counterexamples.size() == 1 ? "" : "s") << " found\n";
+  }
+  return os.str();
+}
+
+FuzzResult run_fuzz(const FuzzOptions& options) {
+  HS_REQUIRE(options.iters > 0 || !options.seeds.empty(),
+             "fuzzing needs at least one iteration");
+  std::vector<std::uint64_t> seeds = options.seeds;
+  if (seeds.empty()) {
+    seeds.reserve(static_cast<std::size_t>(options.iters));
+    for (int i = 0; i < options.iters; ++i)
+      seeds.push_back(options.base_seed + static_cast<std::uint64_t>(i));
+  }
+
+  FuzzResult result;
+  for (const std::uint64_t seed : seeds) {
+    FuzzCase c = generate_case(seed);
+    c.mutation = options.plant;
+    result.seeds_run.push_back(seed);
+    const std::vector<Violation> violations = run_oracles(c);
+    if (violations.empty()) continue;
+
+    Counterexample cx;
+    cx.original = c;
+    cx.minimal = c;
+    cx.violation = violations.front();
+    if (options.shrink) {
+      ShrinkResult shrunk = shrink_case(c, cx.violation.oracle);
+      cx.minimal = std::move(shrunk.minimal);
+      cx.shrink_transforms = std::move(shrunk.applied);
+      cx.shrink_evaluations = shrunk.evaluations;
+    }
+    result.counterexamples.push_back(std::move(cx));
+    break;  // first failure stops the run; later seeds replay individually
+  }
+  return result;
+}
+
+std::vector<Violation> replay_case(const FuzzCase& c) {
+  return run_oracles(c);
+}
+
+std::vector<std::uint64_t> parse_corpus(const std::string& text) {
+  std::vector<std::uint64_t> seeds;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::size_t begin = 0;
+    while (begin < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[begin])))
+      ++begin;
+    std::size_t end = line.size();
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(line[end - 1])))
+      --end;
+    if (begin == end) continue;
+    const std::string token = line.substr(begin, end - begin);
+    try {
+      for (char ch : token)
+        HS_REQUIRE(std::isdigit(static_cast<unsigned char>(ch)),
+                   "non-digit character");
+      std::size_t consumed = 0;
+      const std::uint64_t seed = std::stoull(token, &consumed);
+      HS_REQUIRE(consumed == token.size(), "trailing characters");
+      seeds.push_back(seed);
+    } catch (const std::exception&) {
+      throw InvalidArgument("corpus line " + std::to_string(line_number) +
+                            ": '" + token + "' is not a decimal seed");
+    }
+  }
+  return seeds;
+}
+
+}  // namespace hetsched::check

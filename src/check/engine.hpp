@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/gen.hpp"
+#include "check/oracles.hpp"
+#include "check/shrink.hpp"
+
+/// The fuzz engine: drives seeds through generate_case -> run_oracles,
+/// shrinks the first failure to a minimal counterexample, and renders a
+/// deterministic report (no timestamps, no wall-clock — equal inputs
+/// produce byte-identical output, which is itself one of the properties
+/// the CLI smoke tests pin down).
+namespace hetsched::check {
+
+struct FuzzOptions {
+  /// First seed; iteration i fuzzes seed base_seed + i, so a reported
+  /// failing seed S replays exactly via --seed S --iters 1.
+  std::uint64_t base_seed = 1;
+  int iters = 1;
+  /// Explicit seed list (corpus mode); non-empty overrides base/iters.
+  std::vector<std::uint64_t> seeds;
+  /// Shrink counterexamples to a minimal case (off = report raw).
+  bool shrink = true;
+  /// Planted mutation applied to every generated case (mutation-testing
+  /// the oracles from the CLI; see known_mutations()).
+  std::string plant;
+};
+
+struct Counterexample {
+  FuzzCase original;
+  FuzzCase minimal;       ///< == original when shrinking is off
+  Violation violation;    ///< first violation of the original case
+  std::vector<std::string> shrink_transforms;
+  int shrink_evaluations = 0;
+
+  /// Replayable repro document ({version, seed, oracle, case}).
+  json::Value to_json() const;
+  static Counterexample from_json(const json::Value& value);
+};
+
+struct FuzzResult {
+  std::vector<std::uint64_t> seeds_run;
+  std::vector<Counterexample> counterexamples;  ///< engine stops at first
+
+  bool clean() const { return counterexamples.empty(); }
+  /// Deterministic multi-line report (ends with a newline).
+  std::string render() const;
+};
+
+FuzzResult run_fuzz(const FuzzOptions& options);
+
+/// Re-runs the oracles over a case loaded from a repro document and
+/// returns its violations (empty = the repro no longer fails).
+std::vector<Violation> replay_case(const FuzzCase& c);
+
+/// Parses a seed-corpus text: one decimal seed per line, '#' starts a
+/// comment, blank lines ignored. Throws InvalidArgument on junk.
+std::vector<std::uint64_t> parse_corpus(const std::string& text);
+
+}  // namespace hetsched::check

@@ -1,0 +1,256 @@
+#include "check/gen.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "analyzer/strategy.hpp"
+#include "apps/registry.hpp"
+#include "common/rng.hpp"
+#include "faults/fault_plan.hpp"
+#include "hw/platform.hpp"
+
+namespace hetsched::check {
+
+namespace {
+
+const char* sync_reason_id(analyzer::SyncReason reason) {
+  switch (reason) {
+    case analyzer::SyncReason::kNone: return "none";
+    case analyzer::SyncReason::kHostPostProcessing:
+      return "host-post-processing";
+    case analyzer::SyncReason::kRepartitioning: return "repartitioning";
+  }
+  return "none";
+}
+
+analyzer::SyncReason sync_reason_from_id(const std::string& id) {
+  if (id == "none") return analyzer::SyncReason::kNone;
+  if (id == "host-post-processing")
+    return analyzer::SyncReason::kHostPostProcessing;
+  if (id == "repartitioning") return analyzer::SyncReason::kRepartitioning;
+  throw InvalidArgument("unknown sync reason '" + id + "'");
+}
+
+json::Value structure_to_json(const analyzer::AppDescriptor& descriptor) {
+  json::Value kernels{json::Value::Array{}};
+  for (const analyzer::KernelNode& kernel : descriptor.structure.kernels) {
+    json::Value node;
+    node.set("name", json::Value(kernel.name));
+    node.set("inner_loop", json::Value(kernel.inner_loop));
+    kernels.push_back(std::move(node));
+  }
+  json::Value flow{json::Value::Array{}};
+  for (const auto& [from, to] : descriptor.structure.flow) {
+    json::Value edge{json::Value::Array{}};
+    edge.push_back(json::Value(static_cast<std::int64_t>(from)));
+    edge.push_back(json::Value(static_cast<std::int64_t>(to)));
+    flow.push_back(std::move(edge));
+  }
+  json::Value value;
+  value.set("name", json::Value(descriptor.name));
+  value.set("kernels", std::move(kernels));
+  value.set("flow", std::move(flow));
+  value.set("main_loop", json::Value(descriptor.structure.main_loop));
+  value.set("sync", json::Value(sync_reason_id(descriptor.sync)));
+  return value;
+}
+
+analyzer::AppDescriptor structure_from_json(const json::Value& value) {
+  analyzer::AppDescriptor descriptor;
+  descriptor.name = value.at("name").as_string();
+  for (const json::Value& node : value.at("kernels").as_array()) {
+    descriptor.structure.kernels.push_back(
+        {node.at("name").as_string(), node.at("inner_loop").as_bool()});
+  }
+  for (const json::Value& edge : value.at("flow").as_array()) {
+    const json::Value::Array& pair = edge.as_array();
+    HS_REQUIRE(pair.size() == 2, "flow edge must be a [from, to] pair");
+    descriptor.structure.flow.emplace_back(
+        static_cast<std::size_t>(pair[0].as_int64()),
+        static_cast<std::size_t>(pair[1].as_int64()));
+  }
+  descriptor.structure.main_loop = value.at("main_loop").as_bool();
+  descriptor.sync = sync_reason_from_id(value.at("sync").as_string());
+  descriptor.structure.validate();
+  return descriptor;
+}
+
+json::Value estimate_to_json(const glinda::KernelEstimate& estimate) {
+  const auto profile_json = [](const glinda::DeviceProfile& profile) {
+    json::Value value;
+    value.set("seconds_per_item", json::Value(profile.seconds_per_item));
+    value.set("fixed_seconds", json::Value(profile.fixed_seconds));
+    value.set("h2d_bytes_per_item", json::Value(profile.h2d_bytes_per_item));
+    value.set("d2h_bytes_per_item", json::Value(profile.d2h_bytes_per_item));
+    value.set("h2d_fixed_bytes", json::Value(profile.h2d_fixed_bytes));
+    value.set("d2h_fixed_bytes", json::Value(profile.d2h_fixed_bytes));
+    return value;
+  };
+  json::Value value;
+  value.set("cpu", profile_json(estimate.cpu));
+  value.set("gpu", profile_json(estimate.gpu));
+  value.set("link_bytes_per_second",
+            json::Value(estimate.link_bytes_per_second));
+  value.set("transfer_on_critical_path",
+            json::Value(estimate.transfer_on_critical_path));
+  return value;
+}
+
+glinda::KernelEstimate estimate_from_json(const json::Value& value) {
+  const auto profile_from = [](const json::Value& profile) {
+    glinda::DeviceProfile out;
+    out.seconds_per_item = profile.at("seconds_per_item").as_number();
+    out.fixed_seconds = profile.at("fixed_seconds").as_number();
+    out.h2d_bytes_per_item = profile.at("h2d_bytes_per_item").as_number();
+    out.d2h_bytes_per_item = profile.at("d2h_bytes_per_item").as_number();
+    out.h2d_fixed_bytes = profile.at("h2d_fixed_bytes").as_number();
+    out.d2h_fixed_bytes = profile.at("d2h_fixed_bytes").as_number();
+    return out;
+  };
+  glinda::KernelEstimate estimate;
+  estimate.cpu = profile_from(value.at("cpu"));
+  estimate.gpu = profile_from(value.at("gpu"));
+  estimate.link_bytes_per_second =
+      value.at("link_bytes_per_second").as_number();
+  estimate.transfer_on_critical_path =
+      value.at("transfer_on_critical_path").as_bool();
+  return estimate;
+}
+
+}  // namespace
+
+json::Value FuzzCase::to_json() const {
+  json::Value value;
+  value.set("version", json::Value(kCheckVersion));
+  // The seed is a full uint64; a JSON number (double) only round-trips 53
+  // bits, so it travels as a decimal string.
+  value.set("seed", json::Value(std::to_string(seed)));
+  value.set("scenario", scenario.to_json());
+  value.set("structure", structure_to_json(structure));
+  value.set("estimate", estimate_to_json(estimate));
+  value.set("model_items", json::Value(model_items));
+  value.set("scale_factor", json::Value(scale_factor));
+  value.set("mutation", json::Value(mutation));
+  return value;
+}
+
+FuzzCase FuzzCase::from_json(const json::Value& value) {
+  const std::string version = value.at("version").as_string();
+  HS_REQUIRE(version == kCheckVersion,
+             "repro written by '" << version << "', this build is '"
+                                  << kCheckVersion
+                                  << "' — regenerate from the seed");
+  FuzzCase out;
+  try {
+    out.seed = std::stoull(value.at("seed").as_string());
+  } catch (const std::exception&) {
+    throw InvalidArgument("repro seed is not a decimal uint64");
+  }
+  out.scenario = sweep::Scenario::from_json(value.at("scenario"));
+  out.structure = structure_from_json(value.at("structure"));
+  out.estimate = estimate_from_json(value.at("estimate"));
+  out.model_items = value.at("model_items").as_int64();
+  HS_REQUIRE(out.model_items > 0, "model_items must be positive");
+  out.scale_factor = value.at("scale_factor").as_number();
+  HS_REQUIRE(out.scale_factor > 1.0, "scale_factor must exceed 1");
+  out.mutation = value.at("mutation").as_string();
+  return out;
+}
+
+std::string FuzzCase::describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " scenario=" << scenario.label() << " structure="
+     << structure.structure.kernel_count() << "-kernel/"
+     << analyzer::app_class_name(analyzer::classify(structure.structure));
+  if (structure.inter_kernel_sync()) os << "+sync";
+  os << " model_items=" << model_items;
+  if (!mutation.empty()) os << " mutation=" << mutation;
+  return os.str();
+}
+
+FuzzCase generate_case(std::uint64_t seed) {
+  Rng rng(seed);
+  FuzzCase out;
+  out.seed = seed;
+
+  // --- Execution scenario -------------------------------------------------
+  const std::vector<apps::PaperApp>& paper_apps = apps::all_paper_apps();
+  out.scenario.app = paper_apps[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(paper_apps.size()) - 1))];
+  const std::vector<analyzer::StrategyKind>& strategies =
+      analyzer::paper_strategies();
+  out.scenario.strategy = strategies[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(strategies.size()) - 1))];
+  const std::vector<std::string>& platforms = hw::platform_names();
+  out.scenario.platform = platforms[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(platforms.size()) - 1))];
+  out.scenario.sync = rng.uniform() < 0.5;
+  // Small functional configs only: the execution oracles simulate each case
+  // several times (traced, twice untraced, deduped), and the corpus runs in
+  // CI — paper sizes would take minutes per case.
+  out.scenario.small = true;
+  static constexpr int kTaskCounts[] = {2, 3, 4, 6, 8, 12, 16};
+  out.scenario.task_count =
+      kTaskCounts[rng.uniform_int(0, std::size(kTaskCounts) - 1)];
+  if (rng.uniform() < 0.5) {
+    const std::vector<std::string> plans = faults::named_fault_plans();
+    out.scenario.fault_plan = plans[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(plans.size()) - 1))];
+    // Scenario JSON stores the seed as int64; stay within 53 bits so the
+    // repro file round-trips through doubles exactly.
+    out.scenario.fault_seed = rng() & ((std::uint64_t{1} << 53) - 1);
+  }
+
+  // --- Kernel structure ---------------------------------------------------
+  const std::int64_t kernel_count = rng.uniform_int(1, 6);
+  analyzer::KernelGraph graph;
+  for (std::int64_t k = 0; k < kernel_count; ++k)
+    graph.kernels.push_back({"k" + std::to_string(k), rng.uniform() < 0.25});
+  if (kernel_count > 1) {
+    // Chain backbone with occasional gaps (gaps yield multi-source DAGs),
+    // plus random forward skip edges (branching). Forward-only edges keep
+    // every draw acyclic by construction.
+    for (std::size_t k = 0; k + 1 < graph.kernels.size(); ++k)
+      if (rng.uniform() >= 0.15) graph.flow.emplace_back(k, k + 1);
+    for (std::size_t from = 0; from + 2 < graph.kernels.size(); ++from)
+      for (std::size_t to = from + 2; to < graph.kernels.size(); ++to)
+        if (rng.uniform() < 0.2) graph.flow.emplace_back(from, to);
+  }
+  graph.main_loop = rng.uniform() < 0.35;
+  out.structure.name = "fuzz-" + std::to_string(seed);
+  out.structure.structure = std::move(graph);
+  out.structure.sync = static_cast<analyzer::SyncReason>(
+      rng.uniform_int(0, 2));
+
+  // --- Partition-model input ----------------------------------------------
+  const auto log_uniform = [&rng](double lo, double hi) {
+    return lo * std::pow(hi / lo, rng.uniform());
+  };
+  out.estimate.cpu.seconds_per_item = log_uniform(1e-9, 1e-5);
+  out.estimate.gpu.seconds_per_item = log_uniform(1e-10, 1e-5);
+  out.estimate.cpu.fixed_seconds =
+      rng.uniform() < 0.5 ? 0.0 : log_uniform(1e-7, 1e-3);
+  out.estimate.gpu.fixed_seconds =
+      rng.uniform() < 0.5 ? 0.0 : log_uniform(1e-7, 1e-3);
+  out.estimate.gpu.h2d_bytes_per_item =
+      static_cast<double>(rng.uniform_int(0, 64));
+  out.estimate.gpu.d2h_bytes_per_item =
+      static_cast<double>(rng.uniform_int(0, 64));
+  out.estimate.gpu.h2d_fixed_bytes =
+      rng.uniform() < 0.5 ? 0.0 : static_cast<double>(rng.uniform_int(0, 1 << 20));
+  out.estimate.gpu.d2h_fixed_bytes =
+      rng.uniform() < 0.5 ? 0.0 : static_cast<double>(rng.uniform_int(0, 1 << 20));
+  out.estimate.link_bytes_per_second = log_uniform(1e8, 1e11);
+  out.estimate.transfer_on_critical_path = rng.uniform() < 0.5;
+  out.model_items = rng.uniform_int(256, 1'000'000);
+  out.scale_factor = rng.uniform(1.1, 8.0);
+  return out;
+}
+
+const std::vector<std::string>& known_mutations() {
+  static const std::vector<std::string> kMutations = {"drop-items",
+                                                      "skew-time"};
+  return kMutations;
+}
+
+}  // namespace hetsched::check

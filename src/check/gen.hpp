@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyzer/app_model.hpp"
+#include "common/json.hpp"
+#include "glinda/partition_model.hpp"
+#include "sweep/scenario.hpp"
+
+/// Seeded scenario generation for the property-fuzz engine (hs_check).
+///
+/// A FuzzCase is everything one fuzz iteration probes, drawn from a single
+/// uint64 seed through hs::Rng so equal seeds yield byte-identical cases:
+///   - an execution scenario (paper app x strategy x platform x sync x
+///     chunking x optional fault plan) run through the sweep engine,
+///   - a generated kernel-structure descriptor (random kernel count, flow
+///     graph, loops, sync reason) for the analyzer/Table-I oracles,
+///   - a generated Glinda kernel estimate + problem size for the
+///     partition-model oracles.
+/// Cases serialize to JSON (byte-stable) so a counterexample is a
+/// replayable repro file, not just a seed.
+namespace hetsched::check {
+
+/// Bump when generation or case serialization changes meaning: old repro
+/// files then fail loudly instead of replaying a different case.
+inline constexpr const char* kCheckVersion = "hs-check-1";
+
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  /// Execution probe. Always a small functional configuration — the fuzz
+  /// corpus must stay cheap enough for CI.
+  sweep::Scenario scenario;
+  /// Generated application structure for the classification / ranking
+  /// oracles (independent of `scenario`, which is limited to real apps).
+  analyzer::AppDescriptor structure;
+  /// Generated partition-model input for the metamorphic scaling oracle.
+  glinda::KernelEstimate estimate;
+  std::int64_t model_items = 1 << 16;
+  /// GPU-throughput scaling factor (> 1) for the metamorphic check
+  /// "a faster device never receives a smaller optimal share".
+  double scale_factor = 2.0;
+  /// Planted bug for mutation-testing the oracles ("" = none; see
+  /// known_mutations()). Applied to the oracle substrate after the
+  /// simulation, never to the simulation itself.
+  std::string mutation;
+
+  json::Value to_json() const;
+  /// Throws InvalidArgument on malformed input or a version mismatch.
+  static FuzzCase from_json(const json::Value& value);
+
+  /// One-line human-readable summary (stable across runs).
+  std::string describe() const;
+};
+
+/// Draws the complete case for `seed` (pure function of the seed).
+FuzzCase generate_case(std::uint64_t seed);
+
+/// The planted-bug mutations the oracles are mutation-tested against:
+///   drop-items    one executed item vanishes from the report
+///                 (work-conservation must catch it)
+///   skew-time     metrics.time_ms drifts from the report makespan
+///                 (report-consistency must catch it)
+const std::vector<std::string>& known_mutations();
+
+}  // namespace hetsched::check

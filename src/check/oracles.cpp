@@ -1,0 +1,596 @@
+#include "check/oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "analyzer/matchmaker.hpp"
+#include "analyzer/ranking.hpp"
+#include "apps/registry.hpp"
+#include "hw/platform.hpp"
+#include "sweep/sweep.hpp"
+
+namespace hetsched::check {
+
+namespace {
+
+bool want(const std::string& only, const char* name) {
+  return only.empty() || only == name;
+}
+
+template <typename... Parts>
+void add(std::vector<Violation>& out, const char* oracle, Parts&&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  out.push_back({oracle, os.str()});
+}
+
+// ---------------------------------------------------------------------------
+// Planted-bug mutations (mutation-testing the oracles themselves). Applied
+// to the oracle substrate AFTER the simulation: the oracles must notice a
+// corrupted report exactly as they would a real accounting bug.
+// ---------------------------------------------------------------------------
+
+/// Rebuilds the report with the first positive per-kernel item count
+/// decremented by one (json::Value is read-only, so mutate-by-copy).
+json::Value drop_one_item(const json::Value& report, bool& dropped) {
+  json::Value out;
+  for (const auto& [key, member] : report.as_object()) {
+    if (key != "devices") {
+      out.set(key, member);
+      continue;
+    }
+    json::Value devices{json::Value::Array{}};
+    for (const json::Value& device : member.as_array()) {
+      json::Value rebuilt;
+      for (const auto& [field, value] : device.as_object()) {
+        if (field != "items_per_kernel" || dropped) {
+          rebuilt.set(field, value);
+          continue;
+        }
+        json::Value items{json::Value::Object{}};
+        for (const auto& [kernel, count] : value.as_object()) {
+          std::int64_t n = count.as_int64();
+          if (!dropped && n > 0) {
+            --n;
+            dropped = true;
+          }
+          items.set(kernel, json::Value(n));
+        }
+        rebuilt.set(field, std::move(items));
+      }
+      devices.push_back(std::move(rebuilt));
+    }
+    out.set(key, std::move(devices));
+  }
+  return out;
+}
+
+void apply_mutation(sweep::ScenarioOutcome& subject,
+                    const std::string& mutation) {
+  if (mutation.empty()) return;
+  if (mutation == "drop-items") {
+    bool dropped = false;
+    subject.report_json =
+        drop_one_item(json::Value::parse(subject.report_json), dropped)
+            .dump();
+    HS_REQUIRE(dropped,
+               "drop-items mutation found no executed items to drop");
+    return;
+  }
+  if (mutation == "skew-time") {
+    subject.metrics.time_ms = subject.metrics.time_ms * 1.25 + 1.0;
+    return;
+  }
+  throw InvalidArgument("unknown mutation '" + mutation + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Execution oracles (over ScenarioOutcomes of c.scenario)
+// ---------------------------------------------------------------------------
+
+/// Items in == items completed + DNF'd. Expected per-kernel counts come
+/// from the application itself (items_of x iterations); actuals are summed
+/// by kernel name across every device of the report. A completed run must
+/// match exactly — the executor reverses in-flight accounting when a
+/// failure displaces a dispatch precisely so this holds across
+/// migration/retry. A DNF run may only be missing work, and the deficit
+/// must be explained by abandoned/unfinished tasks.
+void check_conservation(const FuzzCase& c,
+                        const sweep::ScenarioOutcome& outcome,
+                        std::vector<Violation>& out) {
+  constexpr const char* kOracle = "work-conservation";
+  const hw::PlatformSpec platform =
+      hw::platform_by_name(c.scenario.platform);
+  const apps::Application::Config config =
+      c.scenario.small ? apps::test_config(c.scenario.app)
+                       : apps::paper_config(c.scenario.app);
+  const auto application =
+      apps::make_paper_app(c.scenario.app, platform, config);
+
+  std::map<std::string, std::int64_t> expected;
+  const std::vector<rt::KernelDef>& defs =
+      application->executor().kernels();
+  const std::vector<rt::KernelId>& sequence = application->kernels();
+  for (std::size_t i = 0; i < sequence.size(); ++i)
+    expected[defs[sequence[i]].name] +=
+        application->items_of(i) * application->iterations();
+
+  const json::Value report = json::Value::parse(outcome.report_json);
+  std::map<std::string, std::int64_t> actual;
+  for (const json::Value& device : report.at("devices").as_array())
+    for (const auto& [kernel, items] :
+         device.at("items_per_kernel").as_object())
+      actual[kernel] += items.as_int64();
+
+  for (const auto& [kernel, items] : actual)
+    if (!expected.count(kernel))
+      add(out, kOracle, "report executed unknown kernel '", kernel, "' (",
+          items, " items)");
+
+  const json::Value& faults = report.at("faults");
+  const bool completed = faults.at("run_completed").as_bool();
+  std::int64_t deficit = 0;
+  for (const auto& [kernel, items] : expected) {
+    const auto it = actual.find(kernel);
+    const std::int64_t ran = it == actual.end() ? 0 : it->second;
+    if (completed && ran != items) {
+      add(out, kOracle, "completed run executed ", ran, "/", items,
+          " items of kernel '", kernel, "'");
+    } else if (!completed && ran > items) {
+      add(out, kOracle, "DNF run over-executed kernel '", kernel, "': ",
+          ran, "/", items, " items");
+    }
+    deficit += items - ran;
+  }
+  if (!completed && deficit > 0 &&
+      faults.at("abandoned").as_int64() +
+              faults.at("unfinished_tasks").as_int64() ==
+          0)
+    add(out, kOracle, "DNF run is missing ", deficit,
+        " items with no abandoned or unfinished tasks to account for them");
+  if (!completed && faults.at("abandoned").as_int64() == 0)
+    add(out, kOracle,
+        "run_completed=false but no task was ever abandoned");
+}
+
+/// The flattened ScenarioMetrics must agree with the embedded full report —
+/// they are two serializations of one simulation.
+void check_consistency(const sweep::ScenarioOutcome& outcome,
+                       std::vector<Violation>& out) {
+  constexpr const char* kOracle = "report-consistency";
+  const sweep::ScenarioMetrics& m = outcome.metrics;
+  const json::Value report = json::Value::parse(outcome.report_json);
+
+  const auto expect_eq = [&](const char* what, double metric,
+                             double reported) {
+    if (metric != reported)
+      add(out, kOracle, what, ": metrics=", json::format_double(metric),
+          " report=", json::format_double(reported));
+  };
+  expect_eq("time_ms", m.time_ms, report.at("makespan_ms").as_number());
+  expect_eq("tasks_executed", static_cast<double>(m.tasks_executed),
+            report.at("tasks_executed").as_number());
+  expect_eq("barriers", static_cast<double>(m.barriers),
+            report.at("barriers").as_number());
+  expect_eq("scheduling_decisions",
+            static_cast<double>(m.scheduling_decisions),
+            report.at("scheduling_decisions").as_number());
+  expect_eq("sim_events", static_cast<double>(m.sim_events),
+            report.at("sim_events").as_number());
+  expect_eq("overhead_ms", m.overhead_ms,
+            report.at("overhead_ms").as_number());
+  const json::Value& transfers = report.at("transfers");
+  expect_eq("h2d_bytes", static_cast<double>(m.h2d_bytes),
+            transfers.at("h2d_bytes").as_number());
+  expect_eq("d2h_bytes", static_cast<double>(m.d2h_bytes),
+            transfers.at("d2h_bytes").as_number());
+  expect_eq("h2d_ms", m.h2d_ms, transfers.at("h2d_ms").as_number());
+  expect_eq("d2h_ms", m.d2h_ms, transfers.at("d2h_ms").as_number());
+  const json::Value& faults = report.at("faults");
+  expect_eq("faults_injected", static_cast<double>(m.faults_injected),
+            faults.at("injected").as_number());
+  expect_eq("fault_retries", static_cast<double>(m.fault_retries),
+            faults.at("retries").as_number());
+  expect_eq("migrated_tasks", static_cast<double>(m.migrated_tasks),
+            faults.at("migrated").as_number());
+  expect_eq("repartitioned_tasks",
+            static_cast<double>(m.repartitioned_tasks),
+            faults.at("repartitioned").as_number());
+  expect_eq("abandoned_tasks", static_cast<double>(m.abandoned_tasks),
+            faults.at("abandoned").as_number());
+  if (m.run_completed != faults.at("run_completed").as_bool())
+    add(out, kOracle, "run_completed: metrics=", m.run_completed,
+        " report=", faults.at("run_completed").as_bool());
+
+  if (m.gpu_fraction_overall < 0.0 || m.gpu_fraction_overall > 1.0)
+    add(out, kOracle, "gpu_fraction_overall out of [0,1]: ",
+        json::format_double(m.gpu_fraction_overall));
+  for (std::size_t k = 0; k < m.gpu_fraction_per_kernel.size(); ++k)
+    if (m.gpu_fraction_per_kernel[k] < 0.0 ||
+        m.gpu_fraction_per_kernel[k] > 1.0)
+      add(out, kOracle, "gpu_fraction_per_kernel[", k, "] out of [0,1]: ",
+          json::format_double(m.gpu_fraction_per_kernel[k]));
+
+  // Recompute the accelerator share from the report's device item counts.
+  // Device 0 is hw::kCpuDevice by construction of every PlatformSpec.
+  const json::Value::Array& devices = report.at("devices").as_array();
+  std::int64_t total = 0;
+  std::int64_t cpu_items = 0;
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    std::int64_t device_items = 0;
+    for (const auto& [kernel, items] :
+         devices[d].at("items_per_kernel").as_object())
+      device_items += items.as_int64();
+    total += device_items;
+    if (d == hw::kCpuDevice) cpu_items = device_items;
+  }
+  if (total > 0) {
+    const double recomputed =
+        1.0 - static_cast<double>(cpu_items) / static_cast<double>(total);
+    if (std::abs(recomputed - m.gpu_fraction_overall) > 1e-12)
+      add(out, kOracle, "gpu_fraction_overall=",
+          json::format_double(m.gpu_fraction_overall),
+          " but device item counts give ", json::format_double(recomputed));
+  }
+
+  if (m.run_completed && m.baseline_time_ms > 0.0 &&
+      m.degradation_ratio != m.time_ms / m.baseline_time_ms)
+    add(out, kOracle, "degradation_ratio=",
+        json::format_double(m.degradation_ratio), " but time/baseline=",
+        json::format_double(m.time_ms / m.baseline_time_ms));
+  if (!m.run_completed && m.degradation_ratio != 0.0)
+    add(out, kOracle,
+        "DNF run must report degradation_ratio=0 (an honest DNF, not a "
+        "number), got ",
+        json::format_double(m.degradation_ratio));
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer oracles (over the generated structure)
+// ---------------------------------------------------------------------------
+
+analyzer::AppClass wrapped_in_main_loop(analyzer::AppClass cls) {
+  using analyzer::AppClass;
+  switch (cls) {
+    case AppClass::kSKOne: return AppClass::kSKLoop;
+    case AppClass::kSKLoop: return AppClass::kSKLoop;
+    case AppClass::kMKSeq: return AppClass::kMKLoop;
+    case AppClass::kMKLoop: return AppClass::kMKLoop;
+    case AppClass::kMKDag: return AppClass::kMKDag;
+  }
+  return cls;
+}
+
+void check_ranking(const FuzzCase& c, std::vector<Violation>& out) {
+  constexpr const char* kOracle = "ranking-relations";
+  using analyzer::StrategyKind;
+  const analyzer::KernelGraph& graph = c.structure.structure;
+  const analyzer::AppClass cls = analyzer::classify(graph);
+  const bool sync = c.structure.inter_kernel_sync();
+
+  const analyzer::MatchResult match =
+      analyzer::Matchmaker().match(c.structure);
+  if (match.app_class != cls)
+    add(out, kOracle, "matchmaker class ",
+        analyzer::app_class_name(match.app_class), " != classify() ",
+        analyzer::app_class_name(cls));
+  if (match.inter_kernel_sync != sync)
+    add(out, kOracle, "matchmaker sync flag ", match.inter_kernel_sync,
+        " != descriptor sync ", sync);
+
+  const std::vector<StrategyKind> table =
+      analyzer::ranked_strategies(cls, sync);
+  if (table.empty()) {
+    add(out, kOracle, "empty Table-I ranking for class ",
+        analyzer::app_class_name(cls));
+    return;
+  }
+  if (match.ranking != table)
+    add(out, kOracle, "matchmaker ranking differs from Table I for class ",
+        analyzer::app_class_name(cls));
+  if (match.best != table.front())
+    add(out, kOracle, "matchmaker best ",
+        analyzer::strategy_name(match.best), " is not the ranking head ",
+        analyzer::strategy_name(table.front()));
+
+  const auto position = [&table](StrategyKind kind) -> std::ptrdiff_t {
+    const auto it = std::find(table.begin(), table.end(), kind);
+    return it == table.end() ? -1 : it - table.begin();
+  };
+  for (std::size_t i = 0; i < table.size(); ++i)
+    for (std::size_t j = i + 1; j < table.size(); ++j)
+      if (table[i] == table[j])
+        add(out, kOracle, "duplicate strategy ",
+            analyzer::strategy_name(table[i]), " in Table-I ranking");
+  // Proposition 1 holds for every class: DP-Perf >= DP-Dep.
+  const std::ptrdiff_t perf = position(StrategyKind::kDPPerf);
+  const std::ptrdiff_t dep = position(StrategyKind::kDPDep);
+  if (perf < 0 || dep < 0 || perf > dep)
+    add(out, kOracle,
+        "Proposition 1 violated: DP-Perf must rank at or above DP-Dep ",
+        "for class ", analyzer::app_class_name(cls));
+
+  // The proposition expectation must describe the same order Table I
+  // publishes (the expectation is the testable form of the ranking).
+  const analyzer::RankingExpectation expectation =
+      analyzer::ranking_expectation(cls, sync);
+  if (expectation.order.size() != expectation.strict.size() + 1 &&
+      !expectation.order.empty())
+    add(out, kOracle, "ranking expectation has ", expectation.order.size(),
+        " strategies but ", expectation.strict.size(),
+        " adjacency relations");
+  std::ptrdiff_t previous = -1;
+  for (const StrategyKind kind : expectation.order) {
+    const std::ptrdiff_t at = position(kind);
+    if (at < 0) {
+      add(out, kOracle, "expectation strategy ",
+          analyzer::strategy_name(kind), " missing from Table-I ranking");
+      continue;
+    }
+    if (at < previous)
+      add(out, kOracle, "expectation orders ",
+          analyzer::strategy_name(kind), " differently than Table I");
+    previous = at;
+  }
+
+  // Metamorphic: wrapping the whole structure in a main loop moves the
+  // class along SK-One->SK-Loop / MK-Seq->MK-Loop and fixes the others.
+  analyzer::KernelGraph wrapped = graph;
+  wrapped.main_loop = true;
+  const analyzer::AppClass wrapped_class = analyzer::classify(wrapped);
+  if (wrapped_class != wrapped_in_main_loop(cls))
+    add(out, kOracle, "main-loop wrap of ", analyzer::app_class_name(cls),
+        " classified as ", analyzer::app_class_name(wrapped_class),
+        ", expected ",
+        analyzer::app_class_name(wrapped_in_main_loop(cls)));
+
+  // Metamorphic: per-kernel inner loops are unfolded for classification —
+  // toggling them never changes a multi-kernel class (paper Section III-B).
+  if (graph.kernel_count() > 1) {
+    analyzer::KernelGraph toggled = graph;
+    for (analyzer::KernelNode& kernel : toggled.kernels)
+      kernel.inner_loop = !kernel.inner_loop;
+    const analyzer::AppClass toggled_class = analyzer::classify(toggled);
+    if (toggled_class != cls)
+      add(out, kOracle, "inner-loop toggle changed multi-kernel class ",
+          analyzer::app_class_name(cls), " -> ",
+          analyzer::app_class_name(toggled_class));
+  } else {
+    // Single kernel: looped iff a main loop or its own inner loop exists.
+    const bool looped = graph.main_loop || graph.kernels[0].inner_loop;
+    const analyzer::AppClass expected_class =
+        looped ? analyzer::AppClass::kSKLoop : analyzer::AppClass::kSKOne;
+    if (cls != expected_class)
+      add(out, kOracle, "single-kernel graph (main_loop=", graph.main_loop,
+          ", inner_loop=", graph.kernels[0].inner_loop, ") classified as ",
+          analyzer::app_class_name(cls));
+  }
+}
+
+void check_dag_profile(const FuzzCase& c, std::vector<Violation>& out) {
+  constexpr const char* kOracle = "dag-profile";
+  const analyzer::KernelGraph& graph = c.structure.structure;
+  const analyzer::DagProfile profile = analyzer::profile_dag(graph);
+  std::size_t total = 0;
+  std::size_t widest = 0;
+  for (const std::size_t width : profile.level_widths) {
+    total += width;
+    widest = std::max(widest, width);
+  }
+  if (total != graph.kernel_count())
+    add(out, kOracle, "level widths sum to ", total, " for ",
+        graph.kernel_count(), " kernels");
+  if (profile.depth != profile.level_widths.size())
+    add(out, kOracle, "depth ", profile.depth, " != level count ",
+        profile.level_widths.size());
+  if (profile.depth == 0)
+    add(out, kOracle, "non-empty graph profiled with depth 0");
+  if (profile.max_width != widest)
+    add(out, kOracle, "max_width ", profile.max_width,
+        " != widest level ", widest);
+  if (profile.depth > 0 &&
+      profile.parallelism != static_cast<double>(graph.kernel_count()) /
+                                 static_cast<double>(profile.depth))
+    add(out, kOracle, "parallelism ",
+        json::format_double(profile.parallelism), " != kernels/depth");
+  if (profile.wide() != (profile.max_width >= 2))
+    add(out, kOracle, "wide() disagrees with max_width ",
+        profile.max_width);
+}
+
+// ---------------------------------------------------------------------------
+// Partition-model oracles (over the generated estimate)
+// ---------------------------------------------------------------------------
+
+void check_partition(const FuzzCase& c, std::vector<Violation>& out) {
+  constexpr const char* kOracle = "partition-model";
+  const glinda::PartitionOptions options;
+  const glinda::PartitionModel model(options);
+  const std::int64_t n = c.model_items;
+  const glinda::PartitionDecision decision = model.solve(c.estimate, n);
+
+  if (decision.gpu_items + decision.cpu_items != n)
+    add(out, kOracle, "split loses items: gpu=", decision.gpu_items,
+        " cpu=", decision.cpu_items, " n=", n);
+  if (decision.gpu_items < 0 || decision.cpu_items < 0)
+    add(out, kOracle, "negative share: gpu=", decision.gpu_items, " cpu=",
+        decision.cpu_items);
+  if (decision.beta < 0.0 || decision.beta > 1.0)
+    add(out, kOracle, "beta out of [0,1]: ",
+        json::format_double(decision.beta));
+  using glinda::HardwareConfig;
+  if ((decision.config == HardwareConfig::kOnlyCpu &&
+       decision.gpu_items != 0) ||
+      (decision.config == HardwareConfig::kOnlyGpu &&
+       decision.cpu_items != 0) ||
+      (decision.config == HardwareConfig::kPartition &&
+       (decision.gpu_items == 0 || decision.cpu_items == 0)))
+    add(out, kOracle, "config ",
+        glinda::hardware_config_name(decision.config),
+        " contradicts split gpu=", decision.gpu_items,
+        " cpu=", decision.cpu_items);
+
+  // The chosen split can be worse than the best single device only by the
+  // discretization the model applies on purpose: granularity rounding and
+  // the min_share collapse. Bound both.
+  const double tg = c.estimate.gpu_seconds_per_item_effective();
+  const double tc = c.estimate.cpu.seconds_per_item;
+  const double single = std::min(decision.predicted_cpu_seconds,
+                                 decision.predicted_gpu_seconds);
+  const double slack =
+      (options.min_share * static_cast<double>(n) +
+       2.0 * options.gpu_granularity + 2.0) *
+          (tg + tc) +
+      1e-9 * (1.0 + single);
+  if (decision.predicted_partition_seconds > single + slack)
+    add(out, kOracle, "predicted partition time ",
+        json::format_double(decision.predicted_partition_seconds),
+        " exceeds best single device ", json::format_double(single),
+        " beyond the discretization slack ", json::format_double(slack));
+  const double replayed = model.predict_split_seconds(
+      c.estimate, decision.gpu_items, decision.cpu_items);
+  if (replayed != decision.predicted_partition_seconds)
+    add(out, kOracle, "predicted partition time ",
+        json::format_double(decision.predicted_partition_seconds),
+        " does not replay through predict_split_seconds (",
+        json::format_double(replayed), ")");
+
+  // Metamorphic (paper Propositions substrate): speeding the GPU up never
+  // shrinks its optimal share — in beta or in rounded items.
+  glinda::KernelEstimate faster = c.estimate;
+  faster.gpu.seconds_per_item /= c.scale_factor;
+  const glinda::PartitionDecision scaled = model.solve(faster, n);
+  if (scaled.beta + 1e-15 < decision.beta)
+    add(out, kOracle, "GPU sped up x",
+        json::format_double(c.scale_factor), " but beta fell ",
+        json::format_double(decision.beta), " -> ",
+        json::format_double(scaled.beta));
+  if (scaled.gpu_items < decision.gpu_items)
+    add(out, kOracle, "GPU sped up x",
+        json::format_double(c.scale_factor), " but its share fell ",
+        decision.gpu_items, " -> ", scaled.gpu_items, " items");
+
+  const glinda::PartitionMetrics metrics = derive_metrics(c.estimate);
+  if (!(metrics.relative_capability > 0.0))
+    add(out, kOracle, "relative capability R must be positive, got ",
+        json::format_double(metrics.relative_capability));
+  if (metrics.compute_transfer_gap < 0.0)
+    add(out, kOracle, "compute/transfer gap G must be >= 0, got ",
+        json::format_double(metrics.compute_transfer_gap));
+}
+
+sweep::SweepEngine plain_engine() {
+  sweep::SweepOptions options;
+  options.parallel = false;
+  options.use_cache = false;
+  options.record_trace = false;
+  return sweep::SweepEngine(options);
+}
+
+}  // namespace
+
+const std::vector<std::string>& oracle_names() {
+  static const std::vector<std::string> kNames = {
+      "no-unexpected-failure", "work-conservation", "report-consistency",
+      "determinism",           "cache-transparency", "trace-validity",
+      "ranking-relations",     "dag-profile",        "partition-model",
+  };
+  return kNames;
+}
+
+std::vector<Violation> run_oracles(const FuzzCase& c,
+                                   const std::string& only) {
+  if (!only.empty()) {
+    const std::vector<std::string>& names = oracle_names();
+    HS_REQUIRE(std::find(names.begin(), names.end(), only) != names.end(),
+               "unknown oracle '" << only << "'");
+  }
+  std::vector<Violation> out;
+
+  // Pure oracles first: no simulation involved.
+  if (want(only, "ranking-relations")) check_ranking(c, out);
+  if (want(only, "dag-profile")) check_dag_profile(c, out);
+  if (want(only, "partition-model")) check_partition(c, out);
+
+  const bool need_execution = want(only, "no-unexpected-failure") ||
+                              want(only, "work-conservation") ||
+                              want(only, "report-consistency") ||
+                              want(only, "determinism") ||
+                              want(only, "cache-transparency") ||
+                              want(only, "trace-validity");
+  if (!need_execution) return out;
+
+  const sweep::SweepEngine engine = plain_engine();
+  const sweep::ScenarioOutcome base = engine.compute(c.scenario);
+
+  if (want(only, "no-unexpected-failure") &&
+      base.status == sweep::ScenarioStatus::kFailed)
+    add(out, "no-unexpected-failure", "scenario ", c.scenario.label(),
+        " failed: ", base.error);
+
+  if (want(only, "determinism")) {
+    const sweep::ScenarioOutcome again = engine.compute(c.scenario);
+    if (base.to_payload() != again.to_payload())
+      add(out, "determinism", "two computations of ", c.scenario.label(),
+          " produced different payloads");
+  }
+
+  if (!base.ok()) return out;  // execution substrate oracles need a report
+
+  // The planted mutation corrupts a COPY of the outcome; conservation and
+  // consistency run over the corrupted substrate (and must object), while
+  // the transparency/trace oracles keep comparing genuine computations.
+  sweep::ScenarioOutcome subject = base;
+  apply_mutation(subject, c.mutation);
+  if (want(only, "work-conservation")) check_conservation(c, subject, out);
+  if (want(only, "report-consistency")) check_consistency(subject, out);
+
+  if (want(only, "cache-transparency")) {
+    const std::string payload = base.to_payload();
+    const std::string round_trip =
+        sweep::ScenarioOutcome::from_payload(payload).to_payload();
+    if (round_trip != payload)
+      add(out, "cache-transparency",
+          "payload round-trip is not byte-identical for ",
+          c.scenario.label());
+    const sweep::SweepRun memoized =
+        engine.run({c.scenario, c.scenario});
+    for (std::size_t i = 0; i < memoized.outcomes.size(); ++i)
+      if (memoized.outcomes[i].to_payload() != payload)
+        add(out, "cache-transparency", "run() outcome #", i, " of ",
+            c.scenario.label(),
+            " differs from the standalone computation");
+    if (memoized.summary.scenario_dedup_hits != 1)
+      add(out, "cache-transparency",
+          "duplicate scenario was not served by the in-run memo (",
+          memoized.summary.scenario_dedup_hits, " dedup hits)");
+  }
+
+  if (want(only, "trace-validity")) {
+    sweep::SweepOptions traced_options;
+    traced_options.parallel = false;
+    traced_options.record_trace = true;
+    const sweep::ScenarioOutcome traced =
+        sweep::SweepEngine(traced_options).compute(c.scenario);
+    for (const std::string& violation : traced.trace_violations)
+      add(out, "trace-validity", violation);
+    if (traced.trace_json.empty())
+      add(out, "trace-validity", "traced run recorded no timeline for ",
+          c.scenario.label());
+    // Tracing is observation: stripped of the recording itself, a traced
+    // run's canonical payload must match the untraced one byte for byte.
+    sweep::ScenarioOutcome stripped = traced;
+    stripped.trace_json.clear();
+    stripped.trace_violations.clear();
+    if (stripped.to_payload() != base.to_payload())
+      add(out, "trace-validity",
+          "recording a trace changed the canonical payload of ",
+          c.scenario.label());
+  }
+
+  return out;
+}
+
+}  // namespace hetsched::check

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/gen.hpp"
+
+/// The invariant-oracle library of the property-fuzz engine.
+///
+/// Every oracle is a universally-quantified claim the paper or the runtime
+/// contract makes — work conservation, trace physicality, memo/cache
+/// transparency, the Table-I/Proposition ranking relations, partition-model
+/// monotonicity — checked against one generated FuzzCase. Oracles return
+/// violations instead of throwing so a single case can surface several
+/// independent failures and the engine can keep fuzzing other seeds.
+namespace hetsched::check {
+
+struct Violation {
+  std::string oracle;  ///< entry of oracle_names()
+  std::string detail;  ///< human-readable description of the failure
+};
+
+/// Stable oracle identifiers, in evaluation order:
+///   no-unexpected-failure  simulation never raises a non-InvalidArgument
+///   work-conservation      items in == items completed (+ DNF'd deficit)
+///   report-consistency     flattened metrics agree with the full report
+///   determinism            same scenario twice -> byte-identical payload
+///   cache-transparency     memo/dedup/payload round-trip preserve bytes
+///   trace-validity         recorded timeline passes obs::validate_trace
+///                          and tracing never changes results
+///   ranking-relations      Table I + Propositions 1-3 + metamorphic class
+///                          relations on the generated structure
+///   dag-profile            DagProfile internal arithmetic invariants
+///   partition-model        split sums to n, optimality bound, and beta
+///                          monotonicity under GPU speedup
+const std::vector<std::string>& oracle_names();
+
+/// Runs the oracle library over `c`. When `only` is non-empty, runs just
+/// that oracle (the shrinker's still-fails predicate) — unknown names
+/// throw InvalidArgument. A case whose scenario is kInapplicable skips the
+/// execution oracles (an inapplicable strategy/app pairing is an expected
+/// sweep outcome, not a bug).
+std::vector<Violation> run_oracles(const FuzzCase& c,
+                                   const std::string& only = std::string());
+
+}  // namespace hetsched::check

@@ -1,0 +1,178 @@
+#include "check/shrink.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "analyzer/strategy.hpp"
+#include "apps/registry.hpp"
+
+namespace hetsched::check {
+
+namespace {
+
+struct Transform {
+  const char* name;
+  /// Returns true when it changed the case (false = not applicable).
+  std::function<bool(FuzzCase&)> apply;
+};
+
+/// Ordered biggest-win-first: faults and platform dominate scenario
+/// complexity; the structure transforms bring the repro to <= 2 kernels;
+/// the estimate transforms strip the partition-model input down to bare
+/// per-item costs.
+const std::vector<Transform>& transforms() {
+  static const std::vector<Transform> kTransforms = {
+      {"drop-fault",
+       [](FuzzCase& c) {
+         if (c.scenario.fault_plan.empty()) return false;
+         c.scenario.fault_plan.clear();
+         c.scenario.fault_seed = 0;
+         return true;
+       }},
+      {"reference-platform",
+       [](FuzzCase& c) {
+         if (c.scenario.platform == "reference") return false;
+         c.scenario.platform = "reference";
+         return true;
+       }},
+      {"drop-scenario-sync",
+       [](FuzzCase& c) {
+         return std::exchange(c.scenario.sync, false);
+       }},
+      {"matrixmul-app",
+       [](FuzzCase& c) {
+         if (c.scenario.app == apps::PaperApp::kMatrixMul) return false;
+         c.scenario.app = apps::PaperApp::kMatrixMul;
+         return true;
+       }},
+      {"only-cpu-strategy",
+       [](FuzzCase& c) {
+         if (c.scenario.strategy == analyzer::StrategyKind::kOnlyCpu)
+           return false;
+         c.scenario.strategy = analyzer::StrategyKind::kOnlyCpu;
+         return true;
+       }},
+      {"two-chunks",
+       [](FuzzCase& c) {
+         if (c.scenario.task_count <= 2) return false;
+         c.scenario.task_count = 2;
+         return true;
+       }},
+      {"halve-kernels",
+       [](FuzzCase& c) {
+         analyzer::KernelGraph& graph = c.structure.structure;
+         const std::size_t count = graph.kernel_count();
+         if (count <= 1) return false;
+         const std::size_t keep = (count + 1) / 2;
+         graph.kernels.resize(keep);
+         std::vector<std::pair<std::size_t, std::size_t>> flow;
+         for (const auto& [from, to] : graph.flow)
+           if (from < keep && to < keep) flow.emplace_back(from, to);
+         graph.flow = std::move(flow);
+         return true;
+       }},
+      {"chain-flow",
+       [](FuzzCase& c) {
+         analyzer::KernelGraph& graph = c.structure.structure;
+         if (graph.kernel_count() <= 1) return false;
+         std::vector<std::pair<std::size_t, std::size_t>> chain;
+         for (std::size_t k = 0; k + 1 < graph.kernel_count(); ++k)
+           chain.emplace_back(k, k + 1);
+         if (graph.flow == chain) return false;
+         graph.flow = std::move(chain);
+         return true;
+       }},
+      {"drop-main-loop",
+       [](FuzzCase& c) {
+         return std::exchange(c.structure.structure.main_loop, false);
+       }},
+      {"drop-inner-loops",
+       [](FuzzCase& c) {
+         bool changed = false;
+         for (analyzer::KernelNode& kernel : c.structure.structure.kernels)
+           changed |= std::exchange(kernel.inner_loop, false);
+         return changed;
+       }},
+      {"drop-structure-sync",
+       [](FuzzCase& c) {
+         if (c.structure.sync == analyzer::SyncReason::kNone) return false;
+         c.structure.sync = analyzer::SyncReason::kNone;
+         return true;
+       }},
+      {"zero-fixed-costs",
+       [](FuzzCase& c) {
+         bool changed = false;
+         for (glinda::DeviceProfile* profile :
+              {&c.estimate.cpu, &c.estimate.gpu}) {
+           changed |= profile->fixed_seconds != 0.0;
+           changed |= profile->h2d_fixed_bytes != 0.0;
+           changed |= profile->d2h_fixed_bytes != 0.0;
+           profile->fixed_seconds = 0.0;
+           profile->h2d_fixed_bytes = 0.0;
+           profile->d2h_fixed_bytes = 0.0;
+         }
+         return changed;
+       }},
+      {"drop-transfer-path",
+       [](FuzzCase& c) {
+         return std::exchange(c.estimate.transfer_on_critical_path, false);
+       }},
+      {"shrink-model-items",
+       [](FuzzCase& c) {
+         if (c.model_items <= 256) return false;
+         c.model_items = 256;
+         return true;
+       }},
+  };
+  return kTransforms;
+}
+
+}  // namespace
+
+const std::vector<std::string>& shrink_transform_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const Transform& transform : transforms())
+      names.push_back(transform.name);
+    return names;
+  }();
+  return kNames;
+}
+
+ShrinkResult shrink_case(const FuzzCase& failing, const std::string& oracle,
+                         int max_evaluations) {
+  ShrinkResult result;
+  result.minimal = failing;
+
+  const auto still_fails = [&](const FuzzCase& candidate) {
+    ++result.evaluations;
+    try {
+      return !run_oracles(candidate, oracle).empty();
+    } catch (const std::exception&) {
+      // A transform that makes the oracle itself inapplicable (e.g. a
+      // mutation with nothing left to corrupt) did not preserve the
+      // failure — reject it.
+      return false;
+    }
+  };
+
+  // Fixpoint: retry the whole transform list until a full pass accepts
+  // nothing (an early transform may become applicable again after a later
+  // one, e.g. halve-kernels repeats until one kernel remains).
+  bool progressed = true;
+  while (progressed && result.evaluations < max_evaluations) {
+    progressed = false;
+    for (const Transform& transform : transforms()) {
+      if (result.evaluations >= max_evaluations) break;
+      FuzzCase candidate = result.minimal;
+      if (!transform.apply(candidate)) continue;
+      if (!still_fails(candidate)) continue;
+      result.minimal = std::move(candidate);
+      result.applied.push_back(transform.name);
+      progressed = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace hetsched::check

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/gen.hpp"
+#include "check/oracles.hpp"
+
+/// Counterexample shrinking: reduce a failing FuzzCase to a minimal one
+/// that still trips the SAME oracle. The shrinker applies an ordered list
+/// of simplifying transforms (drop the fault plan, fall back to the
+/// reference platform, halve the kernel graph, straighten the flow into a
+/// chain, ...) and keeps a transform's result only when the failure
+/// persists, looping to a fixpoint. Deterministic: equal inputs shrink to
+/// equal minimal cases.
+namespace hetsched::check {
+
+struct ShrinkResult {
+  FuzzCase minimal;
+  /// Transforms accepted (in application order, names for the report).
+  std::vector<std::string> applied;
+  /// Oracle re-evaluations spent shrinking.
+  int evaluations = 0;
+};
+
+/// Shrinks `failing` against oracle `oracle` (one of oracle_names()). The
+/// caller guarantees `failing` currently violates it. `max_evaluations`
+/// bounds the oracle re-runs (each one may simulate).
+ShrinkResult shrink_case(const FuzzCase& failing, const std::string& oracle,
+                         int max_evaluations = 64);
+
+/// The transform names in application order (exposed for docs and tests).
+const std::vector<std::string>& shrink_transform_names();
+
+}  // namespace hetsched::check

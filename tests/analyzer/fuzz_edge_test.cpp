@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analyzer/matchmaker.hpp"
+#include "analyzer/ranking.hpp"
+#include "apps/registry.hpp"
+#include "common/error.hpp"
+#include "hw/platform.hpp"
+
+/// Edge cases the fuzzer exercises by construction, pinned down as direct
+/// unit tests: an MK-DAG that also synchronizes between kernels, a looped
+/// single-kernel application with zero iterations, and the classes whose
+/// Table I row leaves exactly one suitable static strategy (or none).
+namespace hetsched::analyzer {
+namespace {
+
+KernelGraph diamond() {
+  KernelGraph graph;
+  graph.kernels = {{"split", false},
+                   {"left", false},
+                   {"right", false},
+                   {"join", false}};
+  graph.flow = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  return graph;
+}
+
+TEST(FuzzEdge, MkDagWithInterKernelSyncKeepsTheDagRanking) {
+  AppDescriptor app;
+  app.name = "diamond-sync";
+  app.structure = diamond();
+  app.sync = SyncReason::kRepartitioning;
+
+  const MatchResult result = Matchmaker{}.match(app);
+  EXPECT_EQ(result.app_class, AppClass::kMKDag);
+  EXPECT_TRUE(result.inter_kernel_sync);
+  // Table I row 4 has no sync variant: the DAG already forces dynamic
+  // partitioning, with or without synchronization between kernels.
+  const std::vector<StrategyKind> expected = {StrategyKind::kDPPerf,
+                                              StrategyKind::kDPDep};
+  EXPECT_EQ(result.ranking, expected);
+  EXPECT_EQ(result.ranking,
+            ranked_strategies(AppClass::kMKDag, /*inter_kernel_sync=*/false));
+  EXPECT_EQ(result.best, StrategyKind::kDPPerf);
+}
+
+TEST(FuzzEdge, SingleKernelLoopWithZeroIterationsIsRejectedLoudly) {
+  // A "loop that never runs" must fail at construction, not silently
+  // produce a zero-work report the oracles would then have to special-case.
+  apps::Application::Config config = apps::test_config(apps::PaperApp::kNbody);
+  config.iterations = 0;
+  EXPECT_THROW(apps::make_paper_app(apps::PaperApp::kNbody,
+                                    hw::make_reference_platform(), config),
+               Error);
+}
+
+TEST(FuzzEdge, SingleKernelClassesHaveExactlyOneSuitableStaticStrategy) {
+  for (AppClass cls : {AppClass::kSKOne, AppClass::kSKLoop}) {
+    const std::vector<StrategyKind> ranking =
+        ranked_strategies(cls, /*inter_kernel_sync=*/false);
+    const auto static_count =
+        std::count_if(ranking.begin(), ranking.end(), is_static_strategy);
+    EXPECT_EQ(static_count, 1) << app_class_name(cls);
+    // ...and it is the winner (Proposition 2).
+    EXPECT_EQ(ranking.front(), StrategyKind::kSPSingle);
+  }
+  // The contrast case: an MK-DAG row ranks no static strategy at all.
+  const std::vector<StrategyKind> dag =
+      ranked_strategies(AppClass::kMKDag, /*inter_kernel_sync=*/false);
+  EXPECT_TRUE(std::none_of(dag.begin(), dag.end(), is_static_strategy));
+}
+
+}  // namespace
+}  // namespace hetsched::analyzer

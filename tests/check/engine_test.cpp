@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "check/engine.hpp"
+#include "common/error.hpp"
+
+/// The fuzz engine: deterministic reports, replayable counterexample
+/// documents, and strict corpus parsing.
+namespace hetsched::check {
+namespace {
+
+TEST(FuzzEngine, CleanRunRendersDeterministically) {
+  FuzzOptions options;
+  options.base_seed = 1;
+  options.iters = 4;
+  const FuzzResult a = run_fuzz(options);
+  const FuzzResult b = run_fuzz(options);
+  EXPECT_TRUE(a.clean());
+  EXPECT_EQ(a.render(), b.render());
+  EXPECT_EQ(a.render(), "fuzz: 4 cases checked, all oracles passed\n");
+}
+
+TEST(FuzzEngine, PlantedBugProducesAShrunkCounterexample) {
+  FuzzOptions options;
+  options.base_seed = 1;
+  options.iters = 4;
+  options.plant = "drop-items";
+  const FuzzResult result = run_fuzz(options);
+  ASSERT_EQ(result.counterexamples.size(), 1u);
+  const Counterexample& cx = result.counterexamples.front();
+  EXPECT_EQ(cx.violation.oracle, "work-conservation");
+  EXPECT_EQ(cx.original.seed, 1u);
+  EXPECT_FALSE(cx.shrink_transforms.empty());
+  // The engine stops at the first failing seed.
+  EXPECT_EQ(result.seeds_run.size(), 1u);
+  EXPECT_NE(result.render().find("COUNTEREXAMPLE seed=1"),
+            std::string::npos);
+}
+
+TEST(FuzzEngine, CounterexampleJsonRoundTrips) {
+  FuzzOptions options;
+  options.plant = "drop-items";
+  const FuzzResult result = run_fuzz(options);
+  ASSERT_FALSE(result.counterexamples.empty());
+  const Counterexample& cx = result.counterexamples.front();
+  const Counterexample reloaded = Counterexample::from_json(cx.to_json());
+  EXPECT_EQ(reloaded.to_json().dump(), cx.to_json().dump());
+  // The minimal case replays to the same violation.
+  const std::vector<Violation> violations = replay_case(reloaded.minimal);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().oracle, cx.violation.oracle);
+}
+
+TEST(FuzzEngine, ExplicitSeedListOverridesBaseAndIters) {
+  FuzzOptions options;
+  options.seeds = {5, 3, 8};
+  const FuzzResult result = run_fuzz(options);
+  EXPECT_EQ(result.seeds_run, (std::vector<std::uint64_t>{5, 3, 8}));
+}
+
+TEST(FuzzEngine, ParseCorpusHandlesCommentsAndBlanks) {
+  const std::vector<std::uint64_t> seeds = parse_corpus(
+      "# corpus header\n"
+      "1\n"
+      "  42   # clean\n"
+      "\n"
+      "18446744073709551615\n");
+  EXPECT_EQ(seeds,
+            (std::vector<std::uint64_t>{1, 42, 18446744073709551615ull}));
+}
+
+TEST(FuzzEngine, ParseCorpusRejectsJunk) {
+  EXPECT_THROW(parse_corpus("12x\n"), InvalidArgument);
+  EXPECT_THROW(parse_corpus("seed\n"), InvalidArgument);
+  EXPECT_THROW(parse_corpus("-4\n"), InvalidArgument);
+}
+
+TEST(FuzzEngine, ZeroItersWithoutSeedsThrows) {
+  FuzzOptions options;
+  options.iters = 0;
+  EXPECT_THROW(run_fuzz(options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hetsched::check

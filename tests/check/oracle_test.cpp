@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "check/gen.hpp"
+#include "check/oracles.hpp"
+#include "check/shrink.hpp"
+#include "common/error.hpp"
+
+/// The oracle library: clean generated cases pass, planted bugs are caught
+/// by the oracle built to catch them (mutation-testing the oracles), and
+/// the shrinker reduces the planted conservation bug to a minimal repro.
+namespace hetsched::check {
+namespace {
+
+TEST(Oracles, NamesAreStable) {
+  const std::vector<std::string>& names = oracle_names();
+  ASSERT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.front(), "no-unexpected-failure");
+  EXPECT_EQ(names[1], "work-conservation");
+  EXPECT_EQ(names[2], "report-consistency");
+  EXPECT_EQ(names.back(), "partition-model");
+}
+
+TEST(Oracles, CleanSeedsPass) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::vector<Violation> violations =
+        run_oracles(generate_case(seed));
+    EXPECT_TRUE(violations.empty())
+        << "seed " << seed << ": " << violations.front().oracle << ": "
+        << violations.front().detail;
+  }
+}
+
+TEST(Oracles, UnknownOracleNameThrows) {
+  EXPECT_THROW(run_oracles(generate_case(1), "no-such-oracle"),
+               InvalidArgument);
+}
+
+TEST(Oracles, PlantedDroppedItemIsCaughtByWorkConservation) {
+  FuzzCase c = generate_case(1);
+  c.mutation = "drop-items";
+  const std::vector<Violation> violations = run_oracles(c);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().oracle, "work-conservation");
+}
+
+// Acceptance criterion: the planted conservation bug shrinks to a repro of
+// at most 2 kernels and at most 1 fault.
+TEST(Oracles, PlantedConservationBugShrinksToMinimalRepro) {
+  FuzzCase c = generate_case(1);
+  c.mutation = "drop-items";
+  ASSERT_FALSE(run_oracles(c, "work-conservation").empty());
+
+  const ShrinkResult shrunk = shrink_case(c, "work-conservation");
+  EXPECT_FALSE(run_oracles(shrunk.minimal, "work-conservation").empty());
+  EXPECT_LE(shrunk.minimal.structure.structure.kernel_count(), 2u);
+  EXPECT_TRUE(shrunk.minimal.scenario.fault_plan.empty());
+  EXPECT_FALSE(shrunk.applied.empty());
+  EXPECT_EQ(shrunk.minimal.mutation, "drop-items");
+}
+
+TEST(Oracles, PlantedTimeSkewIsCaughtByReportConsistency) {
+  FuzzCase c = generate_case(1);
+  c.mutation = "skew-time";
+  const std::vector<Violation> violations = run_oracles(c);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().oracle, "report-consistency");
+}
+
+TEST(Oracles, MutationsOnlyAffectTheirTargetOracle) {
+  // The planted bugs perturb the oracle substrate, not the simulation:
+  // every other oracle still passes on the mutated case.
+  FuzzCase c = generate_case(1);
+  c.mutation = "drop-items";
+  for (const Violation& violation : run_oracles(c))
+    EXPECT_EQ(violation.oracle, "work-conservation") << violation.detail;
+}
+
+}  // namespace
+}  // namespace hetsched::check

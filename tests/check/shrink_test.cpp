@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "check/gen.hpp"
+#include "check/oracles.hpp"
+#include "check/shrink.hpp"
+
+/// The shrinker: deterministic, budget-bounded, keeps the failure alive,
+/// and reaches a fixpoint (shrinking a minimal case changes nothing).
+namespace hetsched::check {
+namespace {
+
+FuzzCase planted_case() {
+  FuzzCase c = generate_case(1);
+  c.mutation = "drop-items";
+  return c;
+}
+
+TEST(Shrink, TransformNamesAreExposedInOrder) {
+  const std::vector<std::string>& names = shrink_transform_names();
+  ASSERT_GE(names.size(), 10u);
+  EXPECT_EQ(names.front(), "drop-fault");
+  EXPECT_EQ(names.back(), "shrink-model-items");
+}
+
+TEST(Shrink, IsDeterministic) {
+  const ShrinkResult a = shrink_case(planted_case(), "work-conservation");
+  const ShrinkResult b = shrink_case(planted_case(), "work-conservation");
+  EXPECT_EQ(a.minimal.to_json().dump(), b.minimal.to_json().dump());
+  EXPECT_EQ(a.applied, b.applied);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(Shrink, MinimalCaseStillFailsTheSameOracle) {
+  const ShrinkResult shrunk =
+      shrink_case(planted_case(), "work-conservation");
+  const std::vector<Violation> violations =
+      run_oracles(shrunk.minimal, "work-conservation");
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().oracle, "work-conservation");
+}
+
+TEST(Shrink, ShrinkingAMinimalCaseIsAFixpoint) {
+  const ShrinkResult first =
+      shrink_case(planted_case(), "work-conservation");
+  const ShrinkResult second =
+      shrink_case(first.minimal, "work-conservation");
+  EXPECT_TRUE(second.applied.empty());
+  EXPECT_EQ(second.minimal.to_json().dump(),
+            first.minimal.to_json().dump());
+}
+
+TEST(Shrink, RespectsTheEvaluationBudget) {
+  const ShrinkResult shrunk =
+      shrink_case(planted_case(), "work-conservation", /*max_evaluations=*/3);
+  EXPECT_LE(shrunk.evaluations, 3);
+  // Even under a tiny budget the result must still fail.
+  EXPECT_FALSE(run_oracles(shrunk.minimal, "work-conservation").empty());
+}
+
+}  // namespace
+}  // namespace hetsched::check

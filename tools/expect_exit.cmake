@@ -1,0 +1,14 @@
+# Runs CMD (a ;-list) and succeeds only when its exit code equals EXPECTED.
+# ctest's WILL_FAIL accepts ANY nonzero exit, which cannot distinguish the
+# fuzz CLI's counterexample contract (exit 4) from an ordinary error (1).
+#
+#   cmake -DCMD="binary;arg1;arg2" -DEXPECTED=4 -P expect_exit.cmake
+if(NOT DEFINED CMD OR NOT DEFINED EXPECTED)
+  message(FATAL_ERROR "expect_exit.cmake needs -DCMD=... and -DEXPECTED=...")
+endif()
+execute_process(COMMAND ${CMD} RESULT_VARIABLE actual
+                OUTPUT_VARIABLE output ERROR_VARIABLE output)
+if(NOT actual EQUAL EXPECTED)
+  message(FATAL_ERROR
+          "expected exit ${EXPECTED}, got '${actual}'. Output:\n${output}")
+endif()

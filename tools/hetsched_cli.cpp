@@ -33,16 +33,23 @@
 ///                        [--cache-dir <dir>] [--out <file>]
 ///                        # sweep hot-path benchmark (cold / warm / shared
 ///                        # twins), writes BENCH_sweep.json by default
+///   hetsched_cli fuzz    [--seed N] [--iters K] [--corpus <file>]
+///                        [--repro <file>] [--out <file>] [--no-shrink]
+///                        [--plant <mutation>] [--oracles]
+///                        # property-fuzz the invariant oracles; exit 4 on
+///                        # a counterexample (repro JSON written to --out)
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analyzer/catalog.hpp"
+#include "check/engine.hpp"
 #include "analyzer/matchmaker.hpp"
 #include "apps/registry.hpp"
 #include "apps/spectral_dag.hpp"
@@ -654,6 +661,68 @@ int cmd_bench(const Args& args) {
   return 0;
 }
 
+int cmd_fuzz(const Args& args) {
+  if (args.flag("oracles")) {
+    for (const std::string& name : check::oracle_names())
+      std::cout << name << "\n";
+    return 0;
+  }
+
+  // Repro mode: replay a previously written counterexample file.
+  if (args.flag("repro")) {
+    std::ifstream file(args.get("repro"));
+    HS_REQUIRE(file.good(),
+               "cannot open repro '" << args.get("repro") << "'");
+    std::ostringstream text;
+    text << file.rdbuf();
+    const json::Value document = json::Value::parse(text.str());
+    // Accept both a bare case document and a full counterexample file.
+    const check::FuzzCase c =
+        document.find("case") != nullptr
+            ? check::FuzzCase::from_json(document.at("case"))
+            : check::FuzzCase::from_json(document);
+    std::cout << "replaying " << c.describe() << "\n";
+    const std::vector<check::Violation> violations = check::replay_case(c);
+    if (violations.empty()) {
+      std::cout << "repro passes all oracles (fixed or stale)\n";
+      return 0;
+    }
+    for (const check::Violation& violation : violations)
+      std::cout << "VIOLATION " << violation.oracle << ": "
+                << violation.detail << "\n";
+    return 4;
+  }
+
+  check::FuzzOptions options;
+  if (args.flag("seed")) options.base_seed = std::stoull(args.get("seed"));
+  options.iters = args.flag("iters") ? std::stoi(args.get("iters")) : 1;
+  options.shrink = !args.flag("no-shrink");
+  options.plant = args.get("plant");
+  if (args.flag("corpus")) {
+    std::ifstream file(args.get("corpus"));
+    HS_REQUIRE(file.good(),
+               "cannot open corpus '" << args.get("corpus") << "'");
+    std::ostringstream text;
+    text << file.rdbuf();
+    options.seeds = check::parse_corpus(text.str());
+    HS_REQUIRE(!options.seeds.empty(),
+               "corpus '" << args.get("corpus") << "' contains no seeds");
+  }
+
+  const check::FuzzResult result = check::run_fuzz(options);
+  std::cout << result.render();
+  if (result.clean()) return 0;
+
+  const check::Counterexample& cx = result.counterexamples.front();
+  const std::string out = args.get(
+      "out", "fuzz-repro-" + std::to_string(cx.original.seed) + ".json");
+  std::ofstream file(out);
+  HS_REQUIRE(file.good(), "cannot open '" << out << "' for writing");
+  file << cx.to_json().dump() << "\n";
+  std::cout << "repro written to " << out << "\n";
+  return 4;
+}
+
 int cmd_explain(const Args& args) {
   const hw::PlatformSpec platform = platform_by_name(args.get("platform"));
   auto app = make_app(args, platform);
@@ -685,9 +754,10 @@ int main(int argc, char** argv) {
     if (args.command == "metrics") return cmd_metrics(args);
     if (args.command == "explain") return cmd_explain(args);
     if (args.command == "bench") return cmd_bench(args);
+    if (args.command == "fuzz") return cmd_fuzz(args);
     std::cerr << "usage: hetsched_cli "
                  "<list|catalog|match|run|compare|trace|analyze|tune|sweep|"
-                 "faults|metrics|explain|bench> "
+                 "faults|metrics|explain|bench|fuzz> "
                  "[--app <name>] [--strategy <s>] [--platform <p>] "
                  "[--sync] [--tasks <m>] [--small] [--csv] [--out <file>]\n";
     return args.command.empty() ? 0 : 2;
