@@ -3,6 +3,8 @@
 #include <cctype>
 #include <sstream>
 
+#include "sweep/sweep.hpp"
+
 namespace hetsched::check {
 
 json::Value Counterexample::to_json() const {
@@ -18,6 +20,9 @@ json::Value Counterexample::to_json() const {
   value.set("original_case", original.to_json());
   value.set("shrink_transforms", std::move(transforms));
   value.set("shrink_evaluations", json::Value(shrink_evaluations));
+  // Only explored failures carry a replay spec; canonical repro files keep
+  // their pre-exploration shape byte for byte.
+  if (explore.active()) value.set("explore", explore.to_json());
   return value;
 }
 
@@ -32,6 +37,8 @@ Counterexample Counterexample::from_json(const json::Value& value) {
     out.shrink_transforms.push_back(name.as_string());
   out.shrink_evaluations =
       static_cast<int>(value.at("shrink_evaluations").as_int64());
+  if (const json::Value* explore = value.find("explore"))
+    out.explore = rt::ExploreSpec::from_json(*explore);
   return out;
 }
 
@@ -43,14 +50,26 @@ std::string FuzzResult::render() const {
     os << "  detail: " << cx.violation.detail << "\n";
     os << "  original: " << cx.original.describe() << "\n";
     os << "  minimal:  " << cx.minimal.describe() << "\n";
+    if (cx.explore.active()) {
+      os << "  schedule: explored #" << cx.explore.schedule
+         << ", replay decisions=[";
+      for (std::size_t i = 0; i < cx.explore.decisions.size(); ++i)
+        os << (i == 0 ? "" : " ") << cx.explore.decisions[i];
+      os << "]\n";
+    }
     if (!cx.shrink_transforms.empty()) {
       os << "  shrunk via:";
       for (const std::string& name : cx.shrink_transforms)
         os << " " << name;
       os << " (" << cx.shrink_evaluations << " oracle evaluations)\n";
     }
-    os << "  replay: hetsched_cli fuzz --seed " << cx.original.seed
-       << " --iters 1\n";
+    if (cx.explore.active()) {
+      os << "  replay: hetsched_cli fuzz --repro <repro file> (the repro "
+            "embeds the schedule replay spec)\n";
+    } else {
+      os << "  replay: hetsched_cli fuzz --seed " << cx.original.seed
+         << " --iters 1\n";
+    }
   }
   os << "fuzz: " << seeds_run.size() << " case"
      << (seeds_run.size() == 1 ? "" : "s") << " checked, ";
@@ -63,9 +82,40 @@ std::string FuzzResult::render() const {
   return os.str();
 }
 
+namespace {
+
+/// Re-runs the failing explored schedule once to harvest the decision
+/// string it actually took, and folds it into a mode=replay spec — the
+/// exact, seed-independent form of that interleaving, which the shrinker
+/// then minimizes alongside the case.
+rt::ExploreSpec harvest_replay_spec(const FuzzCase& c,
+                                    const rt::ExploreSpec& failing) {
+  rt::ExploreSpec replay;
+  replay.mode = rt::ExploreMode::kReplay;
+  replay.seed = failing.seed;
+  replay.schedule = failing.schedule;
+  replay.dfs_branch_bound = failing.dfs_branch_bound;
+  sweep::SweepOptions options;
+  options.parallel = false;
+  options.explore = failing;
+  const sweep::ScenarioOutcome outcome =
+      sweep::SweepEngine(options).compute(c.scenario);
+  if (!outcome.ok()) return replay;  // nothing recorded; replay canonically
+  const json::Value report = json::Value::parse(outcome.report_json);
+  if (const json::Value* schedule = report.find("schedule"))
+    for (const json::Value& decision : schedule->at("decisions").as_array())
+      replay.decisions.push_back(
+          static_cast<std::uint32_t>(decision.as_int64()));
+  return replay;
+}
+
+}  // namespace
+
 FuzzResult run_fuzz(const FuzzOptions& options) {
   HS_REQUIRE(options.iters > 0 || !options.seeds.empty(),
              "fuzzing needs at least one iteration");
+  HS_REQUIRE(options.schedules >= 1,
+             "--schedules must be >= 1, got " << options.schedules);
   std::vector<std::uint64_t> seeds = options.seeds;
   if (seeds.empty()) {
     seeds.reserve(static_cast<std::size_t>(options.iters));
@@ -78,16 +128,32 @@ FuzzResult run_fuzz(const FuzzOptions& options) {
     FuzzCase c = generate_case(seed);
     c.mutation = options.plant;
     result.seeds_run.push_back(seed);
-    const std::vector<Violation> violations = run_oracles(c);
+    // Canonical schedule first, full oracle library.
+    std::vector<Violation> violations = run_oracles(c);
+    // Fan the seed out into explored schedules; the first failing one wins.
+    rt::ExploreSpec failing_spec;
+    if (violations.empty() && options.explore != rt::ExploreMode::kNone) {
+      for (int k = 0; k < options.schedules && violations.empty(); ++k) {
+        rt::ExploreSpec spec;
+        spec.mode = options.explore;
+        spec.seed = seed;
+        spec.schedule = k;
+        violations = run_schedule_oracles(c, spec);
+        if (!violations.empty()) failing_spec = spec;
+      }
+    }
     if (violations.empty()) continue;
 
     Counterexample cx;
     cx.original = c;
     cx.minimal = c;
     cx.violation = violations.front();
+    if (failing_spec.active())
+      cx.explore = harvest_replay_spec(c, failing_spec);
     if (options.shrink) {
-      ShrinkResult shrunk = shrink_case(c, cx.violation.oracle);
+      ShrinkResult shrunk = shrink_case(c, cx.violation.oracle, cx.explore);
       cx.minimal = std::move(shrunk.minimal);
+      cx.explore = std::move(shrunk.explore);
       cx.shrink_transforms = std::move(shrunk.applied);
       cx.shrink_evaluations = shrunk.evaluations;
     }
@@ -97,8 +163,9 @@ FuzzResult run_fuzz(const FuzzOptions& options) {
   return result;
 }
 
-std::vector<Violation> replay_case(const FuzzCase& c) {
-  return run_oracles(c);
+std::vector<Violation> replay_case(const FuzzCase& c,
+                                   const rt::ExploreSpec& explore) {
+  return run_oracles(c, std::string(), explore);
 }
 
 std::vector<std::uint64_t> parse_corpus(const std::string& text) {

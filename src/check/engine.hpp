@@ -27,16 +27,28 @@ struct FuzzOptions {
   /// Planted mutation applied to every generated case (mutation-testing
   /// the oracles from the CLI; see known_mutations()).
   std::string plant;
+  /// Schedule exploration: fan each seed out into `schedules` explored
+  /// interleavings beyond the canonical run (see runtime/explore.hpp).
+  /// The canonical run checks the full oracle library; each explored
+  /// schedule checks the schedule-sensitive subset (run_schedule_oracles).
+  rt::ExploreMode explore = rt::ExploreMode::kNone;
+  /// Explored schedules per seed when `explore` is set (>= 1).
+  int schedules = 1;
 };
 
 struct Counterexample {
   FuzzCase original;
   FuzzCase minimal;       ///< == original when shrinking is off
   Violation violation;    ///< first violation of the original case
+  /// Replay spec of the failing schedule (inactive when the failure was on
+  /// the canonical schedule): mode=replay with the recorded — and, after
+  /// shrinking, minimized — decision string.
+  rt::ExploreSpec explore;
   std::vector<std::string> shrink_transforms;
   int shrink_evaluations = 0;
 
-  /// Replayable repro document ({version, seed, oracle, case}).
+  /// Replayable repro document ({version, seed, oracle, case}; explored
+  /// failures add an "explore" member carrying the replay spec).
   json::Value to_json() const;
   static Counterexample from_json(const json::Value& value);
 };
@@ -53,8 +65,10 @@ struct FuzzResult {
 FuzzResult run_fuzz(const FuzzOptions& options);
 
 /// Re-runs the oracles over a case loaded from a repro document and
-/// returns its violations (empty = the repro no longer fails).
-std::vector<Violation> replay_case(const FuzzCase& c);
+/// returns its violations (empty = the repro no longer fails). Pass the
+/// repro's replay spec to re-trip a failure found on an explored schedule.
+std::vector<Violation> replay_case(
+    const FuzzCase& c, const rt::ExploreSpec& explore = rt::ExploreSpec{});
 
 /// Parses a seed-corpus text: one decimal seed per line, '#' starts a
 /// comment, blank lines ignored. Throws InvalidArgument on junk.

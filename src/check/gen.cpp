@@ -244,12 +244,53 @@ FuzzCase generate_case(std::uint64_t seed) {
   out.estimate.transfer_on_critical_path = rng.uniform() < 0.5;
   out.model_items = rng.uniform_int(256, 1'000'000);
   out.scale_factor = rng.uniform(1.1, 8.0);
+
+  // --- Widened axes (hs-check-2) ------------------------------------------
+  // Appended after the original draws so the new axes never perturb the
+  // earlier fields' streams: an hs-check-1 seed keeps its old scenario
+  // unless one of the draws below deliberately overrides a field.
+  //
+  // Adversarial runtime-cost ratios: zero and near-zero overheads collapse
+  // timestamps into large equal-time event cohorts (maximum freedom for
+  // schedule exploration), huge ones starve the devices.
+  static constexpr SimTime kCostDraws[] = {0,
+                                           1,
+                                           100,
+                                           1 * kMicrosecond,
+                                           2 * kMicrosecond,
+                                           50 * kMicrosecond};
+  if (rng.uniform() < 0.4) {
+    out.scenario.costs.task_creation =
+        kCostDraws[rng.uniform_int(0, std::size(kCostDraws) - 1)];
+    out.scenario.costs.dispatch_overhead =
+        kCostDraws[rng.uniform_int(0, std::size(kCostDraws) - 1)];
+    out.scenario.costs.taskwait_overhead =
+        kCostDraws[rng.uniform_int(0, std::size(kCostDraws) - 1)];
+  }
+  // Near-tie device throughputs: force the GPU rate onto (or within one
+  // ulp of) an exact multiple of the CPU's, probing the partition model's
+  // boundary arithmetic and the executor's equal-finish-time tie-breaks.
+  static constexpr double kTieFactors[] = {1.0, 1.0 + 1e-9, 1.0 - 1e-9,
+                                           0.5, 2.0};
+  if (rng.uniform() < 0.35) {
+    out.estimate.gpu.seconds_per_item =
+        out.estimate.cpu.seconds_per_item *
+        kTieFactors[rng.uniform_int(0, std::size(kTieFactors) - 1)];
+  }
+  // Synthesized fault storms: bias a quarter of all cases onto the seeded
+  // "storm" plan family so multi-event fault handling (and its interaction
+  // with explored schedules) is hit far more often than the uniform
+  // named-plan draw reaches it.
+  if (rng.uniform() < 0.25) {
+    out.scenario.fault_plan = "storm";
+    out.scenario.fault_seed = rng() & ((std::uint64_t{1} << 53) - 1);
+  }
   return out;
 }
 
 const std::vector<std::string>& known_mutations() {
-  static const std::vector<std::string> kMutations = {"drop-items",
-                                                      "skew-time"};
+  static const std::vector<std::string> kMutations = {
+      "drop-items", "skew-time", "completion-before-pred", "late-fault"};
   return kMutations;
 }
 

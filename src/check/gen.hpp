@@ -25,7 +25,10 @@ namespace hetsched::check {
 
 /// Bump when generation or case serialization changes meaning: old repro
 /// files then fail loudly instead of replaying a different case.
-inline constexpr const char* kCheckVersion = "hs-check-1";
+/// hs-check-2: generation gained adversarial runtime-cost ratios, near-tie
+/// device-throughput draws, and a fault-storm bias (schedule-exploration
+/// axes); mutations gained the two schedule-record bugs.
+inline constexpr const char* kCheckVersion = "hs-check-2";
 
 struct FuzzCase {
   std::uint64_t seed = 0;
@@ -62,6 +65,14 @@ FuzzCase generate_case(std::uint64_t seed);
 ///                 (work-conservation must catch it)
 ///   skew-time     metrics.time_ms drifts from the report makespan
 ///                 (report-consistency must catch it)
+///   completion-before-pred
+///                 a dependent task's completion is swapped before its
+///                 predecessor's in the schedule record — the classic
+///                 tie-break bug (dag-linearization must catch it);
+///                 requires an explored run (schedule record present)
+///   late-fault    an abandoned chunk resurfaces after the makespan in the
+///                 schedule record — the late-fault bug (dag-linearization
+///                 must catch it); requires an explored run
 const std::vector<std::string>& known_mutations();
 
 }  // namespace hetsched::check

@@ -67,6 +67,76 @@ json::Value drop_one_item(const json::Value& report, bool& dropped) {
   return out;
 }
 
+/// Rebuilds the report with its schedule record edited by `edit`. The two
+/// schedule mutations are defined over the schedule record: on an
+/// unexplored run (no record) there is nothing to corrupt, so the report
+/// passes through untouched — the fuzz engine's canonical pass stays
+/// clean and the planted bug surfaces on the explored schedules.
+template <typename Edit>
+json::Value mutate_schedule(const json::Value& report, Edit&& edit) {
+  json::Value out;
+  for (const auto& [key, member] : report.as_object()) {
+    if (key != "schedule") {
+      out.set(key, member);
+      continue;
+    }
+    json::Value schedule = member;
+    edit(schedule);
+    out.set(key, std::move(schedule));
+  }
+  return out;
+}
+
+/// The classic tie-break bug: a dependent task's completion is recorded
+/// before its predecessor's. Swaps the task ids of the two completion
+/// records of one dependency edge whose endpoints both completed. A run
+/// whose record has no such edge (independent tasks, or the dependent ones
+/// never finished) offers nothing to corrupt and passes through — the fuzz
+/// engine keeps scanning seeds until one is susceptible.
+void swap_completion_before_pred(json::Value& schedule) {
+  const json::Value::Array& completions =
+      schedule.at("completions").as_array();
+  std::map<std::int64_t, std::size_t> position;
+  for (std::size_t i = 0; i < completions.size(); ++i)
+    position[completions[i].as_array()[0].as_int64()] = i;
+  std::size_t pred_at = 0;
+  std::size_t succ_at = 0;
+  bool found = false;
+  for (const json::Value& edge : schedule.at("edges").as_array()) {
+    const json::Value::Array& pair = edge.as_array();
+    const auto pred = position.find(pair[0].as_int64());
+    const auto succ = position.find(pair[1].as_int64());
+    if (pred == position.end() || succ == position.end()) continue;
+    if (pred->second == succ->second) continue;
+    pred_at = pred->second;
+    succ_at = succ->second;
+    found = true;
+    break;
+  }
+  if (!found) return;
+  json::Value rebuilt{json::Value::Array{}};
+  for (std::size_t i = 0; i < completions.size(); ++i) {
+    const std::size_t from =
+        i == pred_at ? succ_at : (i == succ_at ? pred_at : i);
+    json::Value entry{json::Value::Array{}};
+    entry.push_back(completions[from].as_array()[0]);
+    entry.push_back(completions[i].as_array()[1]);
+    rebuilt.push_back(std::move(entry));
+  }
+  schedule.set("completions", std::move(rebuilt));
+}
+
+/// The late-fault bug: an abandoned chunk resurfaces after the makespan.
+void append_late_abandon(json::Value& schedule) {
+  json::Value rebuilt = schedule.at("abandons");
+  json::Value entry{json::Value::Array{}};
+  entry.push_back(json::Value(std::int64_t{0}));
+  entry.push_back(
+      json::Value(schedule.at("makespan_ns").as_int64() + 1));
+  rebuilt.push_back(std::move(entry));
+  schedule.set("abandons", std::move(rebuilt));
+}
+
 void apply_mutation(sweep::ScenarioOutcome& subject,
                     const std::string& mutation) {
   if (mutation.empty()) return;
@@ -81,6 +151,20 @@ void apply_mutation(sweep::ScenarioOutcome& subject,
   }
   if (mutation == "skew-time") {
     subject.metrics.time_ms = subject.metrics.time_ms * 1.25 + 1.0;
+    return;
+  }
+  if (mutation == "completion-before-pred") {
+    subject.report_json =
+        mutate_schedule(json::Value::parse(subject.report_json),
+                        swap_completion_before_pred)
+            .dump();
+    return;
+  }
+  if (mutation == "late-fault") {
+    subject.report_json =
+        mutate_schedule(json::Value::parse(subject.report_json),
+                        append_late_abandon)
+            .dump();
     return;
   }
   throw InvalidArgument("unknown mutation '" + mutation + "'");
@@ -245,6 +329,97 @@ void check_consistency(const sweep::ScenarioOutcome& outcome,
         "DNF run must report degradation_ratio=0 (an honest DNF, not a "
         "number), got ",
         json::format_double(m.degradation_ratio));
+}
+
+/// Explored-schedule oracle: the completion order the executor recorded
+/// must be a linearization consistent with the dependency DAG — no task
+/// completes before (or without) its predecessors, times never regress,
+/// nothing happens after the makespan, no abandoned chunk resurfaces, and
+/// the record agrees with the fault report's accounting. A report without
+/// a schedule record (canonical, unexplored run) passes trivially.
+void check_linearization(const sweep::ScenarioOutcome& outcome,
+                         std::vector<Violation>& out) {
+  constexpr const char* kOracle = "dag-linearization";
+  const json::Value report = json::Value::parse(outcome.report_json);
+  const json::Value* schedule = report.find("schedule");
+  if (schedule == nullptr) return;
+
+  const std::int64_t makespan = schedule->at("makespan_ns").as_int64();
+  const std::int64_t tasks = schedule->at("tasks").as_int64();
+
+  // Completion sequence: valid ids, no duplicates, non-decreasing times,
+  // nothing past the makespan.
+  std::map<std::int64_t, std::size_t> completed_at;  // task -> order index
+  std::int64_t previous = 0;
+  std::size_t index = 0;
+  for (const json::Value& entry : schedule->at("completions").as_array()) {
+    const json::Value::Array& pair = entry.as_array();
+    const std::int64_t task = pair[0].as_int64();
+    const std::int64_t at = pair[1].as_int64();
+    if (task < 0 || task >= tasks)
+      add(out, kOracle, "completion records unknown task ", task, " (graph has ",
+          tasks, " tasks)");
+    else if (completed_at.count(task))
+      add(out, kOracle, "task ", task, " completed twice");
+    else
+      completed_at[task] = index;
+    if (at < previous)
+      add(out, kOracle, "completion times regress: task ", task,
+          " completed at ", at, " ns after a completion at ", previous,
+          " ns");
+    if (at > makespan)
+      add(out, kOracle, "task ", task, " completed at ", at,
+          " ns, beyond the makespan ", makespan, " ns");
+    previous = std::max(previous, at);
+    ++index;
+  }
+
+  // Abandons: valid ids, disjoint from completions, inside the run window
+  // (an abandoned chunk must never resurface after the makespan).
+  std::int64_t abandons = 0;
+  for (const json::Value& entry : schedule->at("abandons").as_array()) {
+    const json::Value::Array& pair = entry.as_array();
+    const std::int64_t task = pair[0].as_int64();
+    const std::int64_t at = pair[1].as_int64();
+    if (task < 0 || task >= tasks)
+      add(out, kOracle, "abandon records unknown task ", task);
+    if (completed_at.count(task))
+      add(out, kOracle, "task ", task, " was both completed and abandoned");
+    if (at > makespan)
+      add(out, kOracle, "abandoned chunk of task ", task, " resurfaces at ",
+          at, " ns, after the makespan ", makespan, " ns");
+    ++abandons;
+  }
+
+  // Every dependency edge must be respected by the completion ORDER, not
+  // just the timestamps: with zero-cost ties a successor may legally share
+  // its predecessor's completion time, but it can never precede it in the
+  // recorded sequence.
+  for (const json::Value& edge : schedule->at("edges").as_array()) {
+    const json::Value::Array& pair = edge.as_array();
+    const std::int64_t pred = pair[0].as_int64();
+    const std::int64_t succ = pair[1].as_int64();
+    const auto done = completed_at.find(succ);
+    if (done == completed_at.end()) continue;
+    const auto before = completed_at.find(pred);
+    if (before == completed_at.end())
+      add(out, kOracle, "task ", succ, " completed but its predecessor ",
+          pred, " never did");
+    else if (before->second > done->second)
+      add(out, kOracle, "completion order violates dependency ", pred,
+          " -> ", succ, ": the successor completed first");
+  }
+
+  // The schedule record and the fault report are two views of one run.
+  const json::Value& faults = report.at("faults");
+  if (abandons != faults.at("abandoned").as_int64())
+    add(out, kOracle, "schedule records ", abandons,
+        " abandons but the fault report counts ",
+        faults.at("abandoned").as_int64());
+  if (faults.at("run_completed").as_bool() &&
+      static_cast<std::int64_t>(completed_at.size()) != tasks)
+    add(out, kOracle, "completed run recorded ", completed_at.size(), "/",
+        tasks, " task completions");
 }
 
 // ---------------------------------------------------------------------------
@@ -481,27 +656,22 @@ void check_partition(const FuzzCase& c, std::vector<Violation>& out) {
         json::format_double(metrics.compute_transfer_gap));
 }
 
-sweep::SweepEngine plain_engine() {
+sweep::SweepEngine plain_engine(const rt::ExploreSpec& explore) {
   sweep::SweepOptions options;
   options.parallel = false;
   options.use_cache = false;
   options.record_trace = false;
+  options.explore = explore;
   return sweep::SweepEngine(options);
 }
 
-}  // namespace
-
-const std::vector<std::string>& oracle_names() {
-  static const std::vector<std::string> kNames = {
-      "no-unexpected-failure", "work-conservation", "report-consistency",
-      "determinism",           "cache-transparency", "trace-validity",
-      "ranking-relations",     "dag-profile",        "partition-model",
-  };
-  return kNames;
-}
-
-std::vector<Violation> run_oracles(const FuzzCase& c,
-                                   const std::string& only) {
+/// Shared body of run_oracles / run_schedule_oracles. With
+/// `schedule_subset`, only the schedule-sensitive oracles run (the pure
+/// analyzer/model oracles and the cache/trace transparency oracles see the
+/// same answer on every interleaving).
+std::vector<Violation> run_impl(const FuzzCase& c, const std::string& only,
+                                const rt::ExploreSpec& explore,
+                                bool schedule_subset) {
   if (!only.empty()) {
     const std::vector<std::string>& names = oracle_names();
     HS_REQUIRE(std::find(names.begin(), names.end(), only) != names.end(),
@@ -510,19 +680,22 @@ std::vector<Violation> run_oracles(const FuzzCase& c,
   std::vector<Violation> out;
 
   // Pure oracles first: no simulation involved.
-  if (want(only, "ranking-relations")) check_ranking(c, out);
-  if (want(only, "dag-profile")) check_dag_profile(c, out);
-  if (want(only, "partition-model")) check_partition(c, out);
+  if (!schedule_subset) {
+    if (want(only, "ranking-relations")) check_ranking(c, out);
+    if (want(only, "dag-profile")) check_dag_profile(c, out);
+    if (want(only, "partition-model")) check_partition(c, out);
+  }
 
-  const bool need_execution = want(only, "no-unexpected-failure") ||
-                              want(only, "work-conservation") ||
-                              want(only, "report-consistency") ||
-                              want(only, "determinism") ||
-                              want(only, "cache-transparency") ||
-                              want(only, "trace-validity");
+  const bool need_execution =
+      want(only, "no-unexpected-failure") ||
+      want(only, "work-conservation") ||
+      want(only, "report-consistency") || want(only, "determinism") ||
+      want(only, "dag-linearization") ||
+      (!schedule_subset && (want(only, "cache-transparency") ||
+                            want(only, "trace-validity")));
   if (!need_execution) return out;
 
-  const sweep::SweepEngine engine = plain_engine();
+  const sweep::SweepEngine engine = plain_engine(explore);
   const sweep::ScenarioOutcome base = engine.compute(c.scenario);
 
   if (want(only, "no-unexpected-failure") &&
@@ -539,13 +712,17 @@ std::vector<Violation> run_oracles(const FuzzCase& c,
 
   if (!base.ok()) return out;  // execution substrate oracles need a report
 
-  // The planted mutation corrupts a COPY of the outcome; conservation and
-  // consistency run over the corrupted substrate (and must object), while
-  // the transparency/trace oracles keep comparing genuine computations.
+  // The planted mutation corrupts a COPY of the outcome; conservation,
+  // consistency, and linearization run over the corrupted substrate (and
+  // must object), while the transparency/trace oracles keep comparing
+  // genuine computations.
   sweep::ScenarioOutcome subject = base;
   apply_mutation(subject, c.mutation);
   if (want(only, "work-conservation")) check_conservation(c, subject, out);
   if (want(only, "report-consistency")) check_consistency(subject, out);
+  if (want(only, "dag-linearization")) check_linearization(subject, out);
+
+  if (schedule_subset) return out;
 
   if (want(only, "cache-transparency")) {
     const std::string payload = base.to_payload();
@@ -572,6 +749,7 @@ std::vector<Violation> run_oracles(const FuzzCase& c,
     sweep::SweepOptions traced_options;
     traced_options.parallel = false;
     traced_options.record_trace = true;
+    traced_options.explore = explore;
     const sweep::ScenarioOutcome traced =
         sweep::SweepEngine(traced_options).compute(c.scenario);
     for (const std::string& violation : traced.trace_violations)
@@ -591,6 +769,29 @@ std::vector<Violation> run_oracles(const FuzzCase& c,
   }
 
   return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& oracle_names() {
+  // Append-only: the first nine names are pinned by tests and repro files.
+  static const std::vector<std::string> kNames = {
+      "no-unexpected-failure", "work-conservation",  "report-consistency",
+      "determinism",           "cache-transparency", "trace-validity",
+      "ranking-relations",     "dag-profile",        "partition-model",
+      "dag-linearization",
+  };
+  return kNames;
+}
+
+std::vector<Violation> run_oracles(const FuzzCase& c, const std::string& only,
+                                   const rt::ExploreSpec& explore) {
+  return run_impl(c, only, explore, /*schedule_subset=*/false);
+}
+
+std::vector<Violation> run_schedule_oracles(const FuzzCase& c,
+                                            const rt::ExploreSpec& explore) {
+  return run_impl(c, std::string(), explore, /*schedule_subset=*/true);
 }
 
 }  // namespace hetsched::check

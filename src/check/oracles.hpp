@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "check/gen.hpp"
+#include "runtime/explore.hpp"
 
 /// The invariant-oracle library of the property-fuzz engine.
 ///
@@ -33,14 +34,33 @@ struct Violation {
 ///   dag-profile            DagProfile internal arithmetic invariants
 ///   partition-model        split sums to n, optimality bound, and beta
 ///                          monotonicity under GPU speedup
+///   dag-linearization      an explored run's completion order is a
+///                          linearization of the dependency DAG, no task
+///                          completes before a predecessor, and no
+///                          abandoned chunk resurfaces after the makespan
+///                          (trivially true for unexplored runs, which
+///                          record no schedule)
 const std::vector<std::string>& oracle_names();
 
 /// Runs the oracle library over `c`. When `only` is non-empty, runs just
 /// that oracle (the shrinker's still-fails predicate) — unknown names
 /// throw InvalidArgument. A case whose scenario is kInapplicable skips the
 /// execution oracles (an inapplicable strategy/app pairing is an expected
-/// sweep outcome, not a bug).
-std::vector<Violation> run_oracles(const FuzzCase& c,
-                                   const std::string& only = std::string());
+/// sweep outcome, not a bug). When `explore` is active, every simulated
+/// execution runs under that schedule-exploration spec (see
+/// runtime/explore.hpp) and the report carries the schedule record the
+/// dag-linearization oracle checks.
+std::vector<Violation> run_oracles(
+    const FuzzCase& c, const std::string& only = std::string(),
+    const rt::ExploreSpec& explore = rt::ExploreSpec{});
+
+/// The schedule-sensitive oracle subset, run under `explore`:
+/// no-unexpected-failure, work-conservation, report-consistency,
+/// determinism, and dag-linearization. This is what the fuzz engine runs
+/// on each explored schedule beyond the canonical one — the pure oracles
+/// and the cache/trace transparency oracles do not depend on the
+/// interleaving, so re-running them per schedule would only burn CI time.
+std::vector<Violation> run_schedule_oracles(const FuzzCase& c,
+                                            const rt::ExploreSpec& explore);
 
 }  // namespace hetsched::check

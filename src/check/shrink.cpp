@@ -127,6 +127,40 @@ const std::vector<Transform>& transforms() {
   return kTransforms;
 }
 
+/// Decision-string minimization (the round minimizor): a replayed schedule
+/// shrinks from the back — the replay strategy takes choice 0 beyond the
+/// end of the string, so truncation degrades gracefully toward the
+/// canonical schedule instead of producing garbage. Ordered biggest-win
+/// first, like the case transforms.
+struct DecisionTransform {
+  const char* name;
+  std::function<bool(rt::ExploreSpec&)> apply;
+};
+
+const std::vector<DecisionTransform>& decision_transforms() {
+  static const std::vector<DecisionTransform> kTransforms = {
+      {"clear-decisions",
+       [](rt::ExploreSpec& spec) {
+         if (spec.decisions.empty()) return false;
+         spec.decisions.clear();
+         return true;
+       }},
+      {"drop-tail-half",
+       [](rt::ExploreSpec& spec) {
+         if (spec.decisions.size() < 2) return false;
+         spec.decisions.resize(spec.decisions.size() / 2);
+         return true;
+       }},
+      {"drop-last-decision",
+       [](rt::ExploreSpec& spec) {
+         if (spec.decisions.empty()) return false;
+         spec.decisions.pop_back();
+         return true;
+       }},
+  };
+  return kTransforms;
+}
+
 }  // namespace
 
 const std::vector<std::string>& shrink_transform_names() {
@@ -139,15 +173,28 @@ const std::vector<std::string>& shrink_transform_names() {
   return kNames;
 }
 
+const std::vector<std::string>& decision_shrink_transform_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const DecisionTransform& transform : decision_transforms())
+      names.push_back(transform.name);
+    return names;
+  }();
+  return kNames;
+}
+
 ShrinkResult shrink_case(const FuzzCase& failing, const std::string& oracle,
+                         const rt::ExploreSpec& explore,
                          int max_evaluations) {
   ShrinkResult result;
   result.minimal = failing;
+  result.explore = explore;
 
-  const auto still_fails = [&](const FuzzCase& candidate) {
+  const auto still_fails = [&](const FuzzCase& candidate,
+                               const rt::ExploreSpec& spec) {
     ++result.evaluations;
     try {
-      return !run_oracles(candidate, oracle).empty();
+      return !run_oracles(candidate, oracle, spec).empty();
     } catch (const std::exception&) {
       // A transform that makes the oracle itself inapplicable (e.g. a
       // mutation with nothing left to corrupt) did not preserve the
@@ -158,7 +205,11 @@ ShrinkResult shrink_case(const FuzzCase& failing, const std::string& oracle,
 
   // Fixpoint: retry the whole transform list until a full pass accepts
   // nothing (an early transform may become applicable again after a later
-  // one, e.g. halve-kernels repeats until one kernel remains).
+  // one, e.g. halve-kernels repeats until one kernel remains). Decision
+  // transforms participate in the same loop: shrinking the case can strip
+  // decision sites, making further schedule truncation acceptable.
+  const bool shrink_decisions =
+      explore.mode == rt::ExploreMode::kReplay;
   bool progressed = true;
   while (progressed && result.evaluations < max_evaluations) {
     progressed = false;
@@ -166,8 +217,18 @@ ShrinkResult shrink_case(const FuzzCase& failing, const std::string& oracle,
       if (result.evaluations >= max_evaluations) break;
       FuzzCase candidate = result.minimal;
       if (!transform.apply(candidate)) continue;
-      if (!still_fails(candidate)) continue;
+      if (!still_fails(candidate, result.explore)) continue;
       result.minimal = std::move(candidate);
+      result.applied.push_back(transform.name);
+      progressed = true;
+    }
+    if (!shrink_decisions) continue;
+    for (const DecisionTransform& transform : decision_transforms()) {
+      if (result.evaluations >= max_evaluations) break;
+      rt::ExploreSpec candidate = result.explore;
+      if (!transform.apply(candidate)) continue;
+      if (!still_fails(result.minimal, candidate)) continue;
+      result.explore = std::move(candidate);
       result.applied.push_back(transform.name);
       progressed = true;
     }

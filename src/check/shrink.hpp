@@ -17,6 +17,9 @@ namespace hetsched::check {
 
 struct ShrinkResult {
   FuzzCase minimal;
+  /// The (possibly shrunk) schedule-replay spec the minimal case fails
+  /// under. Equal to the input spec when exploration was not involved.
+  rt::ExploreSpec explore;
   /// Transforms accepted (in application order, names for the report).
   std::vector<std::string> applied;
   /// Oracle re-evaluations spent shrinking.
@@ -24,12 +27,23 @@ struct ShrinkResult {
 };
 
 /// Shrinks `failing` against oracle `oracle` (one of oracle_names()). The
-/// caller guarantees `failing` currently violates it. `max_evaluations`
-/// bounds the oracle re-runs (each one may simulate).
+/// caller guarantees `failing` currently violates it (under `explore`,
+/// when active). `max_evaluations` bounds the oracle re-runs (each one may
+/// simulate). When `explore` replays a recorded decision string, the
+/// shrinker doubles as a round minimizor: the decision string shrinks in
+/// the same fixpoint loop as the scenario (clear, halve from the tail,
+/// drop the last decision), so the repro is minimal in BOTH the case and
+/// the schedule.
 ShrinkResult shrink_case(const FuzzCase& failing, const std::string& oracle,
+                         const rt::ExploreSpec& explore = rt::ExploreSpec{},
                          int max_evaluations = 64);
 
-/// The transform names in application order (exposed for docs and tests).
+/// The case-transform names in application order (exposed for docs and
+/// tests). Decision-string transforms are listed separately — they act on
+/// the replay spec, not the case.
 const std::vector<std::string>& shrink_transform_names();
+
+/// The decision-string transform names in application order.
+const std::vector<std::string>& decision_shrink_transform_names();
 
 }  // namespace hetsched::check

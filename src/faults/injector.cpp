@@ -121,6 +121,13 @@ std::optional<SimTime> FaultInjector::failure_time(
   return failure_[device];
 }
 
+std::optional<SimTime> FaultInjector::observed_failure_time(
+    hw::DeviceId device, SimTime detection_latency) const {
+  const std::optional<SimTime> at = failure_time(device);
+  if (!at) return std::nullopt;
+  return *at + std::max<SimTime>(detection_latency, 0);
+}
+
 std::vector<FaultEvent> FaultInjector::events_started_by(
     SimTime horizon) const {
   std::vector<FaultEvent> started;

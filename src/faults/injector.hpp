@@ -36,6 +36,14 @@ class FaultInjector {
   /// When `device` permanently fails, if ever (earliest failure event).
   std::optional<SimTime> failure_time(hw::DeviceId device) const;
 
+  /// When the runtime *observes* the failure: the physical failure time
+  /// plus a detection latency (clamped to >= 0). The latency is a benign
+  /// timing freedom — real runtimes notice a dead queue anywhere between
+  /// the next poll and the next dispatch — which schedule exploration
+  /// (runtime/explore.hpp) turns into a decision site.
+  std::optional<SimTime> observed_failure_time(hw::DeviceId device,
+                                               SimTime detection_latency) const;
+
   /// Plan events whose start time falls inside [0, horizon) — the faults
   /// that were actually injected into a run of that length.
   std::vector<FaultEvent> events_started_by(SimTime horizon) const;

@@ -48,13 +48,15 @@ class Run {
       const std::vector<KernelDef>& kernels,
       const std::vector<std::pair<std::string, std::int64_t>>& buffers,
       const Program& program, Scheduler& scheduler,
-      const std::optional<faults::FaultPlan>& fault_plan)
+      const std::optional<faults::FaultPlan>& fault_plan,
+      ExploreStrategy* explore)
       : platform_(platform),
         costs_(costs),
         options_(options),
         cost_model_(cost_model),
         kernels_(kernels),
         scheduler_(scheduler),
+        explore_(explore),
         devices_(platform.all_devices()),
         coherence_(platform.device_count()),
         link_(platform.link.name),
@@ -107,6 +109,19 @@ class Run {
         lane.set_record_history(options_.record_trace);
     link_.set_record_history(options_.record_trace);
 
+    if (explore_ != nullptr) {
+      // Equal-timestamp event ordering becomes the strategy's first class
+      // of decision sites; queue pops and fault-detection latency are the
+      // other two (see pump() and execute()).
+      engine_.set_tie_breaker(
+          [this](std::size_t n) { return explore_->pick(n); });
+      report_.schedule.recorded = true;
+      report_.schedule.tasks = graph_.size();
+      for (TaskId id = 0; id < graph_.size(); ++id)
+        for (TaskId succ : graph_.node(id).successors)
+          report_.schedule.edges.emplace_back(id, succ);
+    }
+
     if (options_.record_observability) {
       report_.obs = std::make_shared<obs::RunObservability>();
       report_.obs->enable();
@@ -141,7 +156,15 @@ class Run {
     scheduler_.begin_run(platform_, kernels_);
     if (injector_) {
       for (hw::DeviceId d = 0; d < devices_.size(); ++d) {
-        if (const auto at = injector_->failure_time(d)) {
+        // Fault-injection timing is explorable: the plan fixes when the
+        // device dies, the strategy picks how long the runtime takes to
+        // notice (0..2 dispatch overheads of detection latency), so fault
+        // handling races against the completions scheduled around it.
+        SimTime latency = 0;
+        if (explore_ != nullptr && injector_->failure_time(d))
+          latency = static_cast<SimTime>(explore_->pick(3)) *
+                    costs_.dispatch_overhead;
+        if (const auto at = injector_->observed_failure_time(d, latency)) {
           engine_.schedule_at(*at, [this, d] {
             on_device_failure(d, engine_.now());
           });
@@ -177,6 +200,8 @@ class Run {
     // trace holds recovery events outside the run.
     report_.makespan = std::max(last_completion_, last_fault_action_);
     report_.sim_events = engine_.fired_events();
+    if (explore_ != nullptr)
+      report_.schedule.decisions = explore_->decisions();
     if (injector_) record_injected_faults();
     if (obs_) {
       obs_->metrics.gauge_set("makespan_ms", to_millis(report_.makespan));
@@ -318,6 +343,7 @@ class Run {
   void abandon(TaskId id, SimTime now, const std::string& why) {
     ++report_.faults.abandoned_tasks;
     last_fault_action_ = std::max(last_fault_action_, now);
+    if (explore_ != nullptr) report_.schedule.abandons.emplace_back(id, now);
     obs_span(id, obs::SpanPhase::kAbandon, now, now, why);
     obs_count("chunks_abandoned");
     if (options_.record_trace)
@@ -348,8 +374,14 @@ class Run {
           bool via_scheduler = false;
           bool from_pool = false;
           if (!state.queue.empty()) {
-            task = state.queue.front();
-            state.queue.pop_front();
+            // Ready-queue tie-breaking: the canonical executor always pops
+            // the front; under exploration any queued chunk may go first.
+            std::size_t pick = 0;
+            if (explore_ != nullptr && state.queue.size() > 1)
+              pick = explore_->pick(state.queue.size());
+            task = state.queue[pick];
+            state.queue.erase(state.queue.begin() +
+                              static_cast<std::ptrdiff_t>(pick));
             obs_track(queue_key_d(d), now, -1);
             via_scheduler = !graph_.node(*task).pinned_device.has_value();
           } else if (!pool_.empty()) {
@@ -942,6 +974,8 @@ class Run {
     HS_ASSERT_MSG(!completed_[id], "task " << id << " completed twice");
     completed_[id] = true;
     last_completion_ = std::max(last_completion_, now);
+    if (explore_ != nullptr)
+      report_.schedule.completions.emplace_back(id, now);
     if (!graph_.node(id).is_barrier && !graph_.node(id).is_host_op)
       ++report_.tasks_executed;
 
@@ -1037,6 +1071,8 @@ class Run {
   const hw::RooflineCostModel& cost_model_;
   const std::vector<KernelDef>& kernels_;
   Scheduler& scheduler_;
+  /// Schedule-exploration strategy (null = canonical schedule). Not owned.
+  ExploreStrategy* explore_;
 
   std::vector<hw::DeviceSpec> devices_;
   sim::Engine engine_;
@@ -1105,7 +1141,7 @@ ExecutionReport Executor::execute(const Program& program,
   for (const BufferInfo& info : buffers_)
     buffer_specs.emplace_back(info.name, info.size_bytes);
   Run run(platform_, costs_, options_, cost_model_, kernels_, buffer_specs,
-          program, scheduler, fault_plan_);
+          program, scheduler, fault_plan_, explore_);
   return run.execute();
 }
 

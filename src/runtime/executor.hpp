@@ -9,6 +9,7 @@
 #include "hw/cost_model.hpp"
 #include "hw/platform.hpp"
 #include "mem/coherence.hpp"
+#include "runtime/explore.hpp"
 #include "runtime/kernel.hpp"
 #include "runtime/program.hpp"
 #include "runtime/report.hpp"
@@ -102,6 +103,14 @@ class Executor {
     return fault_plan_;
   }
 
+  /// Arms a schedule-exploration strategy for subsequent execute() calls
+  /// (nullptr disarms). Not owned; the caller scopes it around one
+  /// execution (fresh strategy per run — see runtime/explore.hpp). While
+  /// armed, the run's benign tie-breaks become the strategy's decision
+  /// sites and the report carries a ScheduleRecord.
+  void set_explore(ExploreStrategy* strategy) { explore_ = strategy; }
+  ExploreStrategy* explore() const { return explore_; }
+
   /// Executes `program` to completion under `scheduler`, in virtual time.
   /// May be called repeatedly; each call starts from a fresh memory state
   /// (all buffers valid on host), modelling a fresh application run.
@@ -119,6 +128,7 @@ class Executor {
 
   std::vector<KernelDef> kernels_;
   std::optional<faults::FaultPlan> fault_plan_;
+  ExploreStrategy* explore_ = nullptr;
   struct BufferInfo {
     std::string name;
     std::int64_t size_bytes;

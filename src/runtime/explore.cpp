@@ -1,0 +1,135 @@
+#include "runtime/explore.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hetsched::rt {
+
+namespace {
+
+/// SplitMix64 step — the same stream the common Rng seeds itself from.
+/// Self-contained here so a strategy is a pure value: state in, pick out.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* explore_mode_name(ExploreMode mode) {
+  switch (mode) {
+    case ExploreMode::kNone: return "none";
+    case ExploreMode::kRandom: return "random";
+    case ExploreMode::kFair: return "fair";
+    case ExploreMode::kDfs: return "dfs";
+    case ExploreMode::kReplay: return "replay";
+  }
+  return "none";
+}
+
+ExploreMode explore_mode_from_name(const std::string& name) {
+  if (name == "none") return ExploreMode::kNone;
+  if (name == "random") return ExploreMode::kRandom;
+  if (name == "fair") return ExploreMode::kFair;
+  if (name == "dfs") return ExploreMode::kDfs;
+  if (name == "replay") return ExploreMode::kReplay;
+  throw InvalidArgument("unknown explore mode '" + name +
+                        "' (expected none|random|fair|dfs|replay)");
+}
+
+json::Value ExploreSpec::to_json() const {
+  json::Value decisions_json{json::Value::Array{}};
+  for (const std::uint32_t d : decisions)
+    decisions_json.push_back(json::Value(static_cast<std::int64_t>(d)));
+  json::Value value;
+  value.set("mode", json::Value(explore_mode_name(mode)));
+  // Full uint64; a JSON double only carries 53 bits, so decimal string.
+  value.set("seed", json::Value(std::to_string(seed)));
+  value.set("schedule", json::Value(static_cast<std::int64_t>(schedule)));
+  value.set("dfs_branch_bound",
+            json::Value(static_cast<std::int64_t>(dfs_branch_bound)));
+  value.set("decisions", std::move(decisions_json));
+  return value;
+}
+
+ExploreSpec ExploreSpec::from_json(const json::Value& value) {
+  ExploreSpec out;
+  out.mode = explore_mode_from_name(value.at("mode").as_string());
+  try {
+    out.seed = std::stoull(value.at("seed").as_string());
+  } catch (const std::exception&) {
+    throw InvalidArgument("explore seed is not a decimal uint64");
+  }
+  out.schedule = static_cast<int>(value.at("schedule").as_int64());
+  HS_REQUIRE(out.schedule >= 0, "explore schedule index must be >= 0");
+  out.dfs_branch_bound =
+      static_cast<int>(value.at("dfs_branch_bound").as_int64());
+  HS_REQUIRE(out.dfs_branch_bound >= 2,
+             "dfs_branch_bound must be >= 2, got " << out.dfs_branch_bound);
+  for (const json::Value& d : value.at("decisions").as_array()) {
+    const std::int64_t raw = d.as_int64();
+    HS_REQUIRE(raw >= 0, "negative decision " << raw);
+    out.decisions.push_back(static_cast<std::uint32_t>(raw));
+  }
+  return out;
+}
+
+ExploreStrategy::ExploreStrategy(ExploreSpec spec) : spec_(std::move(spec)) {
+  HS_REQUIRE(spec_.active(), "ExploreStrategy needs an active spec");
+  HS_REQUIRE(spec_.schedule >= 0,
+             "explore schedule index must be >= 0, got " << spec_.schedule);
+  HS_REQUIRE(spec_.dfs_branch_bound >= 2,
+             "dfs_branch_bound must be >= 2, got " << spec_.dfs_branch_bound);
+  // One stream per (seed, schedule): schedule k of a probe explores a
+  // different-but-reproducible trajectory than schedule k+1.
+  rng_state_ = spec_.seed ^
+               (0x9e3779b97f4a7c15ull *
+                (static_cast<std::uint64_t>(spec_.schedule) + 1));
+}
+
+std::size_t ExploreStrategy::pick(std::size_t n) {
+  if (n <= 1) return 0;  // not a decision site: nothing to choose
+  std::size_t choice = 0;
+  switch (spec_.mode) {
+    case ExploreMode::kNone:
+      break;
+    case ExploreMode::kRandom:
+      choice = static_cast<std::size_t>(splitmix64(rng_state_) %
+                                        static_cast<std::uint64_t>(n));
+      break;
+    case ExploreMode::kFair:
+      // Round-robin: rotate the canonical order by the schedule index and
+      // keep rotating as sites accumulate, so every alternative gets its
+      // turn at the head across the fan-out.
+      choice = (site_ + static_cast<std::size_t>(spec_.schedule)) % n;
+      break;
+    case ExploreMode::kDfs: {
+      // TLA-style bounded enumeration: the schedule index, written in base
+      // B (the branch bound), spells out the choices at the first decision
+      // sites — least-significant digit first — and every later site takes
+      // the canonical alternative. Schedule 0 is the canonical schedule;
+      // K schedules cover all choice prefixes of depth log_B(K).
+      const auto base =
+          static_cast<std::uint64_t>(spec_.dfs_branch_bound);
+      std::uint64_t rem = static_cast<std::uint64_t>(spec_.schedule);
+      for (std::size_t i = 0; i < site_ && rem > 0; ++i) rem /= base;
+      choice = static_cast<std::size_t>(rem % base);
+      break;
+    }
+    case ExploreMode::kReplay:
+      choice = site_ < spec_.decisions.size()
+                   ? static_cast<std::size_t>(spec_.decisions[site_])
+                   : 0;  // beyond the recorded string: canonical
+      break;
+  }
+  choice = std::min(choice, n - 1);
+  recorded_.push_back(static_cast<std::uint32_t>(choice));
+  ++site_;
+  return choice;
+}
+
+}  // namespace hetsched::rt

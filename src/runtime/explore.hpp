@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+/// Schedule-space exploration: the executor's benign nondeterminism —
+/// ready-queue tie-breaking, equal-timestamp event ordering, fault-detection
+/// latency — exposed as a first-class, controllable axis.
+///
+/// A simulation normally resolves every such tie canonically (FIFO queues,
+/// scheduling-order events, instant fault detection), so one probe input
+/// executes exactly one schedule. An ExploreStrategy instead makes each tie
+/// an explicit *decision site*: the runtime asks `pick(n)` which of the n
+/// legal alternatives to take, and records the chosen index. The recorded
+/// decision string replays any explored schedule exactly, which is what
+/// turns the property-fuzz engine into a bounded schedule-space model
+/// checker (lincheck-style Strategy / minimizor architecture).
+namespace hetsched::rt {
+
+enum class ExploreMode {
+  kNone,    ///< canonical schedule, no decision sites consulted
+  kRandom,  ///< seeded-random pick at every site
+  kFair,    ///< round-robin rotation: site i of schedule k picks (i+k)%n
+  kDfs,     ///< bounded DFS: schedule index enumerates choice prefixes
+  kReplay,  ///< replay a recorded decision string verbatim
+};
+
+const char* explore_mode_name(ExploreMode mode);
+/// Throws InvalidArgument on an unknown name.
+ExploreMode explore_mode_from_name(const std::string& name);
+
+/// Plain-data description of one explored schedule: (mode, seed, schedule
+/// index) for the generative strategies, plus the decision string for
+/// replay. Pure data — two strategies built from equal specs make identical
+/// picks, which is the determinism contract the oracles check.
+struct ExploreSpec {
+  ExploreMode mode = ExploreMode::kNone;
+  /// Probe seed the schedule belongs to (seeds the random strategy).
+  std::uint64_t seed = 0;
+  /// Schedule index k within the fan-out (0 = first explored schedule).
+  int schedule = 0;
+  /// DFS branching bound B: how many alternatives a DFS digit can select
+  /// at one decision site (choices beyond B-1 are reachable only through
+  /// clamping at narrower sites).
+  int dfs_branch_bound = 3;
+  /// Recorded choices for kReplay (ignored by the generative modes).
+  std::vector<std::uint32_t> decisions;
+
+  bool active() const { return mode != ExploreMode::kNone; }
+
+  /// Repro serialization ({mode, seed, schedule, decisions}).
+  json::Value to_json() const;
+  static ExploreSpec from_json(const json::Value& value);
+};
+
+/// One execution's schedule controller. Instantiate fresh per run: picks
+/// are a pure function of (spec, call sequence), so a fresh instance per
+/// execution is what makes explored runs replayable and byte-deterministic.
+class ExploreStrategy {
+ public:
+  explicit ExploreStrategy(ExploreSpec spec);
+
+  /// Chooses one of `n` legal alternatives (n >= 1) at the next decision
+  /// site and records the choice. Returns a value in [0, n).
+  std::size_t pick(std::size_t n);
+
+  /// Every choice made so far, in decision-site order — the schedule's
+  /// replayable decision string.
+  const std::vector<std::uint32_t>& decisions() const { return recorded_; }
+  const ExploreSpec& spec() const { return spec_; }
+
+ private:
+  ExploreSpec spec_;
+  std::size_t site_ = 0;
+  std::uint64_t rng_state_ = 0;  ///< splitmix64 stream for kRandom
+  std::vector<std::uint32_t> recorded_;
+};
+
+}  // namespace hetsched::rt

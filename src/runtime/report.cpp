@@ -89,7 +89,38 @@ std::string report_to_json(const ExecutionReport& report,
      << ",\"failed_devices\":" << faults.failed_devices
      << ",\"unfinished_tasks\":" << faults.unfinished_tasks
      << ",\"run_completed\":" << (faults.run_completed ? "true" : "false")
-     << "}}";
+     << "}";
+  if (report.schedule.recorded) {
+    // Times serialize as exact integer nanoseconds: the linearization
+    // oracle compares them against makespan_ns without rounding slack.
+    const ScheduleRecord& schedule = report.schedule;
+    os << ",\"schedule\":{\"decisions\":[";
+    for (std::size_t i = 0; i < schedule.decisions.size(); ++i) {
+      if (i != 0) os << ",";
+      os << schedule.decisions[i];
+    }
+    os << "],\"tasks\":" << schedule.tasks
+       << ",\"makespan_ns\":" << report.makespan << ",\"completions\":[";
+    for (std::size_t i = 0; i < schedule.completions.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "[" << schedule.completions[i].first << ","
+         << schedule.completions[i].second << "]";
+    }
+    os << "],\"abandons\":[";
+    for (std::size_t i = 0; i < schedule.abandons.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "[" << schedule.abandons[i].first << ","
+         << schedule.abandons[i].second << "]";
+    }
+    os << "],\"edges\":[";
+    for (std::size_t i = 0; i < schedule.edges.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "[" << schedule.edges[i].first << "," << schedule.edges[i].second
+         << "]";
+    }
+    os << "]}";
+  }
+  os << "}";
   return os.str();
 }
 

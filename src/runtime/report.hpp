@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/time.hpp"
@@ -45,6 +46,27 @@ struct TransferReport {
   std::int64_t total_bytes() const { return h2d_bytes + d2h_bytes; }
 };
 
+/// What one explored schedule actually did, recorded by the executor when
+/// an ExploreStrategy is armed (see runtime/explore.hpp). This is the
+/// substrate of the DAG-linearization oracle: the completion sequence must
+/// be a linearization of the dependency DAG, and no abandoned chunk may
+/// resurface after the makespan. `recorded` gates serialization so
+/// unexplored reports stay byte-identical with pre-exploration builds.
+struct ScheduleRecord {
+  bool recorded = false;
+  /// The decision string: choice taken at each decision site, in order —
+  /// replaying it through ExploreMode::kReplay reproduces this schedule.
+  std::vector<std::uint32_t> decisions;
+  /// Total tasks in the graph (completions + abandons + unfinished).
+  std::size_t tasks = 0;
+  /// (task, virtual time) in completion order.
+  std::vector<std::pair<std::size_t, SimTime>> completions;
+  /// (task, virtual time) in abandon order.
+  std::vector<std::pair<std::size_t, SimTime>> abandons;
+  /// Dependency edges (predecessor, successor) of the task graph.
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+};
+
 struct ExecutionReport {
   /// Virtual time from start to last completion (including final flush).
   SimTime makespan = 0;
@@ -69,6 +91,9 @@ struct ExecutionReport {
 
   /// Fault-injection accounting (all defaults when no plan was armed).
   faults::FaultReport faults;
+
+  /// Explored-schedule record (populated only under an ExploreStrategy).
+  ScheduleRecord schedule;
 
   /// Metrics / spans / placement audit (populated when
   /// RuntimeOptions::record_observability; null otherwise). Shared so the

@@ -18,13 +18,34 @@ void Engine::fire(Event event) {
   fn();
 }
 
-bool Engine::step() {
-  if (queue_.empty()) return false;
+Engine::Event Engine::pop_next() {
   // priority_queue::top() is const&; const_cast is the standard idiom for
   // moving out of it just before pop (the element is discarded either way).
   Event event = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
-  fire(std::move(event));
+  if (!tie_breaker_ || queue_.empty() || queue_.top().at != event.at)
+    return event;
+  // Equal-timestamp cohort: the heap pops it in canonical (seq) order, so
+  // index i below IS the i-th event of the canonical schedule. The chosen
+  // event fires; the rest return with their original seq, preserving the
+  // canonical order among them for the next decision.
+  std::vector<Event> cohort;
+  cohort.push_back(std::move(event));
+  while (!queue_.empty() && queue_.top().at == cohort.front().at) {
+    cohort.push_back(std::move(const_cast<Event&>(queue_.top())));
+    queue_.pop();
+  }
+  std::size_t pick = tie_breaker_(cohort.size());
+  if (pick >= cohort.size()) pick = 0;
+  Event chosen = std::move(cohort[pick]);
+  for (std::size_t i = 0; i < cohort.size(); ++i)
+    if (i != pick) queue_.push(std::move(cohort[i]));
+  return chosen;
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  fire(pop_next());
   return true;
 }
 

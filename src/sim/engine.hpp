@@ -47,6 +47,18 @@ class Engine {
   /// Fires exactly one event if any is queued. Returns false when empty.
   bool step();
 
+  /// Schedule exploration hook: when set, every group of events sharing
+  /// the minimal timestamp becomes a decision site — the callback receives
+  /// the group size n (>= 2) and returns which of the n events (indexed in
+  /// canonical scheduling order) fires next; the rest are re-queued with
+  /// their original sequence numbers, so each subsequent firing at the same
+  /// timestamp is its own decision. Null (the default) keeps the canonical
+  /// scheduling-order tie-break.
+  using TieBreaker = std::function<std::size_t(std::size_t)>;
+  void set_tie_breaker(TieBreaker breaker) {
+    tie_breaker_ = std::move(breaker);
+  }
+
   bool idle() const { return queue_.empty(); }
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t fired_events() const { return fired_; }
@@ -75,11 +87,13 @@ class Engine {
   };
 
   void fire(Event event);
+  Event pop_next();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
   EventQueue queue_;
+  TieBreaker tie_breaker_;
 };
 
 }  // namespace hetsched::sim

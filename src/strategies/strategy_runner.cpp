@@ -1,6 +1,7 @@
 #include "strategies/strategy_runner.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "analyzer/ranking.hpp"
 #include "glinda/profile.hpp"
@@ -35,17 +36,43 @@ class FaultPlanGuard {
   bool armed_;
 };
 
+/// Arms a fresh ExploreStrategy for one measured execution. Fresh per run
+/// so decision sites are numbered from zero each time (replay fidelity),
+/// and scoped like the fault plan so profiling probes stay on the
+/// canonical schedule.
+class ExploreGuard {
+ public:
+  ExploreGuard(rt::Executor& executor, const rt::ExploreSpec& spec)
+      : executor_(executor) {
+    if (spec.active()) {
+      strategy_ = std::make_unique<rt::ExploreStrategy>(spec);
+      executor_.set_explore(strategy_.get());
+    }
+  }
+  ~ExploreGuard() {
+    if (strategy_) executor_.set_explore(nullptr);
+  }
+  ExploreGuard(const ExploreGuard&) = delete;
+  ExploreGuard& operator=(const ExploreGuard&) = delete;
+
+ private:
+  rt::Executor& executor_;
+  std::unique_ptr<rt::ExploreStrategy> strategy_;
+};
+
 }  // namespace
 
 rt::ExecutionReport StrategyRunner::measured_execute_pinned(
     const rt::Program& program) {
   FaultPlanGuard guard(app_.executor(), options_.fault_plan);
+  ExploreGuard explore(app_.executor(), options_.explore);
   return app_.executor().execute_pinned(program);
 }
 
 rt::ExecutionReport StrategyRunner::measured_execute(
     const rt::Program& program, rt::Scheduler& scheduler) {
   FaultPlanGuard guard(app_.executor(), options_.fault_plan);
+  ExploreGuard explore(app_.executor(), options_.explore);
   return app_.executor().execute(program, scheduler);
 }
 

@@ -10,6 +10,7 @@
 #include "faults/fault_plan.hpp"
 #include "glinda/multi_device.hpp"
 #include "glinda/partition_model.hpp"
+#include "runtime/explore.hpp"
 #include "strategies/dag_planner.hpp"
 
 /// Strategy drivers (paper Section III-C): given an application, each
@@ -53,6 +54,11 @@ struct StrategyOptions {
   /// static splits are honest pre-fault decisions and the injected faults
   /// hit every strategy's measured run identically.
   std::optional<faults::FaultPlan> fault_plan;
+  /// Schedule-exploration spec, armed (like the fault plan) around the
+  /// MEASURED execution only: a fresh ExploreStrategy is built per run so
+  /// decision sites are numbered from zero, and profiling stays on the
+  /// canonical schedule.
+  rt::ExploreSpec explore;
 };
 
 struct StrategyResult {

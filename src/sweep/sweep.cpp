@@ -156,7 +156,12 @@ ScenarioOutcome ScenarioOutcome::from_payload(const std::string& payload) {
 }
 
 SweepEngine::SweepEngine(SweepOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  // The scenario cache key does not close over the explore spec, so a
+  // cached canonical result would shadow an explored one (and vice versa).
+  HS_REQUIRE(!(options_.use_cache && options_.explore.active()),
+             "schedule exploration is incompatible with the result cache");
+}
 
 ScenarioOutcome SweepEngine::compute(const Scenario& scenario) const {
   return compute_scenario(scenario, nullptr);
@@ -220,6 +225,7 @@ ScenarioOutcome SweepEngine::compute_scenario(const Scenario& scenario,
     strategies::StrategyOptions strategy_options;
     strategy_options.sync_between_kernels = scenario.sync;
     strategy_options.task_count = scenario.task_count;
+    strategy_options.explore = options_.explore;
     if (!scenario.fault_plan.empty()) {
       const SimTime horizon =
           std::max<SimTime>(1, std::llround(baseline_ms * 1e6));

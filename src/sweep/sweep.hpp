@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/explore.hpp"
 #include "sweep/cache.hpp"
 #include "sweep/memo.hpp"
 #include "sweep/scenario.hpp"
@@ -129,6 +130,13 @@ struct SweepOptions {
   /// scenario_dedup_hits, cache hit/miss/dropped-store totals) into this
   /// registry under the obs::kSweep* names. Not owned; must outlive run().
   obs::MetricsRegistry* metrics = nullptr;
+  /// Schedule-exploration spec threaded into every scenario's measured
+  /// execution (see runtime/explore.hpp). Incompatible with use_cache: the
+  /// scenario cache key does not close over the spec, so mixing them would
+  /// poison the cache — the engine rejects the combination up front.
+  /// Baseline twins run under the same spec, keeping the whole outcome a
+  /// deterministic function of (scenario, spec).
+  rt::ExploreSpec explore;
 };
 
 struct SweepSummary {

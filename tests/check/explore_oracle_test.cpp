@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "check/engine.hpp"
+#include "check/gen.hpp"
+#include "check/oracles.hpp"
+#include "check/shrink.hpp"
+
+/// Schedule exploration end to end: the planted schedule bugs only surface
+/// on explored schedules, are caught by the dag-linearization oracle, and
+/// shrink — case AND decision string — to a minimal replayable repro.
+namespace hetsched::check {
+namespace {
+
+FuzzOptions explore_options(const std::string& plant, rt::ExploreMode mode,
+                            int schedules, int iters) {
+  FuzzOptions options;
+  options.base_seed = 1;
+  options.iters = iters;
+  options.explore = mode;
+  options.schedules = schedules;
+  options.plant = plant;
+  return options;
+}
+
+TEST(ExploreOracle, DecisionShrinkTransformNamesAreStable) {
+  const std::vector<std::string>& names = decision_shrink_transform_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "clear-decisions");
+  EXPECT_EQ(names[1], "drop-tail-half");
+  EXPECT_EQ(names[2], "drop-last-decision");
+}
+
+TEST(ExploreOracle, ScheduleMutationsAreInertOnCanonicalRuns) {
+  // Without exploration no schedule record exists, so the planted schedule
+  // bugs have nothing to corrupt: the full oracle library stays green.
+  for (const char* mutation : {"completion-before-pred", "late-fault"}) {
+    FuzzCase c = generate_case(1);
+    c.mutation = mutation;
+    const std::vector<Violation> violations = run_oracles(c);
+    EXPECT_TRUE(violations.empty())
+        << mutation << " tripped " << violations.front().oracle << ": "
+        << violations.front().detail;
+  }
+}
+
+// Satellite acceptance: the planted tie-break bug (a dependent task's
+// completion recorded before its predecessor's) is caught by the
+// linearization oracle and shrinks to a <= 2-kernel, <= 3-decision repro.
+TEST(ExploreOracle, PlantedTieBreakBugIsCaughtAndShrinksToMinimalRepro) {
+  const FuzzResult result = run_fuzz(explore_options(
+      "completion-before-pred", rt::ExploreMode::kDfs,
+      /*schedules=*/4, /*iters=*/64));
+  ASSERT_FALSE(result.clean());
+  const Counterexample& cx = result.counterexamples.front();
+  EXPECT_EQ(cx.violation.oracle, "dag-linearization");
+
+  // The failure lives on an explored schedule: the counterexample carries
+  // a replay spec, minimized alongside the case.
+  ASSERT_TRUE(cx.explore.active());
+  EXPECT_EQ(cx.explore.mode, rt::ExploreMode::kReplay);
+  EXPECT_LE(cx.minimal.structure.structure.kernel_count(), 2u);
+  EXPECT_LE(cx.explore.decisions.size(), 3u);
+
+  // The minimal repro replays: same oracle, same verdict.
+  const std::vector<Violation> replayed = replay_case(cx.minimal, cx.explore);
+  ASSERT_FALSE(replayed.empty());
+  EXPECT_EQ(replayed.front().oracle, "dag-linearization");
+
+  // And the repro document round-trips losslessly.
+  const Counterexample reloaded = Counterexample::from_json(cx.to_json());
+  EXPECT_EQ(reloaded.to_json().dump(), cx.to_json().dump());
+}
+
+TEST(ExploreOracle, PlantedLateFaultIsCaughtByDagLinearization) {
+  const FuzzResult result = run_fuzz(explore_options(
+      "late-fault", rt::ExploreMode::kRandom, /*schedules=*/2, /*iters=*/8));
+  ASSERT_FALSE(result.clean());
+  const Counterexample& cx = result.counterexamples.front();
+  EXPECT_EQ(cx.violation.oracle, "dag-linearization");
+  EXPECT_TRUE(cx.explore.active());
+
+  const std::vector<Violation> replayed = replay_case(cx.minimal, cx.explore);
+  ASSERT_FALSE(replayed.empty());
+  EXPECT_EQ(replayed.front().oracle, "dag-linearization");
+}
+
+TEST(ExploreOracle, CleanSeedsPassTheScheduleOraclesOnEveryStrategy) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const FuzzCase c = generate_case(seed);
+    for (const rt::ExploreMode mode :
+         {rt::ExploreMode::kRandom, rt::ExploreMode::kFair,
+          rt::ExploreMode::kDfs}) {
+      for (int k = 0; k < 3; ++k) {
+        rt::ExploreSpec spec;
+        spec.mode = mode;
+        spec.seed = seed;
+        spec.schedule = k;
+        const std::vector<Violation> violations =
+            run_schedule_oracles(c, spec);
+        EXPECT_TRUE(violations.empty())
+            << "seed " << seed << " mode " << rt::explore_mode_name(mode)
+            << " schedule " << k << ": " << violations.front().oracle << ": "
+            << violations.front().detail;
+      }
+    }
+  }
+}
+
+TEST(ExploreOracle, ExploredCounterexampleRenderNamesTheSchedule) {
+  const FuzzResult result = run_fuzz(explore_options(
+      "late-fault", rt::ExploreMode::kRandom, /*schedules=*/2, /*iters=*/8));
+  ASSERT_FALSE(result.clean());
+  const std::string report = result.render();
+  EXPECT_NE(report.find("schedule: explored #"), std::string::npos);
+  EXPECT_NE(report.find("replay decisions=["), std::string::npos);
+  EXPECT_NE(report.find("--repro"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsched::check

@@ -65,9 +65,32 @@ TEST(FuzzGen, GeneratedStructuresValidate) {
 
 TEST(FuzzGen, KnownMutationsAreStable) {
   const std::vector<std::string>& mutations = known_mutations();
-  ASSERT_EQ(mutations.size(), 2u);
+  ASSERT_EQ(mutations.size(), 4u);
   EXPECT_EQ(mutations[0], "drop-items");
   EXPECT_EQ(mutations[1], "skew-time");
+  EXPECT_EQ(mutations[2], "completion-before-pred");
+  EXPECT_EQ(mutations[3], "late-fault");
+}
+
+TEST(FuzzGen, WidenedAxesSurviveTheJsonRoundTrip) {
+  // hs-check-2 widened the generator with adversarial cost draws, near-tie
+  // gpu/cpu ratios, and synthesized fault storms. Over a seed window large
+  // enough to hit every new axis, the round trip must stay lossless and the
+  // widened fields must actually vary.
+  bool saw_storm = false;
+  bool saw_adversarial_cost = false;
+  for (std::uint64_t seed = 1; seed <= 256; ++seed) {
+    const FuzzCase original = generate_case(seed);
+    const FuzzCase reloaded = FuzzCase::from_json(original.to_json());
+    ASSERT_EQ(original.to_json().dump(), reloaded.to_json().dump())
+        << "seed " << seed;
+    if (original.scenario.fault_plan == "storm") saw_storm = true;
+    // Only the adversarial axis draws a zero overhead; the default is 2us.
+    if (original.scenario.costs.dispatch_overhead == 0)
+      saw_adversarial_cost = true;
+  }
+  EXPECT_TRUE(saw_storm);
+  EXPECT_TRUE(saw_adversarial_cost);
 }
 
 }  // namespace

@@ -13,11 +13,12 @@ namespace {
 
 TEST(Oracles, NamesAreStable) {
   const std::vector<std::string>& names = oracle_names();
-  ASSERT_EQ(names.size(), 9u);
+  ASSERT_EQ(names.size(), 10u);
   EXPECT_EQ(names.front(), "no-unexpected-failure");
   EXPECT_EQ(names[1], "work-conservation");
   EXPECT_EQ(names[2], "report-consistency");
-  EXPECT_EQ(names.back(), "partition-model");
+  EXPECT_EQ(names[8], "partition-model");
+  EXPECT_EQ(names.back(), "dag-linearization");
 }
 
 TEST(Oracles, CleanSeedsPass) {

@@ -51,7 +51,8 @@ TEST(Shrink, ShrinkingAMinimalCaseIsAFixpoint) {
 
 TEST(Shrink, RespectsTheEvaluationBudget) {
   const ShrinkResult shrunk =
-      shrink_case(planted_case(), "work-conservation", /*max_evaluations=*/3);
+      shrink_case(planted_case(), "work-conservation", rt::ExploreSpec{},
+                  /*max_evaluations=*/3);
   EXPECT_LE(shrunk.evaluations, 3);
   // Even under a tiny budget the result must still fail.
   EXPECT_FALSE(run_oracles(shrunk.minimal, "work-conservation").empty());

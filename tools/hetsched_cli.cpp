@@ -36,8 +36,11 @@
 ///   hetsched_cli fuzz    [--seed N] [--iters K] [--corpus <file>]
 ///                        [--repro <file>] [--out <file>] [--no-shrink]
 ///                        [--plant <mutation>] [--oracles]
+///                        [--explore random|fair|dfs] [--schedules K]
 ///                        # property-fuzz the invariant oracles; exit 4 on
-///                        # a counterexample (repro JSON written to --out)
+///                        # a counterexample (repro JSON written to --out).
+///                        # --explore fans each seed out into K explored
+///                        # schedules checked by the schedule oracles
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
@@ -91,6 +94,12 @@ Args parse(int argc, char** argv) {
     std::string token = argv[i];
     if (token.rfind("--", 0) != 0) continue;
     token = token.substr(2);
+    // Both spellings work: --explore dfs and --explore=dfs.
+    const std::size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      args.options[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       args.options[token] = argv[++i];
     } else {
@@ -681,8 +690,17 @@ int cmd_fuzz(const Args& args) {
         document.find("case") != nullptr
             ? check::FuzzCase::from_json(document.at("case"))
             : check::FuzzCase::from_json(document);
+    // Explored counterexamples embed the replay spec of their failing
+    // schedule; replaying without it would check the canonical schedule.
+    rt::ExploreSpec explore;
+    if (const json::Value* spec = document.find("explore"))
+      explore = rt::ExploreSpec::from_json(*spec);
     std::cout << "replaying " << c.describe() << "\n";
-    const std::vector<check::Violation> violations = check::replay_case(c);
+    if (explore.active())
+      std::cout << "schedule replay: #" << explore.schedule << " with "
+                << explore.decisions.size() << " recorded decision(s)\n";
+    const std::vector<check::Violation> violations =
+        check::replay_case(c, explore);
     if (violations.empty()) {
       std::cout << "repro passes all oracles (fixed or stale)\n";
       return 0;
@@ -698,6 +716,10 @@ int cmd_fuzz(const Args& args) {
   options.iters = args.flag("iters") ? std::stoi(args.get("iters")) : 1;
   options.shrink = !args.flag("no-shrink");
   options.plant = args.get("plant");
+  if (args.flag("explore"))
+    options.explore = rt::explore_mode_from_name(args.get("explore"));
+  if (args.flag("schedules"))
+    options.schedules = std::stoi(args.get("schedules"));
   if (args.flag("corpus")) {
     std::ifstream file(args.get("corpus"));
     HS_REQUIRE(file.good(),
