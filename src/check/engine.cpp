@@ -130,6 +130,9 @@ FuzzResult run_fuzz(const FuzzOptions& options) {
     result.seeds_run.push_back(seed);
     // Canonical schedule first, full oracle library.
     std::vector<Violation> violations = run_oracles(c);
+    // Opt-in serve replay: the same case's query over the wire.
+    if (violations.empty() && options.serve)
+      violations = run_oracles(c, "cache-transparency-serve");
     // Fan the seed out into explored schedules; the first failing one wins.
     rt::ExploreSpec failing_spec;
     if (violations.empty() && options.explore != rt::ExploreMode::kNone) {

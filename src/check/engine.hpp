@@ -34,6 +34,10 @@ struct FuzzOptions {
   rt::ExploreMode explore = rt::ExploreMode::kNone;
   /// Explored schedules per seed when `explore` is set (>= 1).
   int schedules = 1;
+  /// Additionally replay each case's query through a loopback serve daemon
+  /// (the opt-in cache-transparency-serve oracle; `fuzz --serve`). Off by
+  /// default — it spins up a process-wide daemon and talks TCP.
+  bool serve = false;
 };
 
 struct Counterexample {

@@ -679,6 +679,13 @@ std::vector<Violation> run_impl(const FuzzCase& c, const std::string& only,
   }
   std::vector<Violation> out;
 
+  // The serve oracle is opt-in (a daemon round-trip per case): it runs
+  // only when explicitly named, never as part of the default library.
+  if (only == "cache-transparency-serve") {
+    check_serve_transparency(c, out);
+    return out;
+  }
+
   // Pure oracles first: no simulation involved.
   if (!schedule_subset) {
     if (want(only, "ranking-relations")) check_ranking(c, out);
@@ -779,7 +786,7 @@ const std::vector<std::string>& oracle_names() {
       "no-unexpected-failure", "work-conservation",  "report-consistency",
       "determinism",           "cache-transparency", "trace-validity",
       "ranking-relations",     "dag-profile",        "partition-model",
-      "dag-linearization",
+      "dag-linearization",     "cache-transparency-serve",
   };
   return kNames;
 }

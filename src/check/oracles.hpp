@@ -40,7 +40,19 @@ struct Violation {
 ///                          abandoned chunk resurfaces after the makespan
 ///                          (trivially true for unexplored runs, which
 ///                          record no schedule)
+///   cache-transparency-serve
+///                          opt-in (runs only when named via `only`, i.e.
+///                          `fuzz --serve`): replays the case's query
+///                          through a loopback serve daemon and asserts
+///                          the response is byte-identical to the offline
+///                          answer, and that the repeat is a cache hit
+///                          with unchanged bytes
 const std::vector<std::string>& oracle_names();
+
+/// The serve-daemon transparency oracle (see above). Probes one shared
+/// process-wide loopback daemon; defined in serve_oracle.cpp.
+void check_serve_transparency(const FuzzCase& c,
+                              std::vector<Violation>& out);
 
 /// Runs the oracle library over `c`. When `only` is non-empty, runs just
 /// that oracle (the shrinker's still-fails predicate) — unknown names

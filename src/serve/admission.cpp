@@ -1,0 +1,58 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hetsched::serve {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity) : capacity_(capacity) {
+  HS_REQUIRE(capacity_ > 0, "admission queue needs capacity >= 1");
+}
+
+bool AdmissionQueue::try_push(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!closed_.load(std::memory_order_relaxed) &&
+        queue_.size() < capacity_) {
+      queue_.push_back(fd);
+      max_depth_ = std::max(max_depth_, queue_.size());
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      available_.notify_one();
+      return true;
+    }
+  }
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+std::optional<int> AdmissionQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  available_.wait(lock, [this] {
+    return !queue_.empty() || closed_.load(std::memory_order_relaxed);
+  });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  const int fd = queue_.front();
+  queue_.pop_front();
+  return fd;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_.store(true, std::memory_order_release);
+  }
+  available_.notify_all();
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t AdmissionQueue::max_depth_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_depth_;
+}
+
+}  // namespace hetsched::serve

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+/// Admission control for the serve daemon: a bounded queue of accepted
+/// connections between the acceptor thread and the worker pool.
+///
+/// The bound is the backpressure mechanism — when the queue is full the
+/// acceptor does NOT block and does NOT buffer; it answers the connection
+/// with an overload response carrying a retry_after hint and closes it
+/// (Server::acceptor_loop). Maximum in-flight work is the worker count, so
+/// total admitted-but-unserved requests are bounded by capacity + workers
+/// at all times.
+namespace hetsched::serve {
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity);
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admits `fd` unless the queue is at capacity or closed. Never blocks.
+  /// A false return increments rejected() (overload) — the caller owns the
+  /// fd either way.
+  bool try_push(int fd);
+
+  /// Blocks until an fd is available. Returns nullopt only when the queue
+  /// is closed AND empty — connections admitted before close are still
+  /// drained, which is what makes shutdown graceful rather than lossy.
+  std::optional<int> pop();
+
+  /// Closes admission: try_push refuses, poppers drain and then exit.
+  void close();
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t depth() const;
+  /// High-water mark of depth() since construction.
+  std::size_t max_depth_seen() const;
+  std::int64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  std::int64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::deque<int> queue_;
+  std::size_t max_depth_ = 0;
+  std::atomic<bool> closed_{false};
+  std::atomic<std::int64_t> admitted_{0};
+  std::atomic<std::int64_t> rejected_{0};
+};
+
+}  // namespace hetsched::serve

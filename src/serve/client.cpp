@@ -1,0 +1,108 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace hetsched::serve {
+
+namespace {
+
+int connect_once(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+int connect_with_retries(const std::string& host, int port, int retries) {
+  for (int attempt = 0;; ++attempt) {
+    const int fd = connect_once(host, port);
+    if (fd >= 0) return fd;
+    if (attempt >= retries) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  throw Error("cannot connect to " + host + ":" + std::to_string(port) +
+              ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+QueryClient::QueryClient(const std::string& host, int port,
+                         int connect_retries)
+    : fd_(connect_with_retries(host, port, connect_retries)),
+      reader_(fd_) {}
+
+QueryClient::~QueryClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+QueryResponse QueryClient::ask(const QueryRequest& request) {
+  HS_REQUIRE(write_frame(fd_, request.to_json()),
+             "daemon connection dropped while sending");
+  std::string frame;
+  const FrameReader::Result result = reader_.read(frame);
+  HS_REQUIRE(result == FrameReader::Result::kFrame,
+             "daemon closed the connection without answering");
+  return QueryResponse::from_json(json::Value::parse(frame));
+}
+
+QueryResponse query_once(const std::string& host, int port,
+                         const QueryRequest& request) {
+  QueryClient client(host, port);
+  return client.ask(request);
+}
+
+HttpResult http_get(const std::string& host, int port,
+                    const std::string& path) {
+  const int fd = connect_with_retries(host, port, /*retries=*/10);
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  HS_REQUIRE(write_all(fd, request), "daemon connection dropped mid-scrape");
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      raw.append(chunk, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got < 0 && (errno == EINTR || errno == EAGAIN ||
+                    errno == EWOULDBLOCK))
+      continue;
+    break;
+  }
+  ::close(fd);
+  HttpResult result;
+  // "HTTP/1.1 200 OK\r\n..." — the status code is the second token.
+  const std::size_t space = raw.find(' ');
+  if (space != std::string::npos)
+    result.status_code = std::atoi(raw.c_str() + space + 1);
+  const std::size_t body_at = raw.find("\r\n\r\n");
+  if (body_at != std::string::npos) result.body = raw.substr(body_at + 4);
+  return result;
+}
+
+}  // namespace hetsched::serve

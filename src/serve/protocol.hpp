@@ -1,0 +1,126 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+
+/// Wire protocol of the matchmaker daemon (`hetsched_cli serve`).
+///
+/// Frames are newline-delimited JSON documents over a TCP stream: one
+/// request per line, one response per line, UTF-8, no embedded newlines
+/// (json::Value::dump never emits raw control characters). The same
+/// common/json layer that keeps the sweep cache byte-stable encodes both
+/// directions, so a response's `output` member carries the offline CLI's
+/// answer byte for byte.
+///
+/// The daemon also speaks just enough HTTP on the same port for a
+/// Prometheus scrape: a connection whose first line starts with "GET " is
+/// answered as an HTTP/1.1 exchange (see Server::handle_http) instead of a
+/// frame stream.
+namespace hetsched::serve {
+
+/// Bump when the request schema, the cache-key closure, or response
+/// semantics change: a daemon and client disagreeing on the version fail
+/// loudly instead of mis-answering.
+inline constexpr const char* kProtocolVersion = "hs-serve-1";
+
+/// Hard per-frame byte bound; a peer exceeding it is disconnected rather
+/// than buffered without limit.
+inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
+
+/// One matchmaking query. `op` selects which offline verb the answer must
+/// be byte-identical to:
+///   match    classify + strategy selection (hetsched_cli match)
+///   explain  decision + predicted-time inputs (hetsched_cli explain)
+///   analyze  utilization/overlap breakdown of a run (hetsched_cli analyze)
+///   shutdown administrative: ack, then begin graceful daemon shutdown
+struct QueryRequest {
+  std::string op = "match";
+  std::string app;
+  /// Platform variant ("" = reference, the CLI default).
+  std::string platform;
+  /// Strategy for analyze ("" = let the matchmaker pick).
+  std::string strategy;
+  bool sync = false;
+  bool small = false;
+  /// Chunk count m (0 = strategy default), the CLI's --tasks.
+  int tasks = 0;
+  /// analyze --gantt: append the timeline rendering.
+  bool gantt = false;
+  /// explain --json: machine-readable document instead of the rendering.
+  bool json = false;
+
+  json::Value to_json() const;
+  /// Throws InvalidArgument on malformed input or a version mismatch.
+  static QueryRequest from_json(const json::Value& value);
+
+  /// Canonical cache-key text: closes over every answer-affecting field
+  /// plus kProtocolVersion, so two requests with equal keys are guaranteed
+  /// the same response bytes.
+  std::string cache_key() const;
+};
+
+enum class ResponseStatus {
+  kOk,
+  kError,
+  /// Admission control rejected the connection; retry_after_ms hints when
+  /// to try again.
+  kOverload,
+  /// The daemon is draining; no new requests are admitted.
+  kShuttingDown,
+};
+
+const char* response_status_name(ResponseStatus status);
+ResponseStatus response_status_from_name(const std::string& name);
+
+struct QueryResponse {
+  ResponseStatus status = ResponseStatus::kOk;
+  /// The offline CLI's stdout for the equivalent invocation, byte for byte
+  /// (set when status == kOk).
+  std::string output;
+  /// Human-readable failure description (status == kError).
+  std::string error;
+  /// Backoff hint for kOverload responses, milliseconds.
+  double retry_after_ms = 0.0;
+  /// True when the answer came from the daemon's scenario cache (in-memory
+  /// shard or the on-disk store) instead of a fresh computation.
+  bool cache_hit = false;
+
+  json::Value to_json() const;
+  static QueryResponse from_json(const json::Value& value);
+};
+
+/// Writes all of `bytes` to `fd`, retrying short writes and EINTR. Returns
+/// false on a hard error (peer gone).
+bool write_all(int fd, std::string_view bytes);
+
+/// Serializes `value` and writes it as one newline-terminated frame.
+bool write_frame(int fd, const json::Value& value);
+
+/// Buffered line reader over a socket. The socket is expected to carry a
+/// receive timeout (SO_RCVTIMEO): a timed-out read re-arms unless the
+/// optional `give_up` flag is set, which is how the daemon drains blocked
+/// keep-alive connections during shutdown.
+class FrameReader {
+ public:
+  enum class Result {
+    kFrame,     ///< `frame` holds one line, newline stripped
+    kClosed,    ///< peer closed (or hard error)
+    kGaveUp,    ///< read timed out while `give_up` was set
+    kOverflow,  ///< peer exceeded kMaxFrameBytes without a newline
+  };
+
+  explicit FrameReader(int fd) : fd_(fd) {}
+
+  Result read(std::string& frame,
+              const std::atomic<bool>* give_up = nullptr);
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+}  // namespace hetsched::serve

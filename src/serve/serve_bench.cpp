@@ -1,0 +1,109 @@
+#include "serve/serve_bench.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace hetsched::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A small rotating query mix over the served apps and ops, all on the
+/// functional problem sizes.
+QueryRequest bench_request(unsigned client, int index, bool small) {
+  const std::vector<std::string>& apps = served_app_names();
+  const std::vector<std::string>& ops = served_ops();
+  const std::size_t pick = static_cast<std::size_t>(client) * 37 +
+                           static_cast<std::size_t>(index);
+  QueryRequest request;
+  request.op = ops[pick % ops.size()];
+  request.app = apps[pick % apps.size()];
+  request.small = small;
+  request.sync = (pick % 5) == 0;
+  return request;
+}
+
+}  // namespace
+
+ServeBenchResult run_serve_bench(const ServeBenchOptions& options) {
+  ServeBenchResult result;
+  result.options = options;
+
+  ServeOptions serve_options;
+  serve_options.workers = options.workers;
+  serve_options.max_queue = options.clients * 4 + 16;
+  Server server(serve_options);
+  server.start();
+
+  std::atomic<std::int64_t> ok{0};
+  std::atomic<std::int64_t> errors{0};
+  std::atomic<std::int64_t> cache_hits{0};
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(options.clients);
+  for (unsigned c = 0; c < options.clients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        QueryClient client("127.0.0.1", server.port());
+        for (int i = 0; i < options.requests_per_client; ++i) {
+          const QueryResponse response =
+              client.ask(bench_request(c, i, options.small));
+          if (response.status == ResponseStatus::kOk) {
+            ok.fetch_add(1, std::memory_order_relaxed);
+            if (response.cache_hit)
+              cache_hits.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      } catch (const Error&) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  result.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                             start)
+                       .count();
+
+  server.request_shutdown();
+  server.wait();
+
+  result.requests = ok.load();
+  result.errors = errors.load();
+  result.cache_hits = cache_hits.load();
+  if (result.wall_ms > 0.0) {
+    result.requests_per_second =
+        static_cast<double>(result.requests) / (result.wall_ms / 1000.0);
+  }
+  return result;
+}
+
+json::Value serve_bench_to_json(const ServeBenchResult& result) {
+  json::Value value;
+  value.set("name", json::Value("serve_loopback"));
+  value.set("clients", json::Value(static_cast<std::int64_t>(
+                           result.options.clients)));
+  value.set("requests_per_client",
+            json::Value(static_cast<std::int64_t>(
+                result.options.requests_per_client)));
+  value.set("workers", json::Value(static_cast<std::int64_t>(
+                           result.options.workers)));
+  value.set("requests", json::Value(result.requests));
+  value.set("errors", json::Value(result.errors));
+  value.set("cache_hits", json::Value(result.cache_hits));
+  value.set("wall_ms", json::Value(result.wall_ms));
+  value.set("requests_per_second", json::Value(result.requests_per_second));
+  return value;
+}
+
+}  // namespace hetsched::serve

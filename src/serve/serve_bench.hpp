@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+
+/// The `bench serve` phase: throughput of an in-process loopback daemon.
+///
+/// Spins up a Server on an ephemeral port, hammers it with concurrent
+/// QueryClient threads issuing a rotating mix of match/explain/analyze
+/// queries, and reports requests per second. The working set is small by
+/// design so the steady state measures the serving path (framing, shard
+/// cache, admission) rather than simulation time — which is the daemon's
+/// actual production profile once its cache is warm.
+namespace hetsched::serve {
+
+struct ServeBenchOptions {
+  /// Concurrent client connections.
+  unsigned clients = 8;
+  /// Queries issued per client (each a fresh frame on a kept-open
+  /// connection).
+  int requests_per_client = 50;
+  /// Daemon worker threads.
+  unsigned workers = 4;
+  /// Small functional app configurations (keep true: the bench measures
+  /// serving, not simulation).
+  bool small = true;
+};
+
+struct ServeBenchResult {
+  ServeBenchOptions options;
+  std::int64_t requests = 0;       ///< ok responses received
+  std::int64_t errors = 0;         ///< non-ok responses received
+  std::int64_t cache_hits = 0;     ///< responses flagged cache_hit
+  double wall_ms = 0.0;
+  double requests_per_second = 0.0;
+};
+
+/// Runs the loopback hammer and returns its measurements. Throws
+/// hetsched::Error when the daemon cannot start.
+ServeBenchResult run_serve_bench(const ServeBenchOptions& options = {});
+
+/// One "phases" entry in the bench document, shaped like the sweep phases
+/// (name + workload counters + wall_ms + throughput).
+json::Value serve_bench_to_json(const ServeBenchResult& result);
+
+}  // namespace hetsched::serve

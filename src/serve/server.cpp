@@ -1,0 +1,426 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "serve/service.hpp"
+
+namespace hetsched::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Bounded decision audit: old entries rotate out, the log never grows
+/// without limit in a long-running daemon.
+constexpr std::size_t kMaxAuditEntries = 4096;
+
+void set_socket_timeouts(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  // Writes get a generous bound so a stalled reader cannot wedge a worker.
+  timeval send_tv{};
+  send_tv.tv_sec = 10;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_tv, sizeof(send_tv));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+double elapsed_ms(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options) : options_(std::move(options)) {
+  HS_REQUIRE(options_.workers > 0, "serve needs at least one worker");
+  if (!options_.cache_dir.empty())
+    disk_ = std::make_unique<sweep::ResultCache>(options_.cache_dir);
+  cache_ = std::make_unique<ShardedScenarioCache>(options_.shards,
+                                                  disk_.get());
+  queue_ = std::make_unique<AdmissionQueue>(options_.max_queue);
+  metrics_.enable();
+  metrics_.histogram_bounds("serve_request_latency_ms",
+                            obs::Histogram::default_bounds());
+}
+
+Server::~Server() {
+  request_shutdown();
+  wait();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Server::start() {
+  HS_REQUIRE(!started_, "server already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  HS_REQUIRE(listen_fd_ >= 0,
+             "socket() failed: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  HS_REQUIRE(::inet_pton(AF_INET, options_.host.c_str(),
+                         &address.sin_addr) == 1,
+             "invalid bind address '" << options_.host << "'");
+  HS_REQUIRE(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+                    sizeof(address)) == 0,
+             "cannot bind " << options_.host << ":" << options_.port << ": "
+                            << std::strerror(errno));
+  HS_REQUIRE(::listen(listen_fd_, 128) == 0,
+             "listen() failed: " << std::strerror(errno));
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  HS_REQUIRE(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                           &bound_len) == 0,
+             "getsockname() failed: " << std::strerror(errno));
+  port_ = ntohs(bound.sin_port);
+
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    started_ = true;
+  }
+  workers_.reserve(options_.workers);
+  for (unsigned i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  HS_INFO << "serve: listening on " << options_.host << ":" << port_ << " ("
+          << options_.workers << " workers, queue " << options_.max_queue
+          << ", " << cache_->shard_count() << " cache shards"
+          << (disk_ ? ", store " + options_.cache_dir : std::string())
+          << ")";
+}
+
+void Server::request_shutdown() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  // Wake the acceptor out of accept(2); the fd itself is closed after the
+  // join so the port stays reserved until the drain finishes.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  queue_->close();
+  lifecycle_cv_.notify_all();
+}
+
+bool Server::wait_for_shutdown_request(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+  lifecycle_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [this] {
+    return stopping_.load(std::memory_order_acquire);
+  });
+  return stopping_.load(std::memory_order_acquire);
+}
+
+void Server::wait() {
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+    lifecycle_cv_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_acquire);
+    });
+    if (!started_ || stopped_) return;
+    // First caller past this point performs the teardown; later callers
+    // block on `stopped_` below.
+    if (finalizing_in_progress_) {
+      lifecycle_cv_.wait(lock, [this] { return stopped_; });
+      return;
+    }
+    finalizing_in_progress_ = true;
+  }
+
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& worker : workers_) worker.join();
+
+  const std::size_t flushed = cache_->flush();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    if (flushed > 0)
+      metrics_.counter_add("serve_cache_flushed_total",
+                           static_cast<std::int64_t>(flushed));
+  }
+  final_snapshot_ = metrics_prometheus();
+  HS_INFO << "serve: drained; " << cache_->entries()
+          << " cached scenario(s), " << flushed << " flushed to store";
+
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    stopped_ = true;
+  }
+  lifecycle_cv_.notify_all();
+}
+
+void Server::acceptor_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EINVAL/EBADF after shutdown(listen_fd_): the drain has begun.
+      return;
+    }
+    set_socket_timeouts(fd, options_.idle_timeout_ms);
+
+    if (stopping_.load(std::memory_order_acquire)) {
+      QueryResponse response;
+      response.status = ResponseStatus::kShuttingDown;
+      response.error = "daemon is shutting down";
+      write_frame(fd, response.to_json());
+      record_response(nullptr, ResponseStatus::kShuttingDown, false, 0.0);
+      ::close(fd);
+      continue;
+    }
+    if (!queue_->try_push(fd)) {
+      // Admission control: bounded queue, never unbounded buffering. The
+      // client gets an explicit overload answer plus a backoff hint.
+      QueryResponse response;
+      response.status = ResponseStatus::kOverload;
+      response.error = "request queue full";
+      response.retry_after_ms = options_.retry_after_ms;
+      write_frame(fd, response.to_json());
+      record_response(nullptr, ResponseStatus::kOverload, false, 0.0);
+      ::close(fd);
+      continue;
+    }
+    set_queue_depth_gauge();
+  }
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    const std::optional<int> fd = queue_->pop();
+    if (!fd) return;  // admission closed and drained
+    set_queue_depth_gauge();
+    serve_connection(*fd);
+  }
+}
+
+void Server::serve_connection(int fd) {
+  FrameReader reader(fd);
+  for (;;) {
+    std::string frame;
+    // During shutdown the read gives up at the next idle timeout, which is
+    // what drains workers blocked on keep-alive connections: every frame
+    // already in flight is answered, then the connection closes.
+    const FrameReader::Result result = reader.read(frame, &stopping_);
+    if (result == FrameReader::Result::kOverflow) {
+      QueryResponse response;
+      response.status = ResponseStatus::kError;
+      response.error = "frame exceeds " + std::to_string(kMaxFrameBytes) +
+                       " bytes";
+      write_frame(fd, response.to_json());
+      record_response(nullptr, ResponseStatus::kError, false, 0.0);
+      break;
+    }
+    if (result != FrameReader::Result::kFrame) break;
+    if (frame.empty()) continue;  // stray blank line between frames
+    if (frame.rfind("GET ", 0) == 0) {
+      handle_http(fd, frame, reader);
+      break;
+    }
+    if (!handle_query_frame(fd, frame)) break;
+  }
+  ::close(fd);
+}
+
+bool Server::handle_query_frame(int fd, const std::string& frame) {
+  const Clock::time_point start = Clock::now();
+  QueryRequest request;
+  try {
+    request = QueryRequest::from_json(json::Value::parse(frame));
+  } catch (const Error& error) {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_.counter_add("serve_bad_frames_total");
+    QueryResponse response;
+    response.status = ResponseStatus::kError;
+    response.error = error.what();
+    write_frame(fd, response.to_json());
+    responses_error_.fetch_add(1, std::memory_order_relaxed);
+    return false;  // a peer speaking garbage gets disconnected
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_.counter_add(
+        obs::metric_key("serve_requests_total", {{"op", request.op}}));
+  }
+
+  if (request.op == "shutdown") {
+    // Flip the shutdown state BEFORE acking, so a client that has read the
+    // ack frame can rely on the drain having already begun.
+    request_shutdown();
+    QueryResponse response;
+    response.output = "shutting down\n";
+    const bool sent = write_frame(fd, response.to_json());
+    record_response(&request, ResponseStatus::kOk, false,
+                    elapsed_ms(start));
+    audit(request, ResponseStatus::kOk, false);
+    return sent && false;
+  }
+
+  const QueryResponse response = respond(request);
+  const double latency_ms = elapsed_ms(start);
+  record_response(&request, response.status, response.cache_hit,
+                  latency_ms);
+  audit(request, response.status, response.cache_hit);
+  return write_frame(fd, response.to_json());
+}
+
+QueryResponse Server::respond(const QueryRequest& request) {
+  QueryResponse response;
+  try {
+    const ShardedScenarioCache::Lookup lookup =
+        cache_->get_or_compute(request.cache_key(),
+                               [&request] { return answer(request); });
+    response.output = *lookup.value;
+    response.cache_hit = lookup.hit || lookup.disk_hit;
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_.counter_add(response.cache_hit ? "serve_cache_hits_total"
+                                            : "serve_cache_misses_total");
+    if (lookup.disk_hit) metrics_.counter_add("serve_cache_disk_hits_total");
+  } catch (const Error& error) {
+    response.status = ResponseStatus::kError;
+    response.error = error.what();
+  }
+  return response;
+}
+
+void Server::record_response(const QueryRequest* request,
+                             ResponseStatus status, bool cache_hit,
+                             double latency_ms) {
+  (void)cache_hit;
+  switch (status) {
+    case ResponseStatus::kOk:
+      responses_ok_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseStatus::kError:
+      responses_error_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseStatus::kOverload:
+      responses_overload_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseStatus::kShuttingDown:
+      responses_shutting_down_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_.counter_add(obs::metric_key(
+      "serve_responses_total", {{"status", response_status_name(status)}}));
+  if (request != nullptr)
+    metrics_.observe("serve_request_latency_ms", latency_ms);
+}
+
+void Server::audit(const QueryRequest& request, ResponseStatus status,
+                   bool cache_hit) {
+  HS_INFO << "serve: op=" << request.op << " app=" << request.app
+          << " status=" << response_status_name(status)
+          << " source=" << (cache_hit ? "cache" : "computed");
+  std::lock_guard<std::mutex> lock(audit_mutex_);
+  ServeAuditEntry entry;
+  entry.sequence = ++audit_sequence_;
+  entry.op = request.op;
+  entry.app = request.app;
+  entry.status = response_status_name(status);
+  entry.cache_hit = cache_hit;
+  if (audit_log_.size() >= kMaxAuditEntries)
+    audit_log_.erase(audit_log_.begin());
+  audit_log_.push_back(std::move(entry));
+}
+
+void Server::handle_http(int fd, const std::string& request_line,
+                         FrameReader& reader) {
+  // Drain the header block; a scrape's headers are small and uninteresting.
+  std::string header;
+  while (reader.read(header, &stopping_) == FrameReader::Result::kFrame &&
+         !header.empty()) {
+  }
+  std::istringstream line(request_line);
+  std::string method, path;
+  line >> method >> path;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_.counter_add(
+        obs::metric_key("serve_http_requests_total", {{"path", path}}));
+  }
+  std::string status = "200 OK";
+  std::string body;
+  if (path == "/metrics") {
+    body = metrics_prometheus();
+  } else if (path == "/healthz") {
+    body = shutdown_requested() ? "draining\n" : "ok\n";
+  } else {
+    status = "404 Not Found";
+    body = "not found (try /metrics or /healthz)\n";
+  }
+  std::ostringstream response;
+  response << "HTTP/1.1 " << status << "\r\n"
+           << "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+           << "Content-Length: " << body.size() << "\r\n"
+           << "Connection: close\r\n\r\n"
+           << body;
+  write_all(fd, response.str());
+}
+
+void Server::set_queue_depth_gauge() {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_.gauge_set("serve_queue_depth",
+                     static_cast<double>(queue_->depth()));
+}
+
+std::string Server::metrics_prometheus() const {
+  const ShardCacheCounters cache_counters = cache_->counters();
+  const std::size_t entries = cache_->entries();
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  // Mirror component-owned state into gauges at scrape time; the request
+  // counters above are maintained inline on the serving path.
+  auto& metrics = const_cast<obs::MetricsRegistry&>(metrics_);
+  metrics.gauge_set("serve_cache_entries", static_cast<double>(entries));
+  metrics.gauge_set("serve_cache_shards",
+                    static_cast<double>(cache_->shard_count()));
+  metrics.gauge_set("serve_cache_shard_hits",
+                    static_cast<double>(cache_counters.hits));
+  metrics.gauge_set("serve_cache_shard_misses",
+                    static_cast<double>(cache_counters.misses));
+  metrics.gauge_set("serve_queue_depth",
+                    static_cast<double>(queue_->depth()));
+  metrics.gauge_set("serve_queue_capacity",
+                    static_cast<double>(queue_->capacity()));
+  metrics.gauge_set("serve_queue_max_depth",
+                    static_cast<double>(queue_->max_depth_seen()));
+  metrics.gauge_set("serve_queue_rejected",
+                    static_cast<double>(queue_->rejected()));
+  metrics.gauge_set("serve_workers",
+                    static_cast<double>(options_.workers));
+  return metrics_.to_prometheus();
+}
+
+std::vector<ServeAuditEntry> Server::audit_log() const {
+  std::lock_guard<std::mutex> lock(audit_mutex_);
+  return audit_log_;
+}
+
+std::int64_t Server::responses_sent(ResponseStatus status) const {
+  switch (status) {
+    case ResponseStatus::kOk:
+      return responses_ok_.load(std::memory_order_relaxed);
+    case ResponseStatus::kError:
+      return responses_error_.load(std::memory_order_relaxed);
+    case ResponseStatus::kOverload:
+      return responses_overload_.load(std::memory_order_relaxed);
+    case ResponseStatus::kShuttingDown:
+      return responses_shutting_down_.load(std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+}  // namespace hetsched::serve

@@ -1,0 +1,123 @@
+#include "serve/shard_cache.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/scenario.hpp"
+
+namespace hetsched::serve {
+
+ShardedScenarioCache::ShardedScenarioCache(std::size_t shards,
+                                           const sweep::ResultCache* disk)
+    : disk_(disk) {
+  shards_.reserve(std::max<std::size_t>(1, shards));
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, shards); ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+std::size_t ShardedScenarioCache::shard_index(const std::string& key) const {
+  return static_cast<std::size_t>(sweep::fnv1a64(key)) % shards_.size();
+}
+
+ShardedScenarioCache::Lookup ShardedScenarioCache::get_or_compute(
+    const std::string& key, const ComputeFn& compute) {
+  HS_REQUIRE(compute != nullptr, "get_or_compute without a compute function");
+  Shard& shard = *shards_[shard_index(key)];
+
+  std::shared_future<ValuePtr> flight;
+  std::promise<ValuePtr> promise;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      flight = it->second;
+    } else {
+      flight = promise.get_future().share();
+      shard.entries.emplace(key, flight);
+      owner = true;
+    }
+  }
+
+  if (!owner) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    Lookup lookup;
+    lookup.value = flight.get();  // rethrows the owner's exception, if any
+    lookup.hit = true;
+    return lookup;
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Lookup lookup;
+  try {
+    std::optional<std::string> stored;
+    if (disk_ != nullptr) stored = disk_->load(key);
+    if (stored) {
+      disk_hits_.fetch_add(1, std::memory_order_relaxed);
+      lookup.value = std::make_shared<const std::string>(*std::move(stored));
+      lookup.disk_hit = true;
+    } else {
+      computes_.fetch_add(1, std::memory_order_relaxed);
+      lookup.value = std::make_shared<const std::string>(compute());
+    }
+  } catch (...) {
+    // Propagate to every waiter of this flight, then forget the entry so
+    // the next request retries instead of serving a cached failure.
+    promise.set_exception(std::current_exception());
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.entries.erase(key);
+    }
+    throw;
+  }
+  promise.set_value(lookup.value);
+  if (disk_ != nullptr && !lookup.disk_hit) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.dirty.emplace_back(key, lookup.value);
+  }
+  return lookup;
+}
+
+std::size_t ShardedScenarioCache::flush() {
+  if (disk_ == nullptr) return 0;
+  std::size_t written = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::vector<std::pair<std::string, ValuePtr>> dirty;
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      dirty.swap(shard->dirty);
+    }
+    for (const auto& [key, value] : dirty) {
+      if (disk_->store(key, *value)) {
+        flushed_.fetch_add(1, std::memory_order_relaxed);
+        ++written;
+      } else {
+        dropped_flushes_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  return written;
+}
+
+std::size_t ShardedScenarioCache::entries() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+ShardCacheCounters ShardedScenarioCache::counters() const {
+  return {hits_.load(std::memory_order_relaxed),
+          misses_.load(std::memory_order_relaxed),
+          disk_hits_.load(std::memory_order_relaxed),
+          computes_.load(std::memory_order_relaxed),
+          flushed_.load(std::memory_order_relaxed),
+          dropped_flushes_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace hetsched::serve

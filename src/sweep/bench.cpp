@@ -117,7 +117,8 @@ BenchResult run_bench(const BenchOptions& options) {
   return result;
 }
 
-std::string bench_to_json(const BenchResult& result) {
+std::string bench_to_json(const BenchResult& result,
+                          const std::vector<json::Value>& extra_phases) {
   json::Value workload;
   workload.set("small", json::Value(result.options.small));
   workload.set("parallel", json::Value(result.options.parallel));
@@ -130,6 +131,8 @@ std::string bench_to_json(const BenchResult& result) {
   phases.push_back(phase_to_json(result.cold));
   phases.push_back(phase_to_json(result.warm));
   phases.push_back(phase_to_json(result.twins));
+  for (const json::Value& phase : extra_phases)
+    phases.push_back(json::Value(phase));
 
   json::Value document;
   document.set("bench", json::Value("sweep"));

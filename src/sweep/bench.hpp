@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "sweep/sweep.hpp"
 
 /// Reproducible sweep benchmark harness (the `hetsched_cli bench` verb).
@@ -57,7 +58,10 @@ BenchResult run_bench(const BenchOptions& options = {});
 /// Serializes a BenchResult. Workload-describing fields (scenario counts,
 /// cache/memo counters, sim_events) are deterministic for a given build, so
 /// two runs differ only in the wall_ms / events_per_second timing fields;
-/// key order and double formatting are byte-stable.
-std::string bench_to_json(const BenchResult& result);
+/// key order and double formatting are byte-stable. `extra_phases` are
+/// appended to the "phases" array verbatim — how the CLI folds the serve
+/// daemon's phase (serve::run_serve_bench) into the same document.
+std::string bench_to_json(const BenchResult& result,
+                          const std::vector<json::Value>& extra_phases = {});
 
 }  // namespace hetsched::sweep

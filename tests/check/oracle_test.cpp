@@ -13,12 +13,14 @@ namespace {
 
 TEST(Oracles, NamesAreStable) {
   const std::vector<std::string>& names = oracle_names();
-  ASSERT_EQ(names.size(), 10u);
+  ASSERT_EQ(names.size(), 11u);
   EXPECT_EQ(names.front(), "no-unexpected-failure");
   EXPECT_EQ(names[1], "work-conservation");
   EXPECT_EQ(names[2], "report-consistency");
   EXPECT_EQ(names[8], "partition-model");
-  EXPECT_EQ(names.back(), "dag-linearization");
+  EXPECT_EQ(names[9], "dag-linearization");
+  // Opt-in (fuzz --serve); never part of the default canonical run.
+  EXPECT_EQ(names.back(), "cache-transparency-serve");
 }
 
 TEST(Oracles, CleanSeedsPass) {

@@ -1,0 +1,115 @@
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hetsched::serve {
+namespace {
+
+TEST(AdmissionQueueTest, FifoWithinCapacity) {
+  AdmissionQueue queue(3);
+  EXPECT_TRUE(queue.try_push(10));
+  EXPECT_TRUE(queue.try_push(11));
+  EXPECT_TRUE(queue.try_push(12));
+  EXPECT_EQ(queue.depth(), 3u);
+  EXPECT_EQ(queue.pop(), std::optional<int>(10));
+  EXPECT_EQ(queue.pop(), std::optional<int>(11));
+  EXPECT_EQ(queue.pop(), std::optional<int>(12));
+  EXPECT_EQ(queue.admitted(), 3);
+  EXPECT_EQ(queue.rejected(), 0);
+}
+
+TEST(AdmissionQueueTest, BoundIsHardAndCountsRejections) {
+  AdmissionQueue queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3)) << "capacity is a hard bound";
+  EXPECT_FALSE(queue.try_push(4));
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.max_depth_seen(), 2u);
+  EXPECT_EQ(queue.rejected(), 2);
+  // Popping frees a slot; admission resumes.
+  EXPECT_TRUE(queue.pop().has_value());
+  EXPECT_TRUE(queue.try_push(5));
+}
+
+TEST(AdmissionQueueTest, ZeroCapacityIsRejected) {
+  EXPECT_THROW(AdmissionQueue(0), Error);
+}
+
+TEST(AdmissionQueueTest, CloseDrainsPendingThenReturnsNullopt) {
+  AdmissionQueue queue(4);
+  EXPECT_TRUE(queue.try_push(7));
+  EXPECT_TRUE(queue.try_push(8));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(9)) << "closed queue admits nothing";
+  // Graceful shutdown contract: what was admitted is still served.
+  EXPECT_EQ(queue.pop(), std::optional<int>(7));
+  EXPECT_EQ(queue.pop(), std::optional<int>(8));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+  EXPECT_EQ(queue.pop(), std::nullopt) << "stays drained";
+}
+
+TEST(AdmissionQueueTest, CloseWakesBlockedPoppers) {
+  AdmissionQueue queue(2);
+  std::atomic<int> woke{0};
+  std::vector<std::thread> poppers;
+  for (int i = 0; i < 4; ++i) {
+    poppers.emplace_back([&] {
+      while (queue.pop().has_value()) {
+      }
+      woke.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  for (std::thread& popper : poppers) popper.join();
+  EXPECT_EQ(woke.load(), 4);
+}
+
+TEST(AdmissionQueueTest, ConcurrentPushPopLosesNothing) {
+  AdmissionQueue queue(64);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+
+  std::atomic<int> popped{0};
+  std::atomic<int> admitted{0};
+  std::atomic<int> rejected{0};
+
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      while (queue.pop().has_value()) popped.fetch_add(1);
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (queue.try_push(p * kPerProducer + i)) {
+          admitted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  queue.close();
+  for (std::thread& consumer : consumers) consumer.join();
+
+  // Everything admitted is eventually popped — close() drains, never drops.
+  EXPECT_EQ(popped.load(), admitted.load());
+  EXPECT_EQ(admitted.load() + rejected.load(), kProducers * kPerProducer);
+  EXPECT_EQ(queue.admitted(), admitted.load());
+  EXPECT_EQ(queue.rejected(), rejected.load());
+  EXPECT_LE(queue.max_depth_seen(), queue.capacity());
+}
+
+}  // namespace
+}  // namespace hetsched::serve

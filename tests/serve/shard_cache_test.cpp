@@ -1,0 +1,167 @@
+#include "serve/shard_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sweep/cache.hpp"
+
+namespace hetsched::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(ShardedScenarioCacheTest, ComputesOncePerKeyAndServesHitsAfter) {
+  ShardedScenarioCache cache(4);
+  int computes = 0;
+  const auto compute = [&computes] {
+    ++computes;
+    return std::string("value");
+  };
+
+  const ShardedScenarioCache::Lookup first =
+      cache.get_or_compute("k", compute);
+  EXPECT_FALSE(first.hit);
+  EXPECT_EQ(*first.value, "value");
+  const ShardedScenarioCache::Lookup second =
+      cache.get_or_compute("k", compute);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(*second.value, "value");
+  EXPECT_EQ(computes, 1);
+
+  const ShardCacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1);
+  EXPECT_EQ(counters.misses, 1);
+  EXPECT_EQ(counters.computes, 1);
+  EXPECT_EQ(counters.disk_hits, 0);
+}
+
+TEST(ShardedScenarioCacheTest, ShardIndexIsStableAndInRange) {
+  ShardedScenarioCache cache(8);
+  for (const std::string key : {"a", "b", "longer-key", ""}) {
+    const std::size_t index = cache.shard_index(key);
+    EXPECT_LT(index, cache.shard_count());
+    EXPECT_EQ(index, cache.shard_index(key));
+  }
+  // Zero shards clamps to one instead of dividing by zero.
+  ShardedScenarioCache one(0);
+  EXPECT_EQ(one.shard_count(), 1u);
+  EXPECT_EQ(one.shard_index("anything"), 0u);
+}
+
+TEST(ShardedScenarioCacheTest, ConcurrentHammerIsSingleFlight) {
+  // The acceptance hammer: many threads, few keys, slow computes. Every
+  // key must be computed exactly once, nobody may observe a wrong value,
+  // and the counters must balance (hits + misses == lookups).
+  constexpr int kThreads = 16;
+  constexpr int kKeys = 5;
+  constexpr int kRoundsPerThread = 40;
+
+  ShardedScenarioCache cache(4);
+  std::atomic<int> computes{0};
+  std::atomic<int> lookups{0};
+  std::atomic<int> wrong_values{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        const int key_id = (t + round) % kKeys;
+        const std::string key = "key-" + std::to_string(key_id);
+        const ShardedScenarioCache::Lookup lookup =
+            cache.get_or_compute(key, [&computes, key_id] {
+              computes.fetch_add(1);
+              // Widen the race window so waiters really pile onto the
+              // owner's flight.
+              std::this_thread::sleep_for(std::chrono::milliseconds(2));
+              return "value-" + std::to_string(key_id);
+            });
+        lookups.fetch_add(1);
+        if (*lookup.value != "value-" + std::to_string(key_id))
+          wrong_values.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(computes.load(), kKeys) << "single-flight violated";
+  EXPECT_EQ(wrong_values.load(), 0);
+  EXPECT_EQ(cache.entries(), static_cast<std::size_t>(kKeys));
+
+  const ShardCacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.hits + counters.misses, lookups.load());
+  EXPECT_EQ(counters.misses, counters.disk_hits + counters.computes);
+  EXPECT_EQ(counters.computes, kKeys);
+}
+
+TEST(ShardedScenarioCacheTest, ThrowingComputeRetriesInsteadOfCaching) {
+  ShardedScenarioCache cache(2);
+  int attempts = 0;
+  const auto failing = [&attempts]() -> std::string {
+    ++attempts;
+    throw std::runtime_error("flaky");
+  };
+  EXPECT_THROW(cache.get_or_compute("k", failing), std::runtime_error);
+  EXPECT_EQ(cache.entries(), 0u) << "a failure must not occupy the slot";
+  // The next request retries (and may succeed).
+  const ShardedScenarioCache::Lookup lookup =
+      cache.get_or_compute("k", [] { return std::string("recovered"); });
+  EXPECT_EQ(*lookup.value, "recovered");
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(ShardedScenarioCacheTest, DiskStoreFrontsComputation) {
+  const fs::path dir = fresh_dir("shard_cache_disk_test");
+  sweep::ResultCache disk(dir.string());
+  ASSERT_TRUE(disk.store("warm-key", "stored-bytes"));
+
+  ShardedScenarioCache cache(4, &disk);
+  const ShardedScenarioCache::Lookup warm = cache.get_or_compute(
+      "warm-key", []() -> std::string { ADD_FAILURE(); return ""; });
+  EXPECT_TRUE(warm.disk_hit);
+  EXPECT_FALSE(warm.hit) << "the owning lookup is still a shard miss";
+  EXPECT_EQ(*warm.value, "stored-bytes");
+
+  const ShardCacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.disk_hits, 1);
+  EXPECT_EQ(counters.computes, 0);
+  fs::remove_all(dir);
+}
+
+TEST(ShardedScenarioCacheTest, FlushWarmsTheNextGeneration) {
+  const fs::path dir = fresh_dir("shard_cache_flush_test");
+  {
+    sweep::ResultCache disk(dir.string());
+    ShardedScenarioCache cache(4, &disk);
+    cache.get_or_compute("a", [] { return std::string("A"); });
+    cache.get_or_compute("b", [] { return std::string("B"); });
+    cache.get_or_compute("a", [] { return std::string("never"); });
+    EXPECT_EQ(cache.flush(), 2u);
+    EXPECT_EQ(cache.flush(), 0u) << "flush must not rewrite clean entries";
+    EXPECT_EQ(cache.counters().flushed, 2);
+  }
+  // A fresh cache over the same store answers from disk, no computation.
+  sweep::ResultCache disk(dir.string());
+  ShardedScenarioCache restarted(4, &disk);
+  const ShardedScenarioCache::Lookup lookup = restarted.get_or_compute(
+      "a", []() -> std::string { ADD_FAILURE(); return ""; });
+  EXPECT_TRUE(lookup.disk_hit);
+  EXPECT_EQ(*lookup.value, "A");
+  // Disk-loaded entries are clean: nothing to flush back.
+  EXPECT_EQ(restarted.flush(), 0u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hetsched::serve

@@ -35,13 +35,32 @@
 ///                        # twins), writes BENCH_sweep.json by default
 ///   hetsched_cli fuzz    [--seed N] [--iters K] [--corpus <file>]
 ///                        [--repro <file>] [--out <file>] [--no-shrink]
-///                        [--plant <mutation>] [--oracles]
+///                        [--plant <mutation>] [--oracles] [--serve]
 ///                        [--explore random|fair|dfs] [--schedules K]
 ///                        # property-fuzz the invariant oracles; exit 4 on
 ///                        # a counterexample (repro JSON written to --out).
 ///                        # --explore fans each seed out into K explored
-///                        # schedules checked by the schedule oracles
+///                        # schedules checked by the schedule oracles;
+///                        # --serve replays each case's query through a
+///                        # loopback daemon (cache-transparency-serve)
+///   hetsched_cli serve   [--port P] [--host H] [--workers N]
+///                        [--max-queue N] [--shards N] [--cache-dir <dir>]
+///                        [--announce-port] [--metrics-out <file>]
+///                        # matchmaker daemon: newline-delimited JSON
+///                        # frames over TCP + GET /metrics on the same
+///                        # port; SIGINT/SIGTERM drain gracefully
+///   hetsched_cli query   --port P | --port-stdin [--op match|explain|
+///                        analyze] [--app <name>] [--strategy <s>]
+///                        [--platform <p>] [--sync] [--small] [--tasks <m>]
+///                        [--gantt] [--json] [--then-shutdown]
+///                        # one query against a running daemon; prints the
+///                        # byte-identical offline answer. exit 0 ok,
+///                        # 1 error, 5 overload/draining, 6 unreachable
+///
+/// The usage string main() prints is generated from the same verb table
+/// that dispatches commands, so it cannot drift from what actually runs.
 #include <algorithm>
+#include <csignal>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -55,19 +74,16 @@
 #include "check/engine.hpp"
 #include "analyzer/matchmaker.hpp"
 #include "apps/registry.hpp"
-#include "apps/spectral_dag.hpp"
-#include "apps/tree_reduction.hpp"
-#include "apps/triangular.hpp"
-#include "apps/unstable_loop.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "faults/fault_plan.hpp"
 #include "hw/platform.hpp"
 #include "obs/observability.hpp"
-#include "sim/gantt.hpp"
-#include "sim/trace_stats.hpp"
+#include "serve/client.hpp"
+#include "serve/serve_bench.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
 #include "strategies/autotune.hpp"
-#include "strategies/explain.hpp"
 #include "strategies/strategy_runner.hpp"
 #include "sweep/bench.hpp"
 #include "sweep/sweep.hpp"
@@ -133,44 +149,28 @@ std::unique_ptr<apps::Application> make_app(const Args& args,
                                             const hw::PlatformSpec& platform,
                                             bool record_trace = false,
                                             bool record_obs = false) {
-  const std::string name = args.get("app");
-  const bool small = args.flag("small");
-  apps::Application::Config extension;
-  extension.functional = small;
-  extension.record_trace = record_trace;
-  extension.record_observability = record_obs;
-  if (name == "spectral-dag") {
-    extension.items = small ? 4096 : 16'777'216;
-    extension.iterations = small ? 3 : 10;
-    return std::make_unique<apps::SpectralDagApp>(platform, extension);
-  }
-  if (name == "tree-reduction") {
-    extension.items = small ? 100'000 : 134'217'728;
-    extension.iterations = 1;
-    return std::make_unique<apps::TreeReductionApp>(platform, extension);
-  }
-  if (name == "triangular-mv") {
-    extension.items = small ? 512 : 16'384;
-    extension.iterations = 1;
-    return std::make_unique<apps::TriangularMvApp>(platform, extension);
-  }
-  if (name == "unstable-loop") {
-    extension.items = small ? 4096 : 8'388'608;
-    extension.iterations = small ? 4 : 8;
-    return std::make_unique<apps::UnstableLoopApp>(platform, extension);
-  }
-  auto it = app_names().find(name);
-  if (it == app_names().end())
-    throw InvalidArgument(
-        "unknown app '" + name +
-        "' (matrixmul, blackscholes, nbody, hotspot, stream-seq, "
-        "stream-loop, spectral-dag, tree-reduction, triangular-mv, "
-        "unstable-loop)");
-  apps::Application::Config config =
-      small ? apps::test_config(it->second) : apps::paper_config(it->second);
-  config.record_trace = record_trace;
-  config.record_observability = record_obs;
-  return apps::make_paper_app(it->second, platform, config);
+  // One app-construction policy for the whole binary: the offline verbs
+  // and the serve daemon instantiate applications identically.
+  return serve::make_named_app(args.get("app"), platform, args.flag("small"),
+                               record_trace, record_obs);
+}
+
+/// The query equivalent of this invocation's arguments. match / explain /
+/// analyze print serve::answer() of exactly this request, which is what
+/// makes `query` byte-identical to the offline verbs by construction.
+serve::QueryRequest request_from_args(const Args& args,
+                                      const std::string& op) {
+  serve::QueryRequest request;
+  request.op = op;
+  request.app = args.get("app");
+  request.platform = args.get("platform");
+  request.strategy = args.get("strategy");
+  request.sync = args.flag("sync");
+  request.small = args.flag("small");
+  if (args.flag("tasks")) request.tasks = std::stoi(args.get("tasks"));
+  request.gantt = args.flag("gantt");
+  request.json = args.flag("json");
+  return request;
 }
 
 strategies::StrategyOptions options_from(const Args& args) {
@@ -237,12 +237,7 @@ int cmd_catalog(const Args& args) {
 }
 
 int cmd_match(const Args& args) {
-  const hw::PlatformSpec platform = platform_by_name(args.get("platform"));
-  auto app = make_app(args, platform);
-  analyzer::AppDescriptor descriptor = app->descriptor();
-  if (args.flag("sync") && descriptor.sync == analyzer::SyncReason::kNone)
-    descriptor.sync = analyzer::SyncReason::kHostPostProcessing;
-  std::cout << analyzer::Matchmaker{}.explain(descriptor);
+  std::cout << serve::answer(request_from_args(args, "match"));
   return 0;
 }
 
@@ -339,18 +334,7 @@ int cmd_trace(const Args& args) {
 }
 
 int cmd_analyze(const Args& args) {
-  const hw::PlatformSpec platform = platform_by_name(args.get("platform"));
-  auto app = make_app(args, platform, /*record_trace=*/true);
-  strategies::StrategyRunner runner(*app, options_from(args));
-  const auto result =
-      args.flag("strategy")
-          ? runner.run(strategy_by_name(args.get("strategy")))
-          : runner.run_matched().result;
-  std::cout << "strategy: " << analyzer::strategy_name(result.kind) << "\n";
-  std::cout << sim::format_trace_stats(
-      sim::analyze_trace(result.report.trace));
-  if (args.flag("gantt"))
-    std::cout << "\n" << sim::render_gantt(result.report.trace);
+  std::cout << serve::answer(request_from_args(args, "analyze"));
   return 0;
 }
 
@@ -662,10 +646,32 @@ int cmd_bench(const Args& args) {
   print_phase(result.warm);
   print_phase(result.twins);
 
+  // Fourth phase: loopback serve-daemon throughput (requests/s), folded
+  // into the same BENCH document. --no-serve skips it (e.g. a sandbox
+  // without loopback networking).
+  std::vector<json::Value> extra_phases;
+  if (!args.flag("no-serve")) {
+    serve::ServeBenchOptions serve_options;
+    if (args.flag("clients"))
+      serve_options.clients =
+          static_cast<unsigned>(std::stoul(args.get("clients")));
+    if (args.flag("requests"))
+      serve_options.requests_per_client = std::stoi(args.get("requests"));
+    const serve::ServeBenchResult served =
+        serve::run_serve_bench(serve_options);
+    std::cout << "  serve_loopback: " << served.requests << " request(s) ("
+              << serve_options.clients << " clients) in "
+              << format_fixed(served.wall_ms, 1) << " ms — "
+              << served.cache_hits << " cache hit(s), " << served.errors
+              << " error(s); "
+              << format_fixed(served.requests_per_second, 0) << " req/s\n";
+    extra_phases.push_back(serve::serve_bench_to_json(served));
+  }
+
   const std::string out = args.get("out", "BENCH_sweep.json");
   std::ofstream file(out);
   HS_REQUIRE(file.good(), "cannot open '" << out << "' for writing");
-  file << sweep::bench_to_json(result) << "\n";
+  file << sweep::bench_to_json(result, extra_phases) << "\n";
   std::cout << "wrote " << out << "\n";
   return 0;
 }
@@ -720,6 +726,7 @@ int cmd_fuzz(const Args& args) {
     options.explore = rt::explore_mode_from_name(args.get("explore"));
   if (args.flag("schedules"))
     options.schedules = std::stoi(args.get("schedules"));
+  options.serve = args.flag("serve");
   if (args.flag("corpus")) {
     std::ifstream file(args.get("corpus"));
     HS_REQUIRE(file.good(),
@@ -746,16 +753,157 @@ int cmd_fuzz(const Args& args) {
 }
 
 int cmd_explain(const Args& args) {
-  const hw::PlatformSpec platform = platform_by_name(args.get("platform"));
-  auto app = make_app(args, platform);
-  const strategies::DecisionExplanation explanation =
-      strategies::explain_decision(*app, options_from(args));
-  if (args.flag("json")) {
-    std::cout << explanation.to_json() << "\n";
+  std::cout << serve::answer(request_from_args(args, "explain"));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// The serve daemon and its client verb.
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_signal_received = 0;
+
+void handle_signal(int) { g_signal_received = 1; }
+
+int cmd_serve(const Args& args) {
+  serve::ServeOptions options;
+  if (args.flag("port")) options.port = std::stoi(args.get("port"));
+  options.host = args.get("host", "127.0.0.1");
+  if (args.flag("workers"))
+    options.workers = static_cast<unsigned>(std::stoul(args.get("workers")));
+  if (args.flag("max-queue"))
+    options.max_queue = std::stoul(args.get("max-queue"));
+  if (args.flag("shards")) options.shards = std::stoul(args.get("shards"));
+  options.cache_dir = args.get("cache-dir");
+
+  // A network daemon must survive a peer (or its own stdout pipe)
+  // vanishing mid-write; sockets use MSG_NOSIGNAL, stdout needs this.
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  serve::Server server(options);
+  server.start();
+  if (args.flag("announce-port")) {
+    // Machine-readable handshake for scripts: first stdout line names the
+    // bound (possibly kernel-chosen) port.
+    std::cout << "PORT " << server.port() << "\n" << std::flush;
+  }
+
+  // Tick between signal flag and in-band shutdown requests; a signal
+  // handler cannot touch the server directly.
+  while (!server.wait_for_shutdown_request(/*timeout_ms=*/50)) {
+    if (g_signal_received) {
+      server.request_shutdown();
+      break;
+    }
+  }
+  server.wait();
+
+  const std::string metrics_out = args.get("metrics-out");
+  if (!metrics_out.empty()) {
+    std::ofstream file(metrics_out);
+    HS_REQUIRE(file.good(),
+               "cannot open '" << metrics_out << "' for writing");
+    file << server.final_snapshot();
+    std::cerr << "serve: final metrics snapshot written to " << metrics_out
+              << "\n";
   } else {
-    std::cout << explanation.render();
+    // The final snapshot goes to stderr so a script consuming stdout (the
+    // PORT handshake) never has to parse around it.
+    std::cerr << server.final_snapshot();
   }
   return 0;
+}
+
+int cmd_query(const Args& args) {
+  const std::string host = args.get("host", "127.0.0.1");
+  int port = 0;
+  if (args.flag("port-stdin")) {
+    // Counterpart of serve --announce-port: read "PORT <n>" from stdin,
+    // which lets a script pipe the daemon's stdout straight into the
+    // client with no temp file or sleep.
+    std::string tag;
+    if (!(std::cin >> tag >> port) || tag != "PORT" || port <= 0)
+      throw InvalidArgument("--port-stdin expected 'PORT <n>' on stdin");
+  } else if (args.flag("port")) {
+    port = std::stoi(args.get("port"));
+  } else {
+    throw InvalidArgument("query needs --port <p> or --port-stdin");
+  }
+
+  const serve::QueryRequest request =
+      request_from_args(args, args.get("op", "match"));
+  try {
+    serve::QueryClient client(host, port);
+    const serve::QueryResponse response = client.ask(request);
+    switch (response.status) {
+      case serve::ResponseStatus::kOk:
+        std::cout << response.output;
+        break;
+      case serve::ResponseStatus::kError:
+        std::cerr << "error: " << response.error << "\n";
+        return 1;
+      case serve::ResponseStatus::kOverload:
+        std::cerr << "overloaded: " << response.error << " (retry after "
+                  << response.retry_after_ms << " ms)\n";
+        return 5;
+      case serve::ResponseStatus::kShuttingDown:
+        std::cerr << "daemon is shutting down\n";
+        return 5;
+    }
+    if (args.flag("then-shutdown")) {
+      serve::QueryRequest shutdown;
+      shutdown.op = "shutdown";
+      client.ask(shutdown);
+    }
+    return 0;
+  } catch (const Error& error) {
+    // Transport-level failure (daemon unreachable / connection dropped):
+    // distinct exit code so scripts can tell it from a refused query.
+    std::cerr << "error: " << error.what() << "\n";
+    return 6;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Verb table: single source of truth for dispatch AND the usage string, so
+// the usage line cannot drift from what main() actually accepts.
+// ---------------------------------------------------------------------------
+
+struct Verb {
+  const char* name;
+  int (*run)(const Args&);
+};
+
+const std::vector<Verb>& verb_table() {
+  static const std::vector<Verb> kVerbs = {
+      {"list", [](const Args&) { return cmd_list(); }},
+      {"catalog", cmd_catalog},
+      {"match", cmd_match},
+      {"run", cmd_run},
+      {"compare", cmd_compare},
+      {"trace", cmd_trace},
+      {"analyze", cmd_analyze},
+      {"tune", cmd_tune},
+      {"sweep", cmd_sweep},
+      {"faults", cmd_faults},
+      {"metrics", cmd_metrics},
+      {"explain", cmd_explain},
+      {"bench", cmd_bench},
+      {"fuzz", cmd_fuzz},
+      {"serve", cmd_serve},
+      {"query", cmd_query},
+  };
+  return kVerbs;
+}
+
+std::string usage_string() {
+  std::vector<std::string> names;
+  for (const Verb& verb : verb_table()) names.push_back(verb.name);
+  return "usage: hetsched_cli <" + join(names, "|") +
+         "> [--app <name>] [--strategy <s>] [--platform <p>] [--sync] "
+         "[--tasks <m>] [--small] [--csv] [--out <file>]\n";
 }
 
 }  // namespace
@@ -763,25 +911,9 @@ int cmd_explain(const Args& args) {
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
   try {
-    if (args.command == "list") return cmd_list();
-    if (args.command == "catalog") return cmd_catalog(args);
-    if (args.command == "match") return cmd_match(args);
-    if (args.command == "run") return cmd_run(args);
-    if (args.command == "compare") return cmd_compare(args);
-    if (args.command == "trace") return cmd_trace(args);
-    if (args.command == "analyze") return cmd_analyze(args);
-    if (args.command == "tune") return cmd_tune(args);
-    if (args.command == "sweep") return cmd_sweep(args);
-    if (args.command == "faults") return cmd_faults(args);
-    if (args.command == "metrics") return cmd_metrics(args);
-    if (args.command == "explain") return cmd_explain(args);
-    if (args.command == "bench") return cmd_bench(args);
-    if (args.command == "fuzz") return cmd_fuzz(args);
-    std::cerr << "usage: hetsched_cli "
-                 "<list|catalog|match|run|compare|trace|analyze|tune|sweep|"
-                 "faults|metrics|explain|bench|fuzz> "
-                 "[--app <name>] [--strategy <s>] [--platform <p>] "
-                 "[--sync] [--tasks <m>] [--small] [--csv] [--out <file>]\n";
+    for (const Verb& verb : verb_table())
+      if (args.command == verb.name) return verb.run(args);
+    std::cerr << usage_string();
     return args.command.empty() ? 0 : 2;
   } catch (const hetsched::Error& error) {
     std::cerr << "error: " << error.what() << "\n";

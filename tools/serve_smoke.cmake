@@ -1,0 +1,99 @@
+# Loopback end-to-end smoke for the serve daemon, runnable under ctest:
+#
+#   cmake -DCLI=<hetsched_cli> -DWORK_DIR=<dir> -P serve_smoke.cmake
+#
+# Boots `serve --port 0 --announce-port` and pipes its stdout into
+# `query --port-stdin` (execute_process chains COMMANDs as a pipeline), so
+# the client learns the kernel-chosen port with no temp file or sleep. The
+# client's --then-shutdown frame drains the daemon, which must exit 0.
+# The served bytes are compared against the offline verb's stdout — the
+# protocol's byte-identical contract, checked end to end across processes.
+
+if(NOT CLI)
+  message(FATAL_ERROR "pass -DCLI=<path to hetsched_cli>")
+endif()
+if(NOT WORK_DIR)
+  message(FATAL_ERROR "pass -DWORK_DIR=<scratch dir>")
+endif()
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# One scenario per served op; every entry must round-trip byte-identically.
+set(CASE_match match --app matrixmul --small --sync)
+set(CASE_explain explain --app nbody --small --json)
+set(CASE_analyze analyze --app stream-seq --small --strategy dp-perf)
+
+foreach(case match explain analyze)
+  set(argv ${CASE_${case}})
+  list(GET argv 0 op)
+  list(SUBLIST argv 1 -1 options)
+
+  execute_process(
+    COMMAND ${CLI} ${op} ${options}
+    OUTPUT_VARIABLE offline
+    RESULT_VARIABLE offline_result)
+  if(NOT offline_result EQUAL 0)
+    message(FATAL_ERROR "offline '${op}' failed (${offline_result})")
+  endif()
+
+  execute_process(
+    COMMAND ${CLI} serve --port 0 --announce-port
+            --cache-dir ${WORK_DIR}/serve_cache
+            --metrics-out ${WORK_DIR}/final_metrics_${case}.prom
+    COMMAND ${CLI} query --port-stdin --op ${op} ${options} --then-shutdown
+    OUTPUT_VARIABLE served
+    RESULTS_VARIABLE results)
+  list(GET results 0 daemon_result)
+  list(GET results 1 client_result)
+  if(NOT daemon_result EQUAL 0)
+    message(FATAL_ERROR
+            "daemon did not drain to exit 0 for '${op}' "
+            "(exit ${daemon_result})")
+  endif()
+  if(NOT client_result EQUAL 0)
+    message(FATAL_ERROR "query '${op}' failed (exit ${client_result})")
+  endif()
+  if(NOT served STREQUAL offline)
+    string(LENGTH "${served}" served_len)
+    string(LENGTH "${offline}" offline_len)
+    message(FATAL_ERROR
+            "served '${op}' answer differs from the offline bytes "
+            "(served ${served_len} bytes, offline ${offline_len})")
+  endif()
+
+  # The drained daemon's final snapshot must exist and carry the request
+  # counter for the op we sent.
+  set(snapshot ${WORK_DIR}/final_metrics_${case}.prom)
+  if(NOT EXISTS ${snapshot})
+    message(FATAL_ERROR "daemon wrote no final metrics snapshot")
+  endif()
+  file(READ ${snapshot} metrics)
+  if(NOT metrics MATCHES "hs_serve_requests_total")
+    message(FATAL_ERROR
+            "final snapshot lacks hs_serve_requests_total:\n${metrics}")
+  endif()
+  message(STATUS "serve e2e '${op}': byte-identical, daemon exited 0")
+endforeach()
+
+# Warm restart: the flushed on-disk cache must answer the repeat from the
+# store (the response still byte-identical).
+execute_process(
+  COMMAND ${CLI} serve --port 0 --announce-port
+          --cache-dir ${WORK_DIR}/serve_cache
+  COMMAND ${CLI} query --port-stdin --op match --app matrixmul --small
+          --sync --then-shutdown
+  OUTPUT_VARIABLE warm
+  RESULTS_VARIABLE warm_results)
+list(GET warm_results 0 warm_daemon)
+list(GET warm_results 1 warm_client)
+if(NOT warm_daemon EQUAL 0 OR NOT warm_client EQUAL 0)
+  message(FATAL_ERROR
+          "warm-restart run failed (daemon ${warm_daemon}, "
+          "client ${warm_client})")
+endif()
+execute_process(
+  COMMAND ${CLI} match --app matrixmul --small --sync
+  OUTPUT_VARIABLE offline_match)
+if(NOT warm STREQUAL offline_match)
+  message(FATAL_ERROR "warm-restart answer differs from the offline bytes")
+endif()
+message(STATUS "serve e2e warm restart: byte-identical")
