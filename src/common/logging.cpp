@@ -31,4 +31,10 @@ void emit(Level lvl, const std::string& message) {
   std::fprintf(stderr, "[hetsched %s] %s\n", level_tag(lvl), message.c_str());
 }
 
+void emit_raw(Level lvl, const std::string& message) {
+  if (lvl < level()) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "%s\n", message.c_str());
+}
+
 }  // namespace hetsched::log

@@ -19,6 +19,11 @@ Level level();
 /// Emits one formatted line (internal; use the macros below).
 void emit(Level level, const std::string& message);
 
+/// Emits `message` verbatim (plus newline) under the same sink mutex,
+/// still honoring the threshold. Structured emitters (obs::Log in JSON
+/// mode) use this so machine-parseable lines carry no human prefix.
+void emit_raw(Level level, const std::string& message);
+
 namespace detail {
 class LineBuilder {
  public:

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/phase_profiler.hpp"
 
 namespace hetsched::glinda {
 
@@ -94,6 +95,7 @@ PartitionDecision PartitionModel::decide(const KernelEstimate& estimate,
 
 PartitionDecision PartitionModel::solve(const KernelEstimate& estimate,
                                         std::int64_t n) const {
+  const obs::ScopedPhase phase(obs::kPhasePartitionSolve);
   HS_REQUIRE(n > 0, "partitioning a workload of " << n << " items");
   HS_REQUIRE(estimate.cpu.seconds_per_item > 0.0,
              "CPU per-item cost must be positive");
@@ -113,6 +115,7 @@ PartitionDecision PartitionModel::solve(const KernelEstimate& estimate,
 PartitionDecision PartitionModel::solve_weighted(
     const KernelEstimate& estimate, std::int64_t n,
     const std::function<double(std::int64_t)>& prefix_weight) const {
+  const obs::ScopedPhase phase(obs::kPhasePartitionSolve);
   HS_REQUIRE(n > 0, "partitioning a workload of " << n << " items");
   HS_REQUIRE(prefix_weight != nullptr, "solve_weighted needs prefix weights");
   const double total = prefix_weight(n);

@@ -1,0 +1,100 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+
+#include "common/json.hpp"
+
+namespace hetsched::obs {
+namespace {
+
+std::atomic<LogFormat> g_format{LogFormat::kText};
+
+const char* level_name(log::Level level) {
+  switch (level) {
+    case log::Level::kDebug: return "debug";
+    case log::Level::kInfo: return "info";
+    case log::Level::kWarn: return "warn";
+    case log::Level::kError: return "error";
+    case log::Level::kOff: return "off";
+  }
+  return "unknown";
+}
+
+// true when `value` renders as a bare JSON token (number/bool) rather than
+// a quoted string.
+bool needs_text_quotes(const std::string& value) {
+  return value.find(' ') != std::string::npos ||
+         value.find('"') != std::string::npos || value.empty();
+}
+
+}  // namespace
+
+void set_log_format(LogFormat format) {
+  g_format.store(format, std::memory_order_relaxed);
+}
+
+LogFormat log_format() {
+  return g_format.load(std::memory_order_relaxed);
+}
+
+Log& Log::field(std::string_view key, double value) {
+  fields_.emplace_back(std::string(key), json::format_double(value));
+  quoted_.push_back(false);
+  return *this;
+}
+
+Log& Log::field(std::string_view key, std::int64_t value) {
+  fields_.emplace_back(std::string(key), std::to_string(value));
+  quoted_.push_back(false);
+  return *this;
+}
+
+std::string Log::render(LogFormat format) const {
+  if (format == LogFormat::kJson) {
+    std::string out = "{\"level\":\"";
+    out += level_name(level_);
+    out += "\",\"event\":\"";
+    out += json::escape(event_);
+    out += "\"";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out += ",\"";
+      out += json::escape(fields_[i].first);
+      out += "\":";
+      if (quoted_[i]) {
+        out += "\"";
+        out += json::escape(fields_[i].second);
+        out += "\"";
+      } else {
+        out += fields_[i].second;
+      }
+    }
+    out += "}";
+    return out;
+  }
+  std::string out = event_;
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    out += " ";
+    out += fields_[i].first;
+    out += "=";
+    if (quoted_[i] && needs_text_quotes(fields_[i].second)) {
+      out += "\"";
+      out += fields_[i].second;
+      out += "\"";
+    } else {
+      out += fields_[i].second;
+    }
+  }
+  return out;
+}
+
+void Log::emit() const {
+  if (level_ < log::level()) return;
+  const LogFormat format = log_format();
+  if (format == LogFormat::kJson) {
+    log::emit_raw(level_, render(LogFormat::kJson));
+  } else {
+    log::emit(level_, render(LogFormat::kText));
+  }
+}
+
+}  // namespace hetsched::obs

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hpp"
+
+/// Leveled structured logging with trace correlation.
+///
+/// `obs::Log` layers key=value fields over the global `hetsched::log` sink
+/// (same threshold, same stderr stream, same emission mutex) so a serve-path
+/// event carries its `trace_id` on every line instead of prose that cannot
+/// be grepped back to a request. Two output formats, switchable at runtime
+/// (`--log-format json` on the serve verb):
+///
+///   text:  [hetsched INFO ] serve.request trace_id=4be9... op=match ...
+///   json:  {"level":"info","event":"serve.request","trace_id":"4be9...",...}
+///
+/// Fields preserve insertion order; values are escaped in JSON mode. Usage:
+///
+///   obs::Log(log::Level::kInfo, "serve.request")
+///       .field("trace_id", trace_id)
+///       .field("op", request.op)
+///       .field("latency_ms", latency)
+///       .emit();
+///
+/// A Log that is never `emit()`ed logs nothing (fields are cheap to build
+/// below the threshold too — callers should still guard hot paths with
+/// `log::level()` when field construction itself is costly).
+namespace hetsched::obs {
+
+enum class LogFormat { kText, kJson };
+
+/// Global output format (default text). The serve daemon sets this from
+/// its --log-format flag before spawning workers.
+void set_log_format(LogFormat format);
+LogFormat log_format();
+
+class Log {
+ public:
+  Log(log::Level level, std::string_view event)
+      : level_(level), event_(event) {}
+
+  Log& field(std::string_view key, std::string_view value) {
+    fields_.emplace_back(std::string(key), std::string(value));
+    quoted_.push_back(true);
+    return *this;
+  }
+  Log& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  Log& field(std::string_view key, const std::string& value) {
+    return field(key, std::string_view(value));
+  }
+  Log& field(std::string_view key, bool value) {
+    fields_.emplace_back(std::string(key), value ? "true" : "false");
+    quoted_.push_back(false);
+    return *this;
+  }
+  Log& field(std::string_view key, double value);
+  Log& field(std::string_view key, std::int64_t value);
+  Log& field(std::string_view key, std::uint64_t value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  Log& field(std::string_view key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+
+  /// Renders and emits one line through the global sink. Below-threshold
+  /// levels emit nothing.
+  void emit() const;
+
+  /// The rendered message body (format-dependent), for tests.
+  std::string render(LogFormat format) const;
+
+ private:
+  log::Level level_;
+  std::string event_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+  std::vector<bool> quoted_;  ///< whether fields_[i] is a string in JSON
+};
+
+}  // namespace hetsched::obs

@@ -98,9 +98,11 @@ std::string metric_key(
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   weights_.assign(bounds_.size() + 1, 0.0);
+  exemplars_.assign(bounds_.size() + 1, Exemplar{});
 }
 
-void Histogram::observe(double value, double weight) {
+void Histogram::observe(double value, double weight,
+                        std::string_view exemplar_trace) {
   std::size_t bucket = bounds_.size();
   for (std::size_t i = 0; i < bounds_.size(); ++i) {
     if (value <= bounds_[i]) {
@@ -111,6 +113,33 @@ void Histogram::observe(double value, double weight) {
   weights_[bucket] += weight;
   sum_ += value * weight;
   total_weight_ += weight;
+  if (!exemplar_trace.empty()) {
+    // Last writer wins: the exemplar is a *recent* representative of the
+    // bucket, not an extreme, matching OpenMetrics practice.
+    exemplars_[bucket] = {value, std::string(exemplar_trace), true};
+    has_exemplars_ = true;
+  }
+}
+
+double histogram_quantile(const Histogram& hist, double q) {
+  const double total = hist.total_weight();
+  if (total <= 0.0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * total;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < hist.bounds().size(); ++i) {
+    const double w = hist.weights()[i];
+    if (cumulative + w >= rank && w > 0.0) {
+      const double lower = i == 0 ? 0.0 : hist.bounds()[i - 1];
+      const double upper = hist.bounds()[i];
+      const double fraction = (rank - cumulative) / w;
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative += w;
+  }
+  // Overflow bucket: no finite upper bound, clamp to the largest one.
+  return hist.bounds().empty() ? 0.0 : hist.bounds().back();
 }
 
 std::vector<double> Histogram::default_bounds() {
@@ -157,7 +186,8 @@ void MetricsRegistry::gauge_set(std::string_view key, double value) {
 }
 
 void MetricsRegistry::observe(std::string_view key, double value,
-                              double weight) {
+                              double weight,
+                              std::string_view exemplar_trace) {
   if (!enabled_) return;
   auto it = histograms_.find(std::string(key));
   if (it == histograms_.end()) {
@@ -170,7 +200,7 @@ void MetricsRegistry::observe(std::string_view key, double value,
     it = histograms_.emplace(std::string(key), Histogram(std::move(bounds)))
              .first;
   }
-  it->second.observe(value, weight);
+  it->second.observe(value, weight, exemplar_trace);
 }
 
 void MetricsRegistry::histogram_bounds(std::string_view key,
@@ -236,6 +266,21 @@ json::Value MetricsRegistry::to_json() const {
     h.set("weights", std::move(weights));
     h.set("sum", json::Value(hist.sum()));
     h.set("count", json::Value(hist.total_weight()));
+    // Only histograms that actually carry exemplars grow the member, so
+    // pre-exemplar documents (and cache payloads) stay byte-identical.
+    if (hist.has_exemplars()) {
+      json::Value exemplars = json::Value(json::Value::Array{});
+      for (std::size_t i = 0; i < hist.exemplars().size(); ++i) {
+        const Histogram::Exemplar& ex = hist.exemplars()[i];
+        if (!ex.valid) continue;
+        json::Value e = json::Value(json::Value::Object{});
+        e.set("bucket", json::Value(static_cast<double>(i)));
+        e.set("value", json::Value(ex.value));
+        e.set("trace_id", json::Value(ex.trace_id));
+        exemplars.push_back(std::move(e));
+      }
+      h.set("exemplars", std::move(exemplars));
+    }
     histograms.set(key, std::move(h));
   }
   root.set("histograms", std::move(histograms));
@@ -312,16 +357,28 @@ std::string MetricsRegistry::to_prometheus() const {
     if (!split_key(key, name, labels)) continue;
     const std::string pname = prom_name(name);
     std::ostringstream body;
+    // Exemplar suffixes follow OpenMetrics: `# {trace_id="..."} value`
+    // appended to the bucket line, emitted only when a traced observation
+    // actually landed in that bucket (untraced output is byte-identical
+    // to the pre-exemplar format).
+    auto exemplar_suffix = [&hist](std::size_t bucket) -> std::string {
+      const Histogram::Exemplar& ex = hist.exemplars()[bucket];
+      if (!ex.valid) return "";
+      return " # {trace_id=\"" + json::escape(ex.trace_id) + "\"} " +
+             json::format_double(ex.value);
+    };
     double cumulative = 0.0;
     for (std::size_t i = 0; i < hist.bounds().size(); ++i) {
       cumulative += hist.weights()[i];
       body << pname << "_bucket"
            << prom_labels(labels, "le", json::format_double(hist.bounds()[i]))
-           << " " << json::format_double(cumulative) << "\n";
+           << " " << json::format_double(cumulative) << exemplar_suffix(i)
+           << "\n";
     }
     cumulative += hist.weights().back();
     body << pname << "_bucket" << prom_labels(labels, "le", "+Inf") << " "
-         << json::format_double(cumulative) << "\n";
+         << json::format_double(cumulative)
+         << exemplar_suffix(hist.bounds().size()) << "\n";
     body << pname << "_sum" << prom_labels(labels) << " "
          << json::format_double(hist.sum()) << "\n";
     body << pname << "_count" << prom_labels(labels) << " "

@@ -50,15 +50,32 @@ inline constexpr std::string_view kSweepCacheDroppedStores =
 /// (weight = duration for time-weighted distributions, 1 for plain counts).
 /// Bucket i holds the total weight of values <= bounds[i] (first matching
 /// bound, Prometheus `le` semantics); one overflow bucket catches the rest.
+///
+/// Each bucket optionally retains one OpenMetrics-style *exemplar* — the
+/// most recent observation tagged with a trace id — so a fat latency bucket
+/// in `/metrics` links to a concrete request tree (`# {trace_id="..."} v`
+/// suffix on the bucket line). Exemplars are only recorded when the caller
+/// supplies a trace id, so untraced histograms expose byte-identical
+/// output to before exemplars existed.
 class Histogram {
  public:
+  struct Exemplar {
+    double value = 0.0;
+    std::string trace_id;
+    bool valid = false;
+  };
+
   explicit Histogram(std::vector<double> bounds = default_bounds());
 
-  void observe(double value, double weight = 1.0);
+  void observe(double value, double weight = 1.0,
+               std::string_view exemplar_trace = {});
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket weights; size bounds().size() + 1 (last = overflow).
   const std::vector<double>& weights() const { return weights_; }
+  /// Per-bucket exemplars; size bounds().size() + 1 (last = overflow).
+  const std::vector<Exemplar>& exemplars() const { return exemplars_; }
+  bool has_exemplars() const { return has_exemplars_; }
   double sum() const { return sum_; }
   /// Total observed weight (the Prometheus `_count` under weighting).
   double total_weight() const { return total_weight_; }
@@ -69,9 +86,17 @@ class Histogram {
  private:
   std::vector<double> bounds_;
   std::vector<double> weights_;
+  std::vector<Exemplar> exemplars_;
+  bool has_exemplars_ = false;
   double sum_ = 0.0;
   double total_weight_ = 0.0;
 };
+
+/// Prometheus-style quantile estimate (`q` in [0,1]) from a histogram's
+/// cumulative buckets: finds the bucket holding the q-th weight and
+/// interpolates linearly inside it. The overflow bucket clamps to the last
+/// finite bound. Returns 0 for an empty histogram.
+double histogram_quantile(const Histogram& hist, double q);
 
 /// A value that evolves over virtual time (queue depth, EMA estimate,
 /// in-flight transfers). Samples are recorded as absolute values or deltas
@@ -118,7 +143,8 @@ class MetricsRegistry {
   // --- mutation (no-ops while disabled) ---
   void counter_add(std::string_view key, std::int64_t delta = 1);
   void gauge_set(std::string_view key, double value);
-  void observe(std::string_view key, double value, double weight = 1.0);
+  void observe(std::string_view key, double value, double weight = 1.0,
+               std::string_view exemplar_trace = {});
   /// Sets the bucket bounds a histogram key will be created with (must be
   /// called before its first observe; later calls are ignored).
   void histogram_bounds(std::string_view key, std::vector<double> bounds);

@@ -1,0 +1,187 @@
+#include "obs/request_trace.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace hetsched::obs {
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string to_hex16(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+json::Value span_to_json(const RequestSpan& span) {
+  json::Value out = json::Value(json::Value::Object{});
+  out.set("id", json::Value(static_cast<double>(span.id)));
+  out.set("parent", json::Value(static_cast<double>(span.parent)));
+  out.set("stage", json::Value(span.stage));
+  out.set("start_ms", json::Value(span.start_ms));
+  out.set("end_ms", json::Value(span.end_ms));
+  out.set("detail", json::Value(span.detail));
+  return out;
+}
+
+}  // namespace
+
+json::Value RequestTree::to_json() const {
+  json::Value out = json::Value(json::Value::Object{});
+  out.set("trace_id", json::Value(trace_id));
+  out.set("op", json::Value(op));
+  out.set("app", json::Value(app));
+  out.set("status", json::Value(status));
+  out.set("cache_hit", json::Value(cache_hit));
+  out.set("latency_ms", json::Value(latency_ms));
+  json::Value span_array = json::Value(json::Value::Array{});
+  for (const RequestSpan& span : spans) span_array.push_back(span_to_json(span));
+  out.set("spans", std::move(span_array));
+  out.set("chunk_spans", chunk_spans.to_json());
+  return out;
+}
+
+std::string mint_trace_id() {
+  // The seed folds in the process start instant so two daemons (or a
+  // restart) do not mint the same id sequence; the counter guarantees
+  // in-process uniqueness even at equal mix inputs.
+  static const std::uint64_t seed = splitmix64(now_ns());
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t id = splitmix64(seed ^ (n * 0x9e3779b97f4a7c15ULL));
+  if (id == 0) id = 1;  // all-zero ids read as "unset" in exemplars
+  return to_hex16(id);
+}
+
+RequestTraceBuilder::RequestTraceBuilder(std::string trace_id,
+                                         std::string detail, double pre_ms)
+    : epoch_ns_(now_ns()) {
+  if (pre_ms > 0.0) {
+    const auto shift = static_cast<std::uint64_t>(pre_ms * 1e6);
+    epoch_ns_ = shift < epoch_ns_ ? epoch_ns_ - shift : 0;
+  }
+  tree_.trace_id = std::move(trace_id);
+  root_ = next_id_++;
+  tree_.spans.push_back(
+      {root_, 0, std::string(kStageRequest), 0.0, 0.0, std::move(detail)});
+}
+
+double RequestTraceBuilder::now_ms() const {
+  return static_cast<double>(now_ns() - epoch_ns_) / 1e6;
+}
+
+std::uint64_t RequestTraceBuilder::open(std::string_view stage,
+                                        std::uint64_t parent,
+                                        std::string detail) {
+  const std::uint64_t id = next_id_++;
+  tree_.spans.push_back({id, parent == 0 ? root_ : parent, std::string(stage),
+                         now_ms(), -1.0, std::move(detail)});
+  return id;
+}
+
+void RequestTraceBuilder::close(std::uint64_t id) {
+  for (RequestSpan& span : tree_.spans) {
+    if (span.id == id) {
+      span.end_ms = now_ms();
+      return;
+    }
+  }
+}
+
+std::uint64_t RequestTraceBuilder::add_span(std::string_view stage,
+                                            double start_ms, double end_ms,
+                                            std::uint64_t parent,
+                                            std::string detail) {
+  const std::uint64_t id = next_id_++;
+  tree_.spans.push_back({id, parent == 0 ? root_ : parent, std::string(stage),
+                         start_ms, end_ms, std::move(detail)});
+  return id;
+}
+
+void RequestTraceBuilder::annotate(std::uint64_t id, std::string_view detail) {
+  for (RequestSpan& span : tree_.spans) {
+    if (span.id == id) {
+      if (!span.detail.empty()) span.detail += " ";
+      span.detail.append(detail);
+      return;
+    }
+  }
+}
+
+void RequestTraceBuilder::set_request(std::string op, std::string app) {
+  tree_.op = std::move(op);
+  tree_.app = std::move(app);
+}
+
+void RequestTraceBuilder::set_outcome(std::string status, bool cache_hit) {
+  tree_.status = std::move(status);
+  tree_.cache_hit = cache_hit;
+}
+
+void RequestTraceBuilder::set_chunk_spans(SpanLog spans) {
+  tree_.chunk_spans = std::move(spans);
+}
+
+RequestTree RequestTraceBuilder::finish() {
+  const double end = now_ms();
+  for (RequestSpan& span : tree_.spans) {
+    if (span.end_ms < span.start_ms) span.end_ms = end;
+  }
+  tree_.latency_ms = end;
+  if (!tree_.spans.empty()) tree_.spans.front().end_ms = end;
+  return std::move(tree_);
+}
+
+RequestTraceStore::RequestTraceStore(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void RequestTraceStore::publish(RequestTree tree) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(std::move(tree));
+  while (ring_.size() > capacity_) ring_.pop_front();
+  ++published_;
+}
+
+std::optional<RequestTree> RequestTraceStore::find(
+    std::string_view trace_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->trace_id == trace_id) return *it;
+  }
+  return std::nullopt;
+}
+
+std::optional<RequestTree> RequestTraceStore::latest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.empty()) return std::nullopt;
+  return ring_.back();
+}
+
+std::size_t RequestTraceStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t RequestTraceStore::published() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return published_;
+}
+
+}  // namespace hetsched::obs

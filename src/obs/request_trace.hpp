@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/span.hpp"
+
+/// Request-scoped tracing for the serving path.
+///
+/// Every query frame the daemon accepts mints a `trace_id` (16 hex chars,
+/// process-unique) and carries a `RequestTraceBuilder` through its whole
+/// life: admission enqueue → worker pickup → cache lookup / flight join →
+/// sweep compute → response write. The builder assembles one causal
+/// `RequestTree` — wall-clock spans relative to the request's accept epoch —
+/// and, when the answer ran a simulation with obs recording on, parents the
+/// run's `obs::SpanLog` chunk spans under the request's compute span, so a
+/// slow answer decomposes end to end: queue wait vs. flight wait vs. sim
+/// event loop vs. serialization.
+///
+/// Published trees land in a bounded `RequestTraceStore` ring; the daemon
+/// answers `trace-dump` frames from it and stamps trace ids into latency
+/// histogram exemplars, so a fat `/metrics` bucket links to a concrete,
+/// fully decomposed request. Stage-tree invariants are checked by
+/// `obs::validate_request_tree` (validate.hpp) before a tree is served.
+namespace hetsched::obs {
+
+/// Stage names used by the serve path. Centralized so the builder, the
+/// validator, and the tests agree on spelling.
+inline constexpr std::string_view kStageRequest = "request";
+inline constexpr std::string_view kStageQueue = "queue";
+inline constexpr std::string_view kStageHandle = "handle";
+inline constexpr std::string_view kStageParse = "parse";
+inline constexpr std::string_view kStageCache = "cache";
+inline constexpr std::string_view kStageCacheHit = "cache-hit";
+inline constexpr std::string_view kStageDiskLoad = "disk-load";
+inline constexpr std::string_view kStageFlightJoin = "flight-join";
+inline constexpr std::string_view kStageCompute = "compute";
+inline constexpr std::string_view kStageWrite = "write";
+
+/// One timed stage of a request. Times are wall-clock milliseconds since
+/// the owning tree's accept epoch (so a dumped tree is self-contained and
+/// never leaks absolute clocks into cacheable payloads).
+struct RequestSpan {
+  std::uint64_t id = 0;      ///< 1-based; 0 is "no span"
+  std::uint64_t parent = 0;  ///< enclosing span, 0 = root
+  std::string stage;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  std::string detail;  ///< free-form: op, key prefix, leader=<trace_id>, ...
+};
+
+/// The complete causal record of one served request.
+struct RequestTree {
+  std::string trace_id;  ///< 16 lowercase hex chars
+  std::string op;
+  std::string app;
+  std::string status;  ///< response status name ("ok", "error", ...)
+  bool cache_hit = false;
+  double latency_ms = 0.0;  ///< root span duration
+  std::vector<RequestSpan> spans;
+  /// Chunk-lifecycle spans of the simulation run that computed the answer
+  /// (empty for cache hits and non-simulating ops). Logically parented
+  /// under the tree's `compute` span.
+  SpanLog chunk_spans;
+
+  json::Value to_json() const;
+};
+
+/// Mints a process-unique trace id: an atomic counter mixed with a
+/// per-process random seed (splitmix64), rendered as 16 lowercase hex
+/// chars. Distinct across restarts with overwhelming probability, and
+/// never colliding within one process.
+std::string mint_trace_id();
+
+/// Per-request span assembler. Not thread-safe — exactly one thread works
+/// a request at any moment (acceptor hands off to one worker), and the
+/// hand-off happens through the admission queue's synchronization.
+class RequestTraceBuilder {
+ public:
+  /// Starts the tree: records the accept epoch and opens the root
+  /// `request` span. `pre_ms` shifts the epoch back — the serve path
+  /// constructs the builder at frame-handling time but dates the tree
+  /// from the connection accept, so the queue-wait span ([0, wait]) sits
+  /// inside the root.
+  RequestTraceBuilder(std::string trace_id, std::string detail = {},
+                      double pre_ms = 0.0);
+
+  const std::string& trace_id() const { return tree_.trace_id; }
+
+  /// Milliseconds elapsed since the accept epoch (wall clock).
+  double now_ms() const;
+
+  /// Opens a span at `now_ms()` under `parent` (0 = the root span's id is
+  /// substituted). Returns the span id for later `close`/child use.
+  std::uint64_t open(std::string_view stage, std::uint64_t parent = 0,
+                     std::string detail = {});
+  /// Closes an open span at `now_ms()`.
+  void close(std::uint64_t id);
+  /// Adds an already-timed span (start/end in epoch-relative ms).
+  std::uint64_t add_span(std::string_view stage, double start_ms,
+                         double end_ms, std::uint64_t parent = 0,
+                         std::string detail = {});
+  /// Appends to a span's detail (e.g. tagging the flight leader).
+  void annotate(std::uint64_t id, std::string_view detail);
+
+  std::uint64_t root() const { return root_; }
+
+  /// Fills the summary fields and attaches the run's chunk spans.
+  void set_request(std::string op, std::string app);
+  void set_outcome(std::string status, bool cache_hit);
+  void set_chunk_spans(SpanLog spans);
+
+  /// Closes the root span (and any stragglers) and returns the finished
+  /// tree. The builder must not be used afterwards.
+  RequestTree finish();
+
+ private:
+  RequestTree tree_;
+  std::uint64_t epoch_ns_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t root_ = 0;
+};
+
+/// Bounded thread-safe ring of recently finished request trees. The daemon
+/// publishes every validated tree here; `trace-dump` frames read it back.
+class RequestTraceStore {
+ public:
+  explicit RequestTraceStore(std::size_t capacity = 256);
+
+  void publish(RequestTree tree);
+  /// The tree with this trace id, if still retained.
+  std::optional<RequestTree> find(std::string_view trace_id) const;
+  /// The most recently published tree.
+  std::optional<RequestTree> latest() const;
+
+  std::size_t size() const;
+  std::uint64_t published() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::deque<RequestTree> ring_;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace hetsched::obs

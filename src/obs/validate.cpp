@@ -100,4 +100,114 @@ std::vector<std::string> validate_trace(const sim::TraceRecorder& trace,
   return problems;
 }
 
+std::vector<std::string> validate_request_tree(const RequestTree& tree) {
+  std::vector<std::string> problems;
+  const std::string tag = "trace " + tree.trace_id;
+
+  // Wall-clock spans close in program order, not in one atomic instant, so
+  // containment checks tolerate a small slack.
+  constexpr double kSlackMs = 1.0;
+
+  const RequestSpan* root = nullptr;
+  std::map<std::uint64_t, const RequestSpan*> by_id;
+  std::map<std::string, int> stage_count;
+  for (const RequestSpan& span : tree.spans) {
+    if (span.id == 0 || by_id.count(span.id) != 0) {
+      problems.push_back(tag + ": span id " + std::to_string(span.id) +
+                         " is zero or duplicated");
+      continue;
+    }
+    by_id[span.id] = &span;
+    stage_count[span.stage] += 1;
+    if (span.stage == kStageRequest) {
+      if (root != nullptr) {
+        problems.push_back(tag + ": more than one root 'request' span");
+      }
+      root = &span;
+    }
+  }
+  if (root == nullptr) {
+    problems.push_back(tag + ": no root 'request' span");
+    return problems;
+  }
+  if (root->parent != 0) {
+    problems.push_back(tag + ": root span has a parent");
+  }
+
+  for (const RequestSpan& span : tree.spans) {
+    if (span.end_ms < span.start_ms) {
+      problems.push_back(tag + ": span '" + span.stage +
+                         "' has an invalid time range");
+    }
+    if (&span == root) continue;
+    auto parent = by_id.find(span.parent);
+    if (parent == by_id.end()) {
+      problems.push_back(tag + ": span '" + span.stage +
+                         "' has a dangling parent link");
+      continue;
+    }
+    if (span.start_ms + kSlackMs < parent->second->start_ms ||
+        span.end_ms > parent->second->end_ms + kSlackMs) {
+      problems.push_back(tag + ": span '" + span.stage +
+                         "' escapes its parent '" + parent->second->stage +
+                         "'");
+    }
+    // Nothing may dangle past the response write: the root closes last.
+    if (span.end_ms > root->end_ms + kSlackMs) {
+      problems.push_back(tag + ": span '" + span.stage +
+                         "' outlives the request");
+    }
+  }
+
+  // Queue wait precedes worker pickup.
+  const RequestSpan* queue = nullptr;
+  const RequestSpan* handle = nullptr;
+  for (const RequestSpan& span : tree.spans) {
+    if (span.stage == kStageQueue && queue == nullptr) queue = &span;
+    if (span.stage == kStageHandle && handle == nullptr) handle = &span;
+  }
+  if (queue == nullptr) {
+    problems.push_back(tag + ": no 'queue' span (queue wait unrecorded)");
+  }
+  if (handle != nullptr && queue != nullptr &&
+      queue->end_ms > handle->start_ms + kSlackMs) {
+    problems.push_back(tag + ": 'queue' span ends after 'handle' starts");
+  }
+
+  // Cache-transparency of the tree itself: hits never compute, misses do.
+  const int computes = stage_count[std::string(kStageCompute)];
+  const int hit_like = stage_count[std::string(kStageCacheHit)] +
+                       stage_count[std::string(kStageDiskLoad)] +
+                       stage_count[std::string(kStageFlightJoin)];
+  if (tree.cache_hit && computes > 0) {
+    problems.push_back(tag + ": cache-hit tree contains a 'compute' span");
+  }
+  if (tree.cache_hit && hit_like == 0) {
+    problems.push_back(tag +
+                       ": cache-hit tree has no cache-hit/disk-load/"
+                       "flight-join span");
+  }
+  if (!tree.cache_hit && tree.status == "ok" && computes == 0 &&
+      stage_count[std::string(kStageCache)] > 0) {
+    problems.push_back(tag + ": cache-miss tree has no 'compute' span");
+  }
+
+  // Flight joiners must name their leader: their answer was computed under
+  // another request's compute span.
+  for (const RequestSpan& span : tree.spans) {
+    if (span.stage == kStageFlightJoin &&
+        span.detail.find("leader=") == std::string::npos) {
+      problems.push_back(tag + ": 'flight-join' span does not name a leader");
+    }
+  }
+
+  // Chunk spans need a compute span to hang under, and must themselves be
+  // well-formed chains.
+  if (!tree.chunk_spans.spans().empty() && computes == 0) {
+    problems.push_back(tag + ": chunk spans attached but no 'compute' span");
+  }
+  append_span_violations(tree.chunk_spans, problems);
+  return problems;
+}
+
 }  // namespace hetsched::obs

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "obs/request_trace.hpp"
 #include "obs/span.hpp"
 
 namespace hetsched::sim {
@@ -28,5 +29,21 @@ void append_span_violations(const SpanLog& spans,
 std::vector<std::string> validate_trace(const sim::TraceRecorder& trace,
                                         SimTime makespan,
                                         const SpanLog* spans = nullptr);
+
+/// Lints one served request's span tree for request-flow invariants.
+/// Returns one message per violation; empty means clean. Checks:
+///   - exactly one root span, stage `request`, covering [0, latency_ms]
+///   - every span's parent exists and temporally contains it (spans never
+///     start before their parent or end after it, within a small clock
+///     slack), and nothing dangles past the response write (root end)
+///   - a `queue` span exists and ends before the `handle` span starts
+///     (queue wait precedes worker pickup)
+///   - a tree marked cache_hit contains a `cache-hit`, `disk-load`, or
+///     `flight-join` span and no `compute` span; a miss contains `compute`
+///   - a flight-join span names its leader (`leader=<trace_id>` detail) —
+///     joiners parent to the leader's computation, not their own
+///   - when chunk spans are attached, a `compute` span exists to own them,
+///     and the chunk-span chains themselves pass append_span_violations
+std::vector<std::string> validate_request_tree(const RequestTree& tree);
 
 }  // namespace hetsched::obs

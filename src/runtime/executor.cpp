@@ -11,6 +11,7 @@
 #include "common/logging.hpp"
 #include "common/range_map.hpp"
 #include "faults/injector.hpp"
+#include "obs/phase_profiler.hpp"
 #include "runtime/task_graph.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -1136,6 +1137,7 @@ class Run {
 
 ExecutionReport Executor::execute(const Program& program,
                                   Scheduler& scheduler) {
+  const obs::ScopedPhase phase(obs::kPhaseSimEventLoop);
   std::vector<std::pair<std::string, std::int64_t>> buffer_specs;
   buffer_specs.reserve(buffers_.size());
   for (const BufferInfo& info : buffers_)

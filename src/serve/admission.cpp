@@ -10,12 +10,12 @@ AdmissionQueue::AdmissionQueue(std::size_t capacity) : capacity_(capacity) {
   HS_REQUIRE(capacity_ > 0, "admission queue needs capacity >= 1");
 }
 
-bool AdmissionQueue::try_push(int fd) {
+bool AdmissionQueue::try_push(AdmittedConnection connection) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!closed_.load(std::memory_order_relaxed) &&
         queue_.size() < capacity_) {
-      queue_.push_back(fd);
+      queue_.push_back(std::move(connection));
       max_depth_ = std::max(max_depth_, queue_.size());
       admitted_.fetch_add(1, std::memory_order_relaxed);
       available_.notify_one();
@@ -26,15 +26,15 @@ bool AdmissionQueue::try_push(int fd) {
   return false;
 }
 
-std::optional<int> AdmissionQueue::pop() {
+std::optional<AdmittedConnection> AdmissionQueue::pop() {
   std::unique_lock<std::mutex> lock(mutex_);
   available_.wait(lock, [this] {
     return !queue_.empty() || closed_.load(std::memory_order_relaxed);
   });
   if (queue_.empty()) return std::nullopt;  // closed and drained
-  const int fd = queue_.front();
+  AdmittedConnection connection = std::move(queue_.front());
   queue_.pop_front();
-  return fd;
+  return connection;
 }
 
 void AdmissionQueue::close() {

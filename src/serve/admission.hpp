@@ -1,12 +1,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <string>
 
 /// Admission control for the serve daemon: a bounded queue of accepted
 /// connections between the acceptor thread and the worker pool.
@@ -17,7 +19,22 @@
 /// (Server::acceptor_loop). Maximum in-flight work is the worker count, so
 /// total admitted-but-unserved requests are bounded by capacity + workers
 /// at all times.
+///
+/// Each admitted connection carries its trace context across the
+/// acceptor→worker hand-off: the trace id minted at accept (the id of the
+/// connection's first request frame) and the accept timestamp, from which
+/// the worker derives the explicit queue-wait observation
+/// (`serve_queue_wait_ms`) at pickup.
 namespace hetsched::serve {
+
+/// One accepted connection in flight between acceptor and worker.
+struct AdmittedConnection {
+  int fd = -1;
+  /// Trace id minted at accept; becomes the first frame's request trace.
+  std::string trace_id;
+  /// Accept instant; queue wait = pickup - accepted_at.
+  std::chrono::steady_clock::time_point accepted_at{};
+};
 
 class AdmissionQueue {
  public:
@@ -26,15 +43,16 @@ class AdmissionQueue {
   AdmissionQueue(const AdmissionQueue&) = delete;
   AdmissionQueue& operator=(const AdmissionQueue&) = delete;
 
-  /// Admits `fd` unless the queue is at capacity or closed. Never blocks.
-  /// A false return increments rejected() (overload) — the caller owns the
-  /// fd either way.
-  bool try_push(int fd);
+  /// Admits the connection unless the queue is at capacity or closed.
+  /// Never blocks. A false return increments rejected() (overload) — the
+  /// caller owns the fd either way.
+  bool try_push(AdmittedConnection connection);
 
-  /// Blocks until an fd is available. Returns nullopt only when the queue
-  /// is closed AND empty — connections admitted before close are still
-  /// drained, which is what makes shutdown graceful rather than lossy.
-  std::optional<int> pop();
+  /// Blocks until a connection is available. Returns nullopt only when the
+  /// queue is closed AND empty — connections admitted before close are
+  /// still drained, which is what makes shutdown graceful rather than
+  /// lossy.
+  std::optional<AdmittedConnection> pop();
 
   /// Closes admission: try_push refuses, poppers drain and then exit.
   void close();
@@ -55,7 +73,7 @@ class AdmissionQueue {
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable available_;
-  std::deque<int> queue_;
+  std::deque<AdmittedConnection> queue_;
   std::size_t max_depth_ = 0;
   std::atomic<bool> closed_{false};
   std::atomic<std::int64_t> admitted_{0};

@@ -21,6 +21,7 @@ json::Value QueryRequest::to_json() const {
   value.set("tasks", json::Value(tasks));
   value.set("gantt", json::Value(gantt));
   value.set("json", json::Value(json));
+  value.set("trace", json::Value(trace));
   return value;
 }
 
@@ -48,6 +49,8 @@ QueryRequest QueryRequest::from_json(const json::Value& value) {
     request.gantt = gantt->as_bool();
   if (const json::Value* json_flag = value.find("json"))
     request.json = json_flag->as_bool();
+  if (const json::Value* trace = value.find("trace"))
+    request.trace = trace->as_string();
   return request;
 }
 
@@ -95,6 +98,7 @@ json::Value QueryResponse::to_json() const {
   value.set("error", json::Value(error));
   value.set("retry_after_ms", json::Value(retry_after_ms));
   value.set("cache_hit", json::Value(cache_hit));
+  value.set("trace_id", json::Value(trace_id));
   return value;
 }
 
@@ -110,6 +114,8 @@ QueryResponse QueryResponse::from_json(const json::Value& value) {
   response.error = value.at("error").as_string();
   response.retry_after_ms = value.at("retry_after_ms").as_number();
   response.cache_hit = value.at("cache_hit").as_bool();
+  if (const json::Value* trace_id = value.find("trace_id"))
+    response.trace_id = trace_id->as_string();
   return response;
 }
 

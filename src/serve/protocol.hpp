@@ -25,7 +25,9 @@ namespace hetsched::serve {
 /// Bump when the request schema, the cache-key closure, or response
 /// semantics change: a daemon and client disagreeing on the version fail
 /// loudly instead of mis-answering.
-inline constexpr const char* kProtocolVersion = "hs-serve-1";
+/// hs-serve-2: responses carry `trace_id`, requests may carry `trace`,
+/// and the administrative `trace-dump` op returns a request span tree.
+inline constexpr const char* kProtocolVersion = "hs-serve-2";
 
 /// Hard per-frame byte bound; a peer exceeding it is disconnected rather
 /// than buffered without limit.
@@ -33,10 +35,12 @@ inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
 
 /// One matchmaking query. `op` selects which offline verb the answer must
 /// be byte-identical to:
-///   match    classify + strategy selection (hetsched_cli match)
-///   explain  decision + predicted-time inputs (hetsched_cli explain)
-///   analyze  utilization/overlap breakdown of a run (hetsched_cli analyze)
-///   shutdown administrative: ack, then begin graceful daemon shutdown
+///   match      classify + strategy selection (hetsched_cli match)
+///   explain    decision + predicted-time inputs (hetsched_cli explain)
+///   analyze    utilization/overlap breakdown of a run (hetsched_cli analyze)
+///   shutdown   administrative: ack, then begin graceful daemon shutdown
+///   trace-dump administrative: return the request span tree named by
+///              `trace` (empty = the most recent), as JSON in `output`
 struct QueryRequest {
   std::string op = "match";
   std::string app;
@@ -52,6 +56,9 @@ struct QueryRequest {
   bool gantt = false;
   /// explain --json: machine-readable document instead of the rendering.
   bool json = false;
+  /// trace-dump only: the trace_id to dump ("" = most recent). Ignored —
+  /// and excluded from the cache key — for every other op.
+  std::string trace;
 
   json::Value to_json() const;
   /// Throws InvalidArgument on malformed input or a version mismatch.
@@ -88,6 +95,10 @@ struct QueryResponse {
   /// True when the answer came from the daemon's scenario cache (in-memory
   /// shard or the on-disk store) instead of a fresh computation.
   bool cache_hit = false;
+  /// The request's trace id (16 hex chars): the handle for `trace-dump`
+  /// and the id exemplars in /metrics point at. Empty for responses the
+  /// daemon answered before minting one (overload, shutting-down).
+  std::string trace_id;
 
   json::Value to_json() const;
   static QueryResponse from_json(const json::Value& value);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -75,6 +76,13 @@ ServeBenchResult run_serve_bench(const ServeBenchOptions& options) {
                                                              start)
                        .count();
 
+  // Percentiles come from the daemon's own latency histogram — the same
+  // series /metrics exposes — not from client-side stopwatches.
+  const obs::Histogram latency = server.latency_histogram();
+  result.latency_p50_ms = obs::histogram_quantile(latency, 0.50);
+  result.latency_p95_ms = obs::histogram_quantile(latency, 0.95);
+  result.latency_p99_ms = obs::histogram_quantile(latency, 0.99);
+
   server.request_shutdown();
   server.wait();
 
@@ -103,6 +111,9 @@ json::Value serve_bench_to_json(const ServeBenchResult& result) {
   value.set("cache_hits", json::Value(result.cache_hits));
   value.set("wall_ms", json::Value(result.wall_ms));
   value.set("requests_per_second", json::Value(result.requests_per_second));
+  value.set("latency_p50_ms", json::Value(result.latency_p50_ms));
+  value.set("latency_p95_ms", json::Value(result.latency_p95_ms));
+  value.set("latency_p99_ms", json::Value(result.latency_p99_ms));
   return value;
 }
 

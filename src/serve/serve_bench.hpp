@@ -35,6 +35,12 @@ struct ServeBenchResult {
   std::int64_t cache_hits = 0;     ///< responses flagged cache_hit
   double wall_ms = 0.0;
   double requests_per_second = 0.0;
+  /// Request-latency percentiles interpolated from the daemon's own
+  /// serve_request_latency_ms histogram (Server::latency_histogram), so the
+  /// bench and a /metrics scrape agree by construction.
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
 };
 
 /// Runs the loopback hammer and returns its measurements. Throws

@@ -6,14 +6,20 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <sstream>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/log.hpp"
+#include "obs/metric_names.hpp"
+#include "obs/phase_profiler.hpp"
+#include "obs/validate.hpp"
 #include "serve/service.hpp"
 
 namespace hetsched::serve {
@@ -46,7 +52,8 @@ double elapsed_ms(Clock::time_point since) {
 
 }  // namespace
 
-Server::Server(ServeOptions options) : options_(std::move(options)) {
+Server::Server(ServeOptions options)
+    : options_(std::move(options)), traces_(options_.trace_capacity) {
   HS_REQUIRE(options_.workers > 0, "serve needs at least one worker");
   if (!options_.cache_dir.empty())
     disk_ = std::make_unique<sweep::ResultCache>(options_.cache_dir);
@@ -54,7 +61,9 @@ Server::Server(ServeOptions options) : options_(std::move(options)) {
                                                   disk_.get());
   queue_ = std::make_unique<AdmissionQueue>(options_.max_queue);
   metrics_.enable();
-  metrics_.histogram_bounds("serve_request_latency_ms",
+  metrics_.histogram_bounds(obs::kMetricServeRequestLatencyMs,
+                            obs::Histogram::default_bounds());
+  metrics_.histogram_bounds(obs::kMetricServeQueueWaitMs,
                             obs::Histogram::default_bounds());
 }
 
@@ -100,11 +109,14 @@ void Server::start() {
   for (unsigned i = 0; i < options_.workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
   acceptor_ = std::thread([this] { acceptor_loop(); });
-  HS_INFO << "serve: listening on " << options_.host << ":" << port_ << " ("
-          << options_.workers << " workers, queue " << options_.max_queue
-          << ", " << cache_->shard_count() << " cache shards"
-          << (disk_ ? ", store " + options_.cache_dir : std::string())
-          << ")";
+  obs::Log(log::Level::kInfo, "serve.listening")
+      .field("host", options_.host)
+      .field("port", port_)
+      .field("workers", static_cast<std::int64_t>(options_.workers))
+      .field("max_queue", options_.max_queue)
+      .field("cache_shards", cache_->shard_count())
+      .field("store", disk_ ? options_.cache_dir : std::string())
+      .emit();
 }
 
 void Server::request_shutdown() {
@@ -147,12 +159,15 @@ void Server::wait() {
   {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
     if (flushed > 0)
-      metrics_.counter_add("serve_cache_flushed_total",
+      metrics_.counter_add(obs::kMetricServeCacheFlushed,
                            static_cast<std::int64_t>(flushed));
   }
   final_snapshot_ = metrics_prometheus();
-  HS_INFO << "serve: drained; " << cache_->entries()
-          << " cached scenario(s), " << flushed << " flushed to store";
+  obs::Log(log::Level::kInfo, "serve.drained")
+      .field("cache_entries", cache_->entries())
+      .field("flushed", flushed)
+      .field("traces_published", traces_.published())
+      .emit();
 
   {
     std::lock_guard<std::mutex> lock(lifecycle_mutex_);
@@ -180,13 +195,18 @@ void Server::acceptor_loop() {
       ::close(fd);
       continue;
     }
-    if (!queue_->try_push(fd)) {
+    AdmittedConnection connection;
+    connection.fd = fd;
+    connection.trace_id = obs::mint_trace_id();
+    connection.accepted_at = Clock::now();
+    if (!queue_->try_push(std::move(connection))) {
       // Admission control: bounded queue, never unbounded buffering. The
-      // client gets an explicit overload answer plus a backoff hint.
+      // client gets an explicit overload answer plus a backoff hint fed by
+      // the queue waits workers actually observed.
       QueryResponse response;
       response.status = ResponseStatus::kOverload;
       response.error = "request queue full";
-      response.retry_after_ms = options_.retry_after_ms;
+      response.retry_after_ms = overload_retry_hint_ms();
       write_frame(fd, response.to_json());
       record_response(nullptr, ResponseStatus::kOverload, false, 0.0);
       ::close(fd);
@@ -198,15 +218,22 @@ void Server::acceptor_loop() {
 
 void Server::worker_loop() {
   for (;;) {
-    const std::optional<int> fd = queue_->pop();
-    if (!fd) return;  // admission closed and drained
+    std::optional<AdmittedConnection> connection = queue_->pop();
+    if (!connection) return;  // admission closed and drained
     set_queue_depth_gauge();
-    serve_connection(*fd);
+    // Worker pickup is where the admission wait becomes observable: the
+    // span between accept and this instant is pure queueing.
+    const double queue_wait_ms = elapsed_ms(connection->accepted_at);
+    note_queue_wait(queue_wait_ms, connection->trace_id);
+    serve_connection(*connection, queue_wait_ms);
   }
 }
 
-void Server::serve_connection(int fd) {
+void Server::serve_connection(const AdmittedConnection& connection,
+                              double queue_wait_ms) {
+  const int fd = connection.fd;
   FrameReader reader(fd);
+  bool first = true;
   for (;;) {
     std::string frame;
     // During shutdown the read gives up at the next idle timeout, which is
@@ -228,31 +255,58 @@ void Server::serve_connection(int fd) {
       handle_http(fd, frame, reader);
       break;
     }
-    if (!handle_query_frame(fd, frame)) break;
+    FrameTraceInfo info;
+    info.first = first;
+    if (first) {
+      // The connection's first frame inherits the accept-time context: its
+      // tree starts at accept and contains the real queue wait.
+      info.trace_id = connection.trace_id;
+      info.pre_ms = elapsed_ms(connection.accepted_at);
+      info.queue_wait_ms = queue_wait_ms;
+      first = false;
+    } else {
+      // Keep-alive frames start fresh at frame read; their queue span is
+      // zero-length (the connection was already being served).
+      info.trace_id = obs::mint_trace_id();
+    }
+    if (!handle_query_frame(fd, frame, info)) break;
   }
   ::close(fd);
 }
 
-bool Server::handle_query_frame(int fd, const std::string& frame) {
+bool Server::handle_query_frame(int fd, const std::string& frame,
+                                const FrameTraceInfo& info) {
   const Clock::time_point start = Clock::now();
+  obs::RequestTraceBuilder builder(info.trace_id,
+                                   info.first ? "" : "keep-alive",
+                                   info.pre_ms);
+  builder.add_span(obs::kStageQueue, 0.0, info.queue_wait_ms, 0,
+                   info.first ? "" : "keep-alive");
+  const std::uint64_t handle_span = builder.open(obs::kStageHandle);
+
   QueryRequest request;
+  const std::uint64_t parse_span =
+      builder.open(obs::kStageParse, handle_span);
   try {
     request = QueryRequest::from_json(json::Value::parse(frame));
   } catch (const Error& error) {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
-    metrics_.counter_add("serve_bad_frames_total");
+    metrics_.counter_add(obs::kMetricServeBadFrames);
     QueryResponse response;
     response.status = ResponseStatus::kError;
     response.error = error.what();
+    response.trace_id = builder.trace_id();
     write_frame(fd, response.to_json());
     responses_error_.fetch_add(1, std::memory_order_relaxed);
     return false;  // a peer speaking garbage gets disconnected
   }
+  builder.close(parse_span);
+  builder.set_request(request.op, request.app);
 
   {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
     metrics_.counter_add(
-        obs::metric_key("serve_requests_total", {{"op", request.op}}));
+        obs::metric_key(obs::kMetricServeRequests, {{"op", request.op}}));
   }
 
   if (request.op == "shutdown") {
@@ -261,43 +315,117 @@ bool Server::handle_query_frame(int fd, const std::string& frame) {
     request_shutdown();
     QueryResponse response;
     response.output = "shutting down\n";
+    response.trace_id = builder.trace_id();
     const bool sent = write_frame(fd, response.to_json());
-    record_response(&request, ResponseStatus::kOk, false,
-                    elapsed_ms(start));
-    audit(request, ResponseStatus::kOk, false);
+    record_response(&request, ResponseStatus::kOk, false, elapsed_ms(start),
+                    builder.trace_id());
+    audit(request, ResponseStatus::kOk, false, builder.trace_id());
     return sent && false;
   }
 
-  const QueryResponse response = respond(request);
+  if (request.op == "trace-dump") {
+    // Administrative, never cached, and not published as a tree itself
+    // (dumping traces should not displace the traces being dumped).
+    QueryResponse response = respond_trace_dump(request);
+    const bool sent = write_frame(fd, response.to_json());
+    record_response(nullptr, response.status, false, 0.0);
+    audit(request, response.status, false, builder.trace_id());
+    return sent;
+  }
+
+  builder.close(handle_span);
+  const QueryResponse response = respond(request, builder);
   const double latency_ms = elapsed_ms(start);
-  record_response(&request, response.status, response.cache_hit,
-                  latency_ms);
-  audit(request, response.status, response.cache_hit);
-  return write_frame(fd, response.to_json());
+  record_response(&request, response.status, response.cache_hit, latency_ms,
+                  builder.trace_id());
+  audit(request, response.status, response.cache_hit, builder.trace_id());
+
+  const std::uint64_t write_span = builder.open(obs::kStageWrite);
+  bool sent;
+  {
+    obs::ScopedPhase phase(obs::kPhaseSerialize);
+    sent = write_frame(fd, response.to_json());
+  }
+  builder.close(write_span);
+  builder.set_outcome(response_status_name(response.status),
+                      response.cache_hit);
+  publish_trace(builder.finish());
+  return sent;
 }
 
-QueryResponse Server::respond(const QueryRequest& request) {
+QueryResponse Server::respond(const QueryRequest& request,
+                              obs::RequestTraceBuilder& builder) {
   QueryResponse response;
+  response.trace_id = builder.trace_id();
+  const std::string key = request.cache_key();
+  const std::uint64_t cache_span = builder.open(
+      obs::kStageCache, 0, "shard=" + std::to_string(cache_->shard_index(key)));
+  const double lookup_start_ms = builder.now_ms();
   try {
-    const ShardedScenarioCache::Lookup lookup =
-        cache_->get_or_compute(request.cache_key(),
-                               [&request] { return answer(request); });
+    obs::ScopedPhase cache_phase(obs::kPhaseCache);
+    const ShardedScenarioCache::Lookup lookup = cache_->get_or_compute(
+        key,
+        [&request, &builder, cache_span] {
+          // Owner path: this thread computes the answer; the compute span
+          // (and the run's chunk spans) belong to this request's tree.
+          obs::ScopedPhase compute_phase(obs::kPhaseCompute);
+          const std::uint64_t compute_span =
+              builder.open(obs::kStageCompute, cache_span);
+          AnswerTrace answer_trace;
+          std::string output = answer(request, &answer_trace);
+          builder.close(compute_span);
+          builder.set_chunk_spans(std::move(answer_trace.chunk_spans));
+          return output;
+        },
+        builder.trace_id());
     response.output = *lookup.value;
     response.cache_hit = lookup.hit || lookup.disk_hit;
+    // Hit-like outcomes get a span covering the whole lookup: for a
+    // flight join that is the real wall-time wait on the leader's compute.
+    if (lookup.joined_flight) {
+      builder.add_span(obs::kStageFlightJoin, lookup_start_ms,
+                       builder.now_ms(), cache_span,
+                       "leader=" + (lookup.leader_trace_id.empty()
+                                        ? std::string("unknown")
+                                        : lookup.leader_trace_id));
+    } else if (lookup.disk_hit) {
+      builder.add_span(obs::kStageDiskLoad, lookup_start_ms,
+                       builder.now_ms(), cache_span);
+    } else if (lookup.hit) {
+      builder.add_span(obs::kStageCacheHit, lookup_start_ms,
+                       builder.now_ms(), cache_span);
+    }
     std::lock_guard<std::mutex> lock(metrics_mutex_);
-    metrics_.counter_add(response.cache_hit ? "serve_cache_hits_total"
-                                            : "serve_cache_misses_total");
-    if (lookup.disk_hit) metrics_.counter_add("serve_cache_disk_hits_total");
+    metrics_.counter_add(response.cache_hit ? obs::kMetricServeCacheHits
+                                            : obs::kMetricServeCacheMisses);
+    if (lookup.disk_hit) metrics_.counter_add(obs::kMetricServeCacheDiskHits);
   } catch (const Error& error) {
     response.status = ResponseStatus::kError;
     response.error = error.what();
   }
+  builder.close(cache_span);
+  return response;
+}
+
+QueryResponse Server::respond_trace_dump(const QueryRequest& request) {
+  QueryResponse response;
+  const std::optional<obs::RequestTree> tree =
+      request.trace.empty() ? traces_.latest() : traces_.find(request.trace);
+  if (!tree) {
+    response.status = ResponseStatus::kError;
+    response.error = request.trace.empty()
+                         ? "no request traces recorded yet"
+                         : "trace '" + request.trace + "' not retained";
+    return response;
+  }
+  response.output = tree->to_json().dump() + "\n";
+  response.trace_id = tree->trace_id;
   return response;
 }
 
 void Server::record_response(const QueryRequest* request,
                              ResponseStatus status, bool cache_hit,
-                             double latency_ms) {
+                             double latency_ms, std::string_view trace_id) {
   (void)cache_hit;
   switch (status) {
     case ResponseStatus::kOk:
@@ -315,19 +443,28 @@ void Server::record_response(const QueryRequest* request,
   }
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   metrics_.counter_add(obs::metric_key(
-      "serve_responses_total", {{"status", response_status_name(status)}}));
+      obs::kMetricServeResponses,
+      {{"status", response_status_name(status)}}));
   if (request != nullptr)
-    metrics_.observe("serve_request_latency_ms", latency_ms);
+    // The trace id rides along as the bucket's exemplar, linking the
+    // /metrics latency distribution to a concrete dumpable request tree.
+    metrics_.observe(obs::kMetricServeRequestLatencyMs, latency_ms, 1.0,
+                     trace_id);
 }
 
 void Server::audit(const QueryRequest& request, ResponseStatus status,
-                   bool cache_hit) {
-  HS_INFO << "serve: op=" << request.op << " app=" << request.app
-          << " status=" << response_status_name(status)
-          << " source=" << (cache_hit ? "cache" : "computed");
+                   bool cache_hit, const std::string& trace_id) {
+  obs::Log(log::Level::kInfo, "serve.request")
+      .field("trace_id", trace_id)
+      .field("op", request.op)
+      .field("app", request.app)
+      .field("status", response_status_name(status))
+      .field("source", cache_hit ? "cache" : "computed")
+      .emit();
   std::lock_guard<std::mutex> lock(audit_mutex_);
   ServeAuditEntry entry;
   entry.sequence = ++audit_sequence_;
+  entry.trace_id = trace_id;
   entry.op = request.op;
   entry.app = request.app;
   entry.status = response_status_name(status);
@@ -335,6 +472,57 @@ void Server::audit(const QueryRequest& request, ResponseStatus status,
   if (audit_log_.size() >= kMaxAuditEntries)
     audit_log_.erase(audit_log_.begin());
   audit_log_.push_back(std::move(entry));
+}
+
+void Server::publish_trace(obs::RequestTree tree) {
+  const std::vector<std::string> problems = obs::validate_request_tree(tree);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_.counter_add(obs::kMetricServeTracesPublished);
+    if (!problems.empty())
+      metrics_.counter_add(obs::kMetricServeTraceInvalid);
+  }
+  if (!problems.empty()) {
+    obs::Log(log::Level::kWarn, "serve.trace_invalid")
+        .field("trace_id", tree.trace_id)
+        .field("problems", problems.size())
+        .field("first", problems.front())
+        .emit();
+  }
+  // Invalid trees are retained too: a tree that fails its own validator is
+  // exactly the one worth dumping.
+  traces_.publish(std::move(tree));
+}
+
+double Server::overload_retry_hint_ms() {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  // Scale the observed per-slot wait to the backlog a newcomer would sit
+  // behind; the configured hint is the floor so an idle daemon's answer is
+  // stable (tests pin it) and clients never get told "retry immediately"
+  // while the queue is provably full.
+  const double backlog =
+      static_cast<double>(queue_->depth() + 1);
+  return std::max(options_.retry_after_ms, ema_queue_wait_ms_ * backlog);
+}
+
+void Server::note_queue_wait(double wait_ms, const std::string& trace_id) {
+  // Admission wall time is attributed in the phase profile as well: the
+  // whole wait is "self" time (nothing nests inside queueing).
+  obs::phase_profiler().record(obs::kPhaseAdmission, wait_ms, wait_ms);
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_.observe(obs::kMetricServeQueueWaitMs, wait_ms, 1.0, trace_id);
+  constexpr double kAlpha = 0.2;
+  ema_queue_wait_ms_ = ema_queue_wait_ms_ == 0.0
+                           ? wait_ms
+                           : (1.0 - kAlpha) * ema_queue_wait_ms_ +
+                                 kAlpha * wait_ms;
+}
+
+obs::Histogram Server::latency_histogram() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  const obs::Histogram* hist =
+      metrics_.find_histogram(obs::kMetricServeRequestLatencyMs);
+  return hist != nullptr ? *hist : obs::Histogram();
 }
 
 void Server::handle_http(int fd, const std::string& request_line,
@@ -350,7 +538,7 @@ void Server::handle_http(int fd, const std::string& request_line,
   {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
     metrics_.counter_add(
-        obs::metric_key("serve_http_requests_total", {{"path", path}}));
+        obs::metric_key(obs::kMetricServeHttpRequests, {{"path", path}}));
   }
   std::string status = "200 OK";
   std::string body;
@@ -373,34 +561,53 @@ void Server::handle_http(int fd, const std::string& request_line,
 
 void Server::set_queue_depth_gauge() {
   std::lock_guard<std::mutex> lock(metrics_mutex_);
-  metrics_.gauge_set("serve_queue_depth",
+  metrics_.gauge_set(obs::kMetricServeQueueDepth,
                      static_cast<double>(queue_->depth()));
 }
 
 std::string Server::metrics_prometheus() const {
   const ShardCacheCounters cache_counters = cache_->counters();
   const std::size_t entries = cache_->entries();
+  const std::map<std::string, obs::PhaseStats> phases =
+      obs::phase_profiler().snapshot();
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   // Mirror component-owned state into gauges at scrape time; the request
   // counters above are maintained inline on the serving path.
   auto& metrics = const_cast<obs::MetricsRegistry&>(metrics_);
-  metrics.gauge_set("serve_cache_entries", static_cast<double>(entries));
-  metrics.gauge_set("serve_cache_shards",
+  metrics.gauge_set(obs::kMetricServeCacheEntries,
+                    static_cast<double>(entries));
+  metrics.gauge_set(obs::kMetricServeCacheShards,
                     static_cast<double>(cache_->shard_count()));
-  metrics.gauge_set("serve_cache_shard_hits",
+  metrics.gauge_set(obs::kMetricServeCacheShardHits,
                     static_cast<double>(cache_counters.hits));
-  metrics.gauge_set("serve_cache_shard_misses",
+  metrics.gauge_set(obs::kMetricServeCacheShardMisses,
                     static_cast<double>(cache_counters.misses));
-  metrics.gauge_set("serve_queue_depth",
+  metrics.gauge_set(obs::kMetricServeQueueDepth,
                     static_cast<double>(queue_->depth()));
-  metrics.gauge_set("serve_queue_capacity",
+  metrics.gauge_set(obs::kMetricServeQueueCapacity,
                     static_cast<double>(queue_->capacity()));
-  metrics.gauge_set("serve_queue_max_depth",
+  metrics.gauge_set(obs::kMetricServeQueueMaxDepth,
                     static_cast<double>(queue_->max_depth_seen()));
-  metrics.gauge_set("serve_queue_rejected",
+  metrics.gauge_set(obs::kMetricServeQueueRejected,
                     static_cast<double>(queue_->rejected()));
-  metrics.gauge_set("serve_workers",
+  metrics.gauge_set(obs::kMetricServeWorkers,
                     static_cast<double>(options_.workers));
+  // Phase-profiler snapshot: wall-time attribution per stage, as labeled
+  // gauge families so one scrape carries the whole self-profile.
+  for (const auto& [stage, stats] : phases) {
+    metrics.gauge_set(
+        obs::metric_key(obs::kMetricPhaseTotalMs, {{"stage", stage}}),
+        stats.total_ms);
+    metrics.gauge_set(
+        obs::metric_key(obs::kMetricPhaseSelfMs, {{"stage", stage}}),
+        stats.self_ms);
+    metrics.gauge_set(
+        obs::metric_key(obs::kMetricPhaseMaxMs, {{"stage", stage}}),
+        stats.max_ms);
+    metrics.gauge_set(
+        obs::metric_key(obs::kMetricPhaseCalls, {{"stage", stage}}),
+        static_cast<double>(stats.calls));
+  }
   return metrics_.to_prometheus();
 }
 

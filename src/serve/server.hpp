@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
 #include "serve/admission.hpp"
 #include "serve/protocol.hpp"
 #include "serve/shard_cache.hpp"
@@ -49,16 +50,22 @@ struct ServeOptions {
   /// On-disk sweep cache directory fronted by the shard cache; empty
   /// disables persistence.
   std::string cache_dir;
-  /// Backoff hint carried by overload responses.
+  /// Floor of the backoff hint carried by overload responses; the live
+  /// hint additionally folds in observed queue-wait times (see
+  /// Server::overload_retry_hint_ms).
   double retry_after_ms = 50.0;
   /// Receive-timeout granularity on accepted sockets: how quickly a worker
   /// blocked on an idle keep-alive connection notices a shutdown.
   int idle_timeout_ms = 200;
+  /// How many finished request trees the trace store retains for
+  /// `trace-dump` (ring; oldest evicted first).
+  std::size_t trace_capacity = 256;
 };
 
 /// One audit entry per served query decision.
 struct ServeAuditEntry {
   std::int64_t sequence = 0;
+  std::string trace_id;  ///< correlates the entry with its request tree
   std::string op;
   std::string app;
   std::string status;  ///< response_status_name of what was sent
@@ -104,26 +111,58 @@ class Server {
 
   const ShardedScenarioCache& cache() const { return *cache_; }
   const AdmissionQueue& queue() const { return *queue_; }
+  /// Finished request span trees (bounded ring; what trace-dump serves).
+  const obs::RequestTraceStore& traces() const { return traces_; }
   /// Decision audit log (bounded; newest entries win).
   std::vector<ServeAuditEntry> audit_log() const;
+
+  /// Copy of the request-latency histogram (exemplars included); the
+  /// serve_loopback bench derives its p50/p95/p99 from this, so the bench
+  /// and the daemon's /metrics agree by construction.
+  obs::Histogram latency_histogram() const;
 
   /// Total query frames answered, by response status (for tests).
   std::int64_t responses_sent(ResponseStatus status) const;
 
  private:
+  /// Trace context of one frame being handled (built per frame by
+  /// serve_connection; the first frame inherits the connection's accept
+  /// context, later keep-alive frames start fresh at frame read).
+  struct FrameTraceInfo {
+    std::string trace_id;
+    /// ms between connection accept and frame-handling start (first frame
+    /// only); shifts the tree's epoch back so [0] is the accept instant.
+    double pre_ms = 0.0;
+    /// Admission queue wait (first frame only).
+    double queue_wait_ms = 0.0;
+    bool first = false;
+  };
+
   void acceptor_loop();
   void worker_loop();
-  void serve_connection(int fd);
+  void serve_connection(const AdmittedConnection& connection,
+                        double queue_wait_ms);
   /// Returns false when the connection should close after this frame.
-  bool handle_query_frame(int fd, const std::string& frame);
+  bool handle_query_frame(int fd, const std::string& frame,
+                          const FrameTraceInfo& info);
   void handle_http(int fd, const std::string& request_line,
                    FrameReader& reader);
-  QueryResponse respond(const QueryRequest& request);
+  QueryResponse respond(const QueryRequest& request,
+                        obs::RequestTraceBuilder& builder);
+  QueryResponse respond_trace_dump(const QueryRequest& request);
   void record_response(const QueryRequest* request, ResponseStatus status,
-                       bool cache_hit, double latency_ms);
+                       bool cache_hit, double latency_ms,
+                       std::string_view trace_id = {});
   void audit(const QueryRequest& request, ResponseStatus status,
-             bool cache_hit);
+             bool cache_hit, const std::string& trace_id);
   void set_queue_depth_gauge();
+  /// Validates and publishes a finished tree; invalid trees are still
+  /// retained (debuggability) but counted in serve_trace_invalid_total.
+  void publish_trace(obs::RequestTree tree);
+  /// Live overload backoff hint: the configured floor, raised by the
+  /// observed queue-wait EMA scaled to the current backlog.
+  double overload_retry_hint_ms();
+  void note_queue_wait(double wait_ms, const std::string& trace_id);
 
   ServeOptions options_;
   int listen_fd_ = -1;
@@ -149,6 +188,11 @@ class Server {
   /// metrics_mutex_. Snapshots serialize under the same lock.
   mutable std::mutex metrics_mutex_;
   obs::MetricsRegistry metrics_;
+  /// EMA of observed queue waits (ms), guarded by metrics_mutex_; input to
+  /// the overload retry_after_ms heuristic.
+  double ema_queue_wait_ms_ = 0.0;
+
+  obs::RequestTraceStore traces_;
   std::atomic<std::int64_t> responses_ok_{0};
   std::atomic<std::int64_t> responses_error_{0};
   std::atomic<std::int64_t> responses_overload_{0};

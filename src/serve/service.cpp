@@ -10,6 +10,7 @@
 #include "apps/triangular.hpp"
 #include "apps/unstable_loop.hpp"
 #include "common/error.hpp"
+#include "obs/observability.hpp"
 #include "sim/gantt.hpp"
 #include "sim/trace_stats.hpp"
 #include "strategies/explain.hpp"
@@ -57,14 +58,21 @@ std::string answer_explain(const QueryRequest& request,
 }
 
 std::string answer_analyze(const QueryRequest& request,
-                           const hw::PlatformSpec& platform) {
+                           const hw::PlatformSpec& platform,
+                           AnswerTrace* trace) {
+  // Observability recording is enabled only when a trace sink was supplied;
+  // either way the run outcome — and therefore the answer bytes — is the
+  // same (recording is passive).
   auto app = make_named_app(request.app, platform, request.small,
-                            /*record_trace=*/true);
+                            /*record_trace=*/true,
+                            /*record_obs=*/trace != nullptr);
   strategies::StrategyRunner runner(*app, options_from(request));
   const strategies::StrategyResult result =
       request.strategy.empty()
           ? runner.run_matched().result
           : runner.run(analyzer::strategy_from_name(request.strategy));
+  if (trace != nullptr && result.report.obs != nullptr)
+    trace->chunk_spans = result.report.obs->spans;
   std::ostringstream os;
   os << "strategy: " << analyzer::strategy_name(result.kind) << "\n";
   os << sim::format_trace_stats(sim::analyze_trace(result.report.trace));
@@ -132,13 +140,18 @@ const std::vector<std::string>& served_ops() {
   return kOps;
 }
 
-std::string answer(const QueryRequest& request) {
+std::string answer(const QueryRequest& request, AnswerTrace* trace) {
   const hw::PlatformSpec platform = hw::platform_by_name(request.platform);
   if (request.op == "match") return answer_match(request, platform);
   if (request.op == "explain") return answer_explain(request, platform);
-  if (request.op == "analyze") return answer_analyze(request, platform);
+  if (request.op == "analyze")
+    return answer_analyze(request, platform, trace);
   throw InvalidArgument("unknown op '" + request.op +
-                        "' (match, explain, analyze, shutdown)");
+                        "' (match, explain, analyze, shutdown, trace-dump)");
+}
+
+std::string answer(const QueryRequest& request) {
+  return answer(request, nullptr);
 }
 
 }  // namespace hetsched::serve

@@ -6,6 +6,7 @@
 
 #include "apps/app.hpp"
 #include "hw/platform.hpp"
+#include "obs/span.hpp"
 #include "serve/protocol.hpp"
 
 /// Request handlers of the matchmaker service.
@@ -32,11 +33,24 @@ const std::vector<std::string>& served_app_names();
 /// Server, not here).
 const std::vector<std::string>& served_ops();
 
+/// Per-answer observability side channel. Recording is passive: an answer
+/// computed with a non-null AnswerTrace is byte-identical to one computed
+/// without (the obs::SpanLog rides on the simulation without touching its
+/// outcome), which keeps the cache-transparency contract intact.
+struct AnswerTrace {
+  /// Chunk-lifecycle spans of the simulation that computed the answer
+  /// (populated for `analyze`; match/explain run no simulation).
+  obs::SpanLog chunk_spans;
+};
+
 /// Computes the offline answer for `request`: exactly the bytes the
 /// equivalent `hetsched_cli match|explain|analyze` invocation writes to
 /// stdout. Deterministic — equal requests produce byte-identical answers,
 /// which is the soundness premise of the daemon's scenario cache. Throws
 /// hetsched::Error on an invalid request (unknown op/app/strategy).
+/// With a non-null `trace`, the run's chunk spans are captured into it
+/// (the answer bytes are unaffected).
+std::string answer(const QueryRequest& request, AnswerTrace* trace);
 std::string answer(const QueryRequest& request);
 
 }  // namespace hetsched::serve

@@ -1,6 +1,7 @@
 #include "serve/shard_cache.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <utility>
 
@@ -23,21 +24,25 @@ std::size_t ShardedScenarioCache::shard_index(const std::string& key) const {
 }
 
 ShardedScenarioCache::Lookup ShardedScenarioCache::get_or_compute(
-    const std::string& key, const ComputeFn& compute) {
+    const std::string& key, const ComputeFn& compute,
+    std::string_view caller_trace) {
   HS_REQUIRE(compute != nullptr, "get_or_compute without a compute function");
   Shard& shard = *shards_[shard_index(key)];
 
   std::shared_future<ValuePtr> flight;
+  std::string leader_trace;
   std::promise<ValuePtr> promise;
   bool owner = false;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
-      flight = it->second;
+      flight = it->second.future;
+      leader_trace = it->second.owner_trace;
     } else {
       flight = promise.get_future().share();
-      shard.entries.emplace(key, flight);
+      shard.entries.emplace(key,
+                            Flight{flight, std::string(caller_trace)});
       owner = true;
     }
   }
@@ -45,6 +50,13 @@ ShardedScenarioCache::Lookup ShardedScenarioCache::get_or_compute(
   if (!owner) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     Lookup lookup;
+    // A flight that is not ready yet means this lookup joins a live
+    // computation (and will block on the leader); a ready one is a plain
+    // in-memory hit. Sampled before the blocking get so the distinction
+    // lands in the request tree.
+    lookup.joined_flight = flight.wait_for(std::chrono::seconds(0)) !=
+                           std::future_status::ready;
+    lookup.leader_trace_id = std::move(leader_trace);
     lookup.value = flight.get();  // rethrows the owner's exception, if any
     lookup.hit = true;
     return lookup;

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -60,6 +61,13 @@ class ShardedScenarioCache {
     bool hit = false;
     /// True when the owning lookup loaded the value from the disk store.
     bool disk_hit = false;
+    /// True when this lookup blocked on a computation still in flight
+    /// (single-flight join) rather than reading a completed entry.
+    bool joined_flight = false;
+    /// Trace id of the request that owns/owned the computation (empty for
+    /// owner lookups and entries whose owner recorded none). A joiner's
+    /// request tree parents its wait under this leader.
+    std::string leader_trace_id;
   };
 
   /// `disk` may be null (pure in-memory cache); when set it must outlive
@@ -74,7 +82,10 @@ class ShardedScenarioCache {
   /// per key across all threads (single-flight). A compute that throws is
   /// propagated to every waiter of that flight and the entry is removed,
   /// so a later request retries instead of caching the failure.
-  Lookup get_or_compute(const std::string& key, const ComputeFn& compute);
+  /// `caller_trace` (optional) is recorded as the flight's leader so
+  /// joiners can parent their wait to the owning request's trace.
+  Lookup get_or_compute(const std::string& key, const ComputeFn& compute,
+                        std::string_view caller_trace = {});
 
   /// Writes every entry computed in memory since the last flush to the
   /// disk store (no-op without one). Returns the number written.
@@ -88,9 +99,15 @@ class ShardedScenarioCache {
   ShardCacheCounters counters() const;
 
  private:
+  struct Flight {
+    std::shared_future<ValuePtr> future;
+    /// Trace id of the request that created (owns) this entry.
+    std::string owner_trace;
+  };
+
   struct Shard {
     std::mutex mutex;
-    std::unordered_map<std::string, std::shared_future<ValuePtr>> entries;
+    std::unordered_map<std::string, Flight> entries;
     /// Keys whose value was computed here (not disk-loaded) and not yet
     /// flushed, paired with the computed value so flush() needs no future.
     std::vector<std::pair<std::string, ValuePtr>> dirty;

@@ -5,6 +5,7 @@
 #include "analyzer/strategy.hpp"
 #include "apps/registry.hpp"
 #include "common/json.hpp"
+#include "obs/phase_profiler.hpp"
 #include "sweep/cache.hpp"
 #include "sweep/scenario.hpp"
 
@@ -138,6 +139,11 @@ std::string bench_to_json(const BenchResult& result,
   document.set("bench", json::Value("sweep"));
   document.set("workload", std::move(workload));
   document.set("phases", std::move(phases));
+  // Wall-clock attribution across the pipeline stages the run exercised
+  // (sweep-scenario, sim-event-loop, partition-solve, and — when the serve
+  // phase ran in this process — the serving stages). Timing data, so the
+  // values vary run to run; the stage set does not.
+  document.set("phase_profile", obs::phase_profiler().to_json());
   return document.dump();
 }
 

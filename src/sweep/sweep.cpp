@@ -11,6 +11,7 @@
 #include "faults/fault_plan.hpp"
 #include "hw/platform.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase_profiler.hpp"
 #include "obs/validate.hpp"
 #include "runtime/thread_pool.hpp"
 #include "strategies/strategy_runner.hpp"
@@ -169,6 +170,7 @@ ScenarioOutcome SweepEngine::compute(const Scenario& scenario) const {
 
 ScenarioOutcome SweepEngine::compute_scenario(const Scenario& scenario,
                                               ScenarioMemo* memo) const {
+  const obs::ScopedPhase profile_phase(obs::kPhaseSweepScenario);
   ScenarioOutcome outcome;
   outcome.scenario = scenario;
   const Clock::time_point start = Clock::now();

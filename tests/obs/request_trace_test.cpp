@@ -1,0 +1,177 @@
+#include "obs/request_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "obs/validate.hpp"
+
+namespace hetsched::obs {
+namespace {
+
+bool is_hex16(const std::string& id) {
+  if (id.size() != 16) return false;
+  for (char c : id) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+TEST(TraceIdTest, MintedIdsAreUniqueLowercaseHex) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string id = mint_trace_id();
+    EXPECT_TRUE(is_hex16(id)) << id;
+    EXPECT_TRUE(seen.insert(id).second) << "collision: " << id;
+  }
+}
+
+/// Assembles the span tree a served cache-miss request produces.
+RequestTree miss_tree() {
+  RequestTraceBuilder builder("00000000deadbeef", "", /*pre_ms=*/2.0);
+  builder.add_span(kStageQueue, 0.0, 2.0);
+  const std::uint64_t handle = builder.open(kStageHandle);
+  const std::uint64_t parse = builder.open(kStageParse, handle);
+  builder.close(parse);
+  builder.close(handle);
+  const std::uint64_t cache = builder.open(kStageCache);
+  const std::uint64_t compute = builder.open(kStageCompute, cache);
+  builder.close(compute);
+  builder.close(cache);
+  const std::uint64_t write = builder.open(kStageWrite);
+  builder.close(write);
+  builder.set_request("analyze", "matrixmul");
+  builder.set_outcome("ok", /*cache_hit=*/false);
+  return builder.finish();
+}
+
+TEST(RequestTraceBuilderTest, MissTreePassesTheValidator) {
+  const RequestTree tree = miss_tree();
+  EXPECT_EQ(tree.trace_id, "00000000deadbeef");
+  EXPECT_EQ(tree.op, "analyze");
+  EXPECT_EQ(tree.app, "matrixmul");
+  EXPECT_EQ(tree.status, "ok");
+  EXPECT_FALSE(tree.cache_hit);
+  EXPECT_GT(tree.latency_ms, 0.0);
+  EXPECT_TRUE(validate_request_tree(tree).empty())
+      << validate_request_tree(tree).front();
+}
+
+TEST(RequestTraceBuilderTest, PreMsShiftsTheEpochBack) {
+  RequestTraceBuilder builder(mint_trace_id(), "", /*pre_ms=*/50.0);
+  // The builder was constructed "now" but the tree dates from 50 ms ago,
+  // so the queue-wait span [0, 50] fits inside the root.
+  EXPECT_GE(builder.now_ms(), 50.0);
+}
+
+TEST(RequestTraceBuilderTest, FinishClosesStragglers) {
+  RequestTraceBuilder builder(mint_trace_id());
+  builder.add_span(kStageQueue, 0.0, 0.0);
+  builder.open(kStageHandle);  // never closed
+  const RequestTree tree = builder.finish();
+  for (const RequestSpan& span : tree.spans) {
+    EXPECT_GE(span.end_ms, span.start_ms) << span.stage;
+  }
+  EXPECT_TRUE(validate_request_tree(tree).empty());
+}
+
+TEST(RequestTraceValidatorTest, FlagsMissingQueueSpan) {
+  RequestTraceBuilder builder(mint_trace_id());
+  builder.set_outcome("ok", false);
+  const RequestTree tree = builder.finish();
+  const std::vector<std::string> problems = validate_request_tree(tree);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("queue"), std::string::npos);
+}
+
+TEST(RequestTraceValidatorTest, FlagsSpanOutlivingTheRequest) {
+  RequestTree tree = miss_tree();
+  RequestSpan late;
+  late.id = 99;
+  late.parent = tree.spans.front().id;
+  late.stage = std::string(kStageWrite);
+  late.start_ms = 0.0;
+  late.end_ms = tree.latency_ms + 1000.0;  // dangles past response write
+  tree.spans.push_back(late);
+  const std::vector<std::string> problems = validate_request_tree(tree);
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(RequestTraceValidatorTest, FlagsDanglingParentLink) {
+  RequestTree tree = miss_tree();
+  RequestSpan orphan;
+  orphan.id = 98;
+  orphan.parent = 12345;  // no such span
+  orphan.stage = std::string(kStageParse);
+  tree.spans.push_back(orphan);
+  const std::vector<std::string> problems = validate_request_tree(tree);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("dangling"), std::string::npos);
+}
+
+TEST(RequestTraceValidatorTest, CacheHitMustNotCompute) {
+  RequestTree tree = miss_tree();
+  tree.cache_hit = true;  // but the tree still contains a compute span
+  const std::vector<std::string> problems = validate_request_tree(tree);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("compute"), std::string::npos);
+}
+
+TEST(RequestTraceValidatorTest, FlightJoinerMustNameItsLeader) {
+  RequestTraceBuilder builder(mint_trace_id());
+  builder.add_span(kStageQueue, 0.0, 0.0);
+  const std::uint64_t cache = builder.open(kStageCache);
+  builder.add_span(kStageFlightJoin, 0.0, 0.1, cache);  // no leader= detail
+  builder.close(cache);
+  builder.set_outcome("ok", /*cache_hit=*/true);
+  const RequestTree tree = builder.finish();
+  const std::vector<std::string> problems = validate_request_tree(tree);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("leader"), std::string::npos);
+}
+
+TEST(RequestTraceValidatorTest, AcceptsFlightJoinWithLeader) {
+  RequestTraceBuilder builder(mint_trace_id());
+  builder.add_span(kStageQueue, 0.0, 0.0);
+  const std::uint64_t cache = builder.open(kStageCache);
+  builder.add_span(kStageFlightJoin, 0.0, 0.1, cache,
+                   "leader=00000000deadbeef");
+  builder.close(cache);
+  builder.set_outcome("ok", /*cache_hit=*/true);
+  EXPECT_TRUE(validate_request_tree(builder.finish()).empty());
+}
+
+TEST(RequestTraceStoreTest, RingEvictsOldestAndFindsByTraceId) {
+  RequestTraceStore store(2);
+  for (const char* id : {"aaaaaaaaaaaaaaaa", "bbbbbbbbbbbbbbbb",
+                         "cccccccccccccccc"}) {
+    RequestTraceBuilder builder(id);
+    builder.add_span(kStageQueue, 0.0, 0.0);
+    store.publish(builder.finish());
+  }
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.published(), 3u);
+  EXPECT_FALSE(store.find("aaaaaaaaaaaaaaaa").has_value()) << "evicted";
+  EXPECT_TRUE(store.find("bbbbbbbbbbbbbbbb").has_value());
+  ASSERT_TRUE(store.latest().has_value());
+  EXPECT_EQ(store.latest()->trace_id, "cccccccccccccccc");
+}
+
+TEST(RequestTreeJsonTest, CarriesEveryStageAndSummaryField) {
+  const std::string dumped = miss_tree().to_json().dump();
+  EXPECT_NE(dumped.find("\"trace_id\""), std::string::npos);
+  EXPECT_NE(dumped.find("00000000deadbeef"), std::string::npos);
+  EXPECT_NE(dumped.find("\"spans\""), std::string::npos);
+  for (std::string_view stage :
+       {kStageRequest, kStageQueue, kStageHandle, kStageParse, kStageCache,
+        kStageCompute, kStageWrite}) {
+    EXPECT_NE(dumped.find("\"" + std::string(stage) + "\""),
+              std::string::npos)
+        << stage;
+  }
+}
+
+}  // namespace
+}  // namespace hetsched::obs

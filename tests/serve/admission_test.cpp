@@ -11,31 +11,60 @@
 namespace hetsched::serve {
 namespace {
 
+/// Connections in these tests are synthetic: the queue never touches the
+/// fd, so a bare number (plus a recognizable trace id) is enough.
+AdmittedConnection conn(int fd) {
+  AdmittedConnection connection;
+  connection.fd = fd;
+  connection.trace_id = "trace-" + std::to_string(fd);
+  connection.accepted_at = std::chrono::steady_clock::now();
+  return connection;
+}
+
+int popped_fd(const std::optional<AdmittedConnection>& connection) {
+  return connection ? connection->fd : -1;
+}
+
 TEST(AdmissionQueueTest, FifoWithinCapacity) {
   AdmissionQueue queue(3);
-  EXPECT_TRUE(queue.try_push(10));
-  EXPECT_TRUE(queue.try_push(11));
-  EXPECT_TRUE(queue.try_push(12));
+  EXPECT_TRUE(queue.try_push(conn(10)));
+  EXPECT_TRUE(queue.try_push(conn(11)));
+  EXPECT_TRUE(queue.try_push(conn(12)));
   EXPECT_EQ(queue.depth(), 3u);
-  EXPECT_EQ(queue.pop(), std::optional<int>(10));
-  EXPECT_EQ(queue.pop(), std::optional<int>(11));
-  EXPECT_EQ(queue.pop(), std::optional<int>(12));
+  EXPECT_EQ(popped_fd(queue.pop()), 10);
+  EXPECT_EQ(popped_fd(queue.pop()), 11);
+  EXPECT_EQ(popped_fd(queue.pop()), 12);
   EXPECT_EQ(queue.admitted(), 3);
   EXPECT_EQ(queue.rejected(), 0);
 }
 
+TEST(AdmissionQueueTest, CarriesTraceContextAcrossTheHandOff) {
+  AdmissionQueue queue(2);
+  const std::chrono::steady_clock::time_point before =
+      std::chrono::steady_clock::now();
+  EXPECT_TRUE(queue.try_push(conn(5)));
+  const std::optional<AdmittedConnection> picked = queue.pop();
+  ASSERT_TRUE(picked.has_value());
+  // The worker derives the explicit queue-wait observation from exactly
+  // these two fields; losing either in the hand-off would silently zero
+  // serve_queue_wait_ms.
+  EXPECT_EQ(picked->trace_id, "trace-5");
+  EXPECT_GE(picked->accepted_at, before);
+  EXPECT_LE(picked->accepted_at, std::chrono::steady_clock::now());
+}
+
 TEST(AdmissionQueueTest, BoundIsHardAndCountsRejections) {
   AdmissionQueue queue(2);
-  EXPECT_TRUE(queue.try_push(1));
-  EXPECT_TRUE(queue.try_push(2));
-  EXPECT_FALSE(queue.try_push(3)) << "capacity is a hard bound";
-  EXPECT_FALSE(queue.try_push(4));
+  EXPECT_TRUE(queue.try_push(conn(1)));
+  EXPECT_TRUE(queue.try_push(conn(2)));
+  EXPECT_FALSE(queue.try_push(conn(3))) << "capacity is a hard bound";
+  EXPECT_FALSE(queue.try_push(conn(4)));
   EXPECT_EQ(queue.depth(), 2u);
   EXPECT_EQ(queue.max_depth_seen(), 2u);
   EXPECT_EQ(queue.rejected(), 2);
   // Popping frees a slot; admission resumes.
   EXPECT_TRUE(queue.pop().has_value());
-  EXPECT_TRUE(queue.try_push(5));
+  EXPECT_TRUE(queue.try_push(conn(5)));
 }
 
 TEST(AdmissionQueueTest, ZeroCapacityIsRejected) {
@@ -44,13 +73,13 @@ TEST(AdmissionQueueTest, ZeroCapacityIsRejected) {
 
 TEST(AdmissionQueueTest, CloseDrainsPendingThenReturnsNullopt) {
   AdmissionQueue queue(4);
-  EXPECT_TRUE(queue.try_push(7));
-  EXPECT_TRUE(queue.try_push(8));
+  EXPECT_TRUE(queue.try_push(conn(7)));
+  EXPECT_TRUE(queue.try_push(conn(8)));
   queue.close();
-  EXPECT_FALSE(queue.try_push(9)) << "closed queue admits nothing";
+  EXPECT_FALSE(queue.try_push(conn(9))) << "closed queue admits nothing";
   // Graceful shutdown contract: what was admitted is still served.
-  EXPECT_EQ(queue.pop(), std::optional<int>(7));
-  EXPECT_EQ(queue.pop(), std::optional<int>(8));
+  EXPECT_EQ(popped_fd(queue.pop()), 7);
+  EXPECT_EQ(popped_fd(queue.pop()), 8);
   EXPECT_EQ(queue.pop(), std::nullopt);
   EXPECT_EQ(queue.pop(), std::nullopt) << "stays drained";
 }
@@ -91,7 +120,7 @@ TEST(AdmissionQueueTest, ConcurrentPushPopLosesNothing) {
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&, p] {
       for (int i = 0; i < kPerProducer; ++i) {
-        if (queue.try_push(p * kPerProducer + i)) {
+        if (queue.try_push(conn(p * kPerProducer + i))) {
           admitted.fetch_add(1);
         } else {
           rejected.fetch_add(1);

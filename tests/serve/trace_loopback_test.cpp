@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/json.hpp"
+#include "obs/request_trace.hpp"
+#include "obs/validate.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+/// End-to-end request tracing acceptance: one loopback query produces one
+/// complete, validated span tree — queue wait, handling, cache lookup,
+/// compute (with the simulation's chunk spans attached), response write —
+/// retrievable both in-process (Server::traces) and over the wire via a
+/// `trace-dump` frame; /metrics links latency buckets to the same trace ids
+/// through OpenMetrics exemplars.
+namespace hetsched::serve {
+namespace {
+
+/// The worker publishes the finished tree AFTER writing the response (the
+/// response-write span belongs inside the tree), so a client that just read
+/// its answer can beat the publish by a few microseconds. Bounded wait.
+bool wait_for_published(const Server& server, std::uint64_t count) {
+  for (int i = 0; i < 2000; ++i) {
+    if (server.traces().published() >= count) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+int count_stage(const obs::RequestTree& tree, std::string_view stage) {
+  return static_cast<int>(
+      std::count_if(tree.spans.begin(), tree.spans.end(),
+                    [stage](const obs::RequestSpan& span) {
+                      return span.stage == stage;
+                    }));
+}
+
+TEST(TraceLoopbackTest, OneQueryYieldsOneValidatedEndToEndTree) {
+  ServeOptions options;
+  options.workers = 2;
+  Server server(options);
+  server.start();
+
+  QueryRequest request;
+  request.op = "analyze";
+  request.app = "matrixmul";
+  request.small = true;
+
+  QueryClient client("127.0.0.1", server.port());
+  const QueryResponse response = client.ask(request);
+  ASSERT_EQ(response.status, ResponseStatus::kOk);
+  ASSERT_EQ(response.trace_id.size(), 16u)
+      << "every response names its request's trace";
+
+  ASSERT_TRUE(wait_for_published(server, 1));
+  const std::optional<obs::RequestTree> tree =
+      server.traces().find(response.trace_id);
+  ASSERT_TRUE(tree.has_value()) << "finished tree must be retained";
+
+  // The whole life of the request, as spans: accepted, queued, handled
+  // (with the frame parse inside), cache-missed into a compute, written.
+  EXPECT_EQ(tree->op, "analyze");
+  EXPECT_EQ(tree->app, "matrixmul");
+  EXPECT_EQ(tree->status, "ok");
+  EXPECT_FALSE(tree->cache_hit);
+  EXPECT_GT(tree->latency_ms, 0.0);
+  EXPECT_EQ(count_stage(*tree, obs::kStageRequest), 1);
+  EXPECT_EQ(count_stage(*tree, obs::kStageQueue), 1);
+  EXPECT_EQ(count_stage(*tree, obs::kStageHandle), 1);
+  EXPECT_EQ(count_stage(*tree, obs::kStageParse), 1);
+  EXPECT_EQ(count_stage(*tree, obs::kStageCache), 1);
+  EXPECT_EQ(count_stage(*tree, obs::kStageCompute), 1);
+  EXPECT_EQ(count_stage(*tree, obs::kStageWrite), 1);
+  // The analyze answer ran a simulation; its chunk-lifecycle spans ride
+  // under the compute span, so a slow answer decomposes end to end.
+  EXPECT_FALSE(tree->chunk_spans.spans().empty());
+
+  const std::vector<std::string> problems =
+      obs::validate_request_tree(*tree);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+
+  server.request_shutdown();
+  server.wait();
+}
+
+TEST(TraceLoopbackTest, CacheHitRepeatHasCacheHitSpanAndNoCompute) {
+  ServeOptions options;
+  options.workers = 2;
+  Server server(options);
+  server.start();
+
+  QueryRequest request;
+  request.op = "analyze";
+  request.app = "nbody";
+  request.small = true;
+
+  QueryClient client("127.0.0.1", server.port());
+  const QueryResponse first = client.ask(request);
+  const QueryResponse second = client.ask(request);
+  ASSERT_EQ(first.status, ResponseStatus::kOk);
+  ASSERT_EQ(second.status, ResponseStatus::kOk);
+  ASSERT_TRUE(second.cache_hit);
+  EXPECT_NE(first.trace_id, second.trace_id)
+      << "keep-alive frames are distinct requests with distinct traces";
+
+  ASSERT_TRUE(wait_for_published(server, 2));
+  const std::optional<obs::RequestTree> tree =
+      server.traces().find(second.trace_id);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_TRUE(tree->cache_hit);
+  EXPECT_EQ(count_stage(*tree, obs::kStageCacheHit), 1);
+  EXPECT_EQ(count_stage(*tree, obs::kStageCompute), 0)
+      << "a hit serves stored bytes; computing would break transparency";
+  EXPECT_TRUE(tree->chunk_spans.spans().empty());
+  const std::vector<std::string> problems =
+      obs::validate_request_tree(*tree);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+
+  server.request_shutdown();
+  server.wait();
+}
+
+TEST(TraceLoopbackTest, TraceDumpFrameReturnsTheTreeOverTheWire) {
+  ServeOptions options;
+  options.workers = 2;
+  Server server(options);
+  server.start();
+
+  QueryRequest request;
+  request.op = "match";
+  request.app = "hotspot";
+  request.small = true;
+
+  QueryClient client("127.0.0.1", server.port());
+  const QueryResponse answer = client.ask(request);
+  ASSERT_EQ(answer.status, ResponseStatus::kOk);
+
+  // Dump by explicit id.
+  QueryRequest dump;
+  dump.op = "trace-dump";
+  dump.trace = answer.trace_id;
+  const QueryResponse dumped = client.ask(dump);
+  ASSERT_EQ(dumped.status, ResponseStatus::kOk);
+  EXPECT_EQ(dumped.trace_id, answer.trace_id);
+  const json::Value tree = json::Value::parse(dumped.output);
+  EXPECT_EQ(tree.at("trace_id").as_string(), answer.trace_id);
+  EXPECT_EQ(tree.at("op").as_string(), "match");
+  EXPECT_FALSE(tree.at("spans").as_array().empty());
+
+  // Dump without an id: the most recent tree. The trace-dump frame itself
+  // is administrative — it must not have become "latest".
+  QueryRequest latest;
+  latest.op = "trace-dump";
+  const QueryResponse most_recent = client.ask(latest);
+  ASSERT_EQ(most_recent.status, ResponseStatus::kOk);
+  EXPECT_EQ(json::Value::parse(most_recent.output).at("trace_id").as_string(),
+            answer.trace_id);
+
+  // An unknown id is a refused query, not a crash or an empty document.
+  QueryRequest unknown;
+  unknown.op = "trace-dump";
+  unknown.trace = "ffffffffffffffff";
+  const QueryResponse missing = client.ask(unknown);
+  EXPECT_EQ(missing.status, ResponseStatus::kError);
+  EXPECT_NE(missing.error.find("not retained"), std::string::npos);
+
+  server.request_shutdown();
+  server.wait();
+}
+
+TEST(TraceLoopbackTest, MetricsCarryExemplarsQueueWaitAndPhaseGauges) {
+  ServeOptions options;
+  options.workers = 2;
+  Server server(options);
+  server.start();
+
+  QueryRequest request;
+  request.op = "explain";
+  request.app = "stream-seq";
+  request.small = true;
+  const QueryResponse response =
+      query_once("127.0.0.1", server.port(), request);
+  ASSERT_EQ(response.status, ResponseStatus::kOk);
+  ASSERT_TRUE(wait_for_published(server, 1));
+
+  const HttpResult scrape = http_get("127.0.0.1", server.port(), "/metrics");
+  ASSERT_EQ(scrape.status_code, 200);
+  // Exemplars carry REAL trace ids: the latency bucket the request landed
+  // in links to exactly the tree trace-dump serves.
+  EXPECT_NE(scrape.body.find("# {trace_id=\"" + response.trace_id + "\"}"),
+            std::string::npos)
+      << scrape.body;
+  // Explicit queue-wait series, observed at worker pickup.
+  EXPECT_NE(scrape.body.find("hs_serve_queue_wait_ms_count"),
+            std::string::npos);
+  // The always-on phase profiler: serving stages appear as gauges.
+  EXPECT_NE(scrape.body.find("hs_phase_total_ms{stage=\"cache\"}"),
+            std::string::npos);
+  EXPECT_NE(scrape.body.find("hs_phase_calls_total{stage=\"serialize\"}"),
+            std::string::npos);
+  // Trace accounting: published, none invalid.
+  EXPECT_NE(scrape.body.find("hs_serve_traces_published_total 1"),
+            std::string::npos);
+  EXPECT_EQ(scrape.body.find("hs_serve_trace_invalid_total 1"),
+            std::string::npos);
+
+  server.request_shutdown();
+  server.wait();
+
+  // The final shutdown snapshot retains the phase profile.
+  EXPECT_NE(server.final_snapshot().find("hs_phase_total_ms"),
+            std::string::npos);
+}
+
+TEST(TraceLoopbackTest, TraceStoreRingHonorsConfiguredCapacity) {
+  ServeOptions options;
+  options.workers = 2;
+  options.trace_capacity = 2;
+  Server server(options);
+  server.start();
+
+  QueryClient client("127.0.0.1", server.port());
+  std::vector<std::string> ids;
+  for (const char* app : {"matrixmul", "nbody", "hotspot"}) {
+    QueryRequest request;
+    request.op = "match";
+    request.app = app;
+    request.small = true;
+    const QueryResponse response = client.ask(request);
+    ASSERT_EQ(response.status, ResponseStatus::kOk);
+    ids.push_back(response.trace_id);
+  }
+  ASSERT_TRUE(wait_for_published(server, 3));
+  EXPECT_EQ(server.traces().size(), 2u);
+  EXPECT_EQ(server.traces().published(), 3u);
+  EXPECT_FALSE(server.traces().find(ids[0]).has_value()) << "oldest evicted";
+  EXPECT_TRUE(server.traces().find(ids[2]).has_value());
+
+  server.request_shutdown();
+  server.wait();
+}
+
+}  // namespace
+}  // namespace hetsched::serve

@@ -46,16 +46,22 @@
 ///   hetsched_cli serve   [--port P] [--host H] [--workers N]
 ///                        [--max-queue N] [--shards N] [--cache-dir <dir>]
 ///                        [--announce-port] [--metrics-out <file>]
+///                        [--trace-capacity N] [--log-format text|json]
+///                        [--log-level debug|info|warn|error|off]
 ///                        # matchmaker daemon: newline-delimited JSON
 ///                        # frames over TCP + GET /metrics on the same
-///                        # port; SIGINT/SIGTERM drain gracefully
+///                        # port; SIGINT/SIGTERM drain gracefully. Every
+///                        # request is traced end to end; trace-dump
+///                        # frames retrieve the span trees
 ///   hetsched_cli query   --port P | --port-stdin [--op match|explain|
 ///                        analyze] [--app <name>] [--strategy <s>]
 ///                        [--platform <p>] [--sync] [--small] [--tasks <m>]
-///                        [--gantt] [--json] [--then-shutdown]
+///                        [--gantt] [--json] [--then-shutdown] [--trace]
 ///                        # one query against a running daemon; prints the
 ///                        # byte-identical offline answer. exit 0 ok,
-///                        # 1 error, 5 overload/draining, 6 unreachable
+///                        # 1 error, 5 overload/draining, 6 unreachable.
+///                        # --trace fetches the request's span tree via a
+///                        # trace-dump frame and prints it to stderr
 ///
 /// The usage string main() prints is generated from the same verb table
 /// that dispatches commands, so it cannot drift from what actually runs.
@@ -77,7 +83,9 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "faults/fault_plan.hpp"
+#include "common/logging.hpp"
 #include "hw/platform.hpp"
+#include "obs/log.hpp"
 #include "obs/observability.hpp"
 #include "serve/client.hpp"
 #include "serve/serve_bench.hpp"
@@ -765,6 +773,16 @@ volatile std::sig_atomic_t g_signal_received = 0;
 
 void handle_signal(int) { g_signal_received = 1; }
 
+log::Level log_level_from_name(const std::string& name) {
+  if (name == "debug") return log::Level::kDebug;
+  if (name == "info") return log::Level::kInfo;
+  if (name == "warn") return log::Level::kWarn;
+  if (name == "error") return log::Level::kError;
+  if (name == "off") return log::Level::kOff;
+  throw InvalidArgument("unknown log level '" + name +
+                        "' (debug, info, warn, error, off)");
+}
+
 int cmd_serve(const Args& args) {
   serve::ServeOptions options;
   if (args.flag("port")) options.port = std::stoi(args.get("port"));
@@ -775,6 +793,20 @@ int cmd_serve(const Args& args) {
     options.max_queue = std::stoul(args.get("max-queue"));
   if (args.flag("shards")) options.shards = std::stoul(args.get("shards"));
   options.cache_dir = args.get("cache-dir");
+  if (args.flag("trace-capacity"))
+    options.trace_capacity = std::stoul(args.get("trace-capacity"));
+
+  // Structured daemon logging: text lines by default, JSON lines for log
+  // shippers; every request line carries its trace_id either way.
+  const std::string log_format = args.get("log-format", "text");
+  if (log_format == "json") {
+    obs::set_log_format(obs::LogFormat::kJson);
+  } else if (log_format != "text") {
+    throw InvalidArgument("unknown --log-format '" + log_format +
+                          "' (text, json)");
+  }
+  if (args.flag("log-level"))
+    log::set_level(log_level_from_name(args.get("log-level")));
 
   // A network daemon must survive a peer (or its own stdout pipe)
   // vanishing mid-write; sockets use MSG_NOSIGNAL, stdout needs this.
@@ -840,6 +872,20 @@ int cmd_query(const Args& args) {
     switch (response.status) {
       case serve::ResponseStatus::kOk:
         std::cout << response.output;
+        if (args.flag("trace")) {
+          // Fetch this request's span tree over the same connection. It
+          // goes to stderr so stdout stays byte-identical to the untraced
+          // invocation (the protocol's offline-equivalence contract).
+          serve::QueryRequest dump;
+          dump.op = "trace-dump";
+          dump.trace = response.trace_id;
+          const serve::QueryResponse tree = client.ask(dump);
+          if (tree.status == serve::ResponseStatus::kOk) {
+            std::cerr << tree.output;
+          } else {
+            std::cerr << "trace-dump failed: " << tree.error << "\n";
+          }
+        }
         break;
       case serve::ResponseStatus::kError:
         std::cerr << "error: " << response.error << "\n";
