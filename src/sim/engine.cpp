@@ -19,10 +19,7 @@ void Engine::fire(Event event) {
 }
 
 Engine::Event Engine::pop_next() {
-  // priority_queue::top() is const&; const_cast is the standard idiom for
-  // moving out of it just before pop (the element is discarded either way).
-  Event event = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  Event event = queue_.pop_top();
   if (!tie_breaker_ || queue_.empty() || queue_.top().at != event.at)
     return event;
   // Equal-timestamp cohort: the heap pops it in canonical (seq) order, so
@@ -32,8 +29,7 @@ Engine::Event Engine::pop_next() {
   std::vector<Event> cohort;
   cohort.push_back(std::move(event));
   while (!queue_.empty() && queue_.top().at == cohort.front().at) {
-    cohort.push_back(std::move(const_cast<Event&>(queue_.top())));
-    queue_.pop();
+    cohort.push_back(queue_.pop_top());
   }
   std::size_t pick = tie_breaker_(cohort.size());
   if (pick >= cohort.size()) pick = 0;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -81,9 +82,19 @@ class Engine {
     }
   };
   /// priority_queue with access to the protected backing container, so the
-  /// engine can reserve capacity up front.
+  /// engine can reserve capacity up front and pop by moving the element out
+  /// (std::priority_queue::top() is const&, and moving from it through a
+  /// const_cast is UB-adjacent; going through the container is not).
   struct EventQueue : std::priority_queue<Event, std::vector<Event>, Later> {
     void reserve(std::size_t capacity) { c.reserve(capacity); }
+    /// Removes and returns the minimal element (what top()+pop() would
+    /// discard), moved out of the heap instead of copied.
+    Event pop_top() {
+      std::pop_heap(c.begin(), c.end(), comp);
+      Event event = std::move(c.back());
+      c.pop_back();
+      return event;
+    }
   };
 
   void fire(Event event);
