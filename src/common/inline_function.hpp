@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hetsched {
+
+/// Move-only callable wrapper with fixed inline storage and no heap
+/// fallback. Unlike std::function, constructing one never allocates: the
+/// callable is placement-new'd into an embedded buffer, and callables
+/// larger than `InlineBytes` are rejected at compile time. Trivially
+/// copyable callables (e.g. lambdas capturing pointers and scalars) are
+/// relocated with memcpy, so moving a heap of these is cheap.
+///
+/// This exists for the simulation engine's event queue, where a
+/// std::function per event made the allocator the hottest function in the
+/// simulator. Only the features the engine needs are implemented: move,
+/// invoke, and null checks.
+template <typename Signature, std::size_t InlineBytes = 64>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(runtime/explicit)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& f) {  // NOLINT(runtime/explicit)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= InlineBytes,
+                  "callable exceeds InlineFunction's inline storage; "
+                  "shrink the capture list or raise InlineBytes");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "callable is over-aligned for InlineFunction storage");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callable must be nothrow-move-constructible (moves "
+                  "happen during heap sifts)");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = &kOps<Fn>;
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { reset(); }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  friend bool operator==(const InlineFunction& f, std::nullptr_t) {
+    return f.ops_ == nullptr;
+  }
+  friend bool operator!=(const InlineFunction& f, std::nullptr_t) {
+    return f.ops_ != nullptr;
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    /// Move-construct into dst from src and destroy src. Null means the
+    /// callable is trivially copyable: relocate with memcpy, skip destroy.
+    void (*relocate)(void*, void*);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr bool kTrivial = std::is_trivially_copyable_v<Fn> &&
+                                   std::is_trivially_destructible_v<Fn>;
+
+  template <typename Fn>
+  static R invoke_impl(void* s, Args&&... args) {
+    return (*static_cast<Fn*>(s))(std::forward<Args>(args)...);
+  }
+  template <typename Fn>
+  static void relocate_impl(void* dst, void* src) {
+    Fn* from = static_cast<Fn*>(src);
+    ::new (dst) Fn(std::move(*from));
+    from->~Fn();
+  }
+  template <typename Fn>
+  static void destroy_impl(void* s) {
+    static_cast<Fn*>(s)->~Fn();
+  }
+
+  template <typename Fn>
+  static constexpr Ops kOps = {
+      &invoke_impl<Fn>,
+      kTrivial<Fn> ? nullptr : &relocate_impl<Fn>,
+      kTrivial<Fn> ? nullptr : &destroy_impl<Fn>,
+  };
+
+  void move_from(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ == nullptr) return;
+    if (ops_->relocate != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+    } else {
+      std::memcpy(storage_, other.storage_, InlineBytes);
+    }
+    other.ops_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr && ops_->destroy != nullptr) ops_->destroy(storage_);
+    ops_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hetsched

@@ -60,15 +60,24 @@ class RangeMap {
   /// All (sub-range, value) pieces overlapping `range`, in order.
   std::vector<Entry> query(Interval range) const {
     std::vector<Entry> result;
-    if (range.empty() || spans_.empty()) return result;
+    for_each_overlapping(range, [&result](Interval piece, const T& value) {
+      result.push_back({piece, value});
+    });
+    return result;
+  }
+
+  /// Visits every (sub-range, value) piece overlapping `range`, in order —
+  /// the allocation-free form of query() for hot paths.
+  template <typename Fn>
+  void for_each_overlapping(Interval range, Fn&& fn) const {
+    if (range.empty() || spans_.empty()) return;
     auto it = spans_.upper_bound(range.begin);
     if (it != spans_.begin()) --it;
     for (; it != spans_.end() && it->first < range.end; ++it) {
       const Interval piece =
           intersect({it->first, it->second.end}, range);
-      if (!piece.empty()) result.push_back({piece, it->second.value});
+      if (!piece.empty()) fn(piece, it->second.value);
     }
-    return result;
   }
 
   /// Distinct values overlapping `range` (order of first appearance).

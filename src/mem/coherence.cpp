@@ -72,11 +72,18 @@ std::vector<Interval> CoherenceDirectory::gaps_in_space(const Region& region,
 
 std::vector<TransferOp> CoherenceDirectory::plan_acquire(const Region& region,
                                                          SpaceId space) const {
+  std::vector<TransferOp> plan;
+  plan_acquire(region, space, plan);
+  return plan;
+}
+
+void CoherenceDirectory::plan_acquire(const Region& region, SpaceId space,
+                                      std::vector<TransferOp>& plan) const {
   HS_REQUIRE(space < space_count_, "unknown space " << space);
   const BufferState& st = state(region.buffer);
   require_in_bounds(st.desc, region);
 
-  std::vector<TransferOp> plan;
+  plan.clear();
   for (const Interval& gap : st.valid[space].gaps_within(region.range)) {
     // Source each gap from valid holders, host first (cheapest path and the
     // common case: host always regains validity at sync points).
@@ -99,7 +106,6 @@ std::vector<TransferOp> CoherenceDirectory::plan_acquire(const Region& region,
                                                 << " bytes of buffer '"
                                                 << st.desc.name << "'");
   }
-  return plan;
 }
 
 void CoherenceDirectory::apply(const TransferOp& op) {

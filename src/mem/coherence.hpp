@@ -58,6 +58,11 @@ class CoherenceDirectory {
   std::vector<TransferOp> plan_acquire(const Region& region,
                                        SpaceId space) const;
 
+  /// Allocation-reusing variant for hot paths: clears `out` and fills it
+  /// with the same plan (same ops, same order) the vector overload returns.
+  void plan_acquire(const Region& region, SpaceId space,
+                    std::vector<TransferOp>& out) const;
+
   /// Commits one planned transfer: marks op.region valid in op.dst.
   void apply(const TransferOp& op);
 

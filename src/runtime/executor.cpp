@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
-#include <map>
 #include <set>
 #include <string_view>
 
@@ -50,7 +48,7 @@ class Run {
       const std::vector<std::pair<std::string, std::int64_t>>& buffers,
       const Program& program, Scheduler& scheduler,
       const std::optional<faults::FaultPlan>& fault_plan,
-      ExploreStrategy* explore)
+      ExploreStrategy* explore, mem::Arena& arena)
       : platform_(platform),
         costs_(costs),
         options_(options),
@@ -58,28 +56,40 @@ class Run {
         kernels_(kernels),
         scheduler_(scheduler),
         explore_(explore),
+        arena_(arena),
         devices_(platform.all_devices()),
         coherence_(platform.device_count()),
         link_(platform.link.name),
         graph_(kernels, program) {
+    // All flat bookkeeping arrays below come out of the executor's arena;
+    // it is rewound here, so repeated runs reuse the same resident blocks.
+    arena_.reset();
     for (const auto& [name, size] : buffers) {
       coherence_.register_buffer(name, size);
     }
-    device_states_.resize(devices_.size());
+    num_buffers_ = coherence_.buffer_count();
+    lane_begin_ = arena_.make_array<std::uint32_t>(devices_.size() + 1);
     for (std::size_t d = 0; d < devices_.size(); ++d) {
+      lane_begin_[d] = static_cast<std::uint32_t>(lanes_.size());
       for (int lane = 0; lane < devices_[d].lanes; ++lane) {
-        device_states_[d].lanes.emplace_back(
-            devices_[d].cls == hw::DeviceClass::kCpu
-                ? "cpu.t" + std::to_string(lane)
-                : "dev" + std::to_string(d));
+        lanes_.emplace_back(devices_[d].cls == hw::DeviceClass::kCpu
+                                ? "cpu.t" + std::to_string(lane)
+                                : "dev" + std::to_string(d));
       }
     }
-    remaining_deps_.reserve(graph_.size());
-    for (const TaskNode& node : graph_.nodes())
-      remaining_deps_.push_back(node.predecessor_count);
-    sched_info_.resize(graph_.size());
-    affinity_.resize(graph_.size());
-    completed_.assign(graph_.size(), false);
+    lane_begin_[devices_.size()] = static_cast<std::uint32_t>(lanes_.size());
+    ready_.resize(devices_.size());
+    remaining_deps_ = arena_.make_array<std::size_t>(graph_.size());
+    for (TaskId id = 0; id < graph_.size(); ++id)
+      remaining_deps_[id] = graph_.node(id).predecessor_count;
+    sched_info_ = arena_.make_array<SchedTask>(graph_.size());
+    affinity_ =
+        arena_.make_array<std::optional<hw::DeviceId>>(graph_.size());
+    completed_ = arena_.make_array<std::uint8_t>(graph_.size());
+    region_ready_.resize(devices_.size() * num_buffers_);
+    last_writer_.resize(num_buffers_);
+    last_touch_ =
+        arena_.make_array<SimTime>(devices_.size() * num_buffers_);
 
     report_.devices.resize(devices_.size());
     for (std::size_t d = 0; d < devices_.size(); ++d) {
@@ -94,20 +104,18 @@ class Run {
       report_.faults.active = true;
       report_.faults.plan_name = fault_plan->name;
     }
-    failed_.assign(devices_.size(), false);
-    retry_count_.assign(graph_.size(), 0);
-    dispatch_epoch_.assign(graph_.size(), 0);
-    body_ran_.assign(graph_.size(), false);
-    running_.resize(devices_.size());
-    for (std::size_t d = 0; d < devices_.size(); ++d)
-      running_[d].assign(device_states_[d].lanes.size(), std::nullopt);
+    failed_ = arena_.make_array<std::uint8_t>(devices_.size());
+    retry_count_ = arena_.make_array<int>(graph_.size());
+    dispatch_epoch_ = arena_.make_array<std::uint64_t>(graph_.size());
+    body_ran_ = arena_.make_array<std::uint8_t>(graph_.size());
+    running_ = arena_.make_array<InFlight>(lanes_.size());
+    running_valid_ = arena_.make_array<std::uint8_t>(lanes_.size());
 
     // Per-span history on the lanes and the link only feeds traces and
     // tests; untraced runs (the sweep hot path) skip it so every reserve()
     // stops copying a label string into a history vector.
-    for (DeviceState& state : device_states_)
-      for (sim::Resource& lane : state.lanes)
-        lane.set_record_history(options_.record_trace);
+    for (sim::Resource& lane : lanes_)
+      lane.set_record_history(options_.record_trace);
     link_.set_record_history(options_.record_trace);
 
     if (explore_ != nullptr) {
@@ -145,10 +153,7 @@ class Run {
     // Steady state keeps roughly one event in flight per announced task plus
     // one per busy lane; sizing the queue for the whole graph up front means
     // the hot scheduling loop never reallocates.
-    std::size_t total_lanes = 0;
-    for (const DeviceState& state : device_states_)
-      total_lanes += state.lanes.size();
-    engine_.reserve_events(graph_.size() + total_lanes + 16);
+    engine_.reserve_events(graph_.size() + lanes_.size() + 16);
     if (options_.record_trace) {
       // Compute + dispatch-overhead spans per task plus transfer spans.
       report_.trace.reserve(graph_.size() * 3);
@@ -304,7 +309,7 @@ class Run {
         abandon(id, now, "pinned to failed " + devices_[d].name);
         return;
       }
-      device_states_[d].queue.push_back(id);
+      ready_[d].push_back(id);
       if (obs_) {
         obs_span(id, obs::SpanPhase::kSchedule, now, now,
                  devices_[d].name + " (pinned)");
@@ -322,7 +327,7 @@ class Run {
                      << " without an implementation");
       HS_REQUIRE(!failed_[*chosen],
                  "scheduler placed work on failed device " << *chosen);
-      device_states_[d_checked(*chosen)].queue.push_back(id);
+      ready_[d_checked(*chosen)].push_back(id);
       if (obs_) {
         obs_span(id, obs::SpanPhase::kSchedule, now, now,
                  devices_[*chosen].name);
@@ -368,21 +373,21 @@ class Run {
         const hw::DeviceId d =
             (i + 1 < devices_.size()) ? (i + 1) : hw::kCpuDevice;
         if (failed_[d]) continue;
-        auto& state = device_states_[d];
-        for (std::size_t lane = 0; lane < state.lanes.size(); ++lane) {
-          if (state.lanes[lane].available_at() > now) continue;
+        std::vector<TaskId>& queue = ready_[d];
+        const std::size_t lane_count = lane_begin_[d + 1] - lane_begin_[d];
+        for (std::size_t lane = 0; lane < lane_count; ++lane) {
+          if (lanes_[lane_begin_[d] + lane].available_at() > now) continue;
           std::optional<TaskId> task;
           bool via_scheduler = false;
           bool from_pool = false;
-          if (!state.queue.empty()) {
+          if (!queue.empty()) {
             // Ready-queue tie-breaking: the canonical executor always pops
             // the front; under exploration any queued chunk may go first.
             std::size_t pick = 0;
-            if (explore_ != nullptr && state.queue.size() > 1)
-              pick = explore_->pick(state.queue.size());
-            task = state.queue[pick];
-            state.queue.erase(state.queue.begin() +
-                              static_cast<std::ptrdiff_t>(pick));
+            if (explore_ != nullptr && queue.size() > 1)
+              pick = explore_->pick(queue.size());
+            task = queue[pick];
+            queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
             obs_track(queue_key_d(d), now, -1);
             via_scheduler = !graph_.node(*task).pinned_device.has_value();
           } else if (!pool_.empty()) {
@@ -412,7 +417,7 @@ class Run {
     const TaskNode& node = graph_.node(id);
     const KernelDef& kernel = kernels_[node.kernel];
     const hw::DeviceSpec& device = devices_[d];
-    sim::Resource& lane = device_states_[d].lanes[lane_index];
+    sim::Resource& lane = lanes_[lane_begin_[d] + lane_index];
 
     SimTime overhead = costs_.dispatch_overhead;
     if (via_scheduler) {
@@ -439,10 +444,10 @@ class Run {
     for (const mem::RegionAccess& access : node.accesses) {
       if (access.region.empty()) continue;
       if (options_.enforce_memory_capacity && d != hw::kCpuDevice)
-        last_touch_[{space_of(d), access.region.buffer}] = now;
+        last_touch_[sb_index(space_of(d), access.region.buffer)] = now;
       if (!access.reads()) continue;
-      for (const mem::TransferOp& op :
-           coherence_.plan_acquire(access.region, space_of(d))) {
+      coherence_.plan_acquire(access.region, space_of(d), acquire_scratch_);
+      for (const mem::TransferOp& op : acquire_scratch_) {
         data_ready = std::max(data_ready, issue_transfer(op, evict_done));
       }
       data_ready =
@@ -485,7 +490,7 @@ class Run {
         coherence_.note_write(access.region, space_of(d));
         // Locally produced data is ready when the producing task completes;
         // clear any stale in-flight arrival times for the range.
-        region_ready_[{space_of(d), access.region.buffer}].assign(
+        region_ready_[sb_index(space_of(d), access.region.buffer)].assign(
             access.region.range, end);
         last_writer_[access.region.buffer].assign(access.region.range, id);
       }
@@ -505,7 +510,9 @@ class Run {
                              sim::TraceKind::kOverhead, now, now + overhead);
     }
 
-    running_[d][lane_index] = InFlight{id, compute, node.kernel, node.items()};
+    const std::size_t flat_lane = lane_begin_[d] + lane_index;
+    running_[flat_lane] = InFlight{id, compute, node.kernel, node.items()};
+    running_valid_[flat_lane] = 1;
     const SimTime occupancy = end - now;
     const std::uint64_t epoch = dispatch_epoch_[id];
     engine_.schedule_at(end, [this, id, d, lane_index, compute, nominal,
@@ -543,8 +550,8 @@ class Run {
     obs_track("inflight_transfers", start + duration, -1);
     obs_count(to_host ? "transfers_d2h" : "transfers_h2d");
     coherence_.apply(op);
-    region_ready_[{op.dst, op.region.buffer}].assign(op.region.range,
-                                                     span.end);
+    region_ready_[sb_index(op.dst, op.region.buffer)].assign(op.region.range,
+                                                             span.end);
     if (to_host) {
       ++report_.transfers.d2h_count;
       report_.transfers.d2h_bytes += op.size_bytes();
@@ -571,8 +578,9 @@ class Run {
     SimTime done = now;
     for (const mem::RegionAccess& access : node.accesses) {
       if (!access.reads() || access.region.empty()) continue;
-      for (const mem::TransferOp& op :
-           coherence_.plan_acquire(access.region, mem::kHostSpace)) {
+      coherence_.plan_acquire(access.region, mem::kHostSpace,
+                              acquire_scratch_);
+      for (const mem::TransferOp& op : acquire_scratch_) {
         done = std::max(done, issue_transfer(op, now));
       }
       done = std::max(done,
@@ -601,17 +609,18 @@ class Run {
       // Bill the flush to the tasks that produced the data, so a
       // performance-aware scheduler learns the true synchronization cost
       // of accelerator placement.
-      auto writer_map = last_writer_.find(op.region.buffer);
-      if (writer_map == last_writer_.end()) continue;
-      for (const auto& entry : writer_map->second.query(op.region.range)) {
-        const TaskNode& writer = graph_.node(entry.value);
-        if (writer.is_host_op || writer.is_barrier) continue;
-        // Bill the wall time from the barrier's start to this op's landing
-        // (what a runtime's stopwatch around the flush would read —
-        // including the queueing behind earlier flush ops).
-        scheduler_.on_flush(sched_info_[entry.value], op.src,
-                            flush_end - now, now);
-      }
+      const RangeMap<TaskId>& writer_map = last_writer_[op.region.buffer];
+      if (writer_map.empty()) continue;
+      writer_map.for_each_overlapping(
+          op.region.range, [&](Interval, TaskId writer_id) {
+            const TaskNode& writer = graph_.node(writer_id);
+            if (writer.is_host_op || writer.is_barrier) return;
+            // Bill the wall time from the barrier's start to this op's
+            // landing (what a runtime's stopwatch around the flush would
+            // read — including the queueing behind earlier flush ops).
+            scheduler_.on_flush(sched_info_[writer_id], op.src,
+                                flush_end - now, now);
+          });
     }
     // The flush also waits for write-backs still in flight (queue drain),
     // then drops the device copies: after an OmpSs-era taskwait, device
@@ -635,7 +644,7 @@ class Run {
     // was scheduled (the engine has no event cancellation): the chunk is
     // riding a retry elsewhere, or was abandoned. Ignore the stale event.
     if (dispatch_epoch_[id] != epoch) return;
-    running_[d][lane_index].reset();
+    running_valid_[lane_begin_[d] + lane_index] = 0;
     // Asynchronous write-back: final outputs (no later kernel touches them)
     // head home immediately, overlapping the copy with the OTHER devices'
     // compute so the eventual taskwait finds them already in host memory.
@@ -644,11 +653,12 @@ class Run {
     // observes it as part of the instance's occupancy.
     if (d != hw::kCpuDevice) {
       const TaskNode& node = graph_.node(id);
-      sim::Resource& lane = device_states_[d].lanes[0];
+      sim::Resource& lane = lanes_[lane_begin_[d]];
       for (std::size_t a = 0; a < node.accesses.size(); ++a) {
         if (!node.writeback_eligible[a]) continue;
-        for (const mem::TransferOp& op : coherence_.plan_acquire(
-                 node.accesses[a].region, mem::kHostSpace)) {
+        coherence_.plan_acquire(node.accesses[a].region, mem::kHostSpace,
+                                acquire_scratch_);
+        for (const mem::TransferOp& op : acquire_scratch_) {
           issue_transfer(op, now, &lane);
         }
       }
@@ -699,12 +709,12 @@ class Run {
     ++report_.faults.divergence_events;
     obs_count("divergence_events");
     SimTime busy_until = now;
-    for (const sim::Resource& lane : device_states_[d].lanes)
-      busy_until = std::max(busy_until, lane.available_at());
+    for (std::size_t f = lane_begin_[d]; f < lane_begin_[d + 1]; ++f)
+      busy_until = std::max(busy_until, lanes_[f].available_at());
     scheduler_.on_divergence(d, busy_until, now);
 
-    auto& queue = device_states_[d].queue;
-    std::deque<TaskId> keep;
+    std::vector<TaskId>& queue = ready_[d];
+    std::vector<TaskId> keep;
     std::vector<TaskId> drained;
     for (TaskId q : queue) {
       if (graph_.node(q).pinned_device) keep.push_back(q);
@@ -744,7 +754,7 @@ class Run {
     std::size_t best_depth = 0;
     for (hw::DeviceId d = 0; d < devices_.size(); ++d) {
       if (d == *target || failed_[d]) continue;
-      const auto& queue = device_states_[d].queue;
+      const std::vector<TaskId>& queue = ready_[d];
       bool movable = false;
       for (TaskId q : queue) {
         if (!graph_.node(q).pinned_device && sched_info_[q].runs_on(*target)) {
@@ -759,7 +769,7 @@ class Run {
     }
     std::optional<TaskId> chosen;
     if (source) {
-      auto& queue = device_states_[*source].queue;
+      std::vector<TaskId>& queue = ready_[*source];
       for (auto it = queue.rbegin(); it != queue.rend(); ++it) {
         if (!graph_.node(*it).pinned_device &&
             sched_info_[*it].runs_on(*target)) {
@@ -781,7 +791,7 @@ class Run {
     if (!chosen) return;
 
     probe_inflight_ = {*chosen, *target};
-    device_states_[*target].queue.push_back(*chosen);
+    ready_[*target].push_back(*chosen);
     obs_track(queue_key_d(*target), now, 1);
     obs_span(*chosen, obs::SpanPhase::kMigrate, now, now,
              "probe to " + devices_[*target].name);
@@ -811,8 +821,8 @@ class Run {
     std::vector<TaskId> drained;
     for (hw::DeviceId d = 0; d < devices_.size(); ++d) {
       if (d == probed || failed_[d]) continue;
-      auto& queue = device_states_[d].queue;
-      std::deque<TaskId> keep;
+      std::vector<TaskId>& queue = ready_[d];
+      std::vector<TaskId> keep;
       std::size_t pulled = 0;
       for (TaskId q : queue) {
         if (graph_.node(q).pinned_device) {
@@ -856,20 +866,21 @@ class Run {
     // conservation holds once they re-run elsewhere) and invalidate their
     // pending completion events via the dispatch epoch.
     std::vector<TaskId> displaced;
-    for (std::optional<InFlight>& slot : running_[d]) {
-      if (!slot) continue;
+    for (std::size_t f = lane_begin_[d]; f < lane_begin_[d + 1]; ++f) {
+      if (!running_valid_[f]) continue;
+      const InFlight& slot = running_[f];
       DeviceReport& dr = report_.devices[d];
-      dr.compute_time -= slot->compute;
+      dr.compute_time -= slot.compute;
       --dr.instances;
-      auto it = dr.items_per_kernel.find(slot->kernel);
+      auto it = dr.items_per_kernel.find(slot.kernel);
       HS_ASSERT(it != dr.items_per_kernel.end());
-      it->second -= slot->items;
+      it->second -= slot.items;
       if (it->second == 0) dr.items_per_kernel.erase(it);
-      ++dispatch_epoch_[slot->id];
-      displaced.push_back(slot->id);
-      slot.reset();
+      ++dispatch_epoch_[slot.id];
+      displaced.push_back(slot.id);
+      running_valid_[f] = 0;
     }
-    auto& queue = device_states_[d].queue;
+    std::vector<TaskId>& queue = ready_[d];
     displaced.insert(displaced.end(), queue.begin(), queue.end());
     if (!queue.empty())
       obs_track(queue_key_d(d), now, -static_cast<double>(queue.size()));
@@ -880,12 +891,10 @@ class Run {
     // transfer — the dead device cannot DMA its memory out — so surviving
     // devices re-fetch what they need over the link as usual.
     coherence_.reclaim_space_to_host(space_of(d));
-    for (auto it = region_ready_.begin(); it != region_ready_.end();)
-      it = it->first.first == space_of(d) ? region_ready_.erase(it)
-                                          : std::next(it);
-    for (auto it = last_touch_.begin(); it != last_touch_.end();)
-      it = it->first.first == space_of(d) ? last_touch_.erase(it)
-                                          : std::next(it);
+    for (mem::BufferId b = 0; b < num_buffers_; ++b) {
+      region_ready_[sb_index(space_of(d), b)].clear();
+      last_touch_[sb_index(space_of(d), b)] = 0;
+    }
 
     // Pool tasks bound to the dead chain become free agents; pool tasks no
     // surviving device can run are abandoned.
@@ -1027,8 +1036,7 @@ class Run {
            ++buffer) {
         if (referenced.count(buffer)) continue;
         if (coherence_.resident_bytes_of(buffer, space) == 0) continue;
-        auto it = last_touch_.find({space, buffer});
-        const SimTime touched = it == last_touch_.end() ? 0 : it->second;
+        const SimTime touched = last_touch_[sb_index(space, buffer)];
         if (!victim || touched < oldest) {
           victim = buffer;
           oldest = touched;
@@ -1050,11 +1058,11 @@ class Run {
   /// Latest in-flight readiness time of any part of `region` in `space`.
   SimTime region_ready_time(const mem::Region& region,
                             mem::SpaceId space) const {
-    auto it = region_ready_.find({space, region.buffer});
-    if (it == region_ready_.end()) return 0;
     SimTime latest = 0;
-    for (const auto& entry : it->second.query(region.range))
-      latest = std::max(latest, entry.value);
+    region_ready_[sb_index(space, region.buffer)].for_each_overlapping(
+        region.range, [&latest](Interval, SimTime ready) {
+          latest = std::max(latest, ready);
+        });
     return latest;
   }
 
@@ -1066,6 +1074,11 @@ class Run {
     }
   }
 
+  /// Flat (space, buffer) index into region_ready_ / last_touch_.
+  std::size_t sb_index(mem::SpaceId space, mem::BufferId buffer) const {
+    return space * num_buffers_ + buffer;
+  }
+
   const hw::PlatformSpec& platform_;
   const RuntimeCosts& costs_;
   const RuntimeOptions& options_;
@@ -1074,41 +1087,52 @@ class Run {
   Scheduler& scheduler_;
   /// Schedule-exploration strategy (null = canonical schedule). Not owned.
   ExploreStrategy* explore_;
+  /// The executor's run arena: every flat bookkeeping array below marked
+  /// "arena" lives here and is freed wholesale by the next run's reset.
+  mem::Arena& arena_;
 
   std::vector<hw::DeviceSpec> devices_;
   sim::Engine engine_;
   mem::CoherenceDirectory coherence_;
   sim::Resource link_;
+  std::size_t num_buffers_ = 0;
 
-  struct DeviceState {
-    std::vector<sim::Resource> lanes;
-    std::deque<TaskId> queue;
-  };
-  std::vector<DeviceState> device_states_;
+  /// Per-device mutable state, struct-of-arrays: all devices' lanes in one
+  /// flat vector (device d owns [lane_begin_[d], lane_begin_[d+1])), ready
+  /// queues and failure flags in parallel arrays indexed by device, and
+  /// in-flight dispatch slots in parallel arrays indexed by flat lane. The
+  /// hot loops (pump/dispatch/complete) walk contiguous memory instead of
+  /// chasing per-device structs of containers.
+  std::vector<sim::Resource> lanes_;
+  std::uint32_t* lane_begin_ = nullptr;  // arena, devices+1 entries
+  std::vector<std::vector<TaskId>> ready_;
+  std::uint8_t* failed_ = nullptr;  // arena, per device
 
   TaskGraph graph_;
-  std::vector<std::size_t> remaining_deps_;
-  std::vector<SchedTask> sched_info_;
-  std::vector<std::optional<hw::DeviceId>> affinity_;
-  std::vector<bool> completed_;
+  std::size_t* remaining_deps_ = nullptr;               // arena, per task
+  SchedTask* sched_info_ = nullptr;                     // arena, per task
+  std::optional<hw::DeviceId>* affinity_ = nullptr;     // arena, per task
+  std::uint8_t* completed_ = nullptr;                   // arena, per task
   std::vector<SchedTask> pool_;
+  /// Reused output buffer for coherence_.plan_acquire on the hot paths.
+  std::vector<mem::TransferOp> acquire_scratch_;
 
   /// Fault-injection state (all empty/default when no plan is armed).
   std::optional<faults::FaultInjector> injector_;
-  std::vector<bool> failed_;
-  std::vector<int> retry_count_;
+  int* retry_count_ = nullptr;  // arena, per task
   /// Bumped when a failure displaces a task's dispatch; completion events
   /// carry the epoch they were scheduled under and stale ones are ignored.
-  std::vector<std::uint64_t> dispatch_epoch_;
-  std::vector<bool> body_ran_;
+  std::uint64_t* dispatch_epoch_ = nullptr;  // arena, per task
+  std::uint8_t* body_ran_ = nullptr;         // arena, per task
   struct InFlight {
     TaskId id = 0;
     SimTime compute = 0;
     KernelId kernel = 0;
     std::int64_t items = 0;
   };
-  /// Per device, per lane: the dispatch currently occupying it.
-  std::vector<std::vector<std::optional<InFlight>>> running_;
+  /// The dispatch currently occupying each flat lane (valid flag beside).
+  InFlight* running_ = nullptr;             // arena, per flat lane
+  std::uint8_t* running_valid_ = nullptr;   // arena, per flat lane
   /// Probe chunk currently en route to a benched device (task, device).
   std::optional<std::pair<TaskId, hw::DeviceId>> probe_inflight_;
 
@@ -1124,13 +1148,13 @@ class Run {
   /// Latest abandon/retry moment; on a DNF run fault handling can outlast
   /// the last completion, and the run window must still cover it.
   SimTime last_fault_action_ = 0;
-  /// (space, buffer) -> byte ranges -> time their current copy lands.
-  std::map<std::pair<mem::SpaceId, mem::BufferId>, RangeMap<SimTime>>
-      region_ready_;
-  /// buffer -> byte ranges -> task that last wrote them (flush billing).
-  std::map<mem::BufferId, RangeMap<TaskId>> last_writer_;
-  /// (space, buffer) -> last dispatch that touched it (LRU eviction).
-  std::map<std::pair<mem::SpaceId, mem::BufferId>, SimTime> last_touch_;
+  /// Flat [space × buffer]: byte ranges -> time their current copy lands.
+  std::vector<RangeMap<SimTime>> region_ready_;
+  /// Per buffer: byte ranges -> task that last wrote them (flush billing).
+  std::vector<RangeMap<TaskId>> last_writer_;
+  /// Flat [space × buffer]: last dispatch that touched it (LRU eviction;
+  /// 0 = never touched). Arena-allocated.
+  SimTime* last_touch_ = nullptr;
 };
 
 }  // namespace
@@ -1143,7 +1167,7 @@ ExecutionReport Executor::execute(const Program& program,
   for (const BufferInfo& info : buffers_)
     buffer_specs.emplace_back(info.name, info.size_bytes);
   Run run(platform_, costs_, options_, cost_model_, kernels_, buffer_specs,
-          program, scheduler, fault_plan_, explore_);
+          program, scheduler, fault_plan_, explore_, run_arena_);
   return run.execute();
 }
 

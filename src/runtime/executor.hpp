@@ -8,6 +8,7 @@
 #include "faults/fault_plan.hpp"
 #include "hw/cost_model.hpp"
 #include "hw/platform.hpp"
+#include "mem/arena.hpp"
 #include "mem/coherence.hpp"
 #include "runtime/explore.hpp"
 #include "runtime/kernel.hpp"
@@ -134,6 +135,12 @@ class Executor {
     std::int64_t size_bytes;
   };
   std::vector<BufferInfo> buffers_;
+  /// Bump allocator for each run's flat bookkeeping arrays (dependency
+  /// counts, completion flags, in-flight slots, ...). Reset at the start of
+  /// every execute(), so repeated runs on one executor — the sweep's
+  /// strategy loops — reuse the same resident blocks instead of paying the
+  /// general-purpose allocator per run.
+  mem::Arena run_arena_;
 };
 
 }  // namespace hetsched::rt

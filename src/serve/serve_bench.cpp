@@ -89,6 +89,8 @@ ServeBenchResult run_serve_bench(const ServeBenchOptions& options) {
   result.requests = ok.load();
   result.errors = errors.load();
   result.cache_hits = cache_hits.load();
+  // Unset (serialized null) on a 0ms wall clock: the rate is unknown, and
+  // dividing would feed inf/NaN into the byte-stable JSON writer.
   if (result.wall_ms > 0.0) {
     result.requests_per_second =
         static_cast<double>(result.requests) / (result.wall_ms / 1000.0);
@@ -110,7 +112,10 @@ json::Value serve_bench_to_json(const ServeBenchResult& result) {
   value.set("errors", json::Value(result.errors));
   value.set("cache_hits", json::Value(result.cache_hits));
   value.set("wall_ms", json::Value(result.wall_ms));
-  value.set("requests_per_second", json::Value(result.requests_per_second));
+  value.set("requests_per_second",
+            result.requests_per_second
+                ? json::Value(*result.requests_per_second)
+                : json::Value());
   value.set("latency_p50_ms", json::Value(result.latency_p50_ms));
   value.set("latency_p95_ms", json::Value(result.latency_p95_ms));
   value.set("latency_p99_ms", json::Value(result.latency_p99_ms));

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/json.hpp"
@@ -34,7 +35,9 @@ struct ServeBenchResult {
   std::int64_t errors = 0;         ///< non-ok responses received
   std::int64_t cache_hits = 0;     ///< responses flagged cache_hit
   double wall_ms = 0.0;
-  double requests_per_second = 0.0;
+  /// Unset when wall_ms rounds to zero (rate unknown — serialized as null,
+  /// never inf/NaN).
+  std::optional<double> requests_per_second;
   /// Request-latency percentiles interpolated from the daemon's own
   /// serve_request_latency_ms histogram (Server::latency_histogram), so the
   /// bench and a /metrics scrape agree by construction.

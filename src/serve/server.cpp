@@ -220,11 +220,20 @@ void Server::worker_loop() {
   for (;;) {
     std::optional<AdmittedConnection> connection = queue_->pop();
     if (!connection) return;  // admission closed and drained
-    set_queue_depth_gauge();
-    // Worker pickup is where the admission wait becomes observable: the
-    // span between accept and this instant is pure queueing.
-    const double queue_wait_ms = elapsed_ms(connection->accepted_at);
-    note_queue_wait(queue_wait_ms, connection->trace_id);
+    double queue_wait_ms = 0.0;
+    {
+      // The admission phase covers only the bookkeeping after pickup. The
+      // blocking pop above is idle/queue time, not admission work — billing
+      // it here once made `admission` dominate the phase profile of an idle
+      // daemon. The request's real queue wait is still recorded in full,
+      // via the queue-wait histogram and EMA inside note_queue_wait.
+      const obs::ScopedPhase phase(obs::kPhaseAdmission);
+      set_queue_depth_gauge();
+      // Worker pickup is where the admission wait becomes observable: the
+      // span between accept and this instant is pure queueing.
+      queue_wait_ms = elapsed_ms(connection->accepted_at);
+      note_queue_wait(queue_wait_ms, connection->trace_id);
+    }
     serve_connection(*connection, queue_wait_ms);
   }
 }
@@ -506,9 +515,6 @@ double Server::overload_retry_hint_ms() {
 }
 
 void Server::note_queue_wait(double wait_ms, const std::string& trace_id) {
-  // Admission wall time is attributed in the phase profile as well: the
-  // whole wait is "self" time (nothing nests inside queueing).
-  obs::phase_profiler().record(obs::kPhaseAdmission, wait_ms, wait_ms);
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   metrics_.observe(obs::kMetricServeQueueWaitMs, wait_ms, 1.0, trace_id);
   constexpr double kAlpha = 0.2;

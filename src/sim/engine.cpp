@@ -6,21 +6,59 @@ void Engine::schedule_at(SimTime at, Callback fn) {
   HS_REQUIRE(at >= now_,
              "schedule_at in the past: at=" << at << " now=" << now_);
   HS_REQUIRE(fn != nullptr, "schedule_at with empty callback");
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  heap_push(Event{at, next_seq_++, std::move(fn)});
+}
+
+/// Sift-up with a hole: the new event is held aside while parents shift
+/// down into the vacancy, so each level costs one move instead of a swap.
+void Engine::heap_push(Event event) {
+  heap_.push_back(std::move(event));
+  std::size_t i = heap_.size() - 1;
+  if (i == 0) return;
+  Event lifted = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(lifted, heap_[parent])) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(lifted);
+}
+
+/// Removes and returns the minimal event. The last element sifts down into
+/// the hole left at the root, again one move per level.
+Engine::Event Engine::heap_pop() {
+  Event min = std::move(heap_.front());
+  Event last = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+      if (!before(heap_[child], last)) break;
+      heap_[i] = std::move(heap_[child]);
+      i = child;
+    }
+    heap_[i] = std::move(last);
+  }
+  return min;
 }
 
 void Engine::fire(Event event) {
   now_ = event.at;
   ++fired_;
   // Move the callback out before invoking: the callback may schedule new
-  // events (reallocating the queue's storage) or even re-enter step().
+  // events (reallocating the heap's storage) or even re-enter step().
   Callback fn = std::move(event.fn);
   fn();
 }
 
 Engine::Event Engine::pop_next() {
-  Event event = queue_.pop_top();
-  if (!tie_breaker_ || queue_.empty() || queue_.top().at != event.at)
+  Event event = heap_pop();
+  if (!tie_breaker_ || heap_.empty() || heap_.front().at != event.at)
     return event;
   // Equal-timestamp cohort: the heap pops it in canonical (seq) order, so
   // index i below IS the i-th event of the canonical schedule. The chosen
@@ -28,19 +66,19 @@ Engine::Event Engine::pop_next() {
   // canonical order among them for the next decision.
   std::vector<Event> cohort;
   cohort.push_back(std::move(event));
-  while (!queue_.empty() && queue_.top().at == cohort.front().at) {
-    cohort.push_back(queue_.pop_top());
+  while (!heap_.empty() && heap_.front().at == cohort.front().at) {
+    cohort.push_back(heap_pop());
   }
   std::size_t pick = tie_breaker_(cohort.size());
   if (pick >= cohort.size()) pick = 0;
   Event chosen = std::move(cohort[pick]);
   for (std::size_t i = 0; i < cohort.size(); ++i)
-    if (i != pick) queue_.push(std::move(cohort[i]));
+    if (i != pick) heap_push(std::move(cohort[i]));
   return chosen;
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
+  if (heap_.empty()) return false;
   fire(pop_next());
   return true;
 }
@@ -52,7 +90,7 @@ SimTime Engine::run() {
 }
 
 SimTime Engine::run_until(SimTime until) {
-  while (!queue_.empty() && queue_.top().at <= until) step();
+  while (!heap_.empty() && heap_.front().at <= until) step();
   return now_;
 }
 

@@ -1,12 +1,11 @@
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/inline_function.hpp"
 #include "common/time.hpp"
 
 /// Discrete-event simulation engine.
@@ -16,11 +15,22 @@
 /// increasing sequence number breaks ties), which makes every simulation in
 /// hetsched fully deterministic: same inputs, same event order, same result,
 /// on any machine.
+///
+/// The queue is a hand-rolled binary min-heap over a flat, pre-sizable
+/// vector keyed on (at, seq). Sequence numbers are unique, so the key is a
+/// strict total order and the heap pops events in exactly the order the old
+/// std::priority_queue did. Two things make it fast: sifts relocate events
+/// with moves (trivially copyable callbacks degrade to memcpy), and the
+/// callback type stores its callable inline — scheduling an event performs
+/// no allocation once the backing vector is warm.
 namespace hetsched::sim {
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  /// Event callbacks are stored inline in the heap; 64 bytes covers the
+  /// largest capture list in the runtime (8 pointer-sized captures) and is
+  /// enforced at compile time by InlineFunction.
+  using Callback = InlineFunction<void(), 64>;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -60,14 +70,14 @@ class Engine {
     tie_breaker_ = std::move(breaker);
   }
 
-  bool idle() const { return queue_.empty(); }
-  std::size_t pending_events() const { return queue_.size(); }
+  bool idle() const { return heap_.empty(); }
+  std::size_t pending_events() const { return heap_.size(); }
   std::uint64_t fired_events() const { return fired_; }
 
-  /// Pre-sizes the event queue's backing vector so steady-state scheduling
+  /// Pre-sizes the event heap's backing vector so steady-state scheduling
   /// never reallocates (callers typically know roughly how many events are
   /// in flight: tasks + lanes + a constant).
-  void reserve_events(std::size_t capacity) { queue_.reserve(capacity); }
+  void reserve_events(std::size_t capacity) { heap_.reserve(capacity); }
 
  private:
   struct Event {
@@ -75,27 +85,16 @@ class Engine {
     std::uint64_t seq;
     Callback fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-  /// priority_queue with access to the protected backing container, so the
-  /// engine can reserve capacity up front and pop by moving the element out
-  /// (std::priority_queue::top() is const&, and moving from it through a
-  /// const_cast is UB-adjacent; going through the container is not).
-  struct EventQueue : std::priority_queue<Event, std::vector<Event>, Later> {
-    void reserve(std::size_t capacity) { c.reserve(capacity); }
-    /// Removes and returns the minimal element (what top()+pop() would
-    /// discard), moved out of the heap instead of copied.
-    Event pop_top() {
-      std::pop_heap(c.begin(), c.end(), comp);
-      Event event = std::move(c.back());
-      c.pop_back();
-      return event;
-    }
-  };
+  /// Min-first: earliest timestamp, then lowest sequence number. seq is
+  /// unique per event, so this is a strict total order and pop order is
+  /// fully determined.
+  static bool before(const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  void heap_push(Event event);
+  Event heap_pop();
 
   void fire(Event event);
   Event pop_next();
@@ -103,7 +102,7 @@ class Engine {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
-  EventQueue queue_;
+  std::vector<Event> heap_;
   TieBreaker tie_breaker_;
 };
 

@@ -5,7 +5,9 @@
 #include "analyzer/strategy.hpp"
 #include "apps/registry.hpp"
 #include "common/json.hpp"
+#include "hw/platform.hpp"
 #include "obs/phase_profiler.hpp"
+#include "strategies/strategy_runner.hpp"
 #include "sweep/cache.hpp"
 #include "sweep/scenario.hpp"
 
@@ -46,6 +48,55 @@ std::vector<Scenario> twin_matrix(bool small, int seeds) {
   return scenarios;
 }
 
+/// Pure simulator-core throughput. One application is built once outside
+/// the timed region; the timed region is nothing but repeated direct
+/// executions of the paper's dynamic-partitioning strategy — the
+/// discrete-event loop, the executor, and the scheduler, with no cache,
+/// no JSON serialization, and no sweep machinery around them. This is the
+/// number the event-core optimizations move, and the honest denominator
+/// for the cold phase's pipeline overhead.
+BenchPhase measure_sim_core(const BenchOptions& options) {
+  BenchPhase phase;
+  phase.name = "sim_core";
+
+  Scenario scenario;
+  scenario.app = apps::PaperApp::kMatrixMul;
+  scenario.strategy = analyzer::StrategyKind::kDPPerf;
+  scenario.small = options.small;
+
+  const hw::PlatformSpec platform = hw::platform_by_name(scenario.platform);
+  apps::Application::Config config = scenario.small
+                                         ? apps::test_config(scenario.app)
+                                         : apps::paper_config(scenario.app);
+  config.costs = scenario.costs;
+  const std::unique_ptr<apps::Application> application =
+      apps::make_paper_app(scenario.app, platform, config);
+  strategies::StrategyOptions strategy_options;
+  strategy_options.sync_between_kernels = scenario.sync;
+  strategy_options.task_count = scenario.task_count;
+  strategies::StrategyRunner runner(*application, strategy_options);
+
+  // One untimed execution warms the executor's arena and the allocator.
+  runner.run(scenario.strategy);
+
+  const int repetitions = options.sim_core_reps > 0 ? options.sim_core_reps : 1;
+  const Clock::time_point start = Clock::now();
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const strategies::StrategyResult result = runner.run(scenario.strategy);
+    phase.sim_events +=
+        static_cast<std::int64_t>(result.report.sim_events);
+  }
+  phase.wall_ms = elapsed_ms(start);
+  phase.summary.scenarios = repetitions;
+  phase.summary.ok = repetitions;
+  phase.summary.computed = repetitions;
+  if (phase.wall_ms > 0.0) {
+    phase.events_per_second =
+        static_cast<double>(phase.sim_events) / (phase.wall_ms / 1000.0);
+  }
+  return phase;
+}
+
 BenchPhase measure(std::string name, const SweepEngine& engine,
                    const std::vector<Scenario>& scenarios) {
   BenchPhase phase;
@@ -57,6 +108,9 @@ BenchPhase measure(std::string name, const SweepEngine& engine,
   for (const ScenarioOutcome& outcome : run.outcomes) {
     if (outcome.ok()) phase.sim_events += outcome.metrics.sim_events;
   }
+  // A 0ms wall clock (timer granularity on a fast run) must not divide:
+  // the rate is unknown, not infinite, and stays unset — serialized as
+  // null, which json::format_double would otherwise reject as non-finite.
   if (phase.wall_ms > 0.0) {
     phase.events_per_second =
         static_cast<double>(phase.sim_events) / (phase.wall_ms / 1000.0);
@@ -86,7 +140,9 @@ json::Value phase_to_json(const BenchPhase& phase) {
                 summary.scenario_dedup_hits)));
   value.set("sim_events", json::Value(phase.sim_events));
   value.set("wall_ms", json::Value(phase.wall_ms));
-  value.set("sim_events_per_second", json::Value(phase.events_per_second));
+  value.set("sim_events_per_second", phase.events_per_second
+                                         ? json::Value(*phase.events_per_second)
+                                         : json::Value());
   return value;
 }
 
@@ -104,6 +160,8 @@ BenchResult run_bench(const BenchOptions& options) {
 
   // Phase one must be genuinely cold: drop whatever a previous bench left.
   ResultCache(options.cache_dir).clear();
+
+  result.sim_core = measure_sim_core(options);
 
   const std::vector<Scenario> matrix = canonical_matrix(options.small);
   const SweepEngine cached_engine(sweep_options);
@@ -129,6 +187,7 @@ std::string bench_to_json(const BenchResult& result,
   workload.set("sweep_code_version", json::Value(kSweepCodeVersion));
 
   json::Value phases{json::Value::Array{}};
+  phases.push_back(phase_to_json(result.sim_core));
   phases.push_back(phase_to_json(result.cold));
   phases.push_back(phase_to_json(result.warm));
   phases.push_back(phase_to_json(result.twins));

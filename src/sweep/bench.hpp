@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,10 @@ struct BenchOptions {
   /// Seed count for the shared-twin phase (S seeds -> 1 baseline compute,
   /// S - 1 twin memo hits).
   int fault_seeds = 6;
+  /// Timed repetitions of the sim_core phase's execution loop. Lower it for
+  /// smoke runs (`bench --quick`) where the JSON contract matters and the
+  /// measurement does not.
+  int sim_core_reps = 20;
   /// Cache directory for the cold/warm phases; cleared before the cold run
   /// so phase one is genuinely cold.
   std::string cache_dir = ".hs-bench-cache";
@@ -42,11 +47,17 @@ struct BenchPhase {
   /// Sum of ScenarioMetrics::sim_events over ok outcomes.
   std::int64_t sim_events = 0;
   double wall_ms = 0.0;
-  double events_per_second = 0.0;
+  /// Unset when wall_ms rounds to zero (rate unknown — serialized as null,
+  /// never inf/NaN).
+  std::optional<double> events_per_second;
 };
 
 struct BenchResult {
   BenchOptions options;
+  /// Pure simulator-core throughput: repeated direct executions of one
+  /// paper-size application, nothing but the discrete-event core and the
+  /// scheduler in the timed region.
+  BenchPhase sim_core;
   BenchPhase cold;
   BenchPhase warm;
   BenchPhase twins;

@@ -81,4 +81,39 @@ class ScenarioMemo {
   std::atomic<std::int64_t> twin_computes_{0};
 };
 
+/// Worker-local read-through shard over a shared ScenarioMemo.
+///
+/// Batched sweeps give each worker job K scenarios; within a batch the same
+/// baseline twin tends to recur (K fault seeds of one plan share one healthy
+/// key). The shard answers repeat lookups from a local, lock-free map and
+/// only takes the shared table's mutex on first sight of a key — the shared
+/// single-flight semantics (and therefore the twin_hits / twin_computes
+/// counters) are unchanged: a shard hit is by construction a lookup the
+/// shared table would also have answered as `shared`.
+///
+/// Single-threaded by design: one shard per worker job, never shared.
+class MemoShard {
+ public:
+  explicit MemoShard(ScenarioMemo& shared) : shared_(shared) {}
+  MemoShard(const MemoShard&) = delete;
+  MemoShard& operator=(const MemoShard&) = delete;
+
+  ScenarioMemo::Lookup get_or_compute(const std::string& key,
+                                      const ScenarioMemo::ComputeFn& compute) {
+    const auto it = local_.find(key);
+    if (it != local_.end()) return {it->second, /*shared=*/true};
+    const ScenarioMemo::Lookup lookup = shared_.get_or_compute(key, compute);
+    local_.emplace(key, lookup.outcome);
+    return lookup;
+  }
+
+  void note_twin_lookup(bool shared) { shared_.note_twin_lookup(shared); }
+
+  std::size_t entries() const { return local_.size(); }
+
+ private:
+  ScenarioMemo& shared_;
+  std::unordered_map<std::string, ScenarioMemo::OutcomePtr> local_;
+};
+
 }  // namespace hetsched::sweep

@@ -169,7 +169,7 @@ ScenarioOutcome SweepEngine::compute(const Scenario& scenario) const {
 }
 
 ScenarioOutcome SweepEngine::compute_scenario(const Scenario& scenario,
-                                              ScenarioMemo* memo) const {
+                                              MemoShard* memo) const {
   const obs::ScopedPhase profile_phase(obs::kPhaseSweepScenario);
   ScenarioOutcome outcome;
   outcome.scenario = scenario;
@@ -221,7 +221,7 @@ ScenarioOutcome SweepEngine::compute_scenario(const Scenario& scenario,
     // Spans ride along with the trace so validate_trace can check the
     // chunk-lifecycle chains, not just lane overlap.
     config.record_observability = options_.record_trace;
-    const auto application =
+    std::unique_ptr<apps::Application> application =
         apps::make_paper_app(scenario.app, platform, config);
 
     strategies::StrategyOptions strategy_options;
@@ -369,12 +369,12 @@ SweepRun SweepEngine::run(const std::vector<Scenario>& scenarios) const {
   // materialized from a twin somebody else computed.
   ScenarioMemo memo;
   std::atomic<std::size_t> crossover_hits{0};
-  const auto compute_into = [&](std::size_t index) {
+  const auto compute_into = [&](std::size_t index, MemoShard& shard) {
     const Clock::time_point begin = Clock::now();
-    const ScenarioMemo::Lookup lookup = memo.get_or_compute(
+    const ScenarioMemo::Lookup lookup = shard.get_or_compute(
         keys[index],
-        [this, &scenarios, &memo, index] {
-          return compute_scenario(scenarios[index], &memo);
+        [this, &scenarios, &shard, index] {
+          return compute_scenario(scenarios[index], &shard);
         });
     run.outcomes[index] = *lookup.outcome;
     // Equal keys imply equal results, but echo this row's own descriptor.
@@ -386,12 +386,24 @@ SweepRun SweepEngine::run(const std::vector<Scenario>& scenarios) const {
     }
   };
   if (options_.parallel && misses.size() > 1) {
+    // Batched dispatch: K scenarios per worker job (K = 1 preserves the
+    // historical one-job-per-scenario shape). Each job reads through its
+    // own memo shard, so repeated twin lookups within a batch skip the
+    // shared table's mutex entirely.
+    const std::size_t batch = std::max<std::size_t>(1, options_.batch);
     rt::ThreadPool pool(options_.jobs);
-    for (std::size_t index : misses)
-      pool.enqueue([&compute_into, index] { compute_into(index); });
+    for (std::size_t first = 0; first < misses.size(); first += batch) {
+      const std::size_t last = std::min(misses.size(), first + batch);
+      pool.enqueue([&compute_into, &memo, &misses, first, last] {
+        MemoShard shard(memo);
+        for (std::size_t j = first; j < last; ++j)
+          compute_into(misses[j], shard);
+      });
+    }
     pool.wait_idle();
   } else {
-    for (std::size_t index : misses) compute_into(index);
+    MemoShard shard(memo);
+    for (std::size_t index : misses) compute_into(index, shard);
   }
 
   if (cache) {

@@ -202,14 +202,18 @@ TEST(SweepMemo, SummaryCountersMirrorIntoMetricsRegistry) {
   EXPECT_EQ(registry.counter(obs::kSweepCacheMisses), 0);
 }
 
-TEST(SweepBench, ThreePhasesReportCoherentCounters) {
+TEST(SweepBench, BenchPhasesReportCoherentCounters) {
   BenchOptions options;
   options.small = true;
   options.parallel = false;
   options.fault_seeds = 3;
+  options.sim_core_reps = 2;
   options.cache_dir =
       (std::string(::testing::TempDir()) + "/hs_bench_test_cache");
   const BenchResult result = run_bench(options);
+
+  EXPECT_EQ(result.sim_core.summary.computed, 2u);
+  EXPECT_GT(result.sim_core.sim_events, 0);
 
   EXPECT_EQ(result.cold.summary.cache_hits, 0u);
   EXPECT_GT(result.cold.summary.computed, 0u);
@@ -224,8 +228,10 @@ TEST(SweepBench, ThreePhasesReportCoherentCounters) {
   EXPECT_EQ(result.twins.summary.twin_memo_hits, 2u);
 
   const json::Value document = json::Value::parse(bench_to_json(result));
-  ASSERT_EQ(document.at("phases").as_array().size(), 3u);
+  ASSERT_EQ(document.at("phases").as_array().size(), 4u);
   EXPECT_EQ(document.at("phases").as_array()[0].at("name").as_string(),
+            "sim_core");
+  EXPECT_EQ(document.at("phases").as_array()[1].at("name").as_string(),
             "cold_cache");
   EXPECT_EQ(document.at("workload").at("sweep_code_version").as_string(),
             kSweepCodeVersion);

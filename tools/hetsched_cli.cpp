@@ -14,9 +14,11 @@
 ///                        # task-size auto-tuning (paper Section V)
 ///   hetsched_cli sweep   [--apps a,b] [--strategies s1,s2]
 ///                        [--platforms p1,p2] [--sync-mode both|on|off]
-///                        [--small] [--serial] [--jobs N] [--no-cache]
-///                        [--cache-dir <dir>] [--json <file>] [--csv]
+///                        [--small] [--serial] [--jobs N] [--batch K]
+///                        [--no-cache] [--cache-dir <dir>] [--json <file>]
+///                        [--csv]
 ///                        # batch scenario sweep with result caching
+///                        # (--batch groups K scenarios per worker job)
 ///   hetsched_cli faults  [--plan <name>] [--seed <n>] [--app a|--apps a,b]
 ///                        [--strategies s1,s2] [--platform <p>] [--sync]
 ///                        [--small] [--tasks <m>] [--serial] [--jobs N]
@@ -30,9 +32,10 @@
 ///                        [--platform <p>] [--small]
 ///                        # matchmaker decision + predicted-time inputs
 ///   hetsched_cli bench   [--paper-size] [--serial] [--jobs N] [--seeds S]
-///                        [--cache-dir <dir>] [--out <file>]
-///                        # sweep hot-path benchmark (cold / warm / shared
-///                        # twins), writes BENCH_sweep.json by default
+///                        [--quick] [--cache-dir <dir>] [--out <file>]
+///                        # sweep hot-path benchmark (sim_core / cold /
+///                        # warm / shared twins), writes BENCH_sweep.json
+///                        # by default; --quick is the smallest smoke run
 ///   hetsched_cli fuzz    [--seed N] [--iters K] [--corpus <file>]
 ///                        [--repro <file>] [--out <file>] [--no-shrink]
 ///                        [--plant <mutation>] [--oracles] [--serve]
@@ -400,6 +403,8 @@ int cmd_sweep(const Args& args) {
   options.parallel = !args.flag("serial");
   if (args.flag("jobs"))
     options.jobs = static_cast<unsigned>(std::stoul(args.get("jobs")));
+  if (args.flag("batch"))
+    options.batch = static_cast<std::size_t>(std::stoul(args.get("batch")));
   options.use_cache = !args.flag("no-cache");
   options.cache_dir = args.get("cache-dir", ".hs-sweep-cache");
 
@@ -634,6 +639,13 @@ int cmd_bench(const Args& args) {
     options.jobs = static_cast<unsigned>(std::stoul(args.get("jobs")));
   if (args.flag("seeds")) options.fault_seeds = std::stoi(args.get("seeds"));
   options.cache_dir = args.get("cache-dir", ".hs-bench-cache");
+  if (args.flag("quick")) {
+    // Smallest run that still produces the full JSON document — a contract
+    // smoke for CI (ctest label simcore), not a measurement.
+    options.small = true;
+    options.fault_seeds = 2;
+    options.sim_core_reps = 2;
+  }
 
   const sweep::BenchResult result = sweep::run_bench(options);
 
@@ -644,12 +656,18 @@ int cmd_bench(const Args& args) {
               << phase.summary.cache_hits << " cache hit(s), "
               << phase.summary.twin_computes << " twin(s) computed, "
               << phase.summary.twin_memo_hits << " twin memo hit(s); "
-              << phase.sim_events << " sim events ("
-              << format_fixed(phase.events_per_second / 1e6, 2) << " M/s)\n";
+              << phase.sim_events << " sim events (";
+    // Rate is unset when the phase ran faster than the clock tick.
+    if (phase.events_per_second)
+      std::cout << format_fixed(*phase.events_per_second / 1e6, 2) << " M/s";
+    else
+      std::cout << "n/a";
+    std::cout << ")\n";
   };
   std::cout << "sweep bench ("
             << (options.small ? "small configs" : "paper sizes") << ", "
             << (options.parallel ? "parallel" : "serial") << "):\n";
+  print_phase(result.sim_core);
   print_phase(result.cold);
   print_phase(result.warm);
   print_phase(result.twins);
@@ -672,7 +690,10 @@ int cmd_bench(const Args& args) {
               << format_fixed(served.wall_ms, 1) << " ms — "
               << served.cache_hits << " cache hit(s), " << served.errors
               << " error(s); "
-              << format_fixed(served.requests_per_second, 0) << " req/s\n";
+              << (served.requests_per_second
+                      ? format_fixed(*served.requests_per_second, 0)
+                      : std::string("n/a"))
+              << " req/s\n";
     extra_phases.push_back(serve::serve_bench_to_json(served));
   }
 
