@@ -181,9 +181,14 @@ FuzzCase generate_case(std::uint64_t seed) {
       analyzer::paper_strategies();
   out.scenario.strategy = strategies[static_cast<std::size_t>(
       rng.uniform_int(0, static_cast<std::int64_t>(strategies.size()) - 1))];
-  const std::vector<std::string>& platforms = hw::platform_names();
-  out.scenario.platform = platforms[static_cast<std::size_t>(
-      rng.uniform_int(0, static_cast<std::int64_t>(platforms.size()) - 1))];
+  // Frozen copy of the original five platform names: hw::platform_names()
+  // has since grown (big-little, quad), and drawing from the live list
+  // would shift this draw's modulus and change every pre-hs-check-3 seed's
+  // scenario. The widened platforms enter through the appended axes below.
+  static constexpr const char* kOriginalPlatforms[] = {
+      "reference", "small-gpu", "dual-gpu", "cpu-gpu-phi", "cpu-only"};
+  out.scenario.platform = kOriginalPlatforms[rng.uniform_int(
+      0, std::size(kOriginalPlatforms) - 1)];
   out.scenario.sync = rng.uniform() < 0.5;
   // Small functional configs only: the execution oracles simulate each case
   // several times (traced, twice untraced, deduped), and the corpus runs in
@@ -193,9 +198,12 @@ FuzzCase generate_case(std::uint64_t seed) {
   out.scenario.task_count =
       kTaskCounts[rng.uniform_int(0, std::size(kTaskCounts) - 1)];
   if (rng.uniform() < 0.5) {
-    const std::vector<std::string> plans = faults::named_fault_plans();
-    out.scenario.fault_plan = plans[static_cast<std::size_t>(
-        rng.uniform_int(0, static_cast<std::int64_t>(plans.size()) - 1))];
+    // Frozen like the platform list above: named_fault_plans() has since
+    // grown "storm-all", which enters through the appended axes below.
+    static constexpr const char* kOriginalPlans[] = {
+        "gpu-slowdown", "gpu-stall", "link-degrade", "gpu-failure", "storm"};
+    out.scenario.fault_plan =
+        kOriginalPlans[rng.uniform_int(0, std::size(kOriginalPlans) - 1)];
     // Scenario JSON stores the seed as int64; stay within 53 bits so the
     // repro file round-trips through doubles exactly.
     out.scenario.fault_seed = rng() & ((std::uint64_t{1} << 53) - 1);
@@ -284,6 +292,38 @@ FuzzCase generate_case(std::uint64_t seed) {
   if (rng.uniform() < 0.25) {
     out.scenario.fault_plan = "storm";
     out.scenario.fault_seed = rng() & ((std::uint64_t{1} << 53) - 1);
+  }
+
+  // --- Widened axes (hs-check-3) ------------------------------------------
+  // N-device platforms, appended after the hs-check-2 block so every
+  // earlier axis keeps its stream. Roughly a third of all cases move onto
+  // a 2-4-device platform: the shipped multi-accelerator presets or the
+  // parametric synth-<seed> family, whose accelerators draw asymmetric
+  // (log-uniform) throughputs — two accelerators on one platform can
+  // differ by an order of magnitude.
+  if (rng.uniform() < 0.30) {
+    if (rng.uniform() < 0.35) {
+      // The synth seed rides in the platform NAME, so the sweep scenario
+      // key embeds the full drawn device spec and the repro file stays
+      // self-contained. 53-bit mask: same JSON-double rationale as
+      // fault_seed.
+      out.scenario.platform =
+          "synth-" + std::to_string(rng() & ((std::uint64_t{1} << 53) - 1));
+    } else {
+      static constexpr const char* kMultiPlatforms[] = {
+          "dual-gpu", "cpu-gpu-phi", "big-little", "quad"};
+      out.scenario.platform = kMultiPlatforms[rng.uniform_int(
+          0, std::size(kMultiPlatforms) - 1)];
+    }
+    // Per-device fault pressure: bias widened-platform cases onto the
+    // "storm-all" family, whose events (slowdowns, stalls, permanent
+    // failures) target every accelerator 1..N-1 independently — the
+    // N-device migration path gets hit far more often than the frozen
+    // 2-device "storm" ever could.
+    if (rng.uniform() < 0.40) {
+      out.scenario.fault_plan = "storm-all";
+      out.scenario.fault_seed = rng() & ((std::uint64_t{1} << 53) - 1);
+    }
   }
   return out;
 }

@@ -28,7 +28,12 @@ namespace hetsched::check {
 /// hs-check-2: generation gained adversarial runtime-cost ratios, near-tie
 /// device-throughput draws, and a fault-storm bias (schedule-exploration
 /// axes); mutations gained the two schedule-record bugs.
-inline constexpr const char* kCheckVersion = "hs-check-2";
+/// hs-check-3: generation gained 2-4-device platforms (shipped
+/// multi-accelerator presets plus the asymmetric-throughput synth-<seed>
+/// family) and a per-device-fault "storm-all" bias; the original platform
+/// and fault-plan draws were frozen onto constant lists so pre-widening
+/// seeds keep their streams.
+inline constexpr const char* kCheckVersion = "hs-check-3";
 
 struct FuzzCase {
   std::uint64_t seed = 0;

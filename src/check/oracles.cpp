@@ -8,6 +8,7 @@
 #include "analyzer/matchmaker.hpp"
 #include "analyzer/ranking.hpp"
 #include "apps/registry.hpp"
+#include "glinda/multi_device.hpp"
 #include "hw/platform.hpp"
 #include "sweep/sweep.hpp"
 
@@ -656,6 +657,98 @@ void check_partition(const FuzzCase& c, std::vector<Violation>& out) {
         json::format_double(metrics.compute_transfer_gap));
 }
 
+void check_multi_partition(const FuzzCase& c, std::vector<Violation>& out) {
+  constexpr const char* kOracle = "multi-partition-model";
+  const glinda::PartitionOptions options;
+  const std::int64_t n = c.model_items;
+
+  glinda::MultiDeviceEstimate two;
+  two.devices = {c.estimate.cpu, c.estimate.gpu};
+  two.link_bytes_per_second = c.estimate.link_bytes_per_second;
+  two.transfer_on_critical_path = c.estimate.transfer_on_critical_path;
+
+  // N=2 regression wall: the vector entry point must delegate to the
+  // scalar closed-form solver bit for bit — same items, same predicted
+  // seconds, no numerical luck involved.
+  const glinda::PartitionDecision scalar =
+      glinda::PartitionModel(options).solve(c.estimate, n);
+  const glinda::MultiPartitionDecision vec =
+      glinda::solve_multi_partition(two, n, options);
+  if (vec.items_per_device.size() != 2 ||
+      vec.items_per_device[0] != scalar.cpu_items ||
+      vec.items_per_device[1] != scalar.gpu_items)
+    add(out, kOracle, "N=2 split diverges from the scalar solver: cpu ",
+        vec.items_per_device.empty() ? -1 : vec.items_per_device[0], " vs ",
+        scalar.cpu_items, ", accelerator ",
+        vec.items_per_device.size() < 2 ? -1 : vec.items_per_device[1],
+        " vs ", scalar.gpu_items);
+  double scalar_predicted = scalar.predicted_partition_seconds;
+  if (scalar.config == glinda::HardwareConfig::kOnlyCpu)
+    scalar_predicted = scalar.predicted_cpu_seconds;
+  if (scalar.config == glinda::HardwareConfig::kOnlyGpu)
+    scalar_predicted = scalar.predicted_gpu_seconds;
+  if (vec.predicted_seconds != scalar_predicted)
+    add(out, kOracle, "N=2 predicted seconds diverge from the scalar ",
+        "solver: ", json::format_double(vec.predicted_seconds), " vs ",
+        json::format_double(scalar_predicted));
+
+  // Three devices: the second accelerator is a strictly faster clone of
+  // the first (same transfers, per-item cost / scale_factor).
+  glinda::MultiDeviceEstimate three = two;
+  glinda::DeviceProfile faster_clone = c.estimate.gpu;
+  faster_clone.seconds_per_item /= c.scale_factor;
+  three.devices.push_back(faster_clone);
+  const glinda::MultiPartitionDecision multi =
+      glinda::solve_multi_partition(three, n, options);
+
+  std::int64_t total = 0;
+  for (std::size_t d = 0; d < multi.items_per_device.size(); ++d) {
+    if (multi.items_per_device[d] < 0)
+      add(out, kOracle, "vector solve gave device ", d, " a negative ",
+          "share: ", multi.items_per_device[d]);
+    total += multi.items_per_device[d];
+  }
+  if (total != n)
+    add(out, kOracle, "vector split loses items: ", total, " != ", n);
+  if (!std::isfinite(multi.predicted_seconds) ||
+      multi.predicted_seconds <= 0.0)
+    add(out, kOracle, "vector predicted seconds not finite-positive: ",
+        json::format_double(multi.predicted_seconds));
+
+  // Shared-link bound: the makespan can never beat the total time the one
+  // host link spends moving the accelerators' slabs.
+  double link_seconds = 0.0;
+  for (std::size_t d = 0; d < multi.items_per_device.size(); ++d)
+    link_seconds += static_cast<double>(multi.items_per_device[d]) *
+                    three.transfer_seconds_per_item(d);
+  if (multi.predicted_seconds +
+          1e-9 * (1.0 + multi.predicted_seconds) <
+      link_seconds)
+    add(out, kOracle, "predicted makespan ",
+        json::format_double(multi.predicted_seconds),
+        " beats the shared-link occupancy ",
+        json::format_double(link_seconds));
+
+  // The prediction must replay through the model's own predictor.
+  const double replayed = glinda::MultiPartitionModel(options).predict_seconds(
+      three, multi.items_per_device);
+  if (replayed != multi.predicted_seconds)
+    add(out, kOracle, "vector predicted seconds ",
+        json::format_double(multi.predicted_seconds),
+        " do not replay through predict_seconds (",
+        json::format_double(replayed), ")");
+
+  // Faster-clone dominance: device 2 beats device 1 in everything, so its
+  // slab can only be smaller by the sequential granularity rounding /
+  // final-clamp discretization (bounded by two granules).
+  const std::int64_t slack = 2 * options.gpu_granularity + 2;
+  if (multi.items_per_device[2] + slack < multi.items_per_device[1])
+    add(out, kOracle, "device 2 is a x",
+        json::format_double(c.scale_factor),
+        " faster clone of device 1 but received fewer items: ",
+        multi.items_per_device[2], " vs ", multi.items_per_device[1]);
+}
+
 sweep::SweepEngine plain_engine(const rt::ExploreSpec& explore) {
   sweep::SweepOptions options;
   options.parallel = false;
@@ -691,6 +784,7 @@ std::vector<Violation> run_impl(const FuzzCase& c, const std::string& only,
     if (want(only, "ranking-relations")) check_ranking(c, out);
     if (want(only, "dag-profile")) check_dag_profile(c, out);
     if (want(only, "partition-model")) check_partition(c, out);
+    if (want(only, "multi-partition-model")) check_multi_partition(c, out);
   }
 
   const bool need_execution =
@@ -787,6 +881,7 @@ const std::vector<std::string>& oracle_names() {
       "determinism",           "cache-transparency", "trace-validity",
       "ranking-relations",     "dag-profile",        "partition-model",
       "dag-linearization",     "cache-transparency-serve",
+      "multi-partition-model",
   };
   return kNames;
 }

@@ -47,6 +47,12 @@ struct Violation {
 ///                          the response is byte-identical to the offline
 ///                          answer, and that the repeat is a cache hit
 ///                          with unchanged bytes
+///   multi-partition-model  the vector solver: N=2 delegates to the scalar
+///                          solver bit for bit, vector splits conserve
+///                          items, the makespan respects the shared-link
+///                          occupancy bound, predictions replay, and a
+///                          faster clone device never receives a
+///                          meaningfully smaller slab
 const std::vector<std::string>& oracle_names();
 
 /// The serve-daemon transparency oracle (see above). Probes one shared

@@ -176,11 +176,11 @@ FaultPlan generate_fault_plan(std::uint64_t seed, std::size_t device_count,
 
 std::vector<std::string> named_fault_plans() {
   return {"gpu-slowdown", "gpu-stall", "link-degrade", "gpu-failure",
-          "storm"};
+          "storm", "storm-all"};
 }
 
 FaultPlan make_named_plan(const std::string& name, SimTime horizon,
-                          std::uint64_t seed) {
+                          std::uint64_t seed, std::size_t device_count) {
   HS_REQUIRE(horizon > 0, "make_named_plan horizon " << horizon);
   FaultPlan plan;
   plan.name = name;
@@ -207,13 +207,26 @@ FaultPlan make_named_plan(const std::string& name, SimTime horizon,
     return plan;
   }
   if (name == "storm") {
+    // Frozen at device_count=2: "storm" predates multi-device platforms,
+    // and its scenario cache keys must never change. Use "storm-all" for
+    // a storm that spreads over every accelerator.
     plan = generate_fault_plan(seed, /*device_count=*/2, horizon);
+    plan.name = name;
+    return plan;
+  }
+  if (name == "storm-all") {
+    HS_REQUIRE(device_count >= 2,
+               "storm-all needs an accelerator; device_count="
+                   << device_count);
+    GeneratorOptions options;
+    options.allow_failures = true;
+    plan = generate_fault_plan(seed, device_count, horizon, options);
     plan.name = name;
     return plan;
   }
   throw InvalidArgument("unknown fault plan '" + name +
                         "' (gpu-slowdown, gpu-stall, link-degrade, "
-                        "gpu-failure, storm)");
+                        "gpu-failure, storm, storm-all)");
 }
 
 }  // namespace hetsched::faults

@@ -106,10 +106,17 @@ FaultPlan generate_fault_plan(std::uint64_t seed, std::size_t device_count,
 ///   gpu-stall     device 1 frozen over [0.3, 0.5] of horizon
 ///   link-degrade  link 4x slower over [0.1, 0.9] of horizon
 ///   gpu-failure   device 1 dies at 0.35 of horizon
-///   storm         a seeded random mix (see generate_fault_plan)
-/// `seed` only affects "storm". Throws InvalidArgument for unknown names.
+///   storm         a seeded random mix over devices {1} (see
+///                 generate_fault_plan; frozen at device_count=2 so storm
+///                 scenario cache keys never change)
+///   storm-all     a seeded random mix over ALL accelerator devices
+///                 1..device_count-1, permanent failures included — the
+///                 N-device migration stressor
+/// `seed` only affects the storm families; `device_count` only affects
+/// "storm-all". Throws InvalidArgument for unknown names.
 FaultPlan make_named_plan(const std::string& name, SimTime horizon,
-                          std::uint64_t seed = 0);
+                          std::uint64_t seed = 0,
+                          std::size_t device_count = 2);
 
 /// The names make_named_plan accepts, in deterministic order.
 std::vector<std::string> named_fault_plans();

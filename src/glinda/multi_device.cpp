@@ -179,4 +179,43 @@ MultiPartitionDecision MultiPartitionModel::solve(
   return decision;
 }
 
+KernelEstimate to_kernel_estimate(const MultiDeviceEstimate& estimate) {
+  HS_REQUIRE(estimate.devices.size() == 2,
+             "scalar view needs exactly CPU + one accelerator, got "
+                 << estimate.devices.size() << " devices");
+  KernelEstimate scalar;
+  scalar.cpu = estimate.devices[0];
+  scalar.gpu = estimate.devices[1];
+  scalar.link_bytes_per_second = estimate.link_bytes_per_second;
+  scalar.transfer_on_critical_path = estimate.transfer_on_critical_path;
+  return scalar;
+}
+
+MultiPartitionDecision solve_multi_partition(
+    const MultiDeviceEstimate& estimate, std::int64_t n,
+    PartitionOptions options) {
+  if (estimate.devices.size() != 2)
+    return MultiPartitionModel(options).solve(estimate, n);
+
+  // Two devices: the scalar closed-form β path, verbatim. This is what
+  // makes the N=2 byte-identity guarantee hold by construction rather than
+  // by numerical luck — same solver, same rounding, same prediction.
+  const PartitionDecision scalar =
+      PartitionModel(options).solve(to_kernel_estimate(estimate), n);
+  MultiPartitionDecision decision;
+  decision.items_per_device = {scalar.cpu_items, scalar.gpu_items};
+  switch (scalar.config) {
+    case HardwareConfig::kOnlyCpu:
+      decision.predicted_seconds = scalar.predicted_cpu_seconds;
+      break;
+    case HardwareConfig::kOnlyGpu:
+      decision.predicted_seconds = scalar.predicted_gpu_seconds;
+      break;
+    case HardwareConfig::kPartition:
+      decision.predicted_seconds = scalar.predicted_partition_seconds;
+      break;
+  }
+  return decision;
+}
+
 }  // namespace hetsched::glinda

@@ -59,6 +59,21 @@ struct MultiPartitionDecision {
   std::size_t device_count() const { return items_per_device.size(); }
 };
 
+/// The scalar two-device view of a CPU+1-accelerator estimate (device 0 =
+/// CPU, device 1 = the accelerator). Requires exactly two device profiles.
+KernelEstimate to_kernel_estimate(const MultiDeviceEstimate& estimate);
+
+/// Single entry point for strategy-level partitioning across any device
+/// count. For exactly TWO devices (CPU + one accelerator) this delegates to
+/// the scalar closed-form β solver (`PartitionModel::solve`), so two-device
+/// splits — items AND predicted seconds — are bit-identical with the legacy
+/// CPU+GPU path; for three or more devices it runs MultiPartitionModel's
+/// balanced-finish bisection with the shared-link repair. The returned
+/// decision always covers all `estimate.devices` (dropped devices get 0).
+MultiPartitionDecision solve_multi_partition(
+    const MultiDeviceEstimate& estimate, std::int64_t n,
+    PartitionOptions options = {});
+
 class MultiPartitionModel {
  public:
   explicit MultiPartitionModel(PartitionOptions options = {})

@@ -1,5 +1,9 @@
 #include "hw/platform.hpp"
 
+#include <cmath>
+
+#include "common/rng.hpp"
+
 namespace hetsched::hw {
 
 const char* device_class_name(DeviceClass cls) {
@@ -167,6 +171,93 @@ PlatformSpec make_cpu_gpu_phi_platform() {
   return platform;
 }
 
+PlatformSpec make_big_little_platform() {
+  PlatformSpec platform;
+  platform.name = "big.LITTLE (4 big + 4 little)";
+  DeviceSpec big;
+  big.name = "big cluster (4x OoO)";
+  big.cls = DeviceClass::kCpu;
+  big.cores = 4;
+  big.lanes = 4;
+  big.frequency_ghz = 1.9;
+  big.peak_sp_gflops = 60.8;  // 4 cores x 1.9 GHz x 8 SP FLOPs/cycle
+  big.peak_dp_gflops = 30.4;
+  big.mem_bandwidth_gbs = 14.9;
+  big.mem_capacity_gb = 4.0;
+  big.partition_granularity = 1;
+  big.launch_overhead = 2 * kMicrosecond;
+  platform.cpu = big;
+
+  // The LITTLE cluster is modeled as an accelerator-class device: the
+  // runtime offloads slabs to it like to any other accelerator, but the
+  // coherent fabric makes its "transfers" nearly free — the asymmetric-CPU
+  // limit of the partitioning problem.
+  DeviceSpec little;
+  little.name = "LITTLE cluster (4x in-order)";
+  little.cls = DeviceClass::kAccelerator;
+  little.cores = 4;
+  little.lanes = 1;  // offload model: one command stream into the cluster
+  little.frequency_ghz = 1.3;
+  little.peak_sp_gflops = 20.8;  // 4 cores x 1.3 GHz x 4 SP FLOPs/cycle
+  little.peak_dp_gflops = 10.4;
+  little.mem_bandwidth_gbs = 14.9;  // shared DRAM with the big cluster
+  little.mem_capacity_gb = 4.0;
+  little.partition_granularity = 1;
+  little.launch_overhead = 1 * kMicrosecond;
+  platform.accelerators.push_back(little);
+  // Cache-coherent interconnect: DRAM-class bandwidth, sub-microsecond
+  // latency — transfers exist but almost never bind.
+  platform.link = LinkSpec{"coherent-fabric", 12.0, kMicrosecond / 2};
+  platform.validate();
+  return platform;
+}
+
+PlatformSpec make_quad_platform() {
+  PlatformSpec platform = make_dual_gpu_platform();
+  platform.name = "xeon-e5-2620 + 2x tesla-k20m + xeon-phi-5110p";
+  platform.accelerators.push_back(
+      make_cpu_gpu_phi_platform().accelerators[1]);
+  platform.validate();
+  return platform;
+}
+
+PlatformSpec make_synthetic_platform(std::uint64_t seed) {
+  Rng rng(seed);
+  PlatformSpec platform;
+  platform.name = "synth-" + std::to_string(seed);
+  platform.cpu = make_xeon_e5_2620();
+
+  const auto log_uniform = [&rng](double lo, double hi) {
+    return lo * std::pow(hi / lo, rng.uniform());
+  };
+  const std::int64_t accelerator_count = rng.uniform_int(1, 3);
+  for (std::int64_t a = 0; a < accelerator_count; ++a) {
+    DeviceSpec acc;
+    acc.name = "synth-acc-" + std::to_string(a);
+    acc.cls = rng.uniform() < 0.7 ? DeviceClass::kGpu
+                                  : DeviceClass::kAccelerator;
+    acc.cores = static_cast<int>(rng.uniform_int(2, 64));
+    acc.lanes = 1;
+    acc.frequency_ghz = rng.uniform(0.5, 2.5);
+    // Asymmetric throughput draws: two accelerators on the same platform
+    // can differ by more than an order of magnitude.
+    acc.peak_sp_gflops = log_uniform(100.0, 4000.0);
+    acc.peak_dp_gflops = acc.peak_sp_gflops / rng.uniform(2.0, 4.0);
+    acc.mem_bandwidth_gbs = log_uniform(20.0, 320.0);
+    acc.mem_capacity_gb = rng.uniform(1.0, 16.0);
+    static constexpr int kGranularities[4] = {1, 16, 32, 64};
+    acc.partition_granularity = kGranularities[rng.uniform_int(0, 3)];
+    acc.launch_overhead =
+        static_cast<SimTime>(rng.uniform_int(5, 50)) * kMicrosecond;
+    platform.accelerators.push_back(std::move(acc));
+  }
+  platform.link = LinkSpec{"synth-link", log_uniform(1.0, 16.0),
+                           static_cast<SimTime>(rng.uniform_int(5, 20)) *
+                               kMicrosecond};
+  platform.validate();
+  return platform;
+}
+
 PlatformSpec make_cpu_only_platform() {
   PlatformSpec platform;
   platform.name = "xeon-e5-2620 only";
@@ -182,14 +273,25 @@ PlatformSpec platform_by_name(const std::string& name) {
   if (name == "dual-gpu") return make_dual_gpu_platform();
   if (name == "cpu-gpu-phi") return make_cpu_gpu_phi_platform();
   if (name == "cpu-only") return make_cpu_only_platform();
+  if (name == "big-little") return make_big_little_platform();
+  if (name == "quad") return make_quad_platform();
+  if (name.rfind("synth-", 0) == 0) {
+    const std::string digits = name.substr(6);
+    HS_REQUIRE(!digits.empty() &&
+                   digits.find_first_not_of("0123456789") == std::string::npos,
+               "synthetic platform '" << name
+                                      << "': expected synth-<decimal seed>");
+    return make_synthetic_platform(std::stoull(digits));
+  }
   throw InvalidArgument("unknown platform '" + name +
                         "' (reference, small-gpu, dual-gpu, cpu-gpu-phi, "
-                        "cpu-only)");
+                        "cpu-only, big-little, quad, synth-<seed>)");
 }
 
 const std::vector<std::string>& platform_names() {
   static const std::vector<std::string> kNames = {
-      "reference", "small-gpu", "dual-gpu", "cpu-gpu-phi", "cpu-only"};
+      "reference", "small-gpu", "dual-gpu",  "cpu-gpu-phi",
+      "cpu-only",  "big-little", "quad"};
   return kNames;
 }
 

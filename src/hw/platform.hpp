@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -130,12 +131,33 @@ PlatformSpec make_dual_gpu_platform();
 /// accelerators" of the paper's future work).
 PlatformSpec make_cpu_gpu_phi_platform();
 
+/// big.LITTLE-style asymmetric CPU: a big out-of-order cluster as the host
+/// plus a LITTLE in-order cluster modeled as an accelerator-class device
+/// behind a coherent on-chip fabric (high bandwidth, negligible latency).
+/// Exercises partitioning when the "accelerator" is barely faster than one
+/// host lane and transfers are nearly free.
+PlatformSpec make_big_little_platform();
+
+/// Four-device paper-successor configuration: reference CPU + 2x Tesla K20m
+/// + Xeon Phi 5110P, all sharing one PCIe link. The widest shipped preset;
+/// the bench's sim_core_quad phase runs on it.
+PlatformSpec make_quad_platform();
+
+/// Deterministic synthetic multi-accelerator platform drawn from `seed`
+/// (pure function of the seed): 1-3 accelerators with asymmetric
+/// throughput, bandwidth, granularity, and launch-overhead draws around the
+/// reference CPU. Named "synth-<seed>", so it round-trips through
+/// platform_by_name and the sweep scenario key (which embeds the full spec).
+PlatformSpec make_synthetic_platform(std::uint64_t seed);
+
 /// Looks a shipped platform variant up by name: "reference" (or ""),
-/// "small-gpu", "dual-gpu", "cpu-gpu-phi", "cpu-only". Throws
-/// InvalidArgument on an unknown name.
+/// "small-gpu", "dual-gpu", "cpu-gpu-phi", "cpu-only", "big-little",
+/// "quad", or a parametric "synth-<decimal seed>" (see
+/// make_synthetic_platform). Throws InvalidArgument on an unknown name.
 PlatformSpec platform_by_name(const std::string& name);
 
-/// The names accepted by `platform_by_name`, in presentation order.
+/// The preset names accepted by `platform_by_name`, in presentation order
+/// (the parametric synth-<seed> family is not enumerated here).
 const std::vector<std::string>& platform_names();
 
 }  // namespace hetsched::hw

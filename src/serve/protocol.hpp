@@ -27,7 +27,10 @@ namespace hetsched::serve {
 /// loudly instead of mis-answering.
 /// hs-serve-2: responses carry `trace_id`, requests may carry `trace`,
 /// and the administrative `trace-dump` op returns a request span tree.
-inline constexpr const char* kProtocolVersion = "hs-serve-2";
+/// hs-serve-3: match/explain answers carry the platform's device count and
+/// per-device suitability (N-device platforms) — same schema, new answer
+/// bytes, so warm caches written by older daemons must miss.
+inline constexpr const char* kProtocolVersion = "hs-serve-3";
 
 /// Hard per-frame byte bound; a peer exceeding it is disconnected rather
 /// than buffered without limit.

@@ -64,6 +64,18 @@ DecisionExplanation explain_decision(apps::Application& app,
     out.capacities.push_back(std::move(caps));
   }
 
+  out.device_suitability.assign(devices.size(), 0.0);
+  double total_capacity = 0.0;
+  for (const std::vector<double>& caps : out.capacities) {
+    for (std::size_t d = 0; d < caps.size(); ++d) {
+      out.device_suitability[d] += caps[d];
+      total_capacity += caps[d];
+    }
+  }
+  if (total_capacity > 0.0) {
+    for (double& share : out.device_suitability) share /= total_capacity;
+  }
+
   const auto predict = [&](analyzer::StrategyKind kind) {
     StrategyPrediction prediction;
     prediction.kind = kind;
@@ -118,11 +130,19 @@ std::string DecisionExplanation::to_json() const {
     prediction_list.push_back(std::move(entry));
   }
 
+  json::Value suitability_map{json::Value::Object{}};
+  for (std::size_t d = 0; d < device_names.size(); ++d)
+    suitability_map.set(device_names[d],
+                        json::Value(device_suitability[d]));
+
   json::Value document;
   document.set("app", json::Value(app));
   document.set("platform", json::Value(platform));
+  document.set("device_count",
+               json::Value(static_cast<std::int64_t>(device_count())));
   document.set("class", json::Value(analyzer::app_class_name(match.app_class)));
   document.set("inter_kernel_sync", json::Value(match.inter_kernel_sync));
+  document.set("device_suitability", std::move(suitability_map));
   document.set("ranking", std::move(ranking));
   document.set("selected", json::Value(analyzer::strategy_name(match.best)));
   document.set("rationale", json::Value(match.rationale));
@@ -133,10 +153,18 @@ std::string DecisionExplanation::to_json() const {
 
 std::string DecisionExplanation::render() const {
   std::ostringstream os;
-  os << "application: " << app << " on " << platform << "\n";
+  os << "application: " << app << " on " << platform << " ("
+     << device_count() << " devices)\n";
   os << "  class: " << analyzer::app_class_name(match.app_class)
      << " (inter-kernel sync: " << (match.inter_kernel_sync ? "yes" : "no")
      << ")\n";
+  os << "  device suitability (share of probed capacity):";
+  for (std::size_t d = 0; d < device_names.size(); ++d) {
+    os << " " << device_names[d] << "=" << std::fixed << std::setprecision(3)
+       << device_suitability[d];
+    os.unsetf(std::ios::fixed);
+  }
+  os << "\n";
   os << "  selected: " << analyzer::strategy_name(match.best) << "\n";
   os << "  rationale: " << match.rationale << "\n";
   os << "  probed capacities (items/s, whole device):\n";

@@ -43,6 +43,13 @@ struct DecisionExplanation {
   std::vector<std::string> kernel_names;
   std::vector<std::string> device_names;
   std::vector<std::vector<double>> capacities;
+  /// Per-device suitability: the device's share of the platform's total
+  /// probed capacity, summed over kernels (0..1, sums to 1 when any rate
+  /// was observed). The N-device ranking signal: on a CPU+2×GPU platform
+  /// the second GPU's score shows how much the partition strategies gain.
+  std::vector<double> device_suitability;
+
+  std::size_t device_count() const { return device_names.size(); }
 
   /// Byte-stable JSON document (json::Value ordering rules).
   std::string to_json() const;

@@ -89,13 +89,17 @@ void StrategyRunner::require_accelerator() const {
                  << app_.executor().platform().name << "' has none");
 }
 
+bool StrategyRunner::multi_accelerator() const {
+  return app_.executor().platform().accelerators.size() > 1;
+}
+
 StrategyResult StrategyRunner::run(StrategyKind kind) {
   app_.reset_data();
   switch (kind) {
     case StrategyKind::kOnlyCpu:
       return run_only(hw::kCpuDevice, kind);
     case StrategyKind::kOnlyGpu:
-      return run_only(gpu_device_, kind);
+      return run_only(kFirstAccelerator, kind);
     case StrategyKind::kSPSingle:
       return run_sp_single();
     case StrategyKind::kSPUnified:
@@ -178,11 +182,12 @@ StrategyResult StrategyRunner::run_only(hw::DeviceId device,
 
 void StrategyRunner::submit_split(rt::Program& program,
                                   std::size_t kernel_index,
-                                  std::int64_t gpu_items) const {
+                                  std::int64_t gpu_items,
+                                  hw::DeviceId accelerator) const {
   const rt::KernelId kernel = app_.kernels()[kernel_index];
   const std::int64_t n = app_.items_of(kernel_index);
   gpu_items = std::min(gpu_items, n);
-  if (gpu_items > 0) program.submit(kernel, 0, gpu_items, gpu_device_);
+  if (gpu_items > 0) program.submit(kernel, 0, gpu_items, accelerator);
   const std::int64_t cpu_items = n - gpu_items;
   if (cpu_items <= 0) return;
   const int m = options_.task_count;
@@ -192,18 +197,39 @@ void StrategyRunner::submit_split(rt::Program& program,
   }
 }
 
+void StrategyRunner::submit_multi_split(
+    rt::Program& program, std::size_t kernel_index,
+    const std::vector<std::int64_t>& items_per_device) const {
+  const rt::KernelId kernel = app_.kernels()[kernel_index];
+  // Accelerators take contiguous slabs from the front, in device order;
+  // the CPU's tail slab is split into m instances.
+  std::int64_t cursor = 0;
+  for (hw::DeviceId d = 1; d < items_per_device.size(); ++d) {
+    const std::int64_t items = items_per_device[d];
+    if (items > 0) program.submit(kernel, cursor, cursor + items, d);
+    cursor += items;
+  }
+  const std::int64_t cpu_items = items_per_device[hw::kCpuDevice];
+  const int m = options_.task_count;
+  for (int i = 0; i < m && cpu_items > 0; ++i) {
+    program.submit(kernel, cursor + cpu_items * i / m,
+                   cursor + cpu_items * (i + 1) / m, hw::kCpuDevice);
+  }
+}
+
 glinda::KernelEstimate StrategyRunner::estimate_for(
     const glinda::SampleProgramFactory& factory,
-    bool transfer_on_critical_path, std::int64_t total_items) const {
+    bool transfer_on_critical_path, std::int64_t total_items,
+    hw::DeviceId accelerator) const {
   glinda::Profiler profiler(options_.profile);
   rt::Executor& executor = app_.executor();
   glinda::KernelEstimate estimate;
   estimate.cpu = profiler.profile_device(executor, factory, hw::kCpuDevice,
                                          total_items);
   estimate.gpu =
-      profiler.profile_device(executor, factory, gpu_device_, total_items);
+      profiler.profile_device(executor, factory, accelerator, total_items);
   const glinda::LinkProfile link =
-      profiler.profile_link(executor, factory, gpu_device_, total_items);
+      profiler.profile_link(executor, factory, accelerator, total_items);
   estimate.link_bytes_per_second =
       link.bytes_per_second > 0.0
           ? link.bytes_per_second
@@ -212,17 +238,39 @@ glinda::KernelEstimate StrategyRunner::estimate_for(
   return estimate;
 }
 
+glinda::MultiDeviceEstimate StrategyRunner::multi_estimate_for(
+    const glinda::SampleProgramFactory& factory,
+    bool transfer_on_critical_path, std::int64_t total_items) const {
+  glinda::Profiler profiler(options_.profile);
+  rt::Executor& executor = app_.executor();
+  const hw::PlatformSpec& platform = executor.platform();
+  glinda::MultiDeviceEstimate estimate;
+  estimate.transfer_on_critical_path = transfer_on_critical_path;
+  estimate.devices.reserve(platform.device_count());
+  for (hw::DeviceId d = 0; d < platform.device_count(); ++d) {
+    estimate.devices.push_back(
+        profiler.profile_device(executor, factory, d, total_items));
+  }
+  // All accelerators share the one host link; fitting it through the first
+  // accelerator's samples observes that shared channel.
+  const glinda::LinkProfile link = profiler.profile_link(
+      executor, factory, kFirstAccelerator, total_items);
+  estimate.link_bytes_per_second =
+      link.bytes_per_second > 0.0 ? link.bytes_per_second
+                                  : platform.link.bandwidth_gbs * 1e9;
+  return estimate;
+}
+
 StrategyResult StrategyRunner::run_sp_single() {
   require_accelerator();
   HS_REQUIRE(app_.kernels().size() == 1,
              "SP-Single applies to single-kernel applications; '"
                  << app_.name() << "' has " << app_.kernels().size());
-  if (app_.executor().platform().accelerators.size() > 1)
-    return run_sp_single_multi();
+  if (multi_accelerator()) return run_sp_single_multi();
   // Profiling one iteration captures exactly the per-iteration transfer
   // pattern (SK-Loop applications pay them every iteration).
-  const glinda::KernelEstimate estimate =
-      estimate_for(app_.single_kernel_factory(0), true, app_.items());
+  const glinda::KernelEstimate estimate = estimate_for(
+      app_.single_kernel_factory(0), true, app_.items(), kFirstAccelerator);
   glinda::PartitionModel model(options_.partition);
   // Imbalanced applications publish their prefix-weight function and get
   // the work-balancing solver; uniform ones get the closed form.
@@ -234,7 +282,7 @@ StrategyResult StrategyRunner::run_sp_single() {
   app_.reset_data();
   const auto submit = [&](rt::Program& program, std::size_t index,
                           rt::KernelId) {
-    submit_split(program, index, decision.gpu_items);
+    submit_split(program, index, decision.gpu_items, kFirstAccelerator);
   };
   const rt::Program program =
       app_.build_program(submit, options_.sync_between_kernels);
@@ -246,44 +294,17 @@ StrategyResult StrategyRunner::run_sp_single() {
 /// every device, solve the balanced multi-way split, and submit one slab
 /// per accelerator plus m CPU instances.
 StrategyResult StrategyRunner::run_sp_single_multi() {
-  const hw::PlatformSpec& platform = app_.executor().platform();
-  const std::size_t devices = platform.device_count();
-  const glinda::SampleProgramFactory factory = app_.single_kernel_factory(0);
-
-  glinda::Profiler profiler(options_.profile);
-  glinda::MultiDeviceEstimate estimate;
-  estimate.transfer_on_critical_path = true;
-  estimate.devices.reserve(devices);
-  for (hw::DeviceId d = 0; d < devices; ++d) {
-    estimate.devices.push_back(
-        profiler.profile_device(app_.executor(), factory, d, app_.items()));
-  }
-  const glinda::LinkProfile link = profiler.profile_link(
-      app_.executor(), factory, /*device=*/1, app_.items());
-  estimate.link_bytes_per_second =
-      link.bytes_per_second > 0.0 ? link.bytes_per_second
-                                  : platform.link.bandwidth_gbs * 1e9;
-
-  glinda::MultiPartitionModel model(options_.partition);
+  const glinda::MultiDeviceEstimate estimate = multi_estimate_for(
+      app_.single_kernel_factory(0), /*transfer_on_critical_path=*/true,
+      app_.items());
   const glinda::MultiPartitionDecision decision =
-      model.solve(estimate, app_.items());
+      glinda::solve_multi_partition(estimate, app_.items(),
+                                    options_.partition);
 
   app_.reset_data();
-  const int m = options_.task_count;
-  const auto submit = [&](rt::Program& program, std::size_t, rt::KernelId k) {
-    // Accelerators take contiguous slabs from the front; the CPU's tail
-    // slab is split into m instances.
-    std::int64_t cursor = 0;
-    for (hw::DeviceId d = 1; d < devices; ++d) {
-      const std::int64_t items = decision.items_per_device[d];
-      if (items > 0) program.submit(k, cursor, cursor + items, d);
-      cursor += items;
-    }
-    const std::int64_t cpu_items = decision.items_per_device[0];
-    for (int i = 0; i < m && cpu_items > 0; ++i) {
-      program.submit(k, cursor + cpu_items * i / m,
-                     cursor + cpu_items * (i + 1) / m, hw::kCpuDevice);
-    }
+  const auto submit = [&](rt::Program& program, std::size_t index,
+                          rt::KernelId) {
+    submit_multi_split(program, index, decision.items_per_device);
   };
   const rt::Program program =
       app_.build_program(submit, options_.sync_between_kernels);
@@ -297,14 +318,16 @@ StrategyResult StrategyRunner::run_sp_unified() {
   require_accelerator();
   HS_REQUIRE(app_.kernels().size() > 1,
              "SP-Unified applies to multi-kernel applications");
+  if (multi_accelerator()) return run_sp_unified_multi();
   // The kernels are regarded as one fused kernel. In a main loop without
   // per-iteration synchronization, data stays resident across iterations,
   // so the unified partitioning is determined without the data transfers
   // (paper Section IV-B4); one-shot sequences keep them on the path.
   const bool transfers_on_path =
       !(app_.iterations() > 1 && !app_.sync_each_iteration());
-  const glinda::KernelEstimate estimate =
-      estimate_for(app_.fused_factory(), transfers_on_path, app_.items());
+  const glinda::KernelEstimate estimate = estimate_for(
+      app_.fused_factory(), transfers_on_path, app_.items(),
+      kFirstAccelerator);
   glinda::PartitionModel model(options_.partition);
   const glinda::PartitionDecision decision =
       model.solve(estimate, app_.items());
@@ -318,7 +341,7 @@ StrategyResult StrategyRunner::run_sp_unified() {
                           rt::KernelId) {
     const auto share = static_cast<std::int64_t>(
         fraction * static_cast<double>(app_.items_of(index)) + 0.5);
-    submit_split(program, index, share);
+    submit_split(program, index, share, kFirstAccelerator);
   };
   const rt::Program program =
       app_.build_program(submit, options_.sync_between_kernels);
@@ -326,10 +349,50 @@ StrategyResult StrategyRunner::run_sp_unified() {
                   {decision});
 }
 
+/// SP-Unified generalized: one vector split of the FUSED kernel sequence,
+/// and the same per-device fractions applied to every kernel's item space.
+StrategyResult StrategyRunner::run_sp_unified_multi() {
+  const bool transfers_on_path =
+      !(app_.iterations() > 1 && !app_.sync_each_iteration());
+  const glinda::MultiDeviceEstimate estimate =
+      multi_estimate_for(app_.fused_factory(), transfers_on_path,
+                         app_.items());
+  const glinda::MultiPartitionDecision decision =
+      glinda::solve_multi_partition(estimate, app_.items(),
+                                    options_.partition);
+
+  app_.reset_data();
+  const std::int64_t total = app_.items();
+  const auto submit = [&](rt::Program& program, std::size_t index,
+                          rt::KernelId) {
+    // Scale each device's unified share to this kernel's item space; the
+    // CPU absorbs the rounding remainder.
+    const std::int64_t nk = app_.items_of(index);
+    std::vector<std::int64_t> items(decision.device_count(), 0);
+    std::int64_t assigned = 0;
+    for (std::size_t d = 1; d < decision.device_count(); ++d) {
+      auto share = static_cast<std::int64_t>(
+          decision.share(d, total) * static_cast<double>(nk) + 0.5);
+      share = std::min(share, nk - assigned);
+      items[d] = share;
+      assigned += share;
+    }
+    items[hw::kCpuDevice] = nk - assigned;
+    submit_multi_split(program, index, items);
+  };
+  const rt::Program program =
+      app_.build_program(submit, options_.sync_between_kernels);
+  StrategyResult result = finalize(StrategyKind::kSPUnified,
+                                   measured_execute_pinned(program), {});
+  result.multi_decision = decision;
+  return result;
+}
+
 StrategyResult StrategyRunner::run_sp_varied() {
   require_accelerator();
   HS_REQUIRE(app_.kernels().size() > 1,
              "SP-Varied applies to multi-kernel applications");
+  if (multi_accelerator()) return run_sp_varied_multi();
   // Per-kernel optimal splits; each kernel is profiled in isolation, with
   // its transfers on the critical path (the synchronization between kernels
   // flushes data home every time).
@@ -347,21 +410,58 @@ StrategyResult StrategyRunner::run_sp_varied() {
       decisions.push_back(tiny);
       continue;
     }
-    const glinda::KernelEstimate estimate =
-        estimate_for(app_.single_kernel_factory(k), true, nk);
+    const glinda::KernelEstimate estimate = estimate_for(
+        app_.single_kernel_factory(k), true, nk, kFirstAccelerator);
     decisions.push_back(model.solve(estimate, nk));
   }
 
   app_.reset_data();
   const auto submit = [&](rt::Program& program, std::size_t index,
                           rt::KernelId) {
-    submit_split(program, index, decisions[index].gpu_items);
+    submit_split(program, index, decisions[index].gpu_items,
+                 kFirstAccelerator);
   };
   // SP-Varied requires inter-kernel synchronization by construction.
   const rt::Program program =
       app_.build_program(submit, /*sync_between_kernels=*/true);
   return finalize(StrategyKind::kSPVaried, measured_execute_pinned(program),
                   std::move(decisions));
+}
+
+/// SP-Varied generalized: every kernel gets its own vector split across
+/// all devices, with the inter-kernel synchronization SP-Varied implies.
+StrategyResult StrategyRunner::run_sp_varied_multi() {
+  const std::size_t device_count = app_.executor().platform().device_count();
+  std::vector<glinda::MultiPartitionDecision> decisions;
+  decisions.reserve(app_.kernels().size());
+  for (std::size_t k = 0; k < app_.kernels().size(); ++k) {
+    const std::int64_t nk = app_.items_of(k);
+    if (nk < 4) {
+      // Too narrow to profile or to feed an accelerator: all on the CPU.
+      glinda::MultiPartitionDecision tiny;
+      tiny.items_per_device.assign(device_count, 0);
+      tiny.items_per_device[hw::kCpuDevice] = nk;
+      decisions.push_back(std::move(tiny));
+      continue;
+    }
+    const glinda::MultiDeviceEstimate estimate = multi_estimate_for(
+        app_.single_kernel_factory(k), /*transfer_on_critical_path=*/true,
+        nk);
+    decisions.push_back(
+        glinda::solve_multi_partition(estimate, nk, options_.partition));
+  }
+
+  app_.reset_data();
+  const auto submit = [&](rt::Program& program, std::size_t index,
+                          rt::KernelId) {
+    submit_multi_split(program, index, decisions[index].items_per_device);
+  };
+  const rt::Program program =
+      app_.build_program(submit, /*sync_between_kernels=*/true);
+  StrategyResult result = finalize(StrategyKind::kSPVaried,
+                                   measured_execute_pinned(program), {});
+  result.multi_decisions = std::move(decisions);
+  return result;
 }
 
 RateTable StrategyRunner::probe_rates(int instances_per_pair) const {

@@ -69,11 +69,14 @@ struct StrategyResult {
   /// Accelerator share across all kernels (all non-CPU devices combined).
   double gpu_fraction_overall = 0.0;
   /// Glinda decisions (static strategies; one per kernel for SP-Varied,
-  /// a single entry otherwise). Empty for multi-accelerator SP-Single,
-  /// which reports through `multi_decision` instead.
+  /// a single entry otherwise). Empty for the multi-accelerator static
+  /// strategies, which report through `multi_decision`/`multi_decisions`.
   std::vector<glinda::PartitionDecision> decisions;
-  /// Multi-accelerator split (SP-Single on platforms with 2+ accelerators).
+  /// Multi-accelerator split (SP-Single / SP-Unified on platforms with 2+
+  /// accelerators; SP-Unified scales the fused shares to each kernel).
   std::optional<glinda::MultiPartitionDecision> multi_decision;
+  /// Per-kernel multi-accelerator splits (SP-Varied on 2+ accelerators).
+  std::vector<glinda::MultiPartitionDecision> multi_decisions;
 
   double time_ms() const { return report.makespan_ms(); }
 };
@@ -105,12 +108,19 @@ class StrategyRunner {
   /// phase shared by DP-Perf, the SP-DAG planner, and decision explanation.
   RateTable probe_rates(int instances_per_pair) const;
 
+  /// The accelerator the scalar (CPU + one accelerator) paths target. On
+  /// 1-accelerator platforms this is THE accelerator; multi-accelerator
+  /// paths iterate every device instead of using it.
+  static constexpr hw::DeviceId kFirstAccelerator = 1;
+
  private:
   StrategyResult run_only(hw::DeviceId device, analyzer::StrategyKind kind);
   StrategyResult run_sp_single();
   StrategyResult run_sp_single_multi();
   StrategyResult run_sp_unified();
+  StrategyResult run_sp_unified_multi();
   StrategyResult run_sp_varied();
+  StrategyResult run_sp_varied_multi();
   StrategyResult run_sp_dag();
   StrategyResult run_dp(analyzer::StrategyKind kind);
 
@@ -120,14 +130,30 @@ class StrategyRunner {
                                        rt::Scheduler& scheduler);
 
   /// Submits instances of the kernel at sequence position `kernel_index`,
-  /// split at `gpu_items`: [0, gpu_items) as one GPU instance, the rest of
-  /// that kernel's item space as m CPU instances.
+  /// split at `gpu_items`: [0, gpu_items) as one instance pinned to
+  /// `accelerator`, the rest of that kernel's item space as m CPU
+  /// instances.
   void submit_split(rt::Program& program, std::size_t kernel_index,
-                    std::int64_t gpu_items) const;
+                    std::int64_t gpu_items, hw::DeviceId accelerator) const;
 
-  /// Profiles one kernel (or the fused sequence) and builds the model
-  /// input; `total_items` is the item space the factory's slices index.
+  /// Submits one contiguous slab per accelerator (front of the item space,
+  /// device order) and m CPU instances over the tail, exactly following
+  /// `items_per_device` (index 0 = CPU share).
+  void submit_multi_split(rt::Program& program, std::size_t kernel_index,
+                          const std::vector<std::int64_t>& items_per_device)
+      const;
+
+  /// Profiles one kernel (or the fused sequence) on the CPU and the given
+  /// accelerator and builds the scalar model input; `total_items` is the
+  /// item space the factory's slices index.
   glinda::KernelEstimate estimate_for(
+      const glinda::SampleProgramFactory& factory,
+      bool transfer_on_critical_path, std::int64_t total_items,
+      hw::DeviceId accelerator) const;
+
+  /// Profiles EVERY device in the platform (CPU first) and builds the
+  /// vector model input for glinda::solve_multi_partition.
+  glinda::MultiDeviceEstimate multi_estimate_for(
       const glinda::SampleProgramFactory& factory,
       bool transfer_on_critical_path, std::int64_t total_items) const;
 
@@ -136,10 +162,10 @@ class StrategyRunner {
                           std::vector<glinda::PartitionDecision> decisions);
 
   void require_accelerator() const;
+  bool multi_accelerator() const;
 
   apps::Application& app_;
   StrategyOptions options_;
-  hw::DeviceId gpu_device_ = 1;
 };
 
 }  // namespace hetsched::strategies

@@ -55,13 +55,15 @@ std::vector<Scenario> twin_matrix(bool small, int seeds) {
 /// no JSON serialization, and no sweep machinery around them. This is the
 /// number the event-core optimizations move, and the honest denominator
 /// for the cold phase's pipeline overhead.
-BenchPhase measure_sim_core(const BenchOptions& options) {
+BenchPhase measure_sim_core(const BenchOptions& options, std::string name,
+                            const std::string& platform_name) {
   BenchPhase phase;
-  phase.name = "sim_core";
+  phase.name = std::move(name);
 
   Scenario scenario;
   scenario.app = apps::PaperApp::kMatrixMul;
   scenario.strategy = analyzer::StrategyKind::kDPPerf;
+  scenario.platform = platform_name;
   scenario.small = options.small;
 
   const hw::PlatformSpec platform = hw::platform_by_name(scenario.platform);
@@ -161,7 +163,7 @@ BenchResult run_bench(const BenchOptions& options) {
   // Phase one must be genuinely cold: drop whatever a previous bench left.
   ResultCache(options.cache_dir).clear();
 
-  result.sim_core = measure_sim_core(options);
+  result.sim_core = measure_sim_core(options, "sim_core", "reference");
 
   const std::vector<Scenario> matrix = canonical_matrix(options.small);
   const SweepEngine cached_engine(sweep_options);
@@ -173,6 +175,11 @@ BenchResult run_bench(const BenchOptions& options) {
   twin_options.use_cache = false;
   result.twins = measure("faulted_shared_twins", SweepEngine(twin_options),
                          twin_matrix(options.small, options.fault_seeds));
+
+  // Same direct-execution workload on the 4-device quad platform: the
+  // event core's multi-accelerator slab paths, timed without the sweep
+  // machinery. Measured last so the pinned phases[0..3] stay untouched.
+  result.sim_core_quad = measure_sim_core(options, "sim_core_quad", "quad");
   return result;
 }
 
@@ -191,6 +198,7 @@ std::string bench_to_json(const BenchResult& result,
   phases.push_back(phase_to_json(result.cold));
   phases.push_back(phase_to_json(result.warm));
   phases.push_back(phase_to_json(result.twins));
+  phases.push_back(phase_to_json(result.sim_core_quad));
   for (const json::Value& phase : extra_phases)
     phases.push_back(json::Value(phase));
 

@@ -61,6 +61,11 @@ struct BenchResult {
   BenchPhase cold;
   BenchPhase warm;
   BenchPhase twins;
+  /// The sim_core workload again on the 4-device "quad" platform
+  /// (CPU + 2x GPU + Phi) — guards the event core's N-device paths. Always
+  /// serialized after the four phases above so the phase-name contract on
+  /// phases[0..3] stays frozen.
+  BenchPhase sim_core_quad;
 };
 
 /// Runs the three phases in order and returns their measurements.

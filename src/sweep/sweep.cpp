@@ -231,8 +231,10 @@ ScenarioOutcome SweepEngine::compute_scenario(const Scenario& scenario,
     if (!scenario.fault_plan.empty()) {
       const SimTime horizon =
           std::max<SimTime>(1, std::llround(baseline_ms * 1e6));
-      strategy_options.fault_plan = faults::make_named_plan(
-          scenario.fault_plan, horizon, scenario.fault_seed);
+      strategy_options.fault_plan =
+          faults::make_named_plan(scenario.fault_plan, horizon,
+                                  scenario.fault_seed,
+                                  platform.device_count());
     }
     strategies::StrategyRunner runner(*application, strategy_options);
     const strategies::StrategyResult result = runner.run(scenario.strategy);

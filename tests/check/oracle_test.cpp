@@ -13,14 +13,16 @@ namespace {
 
 TEST(Oracles, NamesAreStable) {
   const std::vector<std::string>& names = oracle_names();
-  ASSERT_EQ(names.size(), 11u);
+  ASSERT_EQ(names.size(), 12u);
   EXPECT_EQ(names.front(), "no-unexpected-failure");
   EXPECT_EQ(names[1], "work-conservation");
   EXPECT_EQ(names[2], "report-consistency");
   EXPECT_EQ(names[8], "partition-model");
   EXPECT_EQ(names[9], "dag-linearization");
   // Opt-in (fuzz --serve); never part of the default canonical run.
-  EXPECT_EQ(names.back(), "cache-transparency-serve");
+  EXPECT_EQ(names[10], "cache-transparency-serve");
+  // Appended by hs-check-3: the vector solve's own bounds + N=2 identity.
+  EXPECT_EQ(names.back(), "multi-partition-model");
 }
 
 TEST(Oracles, CleanSeedsPass) {

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "faults/fault_plan.hpp"
+#include "hw/platform.hpp"
+#include "obs/validate.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/schedulers/work_stealing.hpp"
+#include "tests/runtime/test_kernels.hpp"
+
+/// N-device resilience: a THREE-device platform (CPU + 2 GPUs) losing one
+/// accelerator mid-run. Dynamic runs must conserve work by migrating the
+/// dead device's chunks to the survivors; pinned runs must report the
+/// damage honestly; the seeded "storm-all" family — the only plan family
+/// that targets devices beyond 1 — must stay byte-deterministic and emit
+/// physically valid traces.
+namespace hetsched::rt {
+namespace {
+
+using testing::kItemBytes;
+using testing::make_map_kernel;
+
+constexpr std::int64_t kItems = 12000;
+constexpr int kChunks = 24;
+
+struct TriBench {
+  Executor exec;
+  Program program;
+
+  explicit TriBench(RuntimeOptions options = {})
+      : exec(hw::make_dual_gpu_platform(), RuntimeCosts{}, options) {
+    const auto a = exec.register_buffer("a", kItems * kItemBytes);
+    const auto b = exec.register_buffer("b", kItems * kItemBytes);
+    KernelDef def = make_map_kernel("heavy", a, b);
+    def.traits.flops_per_item = 50000.0;
+    exec.register_kernel(std::move(def));
+    program.submit_chunked(0, 0, kItems, kChunks);
+    program.taskwait();
+  }
+};
+
+std::int64_t executed_items(const ExecutionReport& report) {
+  std::int64_t total = 0;
+  for (const DeviceReport& device : report.devices)
+    total += device.total_items();
+  return total;
+}
+
+faults::FaultPlan failure_at(hw::DeviceId device, SimTime when) {
+  faults::FaultPlan plan;
+  plan.name = "mid-run-device-loss";
+  plan.events.push_back(
+      {faults::FaultKind::kDeviceFailure, device, when, 0, 1.0});
+  return plan;
+}
+
+TEST(NDeviceResilience, DynamicRunSurvivesLosingOneOfThreeDevices) {
+  TriBench bench;
+  WorkStealingScheduler healthy;
+  const ExecutionReport before = bench.exec.execute(bench.program, healthy);
+  ASSERT_GT(before.devices[1].instances, 0u);
+  ASSERT_GT(before.devices[2].instances, 0u);
+
+  // Kill GPU 1 halfway through its OWN busy period (the run's makespan is
+  // CPU-dominated — by any fraction of it the fast GPUs are long idle), so
+  // the dead device is guaranteed to hold in-flight or queued work.
+  bench.exec.set_fault_plan(
+      failure_at(1, before.devices[1].compute_time / 2));
+  WorkStealingScheduler sched;
+  const ExecutionReport report = bench.exec.execute(bench.program, sched);
+
+  EXPECT_TRUE(report.faults.active);
+  EXPECT_TRUE(report.faults.run_completed);
+  EXPECT_EQ(report.faults.failed_devices, 1);
+  EXPECT_EQ(report.faults.abandoned_tasks, 0);
+  EXPECT_GT(report.faults.migrated_tasks, 0);
+  // Work conservation across the three-way topology: every chunk ran
+  // exactly once despite the mid-flight loss of one GPU.
+  EXPECT_EQ(report.tasks_executed, static_cast<std::size_t>(kChunks));
+  EXPECT_EQ(executed_items(report), kItems);
+  // The surviving accelerator picked work up. The makespan may not move:
+  // absorbing a dead twin's slab without stretching the CPU-bound tail is
+  // exactly the N-device resilience win.
+  EXPECT_GT(report.devices[2].total_items(), before.devices[2].total_items());
+  EXPECT_GE(report.makespan, before.makespan);
+}
+
+TEST(NDeviceResilience, PinnedThreeWaySplitReportsDNFHonestly) {
+  TriBench bench;
+  // The SP shape on three devices: two pinned GPU slabs and a CPU tail.
+  Program pinned;
+  pinned.submit(0, 0, 5000, 1);
+  pinned.submit(0, 5000, 10000, 2);
+  pinned.submit(0, 10000, kItems, hw::kCpuDevice);
+  pinned.taskwait();
+
+  const ExecutionReport before = bench.exec.execute_pinned(pinned);
+  // Fail device 2 in the middle of its own busy period so its pinned slab
+  // is guaranteed in flight.
+  bench.exec.set_fault_plan(
+      failure_at(2, before.devices[2].compute_time / 2));
+  const ExecutionReport report = bench.exec.execute_pinned(pinned);
+
+  EXPECT_FALSE(report.faults.run_completed);
+  EXPECT_GT(report.faults.abandoned_tasks, 0);
+  EXPECT_GT(report.faults.unfinished_tasks, 0);
+  EXPECT_EQ(report.faults.migrated_tasks, 0);  // pinned work cannot move
+  EXPECT_LT(executed_items(report), kItems);
+  // Honesty cuts both ways: the untouched devices' slabs still completed.
+  EXPECT_EQ(report.devices[1].total_items(), 5000);
+  EXPECT_EQ(report.devices[hw::kCpuDevice].total_items(), kItems - 10000);
+}
+
+TEST(NDeviceResilience, StormAllRunsAreByteDeterministicWithValidTraces) {
+  RuntimeOptions options;
+  options.record_trace = true;
+  TriBench bench(options);
+  bench.exec.set_fault_plan(faults::make_named_plan(
+      "storm-all", 5 * kMillisecond, /*seed=*/3, /*device_count=*/3));
+
+  WorkStealingScheduler s1;
+  const ExecutionReport a = bench.exec.execute(bench.program, s1);
+  WorkStealingScheduler s2;
+  const ExecutionReport b = bench.exec.execute(bench.program, s2);
+  EXPECT_EQ(report_to_json(a, bench.exec.kernels()),
+            report_to_json(b, bench.exec.kernels()));
+
+  // The recorded timeline is physical and stays inside the run window.
+  EXPECT_TRUE(obs::validate_trace(a.trace, a.makespan).empty());
+  // Work accounting stays honest whether or not the storm proved fatal.
+  if (a.faults.run_completed) {
+    EXPECT_EQ(executed_items(a), kItems);
+  } else {
+    EXPECT_LT(executed_items(a), kItems);
+    EXPECT_GT(a.faults.abandoned_tasks + a.faults.unfinished_tasks, 0);
+  }
+}
+
+}  // namespace
+}  // namespace hetsched::rt

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "apps/matrixmul.hpp"
+#include "common/rng.hpp"
 #include "hw/platform.hpp"
 #include "strategies/strategy_runner.hpp"
 
@@ -133,6 +135,134 @@ TEST(MultiPartition, RejectsBadInput) {
   MultiDeviceEstimate bad = three_devices(1e-6, 0.0, 1e-7);
   EXPECT_THROW(model.solve(bad, 100), InvalidArgument);
 }
+
+/// Property wall for the strategy-level entry point solve_multi_partition
+/// (the function StrategyRunner's multi paths call). Four universally
+/// quantified claims over seeded random estimates:
+///   (a) two devices delegate to the scalar β solver bit for bit — items
+///       AND predicted seconds are exactly equal, not merely close;
+///   (b) with transfers off the critical path every participating device
+///       finishes together (balanced-finish, up to granularity rounding);
+///   (c) the predicted makespan respects the shared-link occupancy bound
+///       and replays exactly through predict_seconds;
+///   (d) speeding one accelerator up never meaningfully shrinks its slab.
+class SolveMultiPartitionProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+MultiDeviceEstimate draw_estimate(Rng& rng, std::size_t accelerators) {
+  MultiDeviceEstimate estimate;
+  estimate.link_bytes_per_second = rng.uniform(1e9, 2e10);
+  estimate.transfer_on_critical_path = rng.uniform() < 0.5;
+  DeviceProfile cpu;
+  cpu.seconds_per_item = rng.uniform(1e-7, 2e-6);
+  cpu.fixed_seconds = rng.uniform(0.0, 1e-4);
+  estimate.devices.push_back(cpu);
+  for (std::size_t a = 0; a < accelerators; ++a) {
+    DeviceProfile acc;
+    acc.seconds_per_item = rng.uniform(1e-8, 1e-6);
+    acc.h2d_bytes_per_item = rng.uniform(0.0, 16.0);
+    acc.d2h_bytes_per_item = rng.uniform(0.0, 16.0);
+    acc.fixed_seconds = rng.uniform(0.0, 1e-3);
+    estimate.devices.push_back(acc);
+  }
+  return estimate;
+}
+
+TEST_P(SolveMultiPartitionProperty, TwoDevicesDelegateToScalarBitwise) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 8; ++round) {
+    const MultiDeviceEstimate estimate = draw_estimate(rng, 1);
+    const std::int64_t n = rng.uniform_int(1, 2'000'000);
+    const MultiPartitionDecision multi = solve_multi_partition(estimate, n);
+    const PartitionDecision scalar =
+        PartitionModel().solve(to_kernel_estimate(estimate), n);
+
+    ASSERT_EQ(multi.items_per_device.size(), 2u);
+    EXPECT_EQ(multi.items_per_device[0], scalar.cpu_items);
+    EXPECT_EQ(multi.items_per_device[1], scalar.gpu_items);
+    double expected = scalar.predicted_partition_seconds;
+    if (scalar.config == HardwareConfig::kOnlyCpu)
+      expected = scalar.predicted_cpu_seconds;
+    if (scalar.config == HardwareConfig::kOnlyGpu)
+      expected = scalar.predicted_gpu_seconds;
+    // Bitwise: the N=2 path IS the scalar path, not a numerical twin.
+    EXPECT_EQ(multi.predicted_seconds, expected);
+  }
+}
+
+TEST_P(SolveMultiPartitionProperty, ParticipatingDevicesFinishTogether) {
+  Rng rng(GetParam());
+  MultiDeviceEstimate estimate =
+      draw_estimate(rng, static_cast<std::size_t>(rng.uniform_int(2, 3)));
+  // Off the critical path there is no link term: the solver is in the pure
+  // balanced-finish regime and every device it keeps must finish together.
+  estimate.transfer_on_critical_path = false;
+  const std::int64_t n = 4'000'000;
+  const MultiPartitionDecision decision = solve_multi_partition(estimate, n);
+
+  double earliest = 1e300;
+  double latest = 0.0;
+  for (std::size_t d = 0; d < estimate.devices.size(); ++d) {
+    if (decision.items_per_device[d] == 0) continue;  // dropped device
+    const double finish =
+        static_cast<double>(decision.items_per_device[d]) *
+            estimate.effective_seconds_per_item(d) +
+        estimate.effective_fixed_seconds(d);
+    earliest = std::min(earliest, finish);
+    latest = std::max(latest, finish);
+  }
+  // Granularity rounding moves at most ~32 items per accelerator (the CPU
+  // absorbs the remainder), so the spread stays within a percent.
+  EXPECT_LE(latest - earliest, 0.01 * latest + 1e-6)
+      << "finish spread " << earliest << " .. " << latest;
+}
+
+TEST_P(SolveMultiPartitionProperty, MakespanRespectsSharedLinkBound) {
+  Rng rng(GetParam());
+  MultiDeviceEstimate estimate =
+      draw_estimate(rng, static_cast<std::size_t>(rng.uniform_int(2, 3)));
+  // Force the transfer-bound regime: heavy per-item traffic, weak link.
+  estimate.transfer_on_critical_path = true;
+  estimate.link_bytes_per_second = rng.uniform(5e8, 2e9);
+  for (std::size_t d = 1; d < estimate.devices.size(); ++d) {
+    estimate.devices[d].h2d_bytes_per_item = rng.uniform(8.0, 64.0);
+    estimate.devices[d].d2h_bytes_per_item = rng.uniform(8.0, 64.0);
+  }
+  const std::int64_t n = 1'000'000;
+  const MultiPartitionDecision decision = solve_multi_partition(estimate, n);
+
+  double link_seconds = 0.0;
+  for (std::size_t d = 1; d < estimate.devices.size(); ++d)
+    link_seconds += static_cast<double>(decision.items_per_device[d]) *
+                    estimate.transfer_seconds_per_item(d);
+  // All accelerators share one serial link: the makespan can never undercut
+  // the total time their slabs spend on it.
+  EXPECT_GE(decision.predicted_seconds + 1e-9 * (1.0 + decision.predicted_seconds),
+            link_seconds);
+  // And the prediction replays exactly through the public cost model.
+  EXPECT_NEAR(decision.predicted_seconds,
+              MultiPartitionModel().predict_seconds(
+                  estimate, decision.items_per_device),
+              1e-12);
+}
+
+TEST_P(SolveMultiPartitionProperty, FasterDeviceNeverLosesItsSlab) {
+  Rng rng(GetParam());
+  MultiDeviceEstimate estimate = draw_estimate(rng, 2);
+  estimate.transfer_on_critical_path = false;
+  const std::int64_t n = 2'000'000;
+  const MultiPartitionDecision before = solve_multi_partition(estimate, n);
+
+  MultiDeviceEstimate faster = estimate;
+  faster.devices[2].seconds_per_item /= rng.uniform(1.1, 4.0);
+  const MultiPartitionDecision after = solve_multi_partition(faster, n);
+
+  // Up to one granularity quantum of slack from the rounding step.
+  EXPECT_GE(after.items_per_device[2] + 33, before.items_per_device[2]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolveMultiPartitionProperty,
+                         ::testing::Range<std::uint64_t>(1, 25));
 
 /// Integration: SP-Single on the dual-GPU platform splits across both GPUs
 /// and beats the single-GPU platform on a GPU-friendly workload.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "hw/cost_model.hpp"
 
@@ -129,6 +131,83 @@ TEST(PlatformVariants, PhiPlatformIsHeterogeneousAccelerators) {
   EXPECT_DOUBLE_EQ(p.accelerators[1].mem_bandwidth_gbs, 320.0);
   EXPECT_EQ(p.accelerators[1].partition_granularity, 16);
   EXPECT_NO_THROW(p.validate());
+}
+
+TEST(PlatformVariants, BigLittleModelsLittleClusterAsAccelerator) {
+  const PlatformSpec p = make_big_little_platform();
+  ASSERT_EQ(p.accelerators.size(), 1u);
+  EXPECT_EQ(p.accelerators[0].cls, DeviceClass::kAccelerator);
+  // Asymmetric CPU: the "accelerator" is SLOWER than the host cluster...
+  EXPECT_LT(p.accelerators[0].peak_sp_gflops, p.cpu.peak_sp_gflops);
+  // ...but the coherent fabric makes transfers nearly free relative to PCIe.
+  EXPECT_GT(p.link.bandwidth_gbs,
+            make_reference_platform().link.bandwidth_gbs);
+  EXPECT_LT(p.link.latency, make_reference_platform().link.latency);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(PlatformVariants, QuadIsFourDevicesCpuFirst) {
+  const PlatformSpec p = make_quad_platform();
+  EXPECT_EQ(p.device_count(), 4u);
+  ASSERT_EQ(p.accelerators.size(), 3u);
+  EXPECT_EQ(p.accelerators[0].cls, DeviceClass::kGpu);
+  EXPECT_EQ(p.accelerators[1].cls, DeviceClass::kGpu);
+  EXPECT_EQ(p.accelerators[2].cls, DeviceClass::kAccelerator);
+  // The two K20ms are identical except in name; the Phi matches its preset.
+  EXPECT_DOUBLE_EQ(p.accelerators[0].peak_sp_gflops,
+                   p.accelerators[1].peak_sp_gflops);
+  EXPECT_DOUBLE_EQ(p.accelerators[2].peak_sp_gflops, 2022.0);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(PlatformVariants, SyntheticIsDeterministicInSeed) {
+  const PlatformSpec a = make_synthetic_platform(42);
+  const PlatformSpec b = make_synthetic_platform(42);
+  const PlatformSpec c = make_synthetic_platform(43);
+  EXPECT_EQ(a.name, "synth-42");
+  ASSERT_EQ(a.accelerators.size(), b.accelerators.size());
+  for (std::size_t i = 0; i < a.accelerators.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.accelerators[i].peak_sp_gflops,
+                     b.accelerators[i].peak_sp_gflops);
+    EXPECT_DOUBLE_EQ(a.accelerators[i].mem_bandwidth_gbs,
+                     b.accelerators[i].mem_bandwidth_gbs);
+  }
+  EXPECT_DOUBLE_EQ(a.link.bandwidth_gbs, b.link.bandwidth_gbs);
+  // A different seed draws a different platform (throughputs are
+  // continuous draws, so collision is measure-zero).
+  EXPECT_NE(a.accelerators[0].peak_sp_gflops,
+            c.accelerators[0].peak_sp_gflops);
+}
+
+TEST(PlatformVariants, SyntheticSeedsStayInBounds) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const PlatformSpec p = make_synthetic_platform(seed);
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_GE(p.accelerators.size(), 1u);
+    EXPECT_LE(p.accelerators.size(), 3u);
+    EXPECT_GE(p.device_count(), 2u);
+    EXPECT_LE(p.device_count(), 4u);
+  }
+}
+
+TEST(PlatformByName, ResolvesNewPresetsAndSynth) {
+  EXPECT_EQ(platform_by_name("big-little").device_count(), 2u);
+  EXPECT_EQ(platform_by_name("quad").device_count(), 4u);
+  EXPECT_EQ(platform_by_name("synth-7").name, "synth-7");
+  EXPECT_EQ(platform_by_name("synth-7").accelerators.size(),
+            make_synthetic_platform(7).accelerators.size());
+  EXPECT_THROW(platform_by_name("synth-"), InvalidArgument);
+  EXPECT_THROW(platform_by_name("synth-abc"), InvalidArgument);
+  EXPECT_THROW(platform_by_name("bogus"), InvalidArgument);
+}
+
+TEST(PlatformByName, NamesListCoversPresets) {
+  const auto& names = platform_names();
+  for (const auto& n : names) {
+    EXPECT_NO_THROW(platform_by_name(n)) << n;
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "big-little"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "quad"), names.end());
 }
 
 TEST(KernelTraitsEfficiency, AcceleratorUsesGpuSideEfficiencies) {

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "faults/fault_plan.hpp"
+#include "hw/platform.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/schedulers/perf_aware.hpp"
+#include "tests/runtime/test_kernels.hpp"
+
+/// When a device dies on a platform with MORE than two devices, the
+/// displaced work must not fall to "the other device" by construction —
+/// the scheduler re-places it, and the performance-aware policy's
+/// earliest-finish rule sends it to the best surviving device.
+namespace hetsched::rt {
+namespace {
+
+using testing::kItemBytes;
+using testing::make_map_kernel;
+
+constexpr std::int64_t kItems = 12000;
+constexpr int kChunks = 24;
+
+/// CPU + fast GPU + clearly-slower-but-still-GPU-class second accelerator,
+/// with the CPU weakened to a two-lane 30 GFLOPS part so the ranking of
+/// the survivors is unambiguous: device 2 >> device 0.
+hw::PlatformSpec asymmetric_tri_platform() {
+  hw::PlatformSpec platform = hw::make_dual_gpu_platform();
+  platform.name = "asym-tri";
+  platform.cpu.cores = 2;
+  platform.cpu.lanes = 2;
+  platform.cpu.peak_sp_gflops = 30.0;
+  platform.cpu.peak_dp_gflops = 15.0;
+  platform.accelerators[1].name = "tesla-k20m-binned";
+  platform.accelerators[1].peak_sp_gflops /= 4.0;
+  platform.accelerators[1].peak_dp_gflops /= 4.0;
+  platform.accelerators[1].mem_bandwidth_gbs /= 4.0;
+  platform.validate();
+  return platform;
+}
+
+/// Seeds the scheduler's per-device throughput estimates from the platform
+/// spec (what the DP-Perf strategy's profiling phase would measure), so
+/// placement is pure earliest-finish rather than round-robin exploration.
+void seed_from_spec(PerfAwareScheduler& sched,
+                    const hw::PlatformSpec& platform,
+                    double flops_per_item) {
+  const std::vector<hw::DeviceSpec> devices = platform.all_devices();
+  for (hw::DeviceId d = 0; d < devices.size(); ++d)
+    sched.seed_estimate(
+        0, d,
+        devices[d].lane_peak_flops(hw::Precision::kSingle) / flops_per_item);
+}
+
+TEST(BestSurvivor, MigrationTargetsTheFasterSurvivingDevice) {
+  const hw::PlatformSpec platform = asymmetric_tri_platform();
+  Executor exec(platform, RuntimeCosts{}, {});
+  const auto a = exec.register_buffer("a", kItems * kItemBytes);
+  const auto b = exec.register_buffer("b", kItems * kItemBytes);
+  KernelDef def = make_map_kernel("heavy", a, b);
+  def.traits.flops_per_item = 50000.0;
+  exec.register_kernel(std::move(def));
+  Program program;
+  program.submit_chunked(0, 0, kItems, kChunks);
+  program.taskwait();
+
+  PerfAwareScheduler healthy;
+  seed_from_spec(healthy, platform, 50000.0);
+  const ExecutionReport before = exec.execute(program, healthy);
+  ASSERT_GT(before.devices[1].total_items(), 0);
+
+  // Kill the fast GPU halfway through its own busy period: it holds the
+  // largest queue, so real work is displaced. (A fraction of the overall
+  // makespan would land after the GPU already drained — the run is
+  // CPU-tail-dominated.)
+  faults::FaultPlan plan;
+  plan.name = "fast-gpu-loss";
+  plan.events.push_back({faults::FaultKind::kDeviceFailure, 1,
+                         before.devices[1].compute_time / 2, 0, 1.0});
+  exec.set_fault_plan(plan);
+  PerfAwareScheduler sched;
+  seed_from_spec(sched, platform, 50000.0);
+  const ExecutionReport report = exec.execute(program, sched);
+
+  ASSERT_TRUE(report.faults.run_completed);
+  ASSERT_GT(report.faults.migrated_tasks, 0);
+  EXPECT_EQ(report.tasks_executed, static_cast<std::size_t>(kChunks));
+
+  const std::int64_t survivor_gain =
+      report.devices[2].total_items() - before.devices[2].total_items();
+  const std::int64_t cpu_gain =
+      report.devices[hw::kCpuDevice].total_items() -
+      before.devices[hw::kCpuDevice].total_items();
+  // The displaced slab lands on the binned GPU (~880 GFLOPS), not the
+  // 30 GFLOPS CPU: best survivor, not "the other device".
+  EXPECT_GT(survivor_gain, 0);
+  EXPECT_GT(survivor_gain, cpu_gain);
+}
+
+}  // namespace
+}  // namespace hetsched::rt

@@ -228,11 +228,14 @@ TEST(SweepBench, BenchPhasesReportCoherentCounters) {
   EXPECT_EQ(result.twins.summary.twin_memo_hits, 2u);
 
   const json::Value document = json::Value::parse(bench_to_json(result));
-  ASSERT_EQ(document.at("phases").as_array().size(), 4u);
+  ASSERT_EQ(document.at("phases").as_array().size(), 5u);
   EXPECT_EQ(document.at("phases").as_array()[0].at("name").as_string(),
             "sim_core");
   EXPECT_EQ(document.at("phases").as_array()[1].at("name").as_string(),
             "cold_cache");
+  // The N-device phase rides after the four pinned ones.
+  EXPECT_EQ(document.at("phases").as_array()[4].at("name").as_string(),
+            "sim_core_quad");
   EXPECT_EQ(document.at("workload").at("sweep_code_version").as_string(),
             kSweepCodeVersion);
 }

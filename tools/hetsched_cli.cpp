@@ -69,6 +69,7 @@
 /// The usage string main() prints is generated from the same verb table
 /// that dispatches commands, so it cannot drift from what actually runs.
 #include <algorithm>
+#include <cmath>
 #include <csignal>
 #include <cstdint>
 #include <fstream>
@@ -595,7 +596,8 @@ int cmd_metrics(const Args& args) {
         std::max<SimTime>(1, baseline.run(kind).report.makespan);
     const std::uint64_t seed =
         args.flag("seed") ? std::stoull(args.get("seed")) : 0;
-    options.fault_plan = faults::make_named_plan(plan_name, horizon, seed);
+    options.fault_plan = faults::make_named_plan(plan_name, horizon, seed,
+                                                 platform.device_count());
   }
 
   auto app =
@@ -671,6 +673,21 @@ int cmd_bench(const Args& args) {
   print_phase(result.cold);
   print_phase(result.warm);
   print_phase(result.twins);
+  print_phase(result.sim_core_quad);
+
+  if (args.flag("quick")) {
+    // Smoke guard: the event core must still produce work and a sane rate
+    // on the 4-device quad platform, not just the reference CPU+GPU pair.
+    for (const sweep::BenchPhase* phase :
+         {&result.sim_core, &result.sim_core_quad}) {
+      HS_REQUIRE(phase->sim_events > 0,
+                 phase->name << " simulated no events");
+      HS_REQUIRE(!phase->events_per_second ||
+                     (std::isfinite(*phase->events_per_second) &&
+                      *phase->events_per_second > 0.0),
+                 phase->name << " produced a non-finite event rate");
+    }
+  }
 
   // Fourth phase: loopback serve-daemon throughput (requests/s), folded
   // into the same BENCH document. --no-serve skips it (e.g. a sandbox
